@@ -1,0 +1,78 @@
+// FINN-style streaming dataflow architecture model.
+//
+// FINN compiles a quantized MLP into a pipeline of Matrix-Vector-Threshold
+// Units (MVTUs), one per layer, each folded by (PE, SIMD):
+//     fold(layer) = (in / SIMD) * (out / PE)      [cycles per image]
+//     II          = max fold over layers          [steady-state]
+//     latency     = sum of folds + pipeline depth [first image]
+// Weights stay on chip in per-PE partitions (BRAM), activations stream
+// through FIFOs.  This module reproduces FINN-R's analytic estimator: given
+// a topology and a target fold, it picks the folding and derives cycles,
+// LUTs, registers and BRAM.  Constants are calibrated against the
+// XC7Z020 implementation reports the paper's Table I cites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace matador::baseline {
+
+/// One fully-connected layer to be compiled into an MVTU.
+struct FinnLayer {
+    std::size_t in = 0;        ///< input neurons
+    std::size_t out = 0;       ///< output neurons
+    unsigned weight_bits = 1;
+    unsigned activation_bits = 1;  ///< of the *input* activations
+};
+
+/// Chosen folding for one MVTU.
+struct FinnFolding {
+    std::size_t pe = 1;    ///< output parallelism (divides out)
+    std::size_t simd = 1;  ///< input parallelism (divides in)
+    std::size_t fold = 0;  ///< (in/simd) * (out/pe) cycles per image
+    std::size_t in = 0;    ///< layer input neurons (for head-latency math)
+    std::size_t out = 0;   ///< layer output neurons
+};
+
+/// Whole-network performance / resource estimate.
+struct FinnEstimate {
+    std::vector<FinnFolding> folding;
+    std::size_t initiation_interval = 0;  ///< cycles per image
+    std::size_t latency_cycles = 0;       ///< first-image latency
+    double clock_mhz = 100.0;
+
+    std::size_t luts = 0;
+    std::size_t lut_logic = 0;
+    std::size_t lut_mem = 0;       ///< LUTRAM (FIFOs, small weight partitions)
+    std::size_t registers = 0;
+    double bram36 = 0.0;
+    std::size_t f7_mux = 0;
+    std::size_t f8_mux = 0;
+    std::size_t slices = 0;
+
+    double latency_us() const { return double(latency_cycles) / clock_mhz; }
+    double throughput_inf_per_s() const {
+        return initiation_interval == 0
+                   ? 0.0
+                   : clock_mhz * 1e6 / double(initiation_interval);
+    }
+};
+
+/// Estimator options.
+struct FinnOptions {
+    double clock_mhz = 100.0;
+    /// Target cycles-per-image; folding is chosen as the least parallelism
+    /// that achieves fold <= target for every layer (FINN-R's "balancing").
+    std::size_t target_fold = 1024;
+};
+
+/// Derive folding + performance + resources for a topology.
+FinnEstimate estimate_finn(const std::vector<FinnLayer>& layers,
+                           const FinnOptions& options);
+
+/// The paper's Table II FINN topologies by dataset key
+/// ("mnist", "kws6", "cifar2", "fmnist", "kmnist").
+std::vector<FinnLayer> table2_finn_topology(const std::string& dataset);
+
+}  // namespace matador::baseline

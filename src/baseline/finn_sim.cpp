@@ -1,0 +1,97 @@
+#include "baseline/finn_sim.hpp"
+
+#include <stdexcept>
+
+namespace matador::baseline {
+
+FinnSimResult simulate_finn_pipeline(const std::vector<FinnFolding>& folding,
+                                     std::size_t images, std::size_t fifo_depth,
+                                     std::size_t max_cycles) {
+    if (folding.empty())
+        throw std::invalid_argument("simulate_finn_pipeline: no layers");
+    if (fifo_depth == 0)
+        throw std::invalid_argument("simulate_finn_pipeline: fifo_depth == 0");
+
+    const std::size_t layers = folding.size();
+
+    // Per-layer state.  An MVTU occupies `fold` cycles per image but emits
+    // its first output group after one pass over the input vector
+    // (`head` = in/simd cycles), so the downstream layer overlaps with the
+    // tail of this one - the streaming behaviour of FINN's dataflow.
+    std::vector<std::size_t> head(layers);
+    for (std::size_t l = 0; l < layers; ++l) {
+        const std::size_t in_pass =
+            folding[l].simd == 0 || folding[l].in == 0
+                ? folding[l].fold
+                : std::max<std::size_t>(1, folding[l].in / folding[l].simd);
+        head[l] = std::min<std::size_t>(folding[l].fold, in_pass);
+    }
+
+    std::vector<std::size_t> fifo(layers, 0);   // queued whole images
+    std::vector<bool> busy(layers, false);
+    std::vector<std::size_t> elapsed(layers, 0);
+    std::vector<bool> forwarded(layers, false);
+
+    FinnSimResult res;
+    res.retire_cycles.reserve(images);
+    std::vector<std::size_t> inject_cycle;
+    inject_cycle.reserve(images);
+
+    std::size_t injected = 0;
+    std::size_t cycle = 0;
+    for (; cycle < max_cycles && res.images_completed < images; ++cycle) {
+        if (injected < images && fifo[0] < fifo_depth) {
+            fifo[0]++;
+            inject_cycle.push_back(cycle);
+            ++injected;
+        }
+
+        // Downstream first so space freed this cycle is visible upstream
+        // next cycle (registered handshake).
+        for (std::size_t l = layers; l-- > 0;) {
+            if (busy[l]) {
+                ++elapsed[l];
+                // Emit the image's results downstream at the head boundary.
+                if (!forwarded[l] && elapsed[l] >= head[l]) {
+                    if (l + 1 == layers) {
+                        forwarded[l] = true;  // retire happens at full fold
+                    } else if (fifo[l + 1] < fifo_depth) {
+                        fifo[l + 1]++;
+                        forwarded[l] = true;
+                    }
+                    // else: blocked; retry next cycle (elapsed keeps
+                    // advancing only up to the fold boundary below).
+                }
+                if (elapsed[l] >= folding[l].fold && forwarded[l]) {
+                    if (l + 1 == layers) {
+                        res.retire_cycles.push_back(cycle);
+                        ++res.images_completed;
+                    }
+                    busy[l] = false;
+                } else if (elapsed[l] > folding[l].fold) {
+                    elapsed[l] = folding[l].fold;  // stalled at completion
+                }
+            }
+            if (!busy[l] && fifo[l] > 0) {
+                fifo[l]--;
+                busy[l] = true;
+                elapsed[l] = 0;
+                forwarded[l] = false;
+            }
+        }
+    }
+
+    res.cycles_run = cycle;
+    if (!res.retire_cycles.empty() && !inject_cycle.empty())
+        res.first_latency_cycles = res.retire_cycles.front() - inject_cycle.front() + 1;
+    if (res.retire_cycles.size() >= 2) {
+        double total = 0.0;
+        for (std::size_t i = 1; i < res.retire_cycles.size(); ++i)
+            total += double(res.retire_cycles[i] - res.retire_cycles[i - 1]);
+        res.mean_initiation_interval =
+            total / double(res.retire_cycles.size() - 1);
+    }
+    return res;
+}
+
+}  // namespace matador::baseline

@@ -1,0 +1,36 @@
+// Cycle-level FINN dataflow pipeline simulator.
+//
+// The analytic estimator (finn_model.hpp) predicts II = max fold and
+// latency ~ II + pipeline depth; this simulator *measures* both by playing
+// the streaming dataflow out cycle by cycle: images enter through an input
+// FIFO, each MVTU consumes one image for `fold` cycles before passing it to
+// the next layer's FIFO (blocking when full), classifications emerge from
+// the last layer.  The Table I bench cross-checks measured against analytic
+// the same way the MATADOR side cross-checks its simulator against the
+// architecture equations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/finn_model.hpp"
+
+namespace matador::baseline {
+
+/// Measured pipeline behaviour.
+struct FinnSimResult {
+    std::size_t images_completed = 0;
+    std::size_t cycles_run = 0;
+    std::size_t first_latency_cycles = 0;   ///< image 0: inject -> retire
+    double mean_initiation_interval = 0.0;  ///< steady-state cycles/image
+    std::vector<std::size_t> retire_cycles; ///< per image
+};
+
+/// Simulate `images` images through the folded pipeline.
+/// `fifo_depth` models the inter-layer stream buffers (images, not words;
+/// FINN FIFOs hold around one image of activations).
+FinnSimResult simulate_finn_pipeline(const std::vector<FinnFolding>& folding,
+                                     std::size_t images, std::size_t fifo_depth = 2,
+                                     std::size_t max_cycles = 1u << 24);
+
+}  // namespace matador::baseline

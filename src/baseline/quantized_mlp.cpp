@@ -1,0 +1,187 @@
+#include "baseline/quantized_mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace matador::baseline {
+
+QuantizedMlp::QuantizedMlp(MlpConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+    if (cfg_.layer_sizes.size() < 2)
+        throw std::invalid_argument("QuantizedMlp: need at least input+output layer");
+    if (cfg_.weight_bits != 1 && cfg_.weight_bits != 2 && cfg_.weight_bits != 32)
+        throw std::invalid_argument("QuantizedMlp: weight_bits must be 1 or 2");
+    if (cfg_.activation_bits != 1 && cfg_.activation_bits != 2 && cfg_.activation_bits != 32)
+        throw std::invalid_argument("QuantizedMlp: activation_bits must be 1 or 2");
+
+    for (std::size_t l = 0; l + 1 < cfg_.layer_sizes.size(); ++l) {
+        Layer layer;
+        const std::size_t in = cfg_.layer_sizes[l], out = cfg_.layer_sizes[l + 1];
+        layer.w = util::Matrix<float>(out, in);
+        layer.wq = util::Matrix<float>(out, in);
+        layer.bias.assign(out, 0.0f);
+        // Glorot-uniform initialisation of the shadow weights.
+        const float bound = std::sqrt(6.0f / float(in + out));
+        for (auto& v : layer.w.data())
+            v = float((rng_.uniform() * 2.0 - 1.0) * bound);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+void QuantizedMlp::quantize_layer(const Layer& l) const {
+    if (cfg_.weight_bits == 32) {  // float reference mode
+        l.wq = l.w;
+        l.scale = 1.0f;
+        return;
+    }
+    // Per-output-row scale = mean |w| over the row (XNOR-Net style).
+    const std::size_t out = l.bias.size(), in = l.w.cols();
+    double layer_mean = 0.0;
+    for (std::size_t o = 0; o < out; ++o) {
+        const float* wrow = l.w.row(o);
+        float* qrow = l.wq.row(o);
+        double mean_abs = 0.0;
+        for (std::size_t i = 0; i < in; ++i) mean_abs += std::fabs(double(wrow[i]));
+        const float a = float(std::max(mean_abs / double(in), 1e-8));
+        layer_mean += a;
+        if (cfg_.weight_bits == 1) {
+            for (std::size_t i = 0; i < in; ++i) qrow[i] = wrow[i] >= 0 ? a : -a;
+        } else {
+            // Ternary with threshold 0.5 * scale.
+            const float thr = 0.5f * a;
+            for (std::size_t i = 0; i < in; ++i)
+                qrow[i] = wrow[i] > thr ? a : (wrow[i] < -thr ? -a : 0.0f);
+        }
+    }
+    l.scale = float(layer_mean / double(out));
+}
+
+float QuantizedMlp::quantize_activation(float a) const {
+    if (cfg_.activation_bits == 32) return std::max(a, 0.0f);  // float ReLU mode
+    const float clipped = std::clamp(a, -1.0f, 1.0f);
+    if (cfg_.activation_bits == 1) return clipped >= 0 ? 1.0f : -1.0f;
+    // 2-bit: 4 uniform levels in [-1, 1].
+    const float level = std::round((clipped + 1.0f) * 1.5f);  // 0..3
+    return level / 1.5f - 1.0f;
+}
+
+void QuantizedMlp::forward(const util::BitVector& x,
+                           std::vector<std::vector<float>>& pre,
+                           std::vector<std::vector<float>>& act) const {
+    pre.assign(layers_.size(), {});
+    act.assign(layers_.size() + 1, {});
+    act[0].resize(num_inputs());
+    for (std::size_t i = 0; i < num_inputs(); ++i) act[0][i] = x.get(i) ? 1.0f : 0.0f;
+
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer& layer = layers_[l];
+        quantize_layer(layer);
+        const std::size_t out = layer.bias.size(), in = act[l].size();
+        pre[l].assign(out, 0.0f);
+        for (std::size_t o = 0; o < out; ++o) {
+            const float* row = layer.wq.row(o);
+            float s = layer.bias[o];
+            for (std::size_t i = 0; i < in; ++i) s += row[i] * act[l][i];
+            pre[l][o] = s;
+        }
+        act[l + 1].resize(out);
+        const bool last = (l + 1 == layers_.size());
+        for (std::size_t o = 0; o < out; ++o)
+            act[l + 1][o] = last ? pre[l][o] : quantize_activation(pre[l][o]);
+    }
+}
+
+void QuantizedMlp::train_epoch(const data::Dataset& ds) {
+    if (ds.num_features != num_inputs())
+        throw std::invalid_argument("QuantizedMlp::train_epoch: feature mismatch");
+
+    std::vector<std::vector<float>> pre, act;
+    for (std::size_t n = 0; n < ds.size(); ++n) {
+        forward(ds.examples[n], pre, act);
+        const std::size_t L = layers_.size();
+
+        // Softmax cross-entropy gradient on the logits.
+        std::vector<float> delta = act[L];
+        {
+            float mx = *std::max_element(delta.begin(), delta.end());
+            double z = 0.0;
+            for (auto& v : delta) {
+                v = float(std::exp(double(v - mx)));
+                z += v;
+            }
+            for (auto& v : delta) v = float(v / z);
+            delta[ds.labels[n]] -= 1.0f;
+        }
+
+        // Backprop with STE: gradient flows through quantizers where the
+        // pre-activation lies in the clip region |a| <= 1.
+        for (std::size_t l = L; l-- > 0;) {
+            Layer& layer = layers_[l];
+            const std::size_t out = layer.bias.size(), in = act[l].size();
+            std::vector<float> prev_delta(in, 0.0f);
+            for (std::size_t o = 0; o < out; ++o) {
+                const float d = delta[o];
+                float* wrow = layer.w.row(o);
+                const float* qrow = layer.wq.row(o);
+                for (std::size_t i = 0; i < in; ++i) {
+                    prev_delta[i] += qrow[i] * d;
+                    wrow[i] -= float(cfg_.learning_rate) *
+                               (d * act[l][i] + float(cfg_.weight_decay) * wrow[i]);
+                    // BinaryConnect: keep shadow weights in [-1, 1] so sign
+                    // flips stay reachable for the quantizer.
+                    if (cfg_.weight_bits != 32)
+                        wrow[i] = std::clamp(wrow[i], -1.0f, 1.0f);
+                }
+                layer.bias[o] -= float(cfg_.learning_rate) * d;
+            }
+            if (l > 0) {
+                // Hidden-quantizer gradient: STE clip (|pre| <= 1) for the
+                // quantized modes, exact ReLU mask for the float reference.
+                for (std::size_t i = 0; i < in; ++i) {
+                    if (cfg_.activation_bits == 32) {
+                        if (pre[l - 1][i] < 0.0f) prev_delta[i] = 0.0f;
+                    } else if (std::fabs(pre[l - 1][i]) > 1.0f) {
+                        prev_delta[i] = 0.0f;
+                    }
+                }
+            }
+            delta = std::move(prev_delta);
+        }
+    }
+}
+
+void QuantizedMlp::fit(const data::Dataset& ds, std::size_t epochs) {
+    data::Dataset copy = ds;
+    for (std::size_t e = 0; e < epochs; ++e) {
+        data::shuffle(copy, cfg_.seed + e + 1);
+        train_epoch(copy);
+    }
+}
+
+std::vector<double> QuantizedMlp::logits(const util::BitVector& x) const {
+    std::vector<std::vector<float>> pre, act;
+    forward(x, pre, act);
+    return {act.back().begin(), act.back().end()};
+}
+
+std::uint32_t QuantizedMlp::predict(const util::BitVector& x) const {
+    const auto l = logits(x);
+    return std::uint32_t(std::max_element(l.begin(), l.end()) - l.begin());
+}
+
+double QuantizedMlp::evaluate(const data::Dataset& ds) const {
+    if (ds.size() == 0) return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        correct += predict(ds.examples[i]) == ds.labels[i];
+    return double(correct) / double(ds.size());
+}
+
+std::size_t QuantizedMlp::weight_storage_bits() const {
+    std::size_t bits = 0;
+    for (const auto& l : layers_) bits += l.w.size() * cfg_.weight_bits;
+    return bits;
+}
+
+}  // namespace matador::baseline

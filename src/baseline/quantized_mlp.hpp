@@ -1,0 +1,75 @@
+// Quantized / binarized MLP baseline (the FINN-side models of Table II).
+//
+// Straight-through-estimator (STE) training with float shadow weights and
+// quantized forward passes:
+//   * weights  : 1 bit (binary, sign * per-layer scale) or 2 bit
+//                (ternary {-1, 0, +1} * scale),
+//   * hidden activations : 1 bit (sign) or 2 bit (4-level uniform in [-1,1]),
+//   * inputs   : boolean 0/1 bits (same booleanized data the TM sees),
+//   * output   : integer-friendly linear logits (unquantized accumulate,
+//                exactly as FINN's final popcount-threshold stage).
+// This provides the "Test Acc" column for the FINN rows of Table I on the
+// same synthetic datasets; the hardware-side FINN numbers come from the
+// dataflow estimator in finn_model.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace matador::baseline {
+
+/// Network + training hyperparameters.
+struct MlpConfig {
+    std::vector<std::size_t> layer_sizes;  ///< e.g. {784, 256, 256, 256, 10}
+    unsigned weight_bits = 1;              ///< 1, 2, or 32 (float reference)
+    unsigned activation_bits = 1;          ///< 1, 2, or 32 (ReLU reference)
+    double learning_rate = 0.01;
+    double weight_decay = 0.0;
+    std::uint64_t seed = 7;
+};
+
+/// STE-trained quantized multilayer perceptron.
+class QuantizedMlp {
+public:
+    explicit QuantizedMlp(MlpConfig cfg);
+
+    const MlpConfig& config() const { return cfg_; }
+    std::size_t num_inputs() const { return cfg_.layer_sizes.front(); }
+    std::size_t num_outputs() const { return cfg_.layer_sizes.back(); }
+
+    /// One SGD pass over the dataset (order as stored).
+    void train_epoch(const data::Dataset& ds);
+    /// Shuffled multi-epoch training.
+    void fit(const data::Dataset& ds, std::size_t epochs);
+
+    /// Quantized-forward logits for one example.
+    std::vector<double> logits(const util::BitVector& x) const;
+    std::uint32_t predict(const util::BitVector& x) const;
+    double evaluate(const data::Dataset& ds) const;
+
+    /// Total quantized weight bits (drives the FINN BRAM estimate).
+    std::size_t weight_storage_bits() const;
+
+private:
+    struct Layer {
+        util::Matrix<float> w;        // shadow float weights [out x in]
+        std::vector<float> bias;      // float biases (threshold stage)
+        mutable util::Matrix<float> wq;  // quantized view, refreshed per use
+        mutable float scale = 1.0f;
+    };
+
+    void quantize_layer(const Layer& l) const;
+    void forward(const util::BitVector& x, std::vector<std::vector<float>>& pre,
+                 std::vector<std::vector<float>>& act) const;
+    float quantize_activation(float a) const;
+
+    MlpConfig cfg_;
+    std::vector<Layer> layers_;
+    mutable util::Xoshiro256ss rng_;
+};
+
+}  // namespace matador::baseline

@@ -1,0 +1,142 @@
+#include "core/config_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_utils.hpp"
+
+namespace matador::core {
+
+namespace {
+
+std::size_t parse_size(const std::string& v, const std::string& key) {
+    try {
+        return std::stoul(v);
+    } catch (...) {
+        throw std::invalid_argument("config: bad value for " + key + ": " + v);
+    }
+}
+
+double parse_double(const std::string& v, const std::string& key) {
+    try {
+        return std::stod(v);
+    } catch (...) {
+        throw std::invalid_argument("config: bad value for " + key + ": " + v);
+    }
+}
+
+bool parse_bool(const std::string& v, const std::string& key) {
+    const auto lower = util::to_lower(v);
+    if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") return true;
+    if (lower == "0" || lower == "false" || lower == "no" || lower == "off")
+        return false;
+    throw std::invalid_argument("config: bad boolean for " + key + ": " + v);
+}
+
+}  // namespace
+
+bool apply_flow_option(FlowConfig& cfg, const std::string& key,
+                       const std::string& value) {
+    if (key == "clauses_per_class") {
+        cfg.tm.clauses_per_class = parse_size(value, key);
+    } else if (key == "threshold") {
+        cfg.tm.threshold = int(parse_size(value, key));
+    } else if (key == "specificity") {
+        cfg.tm.specificity = parse_double(value, key);
+    } else if (key == "boost_true_positive") {
+        cfg.tm.boost_true_positive = parse_bool(value, key);
+    } else if (key == "feedback") {
+        const auto lower = util::to_lower(value);
+        if (lower == "fast")
+            cfg.tm.feedback = tm::FeedbackMode::kFastPow2;
+        else if (lower == "exact")
+            cfg.tm.feedback = tm::FeedbackMode::kExact;
+        else
+            throw std::invalid_argument("config: feedback must be fast|exact");
+    } else if (key == "tm_seed") {
+        cfg.tm.seed = parse_size(value, key);
+    } else if (key == "epochs") {
+        cfg.epochs = parse_size(value, key);
+    } else if (key == "bus_width") {
+        cfg.arch.bus_width = parse_size(value, key);
+    } else if (key == "clock_mhz") {
+        const double mhz = parse_double(value, key);
+        cfg.auto_frequency = mhz <= 0.0;
+        if (mhz > 0.0) cfg.arch.clock_mhz = mhz;
+    } else if (key == "argmax_levels_per_stage") {
+        cfg.arch.argmax_levels_per_stage = unsigned(parse_size(value, key));
+    } else if (key == "adder_levels_per_stage") {
+        cfg.arch.adder_levels_per_stage = unsigned(parse_size(value, key));
+    } else if (key == "device") {
+        cfg.device = value;
+    } else if (key == "strash") {
+        cfg.strash = parse_bool(value, key);
+    } else if (key == "verify_vectors") {
+        cfg.verify_vectors = parse_size(value, key);
+    } else if (key == "sim_datapoints") {
+        cfg.sim_datapoints = parse_size(value, key);
+    } else if (key == "rtl_output_dir") {
+        cfg.rtl_output_dir = value;
+    } else if (key == "skip_rtl_verification") {
+        cfg.skip_rtl_verification = parse_bool(value, key);
+    } else {
+        return false;
+    }
+    return true;
+}
+
+FlowConfig load_flow_config(std::istream& in) {
+    FlowConfig cfg;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::string before_comment = line.substr(0, line.find('#'));
+        const auto stripped = util::trim(before_comment);
+        if (stripped.empty()) continue;
+        const auto eq = stripped.find('=');
+        if (eq == std::string_view::npos)
+            throw std::runtime_error("config line " + std::to_string(line_no) +
+                                     ": expected key=value");
+        const std::string key{util::trim(stripped.substr(0, eq))};
+        const std::string value{util::trim(stripped.substr(eq + 1))};
+        if (!apply_flow_option(cfg, key, value))
+            throw std::runtime_error("config line " + std::to_string(line_no) +
+                                     ": unknown key '" + key + "'");
+    }
+    return cfg;
+}
+
+FlowConfig load_flow_config_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("load_flow_config_file: cannot open " + path);
+    return load_flow_config(in);
+}
+
+void save_flow_config(const FlowConfig& cfg, std::ostream& out) {
+    out << "# MATADOR flow configuration\n";
+    out << "clauses_per_class = " << cfg.tm.clauses_per_class << "\n";
+    out << "threshold = " << cfg.tm.threshold << "\n";
+    out << "specificity = " << cfg.tm.specificity << "\n";
+    out << "boost_true_positive = " << (cfg.tm.boost_true_positive ? "true" : "false")
+        << "\n";
+    out << "feedback = "
+        << (cfg.tm.feedback == tm::FeedbackMode::kFastPow2 ? "fast" : "exact") << "\n";
+    out << "tm_seed = " << cfg.tm.seed << "\n";
+    out << "epochs = " << cfg.epochs << "\n";
+    out << "bus_width = " << cfg.arch.bus_width << "\n";
+    out << "clock_mhz = " << (cfg.auto_frequency ? 0.0 : cfg.arch.clock_mhz) << "\n";
+    out << "argmax_levels_per_stage = " << cfg.arch.argmax_levels_per_stage << "\n";
+    out << "adder_levels_per_stage = " << cfg.arch.adder_levels_per_stage << "\n";
+    out << "device = " << cfg.device << "\n";
+    out << "strash = " << (cfg.strash ? "true" : "false") << "\n";
+    out << "verify_vectors = " << cfg.verify_vectors << "\n";
+    out << "sim_datapoints = " << cfg.sim_datapoints << "\n";
+    if (!cfg.rtl_output_dir.empty())
+        out << "rtl_output_dir = " << cfg.rtl_output_dir << "\n";
+    out << "skip_rtl_verification = "
+        << (cfg.skip_rtl_verification ? "true" : "false") << "\n";
+}
+
+}  // namespace matador::core

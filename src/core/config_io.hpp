@@ -1,0 +1,34 @@
+// FlowConfig <-> text: the persisted form of the GUI's option panel.
+//
+// A flow configuration is a plain key=value file ('#' comments allowed),
+// so runs are scriptable and reproducible; the CLI maps --key value
+// arguments onto the same setter.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/flow.hpp"
+
+namespace matador::core {
+
+/// Apply one option.  Returns false for an unknown key; throws
+/// std::invalid_argument on a malformed value for a known key.
+///
+/// Known keys:
+///   clauses_per_class, threshold, specificity, boost_true_positive,
+///   feedback (fast|exact), tm_seed, epochs,
+///   bus_width, clock_mhz (number, or 0 for auto), argmax_levels_per_stage,
+///   adder_levels_per_stage, device, strash, verify_vectors,
+///   sim_datapoints, rtl_output_dir, skip_rtl_verification
+bool apply_flow_option(FlowConfig& cfg, const std::string& key,
+                       const std::string& value);
+
+/// Parse a whole config file; unknown keys throw (they are typos).
+FlowConfig load_flow_config(std::istream& in);
+FlowConfig load_flow_config_file(const std::string& path);
+
+/// Serialize (round-trips through load_flow_config).
+void save_flow_config(const FlowConfig& cfg, std::ostream& out);
+
+}  // namespace matador::core

@@ -1,0 +1,103 @@
+// MatadorFlow: the end-to-end automation pipeline (Fig. 6).
+//
+// The GUI of the paper drives exactly these stages; here they are a library
+// API (the examples and benches are the "GUI"):
+//   1. train        - Tsetlin Machine training on a booleanized dataset
+//                     (or import of an externally trained model - the
+//                     yellow flow),
+//   2. analyze      - sparsity + expression-sharing statistics,
+//   3. architect    - packet plan, pipeline stages, timing-driven clock
+//                     selection (50-65 MHz band),
+//   4. generate     - HCB AIGs, LUT mapping, full Verilog design,
+//   5. verify       - expression / netlist / RTL-text equivalence ladder
+//                     plus system-level cycle-accurate streaming check
+//                     (the auto-debug flow),
+//   6. report       - Table-I-style resource/power/latency/throughput row.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/device.hpp"
+#include "cost/power_model.hpp"
+#include "cost/resource_model.hpp"
+#include "cost/timing_model.hpp"
+#include "data/dataset.hpp"
+#include "model/architecture.hpp"
+#include "model/sharing_analysis.hpp"
+#include "model/trained_model.hpp"
+#include "rtl/verification.hpp"
+#include "tm/tsetlin_machine.hpp"
+
+namespace matador::core {
+
+/// All user-facing knobs of the flow (the GUI form of Fig. 6(a)).
+struct FlowConfig {
+    tm::TmConfig tm;                 ///< training hyperparameters
+    std::size_t epochs = 10;
+    model::ArchOptions arch;         ///< bus width, clock, pipelining
+    bool auto_frequency = true;      ///< pick clock from the timing model
+    std::string device = "z7020";
+    bool strash = true;              ///< logic sharing (false = DON'T_TOUCH)
+    std::size_t verify_vectors = 24; ///< random vectors per verification level
+    std::size_t sim_datapoints = 32; ///< streaming datapoints for system check
+    std::string rtl_output_dir;      ///< empty = keep the design in memory
+    bool skip_rtl_verification = false;  ///< fast mode for large sweeps
+};
+
+/// Everything the flow produces.
+struct FlowResult {
+    model::TrainedModel trained_model;
+    double train_accuracy = 0.0;
+    double test_accuracy = 0.0;
+
+    model::ArchParams arch;
+    model::SparsityStats sparsity;
+    model::SharingStats sharing;
+
+    std::size_t hcb_mapped_luts = 0;   ///< sum over HCBs (6-LUT mapping)
+    unsigned hcb_max_depth = 0;        ///< deepest HCB in LUT levels
+    std::size_t max_feature_fanout = 0;
+
+    cost::TimingReport timing;
+    cost::ResourceReport resources;
+    cost::PowerReport power;
+
+    rtl::VerificationReport verification;
+    bool system_verified = false;      ///< cycle sim matches golden + equations
+    std::size_t measured_latency_cycles = 0;
+    double measured_ii = 0.0;
+
+    double latency_us = 0.0;
+    double throughput_inf_per_s = 0.0;
+
+    std::vector<std::string> rtl_files;  ///< when rtl_output_dir was set
+};
+
+/// The flow driver.
+class MatadorFlow {
+public:
+    explicit MatadorFlow(FlowConfig cfg) : cfg_(std::move(cfg)) {}
+
+    const FlowConfig& config() const { return cfg_; }
+
+    /// Full pipeline: train on `train`, evaluate on `test`, then
+    /// architect / generate / verify / measure.
+    FlowResult run(const data::Dataset& train, const data::Dataset& test) const;
+
+    /// The yellow import flow: skip training, start from an existing model.
+    /// `test` (optional) supplies the accuracy column; `sample_inputs`
+    /// drive the system-level streaming check (random vectors if empty).
+    FlowResult run_with_model(const model::TrainedModel& m,
+                              const data::Dataset* test) const;
+
+private:
+    FlowResult backend(model::TrainedModel m, double train_acc,
+                       double test_acc, const data::Dataset* test) const;
+
+    FlowConfig cfg_;
+};
+
+}  // namespace matador::core

@@ -1,0 +1,39 @@
+// Report formatting: Table-I-style rows and full flow summaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace matador::core {
+
+/// One accelerator's worth of Table I columns.
+struct TableRow {
+    std::string model_name;   ///< e.g. "MATADOR" / "FINN"
+    std::size_t luts = 0;
+    std::size_t registers = 0;
+    std::size_t f7_mux = 0;
+    std::size_t f8_mux = 0;
+    std::size_t slices = 0;
+    std::size_t lut_logic = 0;
+    std::size_t lut_mem = 0;
+    double bram36 = 0.0;
+    double accuracy_pct = 0.0;
+    double total_power_w = 0.0;
+    double dynamic_power_w = 0.0;
+    double latency_us = 0.0;
+    double throughput_inf_s = 0.0;
+};
+
+/// Convert a flow result into a table row.
+TableRow to_table_row(const FlowResult& r, const std::string& name = "MATADOR");
+
+/// Render rows grouped under dataset headings, Table I layout.
+std::string format_table(
+    const std::vector<std::pair<std::string, std::vector<TableRow>>>& groups);
+
+/// Human-readable multi-section summary of one flow run.
+std::string format_flow_summary(const FlowResult& r, const std::string& title);
+
+}  // namespace matador::core

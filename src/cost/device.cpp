@@ -1,0 +1,39 @@
+#include "cost/device.hpp"
+
+#include <stdexcept>
+
+namespace matador::cost {
+
+DeviceSpec device_z7020() {
+    DeviceSpec d;
+    d.name = "xc7z020";
+    d.luts = 53200;
+    d.registers = 106400;
+    d.slices = 13300;
+    d.bram36 = 140;
+    d.dsp = 220;
+    d.static_power_w = 0.138;
+    d.ps_dynamic_w = 1.25;
+    return d;
+}
+
+DeviceSpec device_z7045() {
+    DeviceSpec d;
+    d.name = "xc7z045";
+    d.luts = 218600;
+    d.registers = 437200;
+    d.slices = 54650;
+    d.bram36 = 545;
+    d.dsp = 900;
+    d.static_power_w = 0.18;
+    d.ps_dynamic_w = 1.25;
+    return d;
+}
+
+DeviceSpec device_by_name(const std::string& name) {
+    if (name == "z7020" || name == "xc7z020") return device_z7020();
+    if (name == "z7045" || name == "xc7z045") return device_z7045();
+    throw std::invalid_argument("device_by_name: unknown device " + name);
+}
+
+}  // namespace matador::cost

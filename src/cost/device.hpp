@@ -1,0 +1,29 @@
+// Target device descriptions (Xilinx 7-series Zynq SoC-FPGAs).
+#pragma once
+
+#include <string>
+
+namespace matador::cost {
+
+/// Programmable-logic resource pool of a target device.
+struct DeviceSpec {
+    std::string name;
+    std::size_t luts = 0;       ///< 6-input LUTs
+    std::size_t registers = 0;  ///< slice flip-flops
+    std::size_t slices = 0;
+    double bram36 = 0;          ///< 36Kb block RAMs
+    std::size_t dsp = 0;
+    double static_power_w = 0.12;  ///< device static power
+    double ps_dynamic_w = 1.25;    ///< ARM processing-system dynamic power
+};
+
+/// Zynq XC7Z020 (Pynq-Z1) - the paper's main evaluation platform.
+DeviceSpec device_z7020();
+
+/// Zynq XC7Z045 (ZC706) - the platform of the BNN-r/f reference rows.
+DeviceSpec device_z7045();
+
+/// Lookup by name ("z7020" / "z7045"); throws std::invalid_argument.
+DeviceSpec device_by_name(const std::string& name);
+
+}  // namespace matador::cost

@@ -1,0 +1,19 @@
+#include "cost/power_model.hpp"
+
+namespace matador::cost {
+
+PowerReport estimate_power(const ResourceReport& res, const DeviceSpec& device,
+                           double clock_mhz, double toggle,
+                           const PowerCoefficients& k) {
+    PowerReport p;
+    p.static_w = device.static_power_w;
+    p.ps_dynamic_w = device.ps_dynamic_w;
+    p.fabric_dynamic_w = toggle * clock_mhz *
+                         (k.lut * double(res.luts) + k.ff * double(res.registers) +
+                          k.bram36 * res.bram36);
+    p.dynamic_w = p.ps_dynamic_w + p.fabric_dynamic_w;
+    p.total_w = p.dynamic_w + p.static_w;
+    return p;
+}
+
+}  // namespace matador::cost

@@ -1,0 +1,50 @@
+// Resource estimation for the generated MATADOR accelerator.
+//
+// Fills the Table I resource columns from first principles:
+//   * LUT-as-logic : the k-LUT mapping of the HCB AIGs (src/logic) plus
+//                    class-sum adders, argmax comparators and control,
+//   * registers    : chain/hold registers from the clause schedule, the
+//                    input packet register, class-sum and argmax pipeline
+//                    registers,
+//   * LUT-as-mem   : small stream FIFOs of the AXI-DMA glue,
+//   * BRAM         : constant 3 (DMA buffers) - the accelerator itself is
+//                    BRAM-free, which is the paper's headline resource win,
+//   * F7/F8 muxes  : wide-input selects in the argmax index path,
+//   * slices       : packing estimate.
+#pragma once
+
+#include <cstdint>
+
+#include "model/architecture.hpp"
+#include "model/clause_schedule.hpp"
+
+namespace matador::cost {
+
+/// Table I resource columns.
+struct ResourceReport {
+    std::size_t luts = 0;
+    std::size_t lut_logic = 0;
+    std::size_t lut_mem = 0;
+    std::size_t registers = 0;
+    std::size_t f7_mux = 0;
+    std::size_t f8_mux = 0;
+    std::size_t slices = 0;
+    double bram36 = 0.0;
+
+    /// Utilization fraction of a device's LUT pool.
+    double lut_utilization(std::size_t device_luts) const {
+        return device_luts == 0 ? 0.0 : double(luts) / double(device_luts);
+    }
+};
+
+/// Inputs gathered by the flow: mapped HCB logic plus architecture shape.
+struct MatadorResourceInputs {
+    std::size_t hcb_mapped_luts = 0;  ///< sum of 6-LUTs over all HCB mappings
+    model::ArchParams arch;
+    model::ClauseSchedule schedule;
+};
+
+/// Estimate the resource report for a MATADOR accelerator.
+ResourceReport estimate_matador_resources(const MatadorResourceInputs& in);
+
+}  // namespace matador::cost

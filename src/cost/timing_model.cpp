@@ -1,0 +1,22 @@
+#include "cost/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace matador::cost {
+
+TimingReport estimate_timing(unsigned lut_depth, std::size_t max_fanout,
+                             const TimingConstants& k) {
+    TimingReport r;
+    const double depth = std::max(1u, lut_depth);
+    const double fanout = double(std::max<std::size_t>(1, max_fanout));
+    const double t_net_first = k.t_net_a + k.t_net_b * std::log2(fanout);
+    r.critical_path_ns = k.t_cq + depth * k.t_lut + t_net_first +
+                         (depth - 1.0) * k.t_net_local + k.t_su;
+    r.fmax_estimate_mhz = 1e3 / r.critical_path_ns;
+    r.recommended_mhz = std::clamp(r.fmax_estimate_mhz * k.congestion_margin,
+                                   k.fmin_mhz, k.fmax_mhz);
+    return r;
+}
+
+}  // namespace matador::cost

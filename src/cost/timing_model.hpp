@@ -1,0 +1,42 @@
+// Timing model: critical-path estimate and operating-frequency selection.
+//
+// The HCB combinational cone dominates the critical path: packet bits fan
+// out to hundreds of clause cones, so net delay - not LUT delay - limits
+// fmax, which is why the paper's designs close timing at 50-65 MHz rather
+// than the fabric's nominal hundreds of MHz.  We model:
+//   period = Tcq + depth * Tlut + Tnet(fanout_first) + (depth-1) * Tnet_local
+//            + Tsu,    Tnet(f) = a + b * log2(f)
+// then derate by a placement-congestion margin and clamp the recommended
+// frequency into the paper's operating band.
+#pragma once
+
+#include <cstdint>
+
+namespace matador::cost {
+
+/// 7-series-flavoured delay constants (ns).
+struct TimingConstants {
+    double t_cq = 0.5;         ///< register clock-to-out
+    double t_lut = 0.15;       ///< LUT6 propagation
+    double t_su = 0.1;         ///< register setup
+    double t_net_local = 0.65; ///< short route
+    double t_net_a = 0.4;      ///< fanout route: a + b*log2(fanout)
+    double t_net_b = 0.5;
+    double congestion_margin = 0.4;   ///< usable fraction of ideal fmax
+    double fmin_mhz = 50.0;    ///< paper's operating band
+    double fmax_mhz = 65.0;
+};
+
+/// Timing estimate for a mapped combinational block.
+struct TimingReport {
+    double critical_path_ns = 0.0;
+    double fmax_estimate_mhz = 0.0;   ///< ideal (pre-congestion)
+    double recommended_mhz = 0.0;     ///< derated + clamped to the band
+};
+
+/// Estimate timing from the LUT depth of the critical HCB and the maximum
+/// fanout of a packet-bit net (typically ~ live clauses that use the bit).
+TimingReport estimate_timing(unsigned lut_depth, std::size_t max_fanout,
+                             const TimingConstants& k = {});
+
+}  // namespace matador::cost

@@ -1,0 +1,65 @@
+#include "data/booleanizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace matador::data {
+
+util::BitVector ThresholdBooleanizer::encode(const std::vector<double>& x) const {
+    util::BitVector out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        if (x[i] >= threshold_) out.set(i);
+    return out;
+}
+
+ThermometerBooleanizer::ThermometerBooleanizer(std::size_t levels, double lo, double hi)
+    : levels_(levels) {
+    if (levels == 0) throw std::invalid_argument("ThermometerBooleanizer: levels == 0");
+    if (hi <= lo) throw std::invalid_argument("ThermometerBooleanizer: hi <= lo");
+    thresholds_.reserve(levels);
+    for (std::size_t k = 0; k < levels; ++k)
+        thresholds_.push_back(lo + (hi - lo) * double(k + 1) / double(levels + 1));
+}
+
+util::BitVector ThermometerBooleanizer::encode(const std::vector<double>& x) const {
+    util::BitVector out(x.size() * levels_);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        for (std::size_t k = 0; k < levels_; ++k)
+            if (x[i] >= thresholds_[k]) out.set(i * levels_ + k);
+    return out;
+}
+
+void QuantileBooleanizer::fit(const std::vector<std::vector<double>>& rows) {
+    if (rows.empty()) throw std::invalid_argument("QuantileBooleanizer::fit: no rows");
+    const std::size_t f = rows.front().size();
+    thresholds_.assign(f, {});
+
+    std::vector<double> column(rows.size());
+    for (std::size_t j = 0; j < f; ++j) {
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            if (rows[i].size() != f)
+                throw std::invalid_argument("QuantileBooleanizer::fit: ragged rows");
+            column[i] = rows[i][j];
+        }
+        std::sort(column.begin(), column.end());
+        thresholds_[j].reserve(levels_);
+        for (std::size_t k = 0; k < levels_; ++k) {
+            const double q = double(k + 1) / double(levels_ + 1);
+            const auto idx = std::size_t(q * double(column.size() - 1));
+            thresholds_[j].push_back(column[idx]);
+        }
+    }
+}
+
+util::BitVector QuantileBooleanizer::encode(const std::vector<double>& x) const {
+    if (!fitted()) throw std::runtime_error("QuantileBooleanizer: encode before fit");
+    if (x.size() != thresholds_.size())
+        throw std::invalid_argument("QuantileBooleanizer: feature count mismatch");
+    util::BitVector out(x.size() * levels_);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        for (std::size_t k = 0; k < levels_; ++k)
+            if (x[i] >= thresholds_[i][k]) out.set(i * levels_ + k);
+    return out;
+}
+
+}  // namespace matador::data

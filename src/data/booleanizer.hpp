@@ -1,0 +1,91 @@
+// Booleanizers: real-valued feature vectors -> boolean feature vectors.
+//
+// The Tsetlin Machine operates on boolean literals, so any real-valued
+// dataset must first be booleanized.  MATADOR's GUI offers the same three
+// schemes implemented here:
+//   * ThresholdBooleanizer   - one bit per feature, x >= threshold.
+//   * ThermometerBooleanizer - `levels` bits per feature, unary coding
+//                              against evenly spaced thresholds.
+//   * QuantileBooleanizer    - `levels` bits per feature, thresholds placed
+//                              at empirical quantiles (fit on data).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitvector.hpp"
+
+namespace matador::data {
+
+/// Interface for real->boolean feature encoders.
+class Booleanizer {
+public:
+    virtual ~Booleanizer() = default;
+
+    /// Number of output bits produced per input feature vector of
+    /// `num_inputs` features.
+    virtual std::size_t output_bits(std::size_t num_inputs) const = 0;
+
+    /// Encode one feature vector.
+    virtual util::BitVector encode(const std::vector<double>& x) const = 0;
+};
+
+/// One bit per feature: bit i = (x[i] >= threshold).
+class ThresholdBooleanizer final : public Booleanizer {
+public:
+    explicit ThresholdBooleanizer(double threshold) : threshold_(threshold) {}
+
+    std::size_t output_bits(std::size_t num_inputs) const override { return num_inputs; }
+    util::BitVector encode(const std::vector<double>& x) const override;
+
+    double threshold() const { return threshold_; }
+
+private:
+    double threshold_;
+};
+
+/// Unary (thermometer) coding: `levels` bits per feature against evenly
+/// spaced thresholds in [lo, hi]; bit k = (x >= lo + (k+1)*(hi-lo)/(levels+1)).
+class ThermometerBooleanizer final : public Booleanizer {
+public:
+    ThermometerBooleanizer(std::size_t levels, double lo, double hi);
+
+    std::size_t output_bits(std::size_t num_inputs) const override {
+        return num_inputs * levels_;
+    }
+    util::BitVector encode(const std::vector<double>& x) const override;
+
+    std::size_t levels() const { return levels_; }
+    const std::vector<double>& thresholds() const { return thresholds_; }
+
+private:
+    std::size_t levels_;
+    std::vector<double> thresholds_;
+};
+
+/// Thermometer coding with per-feature thresholds at empirical quantiles.
+/// Must be `fit` on training data before `encode`.
+class QuantileBooleanizer final : public Booleanizer {
+public:
+    explicit QuantileBooleanizer(std::size_t levels) : levels_(levels) {}
+
+    /// Compute per-feature quantile thresholds from `rows` (each of equal size).
+    void fit(const std::vector<std::vector<double>>& rows);
+
+    bool fitted() const { return !thresholds_.empty(); }
+
+    std::size_t output_bits(std::size_t num_inputs) const override {
+        return num_inputs * levels_;
+    }
+    util::BitVector encode(const std::vector<double>& x) const override;
+
+    std::size_t levels() const { return levels_; }
+    /// thresholds()[f][k] is the k-th threshold of feature f.
+    const std::vector<std::vector<double>>& thresholds() const { return thresholds_; }
+
+private:
+    std::size_t levels_;
+    std::vector<std::vector<double>> thresholds_;
+};
+
+}  // namespace matador::data

@@ -1,0 +1,97 @@
+#include "data/csv_loader.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_utils.hpp"
+
+namespace matador::data {
+
+namespace {
+
+double parse_number(std::string_view field, std::size_t line_no) {
+    const auto trimmed = util::trim(field);
+    double value = 0.0;
+    const auto* begin = trimmed.data();
+    const auto* end = trimmed.data() + trimmed.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end)
+        throw std::runtime_error("csv line " + std::to_string(line_no) +
+                                 ": not a number: '" + std::string(trimmed) + "'");
+    return value;
+}
+
+}  // namespace
+
+RawDataset load_csv(std::istream& in, const CsvOptions& options) {
+    RawDataset raw;
+    std::string line;
+    std::size_t line_no = 0;
+
+    if (options.has_header && std::getline(in, line)) ++line_no;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (util::trim(line).empty()) continue;
+        const auto fields = util::split(line, options.delimiter);
+        if (fields.size() < 2)
+            throw std::runtime_error("csv line " + std::to_string(line_no) +
+                                     ": need at least a label and one feature");
+
+        const std::size_t label_idx =
+            options.label_column < 0 ? fields.size() - 1
+                                     : std::size_t(options.label_column);
+        if (label_idx >= fields.size())
+            throw std::runtime_error("csv line " + std::to_string(line_no) +
+                                     ": label column out of range");
+
+        const double label_value = parse_number(fields[label_idx], line_no);
+        if (label_value < 0 || label_value != double(std::uint32_t(label_value)))
+            throw std::runtime_error("csv line " + std::to_string(line_no) +
+                                     ": label must be a non-negative integer");
+
+        std::vector<double> row;
+        row.reserve(fields.size() - 1);
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            if (i == label_idx) continue;
+            row.push_back(parse_number(fields[i], line_no));
+        }
+
+        if (raw.rows.empty()) {
+            raw.num_features = row.size();
+        } else if (row.size() != raw.num_features) {
+            throw std::runtime_error("csv line " + std::to_string(line_no) +
+                                     ": expected " + std::to_string(raw.num_features) +
+                                     " features, got " + std::to_string(row.size()));
+        }
+        raw.rows.push_back(std::move(row));
+        raw.labels.push_back(std::uint32_t(label_value));
+    }
+    return raw;
+}
+
+RawDataset load_csv_file(const std::string& path, const CsvOptions& options) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("load_csv_file: cannot open " + path);
+    return load_csv(in, options);
+}
+
+Dataset booleanize(const RawDataset& raw, const Booleanizer& booleanizer,
+                   const std::string& name, std::size_t num_classes) {
+    Dataset ds;
+    ds.name = name;
+    ds.num_features = booleanizer.output_bits(raw.num_features);
+    if (num_classes == 0) {
+        for (auto l : raw.labels) num_classes = std::max<std::size_t>(num_classes, l + 1);
+    }
+    ds.num_classes = num_classes;
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        ds.add(booleanizer.encode(raw.rows[i]), raw.labels[i]);
+    ds.validate();
+    return ds;
+}
+
+}  // namespace matador::data

@@ -1,0 +1,46 @@
+// CSV dataset ingestion: the bridge from real datasets to the flow.
+//
+// This environment ships no dataset files, so the benches use synthetic
+// surrogates - but a user with the real MNIST/KWS CSVs feeds them through
+// here: parse rows of real-valued features + an integer label, then
+// booleanize with any Booleanizer.  Matches the CSV layout of the common
+// "mnist_train.csv" distributions (label first, 784 pixel columns).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/booleanizer.hpp"
+#include "data/dataset.hpp"
+
+namespace matador::data {
+
+/// CSV parsing options.
+struct CsvOptions {
+    char delimiter = ',';
+    bool has_header = false;
+    /// Index of the label column; -1 = last column.
+    int label_column = 0;
+};
+
+/// Real-valued rows before booleanization.
+struct RawDataset {
+    std::size_t num_features = 0;
+    std::vector<std::vector<double>> rows;   ///< feature values
+    std::vector<std::uint32_t> labels;
+
+    std::size_t size() const { return rows.size(); }
+};
+
+/// Parse CSV text.  Throws std::runtime_error with the offending line
+/// number on ragged rows, non-numeric fields or out-of-range labels.
+RawDataset load_csv(std::istream& in, const CsvOptions& options = {});
+RawDataset load_csv_file(const std::string& path, const CsvOptions& options = {});
+
+/// Booleanize a raw dataset.  For a QuantileBooleanizer, call fit() on the
+/// training rows first.  `num_classes` of 0 derives it from max(label)+1.
+Dataset booleanize(const RawDataset& raw, const Booleanizer& booleanizer,
+                   const std::string& name, std::size_t num_classes = 0);
+
+}  // namespace matador::data

@@ -1,0 +1,120 @@
+#include "logic/aig_opt.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace matador::logic {
+
+namespace {
+
+constexpr Lit kUnmapped = 0xffffffffu;
+
+Lit translate(Lit old, const std::vector<Lit>& node_map) {
+    const Lit base = node_map[lit_node(old)];
+    return lit_complement(old) ? lit_not(base) : base;
+}
+
+}  // namespace
+
+Aig sweep(const Aig& g) {
+    Aig out(true);
+    std::vector<Lit> node_map(g.num_nodes(), kUnmapped);
+    node_map[0] = kConst0;
+    for (std::size_t i = 0; i < g.num_pis(); ++i)
+        node_map[lit_node(g.pi(i))] = out.create_pi();
+
+    // Nodes are stored in topological order; copy only what POs reach.
+    std::vector<bool> reach(g.num_nodes(), false);
+    for (auto po : g.pos()) reach[lit_node(po)] = true;
+    for (std::uint32_t n = std::uint32_t(g.num_nodes()); n-- > 1;)
+        if (reach[n] && g.is_and(n)) {
+            reach[lit_node(g.node_fanin0(n))] = true;
+            reach[lit_node(g.node_fanin1(n))] = true;
+        }
+
+    for (std::uint32_t n = 1; n < g.num_nodes(); ++n) {
+        if (!reach[n] || !g.is_and(n)) continue;
+        node_map[n] = out.create_and(translate(g.node_fanin0(n), node_map),
+                                     translate(g.node_fanin1(n), node_map));
+    }
+    for (auto po : g.pos()) out.add_po(translate(po, node_map));
+    return out;
+}
+
+Aig balance(const Aig& g) {
+    Aig out(true);
+    std::vector<Lit> node_map(g.num_nodes(), kUnmapped);
+    node_map[0] = kConst0;
+    for (std::size_t i = 0; i < g.num_pis(); ++i)
+        node_map[lit_node(g.pi(i))] = out.create_pi();
+
+    const auto fanout = g.fanout_counts();
+
+    // Collect the leaves of node n's maximal AND tree: expand fanins that
+    // are uncomplemented, single-fanout AND nodes.
+    auto gather_leaves = [&](std::uint32_t root, std::vector<Lit>& leaves) {
+        leaves.clear();
+        std::vector<Lit> stack{g.node_fanin0(root), g.node_fanin1(root)};
+        while (!stack.empty()) {
+            const Lit l = stack.back();
+            stack.pop_back();
+            const std::uint32_t n = lit_node(l);
+            if (!lit_complement(l) && g.is_and(n) && fanout[n] == 1) {
+                stack.push_back(g.node_fanin0(n));
+                stack.push_back(g.node_fanin1(n));
+            } else {
+                leaves.push_back(l);
+            }
+        }
+    };
+
+    // Depth of every node in `out`, maintained incrementally so the merge
+    // below can be depth-aware.
+    std::vector<std::uint32_t> depth_of(1, 0);  // node 0: constant
+    auto node_depth = [&](Lit l) { return depth_of[lit_node(l)]; };
+    auto record_depth = [&](Lit l, std::uint32_t d) {
+        const std::uint32_t n = lit_node(l);
+        if (n >= depth_of.size()) depth_of.resize(n + 1, 0);
+        depth_of[n] = std::max(depth_of[n], d);
+    };
+    for (std::size_t i = 0; i < out.num_pis(); ++i) record_depth(out.pi(i), 0);
+
+    // Huffman-style tree construction: always AND the two shallowest
+    // operands, which never deepens the cone and flattens chains to log
+    // depth even when leaves start at different depths.
+    auto build_min_depth_and = [&](std::vector<Lit> lits) -> Lit {
+        if (lits.empty()) return kConst1;
+        using Entry = std::pair<std::uint32_t, Lit>;
+        std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+        for (auto l : lits) pq.push({node_depth(l), l});
+        while (pq.size() > 1) {
+            const auto [da, a] = pq.top();
+            pq.pop();
+            const auto [db, b] = pq.top();
+            pq.pop();
+            const Lit c = out.create_and(a, b);
+            record_depth(c, std::max(da, db) + (lit_node(c) == lit_node(a) ||
+                                                        lit_node(c) == lit_node(b)
+                                                    ? 0
+                                                    : 1));
+            pq.push({node_depth(c), c});
+        }
+        return pq.top().second;
+    };
+
+    std::vector<Lit> leaves;
+    for (std::uint32_t n = 1; n < g.num_nodes(); ++n) {
+        if (!g.is_and(n)) continue;
+        if (fanout[n] == 0) continue;  // dead: drop (sweep for free)
+        gather_leaves(n, leaves);
+        std::vector<Lit> translated;
+        translated.reserve(leaves.size());
+        for (auto l : leaves) translated.push_back(translate(l, node_map));
+        node_map[n] = build_min_depth_and(std::move(translated));
+    }
+    for (auto po : g.pos()) out.add_po(translate(po, node_map));
+    return out;
+}
+
+}  // namespace matador::logic

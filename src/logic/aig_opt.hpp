@@ -1,0 +1,23 @@
+// AIG cleanup passes: sweep (dead-node removal) and balance (AND-tree
+// depth reduction).
+//
+// The HCB generator emits left-deep AND chains to maximize prefix sharing;
+// before timing-critical mapping a balance pass can rebuild maximal AND
+// trees in balanced form (log depth), and sweep compacts away nodes no PO
+// reaches.  Both passes re-strash, so sharing survives, and both are
+// verified function-preserving by the property tests.
+#pragma once
+
+#include "logic/aig.hpp"
+
+namespace matador::logic {
+
+/// Rebuild the AIG keeping only PO-reachable structure (strash on).
+/// PI count and order are preserved; dead PIs stay as PIs.
+Aig sweep(const Aig& g);
+
+/// Rebuild with maximal single-fanout AND trees collapsed and re-built in
+/// balanced (log-depth) form.  Multi-fanout internal nodes stay shared.
+Aig balance(const Aig& g);
+
+}  // namespace matador::logic

@@ -1,0 +1,92 @@
+#include "logic/aig_simulate.hpp"
+
+#include <stdexcept>
+
+namespace matador::logic {
+
+std::vector<std::uint64_t> simulate(const Aig& aig,
+                                    const std::vector<std::uint64_t>& pi_patterns) {
+    if (pi_patterns.size() != aig.num_pis())
+        throw std::invalid_argument("aig simulate: PI pattern count mismatch");
+
+    std::vector<std::uint64_t> value(aig.num_nodes(), 0);
+    for (std::uint32_t n = 1; n < aig.num_nodes(); ++n) {
+        if (aig.is_pi(n)) {
+            value[n] = pi_patterns[aig.pi_index(n)];
+        } else {
+            const Lit f0 = aig.node_fanin0(n), f1 = aig.node_fanin1(n);
+            const std::uint64_t v0 =
+                lit_complement(f0) ? ~value[lit_node(f0)] : value[lit_node(f0)];
+            const std::uint64_t v1 =
+                lit_complement(f1) ? ~value[lit_node(f1)] : value[lit_node(f1)];
+            value[n] = v0 & v1;
+        }
+    }
+
+    std::vector<std::uint64_t> out;
+    out.reserve(aig.num_pos());
+    for (std::size_t i = 0; i < aig.num_pos(); ++i) {
+        const Lit po = aig.po(i);
+        const std::uint64_t v = value[lit_node(po)];
+        out.push_back(lit_complement(po) ? ~v : v);
+    }
+    return out;
+}
+
+std::vector<bool> simulate_single(const Aig& aig, const std::vector<bool>& pi_values) {
+    std::vector<std::uint64_t> patterns(pi_values.size());
+    for (std::size_t i = 0; i < pi_values.size(); ++i)
+        patterns[i] = pi_values[i] ? ~std::uint64_t{0} : 0;
+    const auto words = simulate(aig, patterns);
+    std::vector<bool> out(words.size());
+    for (std::size_t i = 0; i < words.size(); ++i) out[i] = words[i] & 1u;
+    return out;
+}
+
+bool random_equivalent(const Aig& a, const Aig& b, std::size_t rounds,
+                       std::uint64_t seed) {
+    if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) return false;
+    util::Xoshiro256ss rng(seed);
+    std::vector<std::uint64_t> patterns(a.num_pis());
+    for (std::size_t r = 0; r < rounds; ++r) {
+        for (auto& p : patterns) p = rng();
+        if (simulate(a, patterns) != simulate(b, patterns)) return false;
+    }
+    return true;
+}
+
+bool exhaustive_equivalent(const Aig& a, const Aig& b) {
+    if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) return false;
+    const std::size_t n = a.num_pis();
+    if (n > 20) throw std::invalid_argument("exhaustive_equivalent: too many PIs");
+
+    // Pack 64 assignments per sweep: PI 0..5 get canonical truth-table
+    // patterns, PIs >= 6 get the bits of the sweep counter.
+    static constexpr std::uint64_t kCanon[6] = {
+        0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+        0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull};
+
+    const std::size_t hi_bits = n > 6 ? n - 6 : 0;
+    const std::uint64_t sweeps = std::uint64_t{1} << hi_bits;
+    std::vector<std::uint64_t> patterns(n);
+    for (std::uint64_t s = 0; s < sweeps; ++s) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i < 6)
+                patterns[i] = kCanon[i];
+            else
+                patterns[i] = ((s >> (i - 6)) & 1u) ? ~std::uint64_t{0} : 0;
+        }
+        auto ra = simulate(a, patterns), rb = simulate(b, patterns);
+        if (n >= 6) {
+            if (ra != rb) return false;
+        } else {
+            // Only the low 2^n bits are meaningful.
+            const std::uint64_t mask = (std::uint64_t{1} << (1u << n)) - 1;
+            for (std::size_t i = 0; i < ra.size(); ++i)
+                if ((ra[i] & mask) != (rb[i] & mask)) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace matador::logic

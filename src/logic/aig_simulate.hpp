@@ -1,0 +1,33 @@
+// 64-way parallel AIG simulation.
+//
+// Each primary input is assigned a 64-bit pattern word; one sweep evaluates
+// 64 input vectors at once.  This powers the verification flow's random and
+// exhaustive equivalence checks between clause expressions, the HCB AIGs
+// and the parsed-back RTL.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/aig.hpp"
+#include "util/rng.hpp"
+
+namespace matador::logic {
+
+/// Evaluate the AIG for 64 parallel input assignments.
+/// `pi_patterns[i]` holds the 64 values of PI i; returns one word per PO.
+std::vector<std::uint64_t> simulate(const Aig& aig,
+                                    const std::vector<std::uint64_t>& pi_patterns);
+
+/// Evaluate a single input assignment (bit i of `pi_values` = PI i).
+std::vector<bool> simulate_single(const Aig& aig, const std::vector<bool>& pi_values);
+
+/// Random 64-way equivalence check of two AIGs with identical PI/PO counts.
+/// Runs `rounds` sweeps; returns true if all PO words agree in every sweep.
+bool random_equivalent(const Aig& a, const Aig& b, std::size_t rounds,
+                       std::uint64_t seed);
+
+/// Exhaustive equivalence check; requires num_pis() <= 20.
+bool exhaustive_equivalent(const Aig& a, const Aig& b);
+
+}  // namespace matador::logic

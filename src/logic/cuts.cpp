@@ -1,0 +1,118 @@
+#include "logic/cuts.hpp"
+
+#include <algorithm>
+
+namespace matador::logic {
+
+bool Cut::dominated_by(const Cut& o) const {
+    if (o.leaves.size() > leaves.size()) return false;
+    return std::includes(leaves.begin(), leaves.end(), o.leaves.begin(), o.leaves.end());
+}
+
+namespace {
+
+/// Merge two sorted leaf sets; returns false if the union exceeds k.
+bool merge_leaves(const std::vector<std::uint32_t>& a,
+                  const std::vector<std::uint32_t>& b, unsigned k,
+                  std::vector<std::uint32_t>& out) {
+    out.clear();
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        std::uint32_t v;
+        if (j == b.size() || (i < a.size() && a[i] < b[j]))
+            v = a[i++];
+        else if (i == a.size() || b[j] < a[i])
+            v = b[j++];
+        else {
+            v = a[i];
+            ++i;
+            ++j;
+        }
+        if (out.size() == k) return false;
+        out.push_back(v);
+    }
+    return true;
+}
+
+bool better(const Cut& a, const Cut& b) {
+    if (a.depth != b.depth) return a.depth < b.depth;
+    if (a.area_flow != b.area_flow) return a.area_flow < b.area_flow;
+    return a.leaves.size() < b.leaves.size();
+}
+
+}  // namespace
+
+CutEnumeration enumerate_cuts(const Aig& aig, const CutParams& params) {
+    CutEnumeration e;
+    e.cuts.resize(aig.num_nodes());
+    e.best_depth.assign(aig.num_nodes(), 0);
+    e.best_area_flow.assign(aig.num_nodes(), 0.0);
+
+    const auto fanout = aig.fanout_counts();
+
+    // Constant node: trivial cut only (never really used as a leaf cone).
+    e.cuts[0] = {Cut{{0}, 0, 0.0}};
+
+    std::vector<std::uint32_t> merged;
+    for (std::uint32_t n = 1; n < aig.num_nodes(); ++n) {
+        if (aig.is_pi(n)) {
+            e.cuts[n] = {Cut{{n}, 0, 0.0}};
+            continue;
+        }
+        const std::uint32_t f0 = lit_node(aig.node_fanin0(n));
+        const std::uint32_t f1 = lit_node(aig.node_fanin1(n));
+
+        std::vector<Cut> cand;
+        for (const Cut& c0 : e.cuts[f0]) {
+            for (const Cut& c1 : e.cuts[f1]) {
+                if (!merge_leaves(c0.leaves, c1.leaves, params.k, merged)) continue;
+                Cut c;
+                c.leaves = merged;
+                c.depth = 0;
+                c.area_flow = 1.0;
+                for (auto leaf : c.leaves) {
+                    c.depth = std::max(c.depth, e.best_depth[leaf] + 1);
+                    const double share = std::max<std::uint32_t>(fanout[leaf], 1);
+                    c.area_flow += e.best_area_flow[leaf] / share;
+                }
+                cand.push_back(std::move(c));
+            }
+        }
+
+        // Dominance pruning + priority truncation.
+        std::sort(cand.begin(), cand.end(), better);
+        std::vector<Cut> kept;
+        for (auto& c : cand) {
+            bool dominated = false;
+            for (const auto& k : kept)
+                if (c.dominated_by(k)) {
+                    dominated = true;
+                    break;
+                }
+            if (dominated || std::find(kept.begin(), kept.end(), c) != kept.end())
+                continue;
+            kept.push_back(std::move(c));
+            if (kept.size() == params.max_cuts) break;
+        }
+
+        if (kept.empty()) {
+            // Degenerate (k < 2 can do this): fall back to the fanin pair.
+            Cut c;
+            c.leaves = {std::min(f0, f1), std::max(f0, f1)};
+            if (c.leaves[0] == c.leaves[1]) c.leaves.pop_back();
+            c.depth = 1 + std::max(e.best_depth[f0], e.best_depth[f1]);
+            c.area_flow = 1.0 + e.best_area_flow[f0] + e.best_area_flow[f1];
+            kept.push_back(std::move(c));
+        }
+
+        e.best_depth[n] = kept.front().depth;
+        e.best_area_flow[n] = kept.front().area_flow;
+
+        // The trivial cut {n} participates in fanout merges.
+        kept.push_back(Cut{{n}, e.best_depth[n], e.best_area_flow[n]});
+        e.cuts[n] = std::move(kept);
+    }
+    return e;
+}
+
+}  // namespace matador::logic

@@ -1,0 +1,45 @@
+// k-feasible cut enumeration (priority cuts).
+//
+// A cut of node n is a set of nodes (leaves) such that every path from the
+// PIs to n passes through a leaf; a k-feasible cut with |leaves| <= k can be
+// implemented by one k-input LUT.  Enumeration is bottom-up: the cut set of
+// an AND node is the pairwise merge of its fanin cut sets plus the trivial
+// cut {n}, pruned by dominance and truncated to `max_cuts` best cuts
+// (lowest depth, then fewest leaves) - the classic priority-cuts scheme.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/aig.hpp"
+
+namespace matador::logic {
+
+/// One cut: sorted leaf node ids plus cached mapping metrics.
+struct Cut {
+    std::vector<std::uint32_t> leaves;  ///< sorted, size <= k
+    std::uint32_t depth = 0;            ///< 1 + max mapped depth of leaves
+    double area_flow = 0.0;             ///< heuristic shared-area estimate
+
+    bool operator==(const Cut& o) const { return leaves == o.leaves; }
+    /// True if `o`'s leaves are a subset of ours (we are dominated).
+    bool dominated_by(const Cut& o) const;
+};
+
+/// Per-node cut sets: result[node] lists that node's cuts, best first.
+/// For PIs and the constant the set holds only the trivial cut.
+struct CutEnumeration {
+    std::vector<std::vector<Cut>> cuts;       ///< indexed by node id
+    std::vector<std::uint32_t> best_depth;    ///< mapped depth per node
+    std::vector<double> best_area_flow;       ///< area flow per node
+};
+
+struct CutParams {
+    unsigned k = 6;          ///< max leaves per cut (6-LUT target)
+    unsigned max_cuts = 8;   ///< priority-cut set size per node
+};
+
+/// Enumerate cuts over the whole AIG.
+CutEnumeration enumerate_cuts(const Aig& aig, const CutParams& params);
+
+}  // namespace matador::logic

@@ -1,0 +1,31 @@
+// k-LUT technology mapping over the AIG (priority cuts, depth-oriented
+// with area-flow tie-breaking, exact cover extraction).
+//
+// This reproduces, in miniature, what Vivado's synthesis does to the HCB
+// combinational logic: cover the AND/NOT network with 6-input LUTs.  The
+// LUT counts it reports are the "LUT-opt" series of Fig. 8; mapping an AIG
+// built with strash disabled gives the "LUT-dt" (DON'T_TOUCH) series.
+#pragma once
+
+#include "logic/aig.hpp"
+#include "logic/cuts.hpp"
+#include "logic/lut_network.hpp"
+
+namespace matador::logic {
+
+struct MapperOptions {
+    unsigned k = 6;          ///< LUT input count (7-series: 6)
+    unsigned max_cuts = 8;   ///< priority-cut set size
+};
+
+struct MapResult {
+    LutNetwork network;      ///< the mapped netlist
+    std::size_t lut_count;   ///< LUTs instantiated
+    std::uint32_t depth;     ///< LUT levels on the critical path
+};
+
+/// Map `aig` to a k-LUT network.  The result is functionally equivalent to
+/// the AIG (verifiable via LutNetwork::evaluate vs logic::simulate).
+MapResult map_to_luts(const Aig& aig, const MapperOptions& options = {});
+
+}  // namespace matador::logic

@@ -1,0 +1,59 @@
+#include "logic/lut_network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace matador::logic {
+
+std::uint32_t LutNetwork::add_lut(MappedLut lut) {
+    if (lut.inputs.size() > 6)
+        throw std::invalid_argument("LutNetwork::add_lut: more than 6 inputs");
+    const auto id = std::uint32_t(num_pis_ + 1 + luts_.size());
+    for (auto in : lut.inputs)
+        if (in >= id) throw std::invalid_argument("LutNetwork::add_lut: forward input");
+    luts_.push_back(std::move(lut));
+    return id;
+}
+
+std::vector<std::uint64_t> LutNetwork::evaluate(
+    const std::vector<std::uint64_t>& pi_patterns) const {
+    if (pi_patterns.size() != num_pis_)
+        throw std::invalid_argument("LutNetwork::evaluate: PI pattern count mismatch");
+
+    std::vector<std::uint64_t> value(1 + num_pis_ + luts_.size(), 0);
+    for (std::size_t i = 0; i < num_pis_; ++i) value[pi_id(i)] = pi_patterns[i];
+
+    for (std::size_t i = 0; i < luts_.size(); ++i) {
+        const auto& l = luts_[i];
+        std::uint64_t out = 0;
+        for (unsigned bit = 0; bit < 64; ++bit) {
+            unsigned idx = 0;
+            for (std::size_t j = 0; j < l.inputs.size(); ++j)
+                idx |= unsigned((value[l.inputs[j]] >> bit) & 1u) << j;
+            out |= std::uint64_t((l.truth >> idx) & 1u) << bit;
+        }
+        value[lut_id(i)] = out;
+    }
+
+    std::vector<std::uint64_t> out;
+    out.reserve(outputs_.size());
+    for (auto o : outputs_) {
+        const std::uint64_t v = value[o >> 1];
+        out.push_back((o & 1u) ? ~v : v);
+    }
+    return out;
+}
+
+std::uint32_t LutNetwork::depth() const {
+    std::vector<std::uint32_t> lv(1 + num_pis_ + luts_.size(), 0);
+    for (std::size_t i = 0; i < luts_.size(); ++i) {
+        std::uint32_t d = 0;
+        for (auto in : luts_[i].inputs) d = std::max(d, lv[in]);
+        lv[lut_id(i)] = d + 1;
+    }
+    std::uint32_t d = 0;
+    for (auto o : outputs_) d = std::max(d, lv[o >> 1]);
+    return d;
+}
+
+}  // namespace matador::logic

@@ -1,0 +1,59 @@
+// Mapped LUT network: the post-"synthesis" netlist.
+//
+// Node id space: 0 = constant 0, 1..num_pis = primary inputs,
+// num_pis+1.. = LUTs in topological order.  Outputs are literals
+// (2*id + complement) so an output can be a constant, a PI or an inverted
+// LUT without extra gates - matching how a LUT-based FPGA absorbs
+// inversions into truth tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace matador::logic {
+
+/// One k-input LUT (k <= 6); truth bit i corresponds to the input
+/// combination where input j supplies bit j of i.
+struct MappedLut {
+    std::vector<std::uint32_t> inputs;  ///< node ids (const/PI/LUT)
+    std::uint64_t truth = 0;
+};
+
+class LutNetwork {
+public:
+    explicit LutNetwork(std::size_t num_pis) : num_pis_(num_pis) {}
+
+    std::size_t num_pis() const { return num_pis_; }
+    std::size_t num_luts() const { return luts_.size(); }
+    std::size_t num_outputs() const { return outputs_.size(); }
+
+    /// Node id of PI i.
+    std::uint32_t pi_id(std::size_t i) const { return std::uint32_t(i + 1); }
+    /// Node id of LUT i.
+    std::uint32_t lut_id(std::size_t i) const {
+        return std::uint32_t(num_pis_ + 1 + i);
+    }
+    bool is_lut(std::uint32_t id) const { return id > num_pis_; }
+
+    /// Append a LUT (inputs must already exist); returns its node id.
+    std::uint32_t add_lut(MappedLut lut);
+    const MappedLut& lut(std::size_t i) const { return luts_[i]; }
+
+    /// Register an output literal (2*id + complement).
+    void add_output(std::uint32_t lit) { outputs_.push_back(lit); }
+    std::uint32_t output(std::size_t i) const { return outputs_[i]; }
+
+    /// 64-way parallel evaluation; returns one word per output.
+    std::vector<std::uint64_t> evaluate(
+        const std::vector<std::uint64_t>& pi_patterns) const;
+
+    /// LUT levels (PIs at 0); maximum over outputs.
+    std::uint32_t depth() const;
+
+private:
+    std::size_t num_pis_;
+    std::vector<MappedLut> luts_;
+    std::vector<std::uint32_t> outputs_;
+};
+
+}  // namespace matador::logic

@@ -1,0 +1,54 @@
+#include "model/architecture.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace matador::model {
+
+namespace {
+unsigned ceil_log2(std::size_t v) {
+    if (v <= 1) return 0;
+    return unsigned(std::bit_width(v - 1));
+}
+}  // namespace
+
+ArchParams derive_architecture(std::size_t input_bits, std::size_t num_classes,
+                               std::size_t clauses_per_class,
+                               const ArchOptions& options) {
+    if (options.argmax_levels_per_stage == 0 || options.adder_levels_per_stage == 0)
+        throw std::invalid_argument("derive_architecture: 0 levels per stage");
+
+    ArchParams a;
+    a.input_bits = input_bits;
+    a.num_classes = num_classes;
+    a.clauses_per_class = clauses_per_class;
+    a.options = options;
+    a.plan = PacketPlan(input_bits, options.bus_width);
+
+    // Class sum: positive and negative polarity votes are accumulated in two
+    // balanced adder trees and subtracted (2 accumulators per class, as in
+    // the paper) - depth ~ log2(total votes per class).
+    a.class_sum_levels = std::max(1u, ceil_log2(2 * clauses_per_class));
+    a.class_sum_stages = std::max(
+        1u, (a.class_sum_levels + options.adder_levels_per_stage - 1) /
+                options.adder_levels_per_stage);
+
+    // Argmax: binary comparison tree over 2^ceil(log2(classes)) inputs;
+    // unused inputs are tied to the minimum value.
+    a.argmax_levels = std::max(1u, ceil_log2(num_classes));
+    a.argmax_stages = std::max(
+        1u, (a.argmax_levels + options.argmax_levels_per_stage - 1) /
+                options.argmax_levels_per_stage);
+
+    // Class sums lie in [-cpc, +cpc]; one sign bit + ceil(log2(cpc+1)).
+    a.sum_width = ceil_log2(clauses_per_class + 1) + 1;
+    return a;
+}
+
+ArchParams derive_architecture(const TrainedModel& m, const ArchOptions& options) {
+    return derive_architecture(m.num_features(), m.num_classes(),
+                               m.clauses_per_class(), options);
+}
+
+}  // namespace matador::model

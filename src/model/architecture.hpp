@@ -1,0 +1,69 @@
+// Derived accelerator architecture parameters (Section III).
+//
+// Everything the MATADOR design methodology derives from a trained model
+// and the channel bandwidth before any RTL exists:
+//   * the packet plan (HCB count = packet count),
+//   * class-sum adder-tree depth and its pipeline stages,
+//   * argmax comparison-tree depth and its pipeline stages,
+//   * the bandwidth-driven performance equations:
+//       initiation interval = n_packets cycles
+//       latency             = n_packets + class_sum_stages + argmax_stages
+//       throughput          = f_clk / n_packets.
+// The cycle-accurate simulator must measure exactly these numbers; the
+// Table I bench prints them.
+#pragma once
+
+#include <cstdint>
+
+#include "model/packetization.hpp"
+#include "model/trained_model.hpp"
+
+namespace matador::model {
+
+/// User-facing architecture knobs (the GUI's implementation options).
+struct ArchOptions {
+    std::size_t bus_width = 64;          ///< processor<->fabric stream width
+    double clock_mhz = 50.0;             ///< fabric clock
+    unsigned argmax_levels_per_stage = 2;///< comparison-tree levels per pipeline stage
+    unsigned adder_levels_per_stage = 10;///< class-sum adder levels per stage
+};
+
+/// Derived architecture (all counts fixed once the model shape is known).
+struct ArchParams {
+    std::size_t input_bits = 0;
+    std::size_t num_classes = 0;
+    std::size_t clauses_per_class = 0;
+    PacketPlan plan;
+    ArchOptions options;
+
+    unsigned class_sum_levels = 1;  ///< adder-tree depth per class
+    unsigned class_sum_stages = 1;  ///< pipeline stages of the class-sum block
+    unsigned argmax_levels = 1;     ///< comparison-tree depth
+    unsigned argmax_stages = 1;     ///< pipeline stages of the argmax block
+    unsigned sum_width = 12;        ///< bits of a class-sum accumulator
+
+    std::size_t num_hcbs() const { return plan.num_packets(); }
+
+    /// Cycles from the first packet of a datapoint to its classification.
+    std::size_t latency_cycles() const {
+        return plan.num_packets() + class_sum_stages + argmax_stages;
+    }
+    /// Cycles between consecutive classifications under streaming input.
+    std::size_t initiation_interval() const { return plan.num_packets(); }
+
+    double clock_hz() const { return options.clock_mhz * 1e6; }
+    double latency_us() const { return double(latency_cycles()) / options.clock_mhz; }
+    double throughput_inf_per_s() const {
+        return clock_hz() / double(initiation_interval());
+    }
+};
+
+/// Derive the architecture for a model under the given options.
+ArchParams derive_architecture(const TrainedModel& m, const ArchOptions& options);
+
+/// Same derivation from shape parameters alone (no trained model needed).
+ArchParams derive_architecture(std::size_t input_bits, std::size_t num_classes,
+                               std::size_t clauses_per_class,
+                               const ArchOptions& options);
+
+}  // namespace matador::model

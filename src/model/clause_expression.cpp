@@ -1,0 +1,80 @@
+#include "model/clause_expression.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace matador::model {
+
+bool ClauseExpression::evaluate(const util::BitVector& x) const {
+    if (literals.empty()) return false;
+    for (const auto& l : literals)
+        if (x.get(l.feature) == l.negated) return false;
+    return true;
+}
+
+bool ClauseExpression::evaluate_partial(const util::BitVector& x, std::size_t lo,
+                                        std::size_t hi) const {
+    for (const auto& l : literals) {
+        if (l.feature < lo || l.feature >= hi) continue;
+        if (x.get(l.feature) == l.negated) return false;
+    }
+    return true;
+}
+
+std::size_t ClauseExpression::literals_in_range(std::size_t lo, std::size_t hi) const {
+    std::size_t n = 0;
+    for (const auto& l : literals) n += (l.feature >= lo && l.feature < hi);
+    return n;
+}
+
+std::string ClauseExpression::to_string() const {
+    std::string s = "C[" + std::to_string(cls) + "][" + std::to_string(index) + "] = ";
+    if (literals.empty()) return s + "0";
+    for (std::size_t i = 0; i < literals.size(); ++i) {
+        if (i) s += " & ";
+        if (literals[i].negated) s += "~";
+        s += "x" + std::to_string(literals[i].feature);
+    }
+    return s;
+}
+
+std::vector<ClauseExpression> export_expressions(const TrainedModel& m) {
+    std::vector<ClauseExpression> out;
+    out.reserve(m.total_clauses());
+    for (std::size_t c = 0; c < m.num_classes(); ++c) {
+        for (std::size_t j = 0; j < m.clauses_per_class(); ++j) {
+            const Clause& cl = m.clause(c, j);
+            ClauseExpression e;
+            e.cls = std::uint32_t(c);
+            e.index = std::uint32_t(j);
+            e.polarity = cl.polarity;
+            for (auto f : cl.include_pos.set_bits())
+                e.literals.push_back({std::uint32_t(f), false});
+            for (auto f : cl.include_neg.set_bits())
+                e.literals.push_back({std::uint32_t(f), true});
+            std::sort(e.literals.begin(), e.literals.end());
+            out.push_back(std::move(e));
+        }
+    }
+    return out;
+}
+
+TrainedModel expressions_to_model(const std::vector<ClauseExpression>& exprs,
+                                  std::size_t num_features, std::size_t num_classes,
+                                  std::size_t clauses_per_class) {
+    TrainedModel m(num_features, num_classes, clauses_per_class);
+    for (const auto& e : exprs) {
+        if (e.cls >= num_classes || e.index >= clauses_per_class)
+            throw std::invalid_argument("expressions_to_model: index out of range");
+        auto& cl = m.clause(e.cls, e.index);
+        cl.polarity = e.polarity;
+        for (const auto& l : e.literals) {
+            if (l.feature >= num_features)
+                throw std::invalid_argument("expressions_to_model: feature out of range");
+            (l.negated ? cl.include_neg : cl.include_pos).set(l.feature);
+        }
+    }
+    return m;
+}
+
+}  // namespace matador::model

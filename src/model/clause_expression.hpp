@@ -1,0 +1,60 @@
+// Clause expressions: the human-readable boolean form of a trained model.
+//
+// This is what MATADOR shows the user after training (Fig. 4(b)): every
+// clause as an AND of literals, e.g.
+//     C[3][17] = x101 & ~x205 & x390
+// The expression view is also the reference point of the verification flow:
+// expressions re-evaluated in software must match both the TrainedModel and
+// the generated RTL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/trained_model.hpp"
+#include "util/bitvector.hpp"
+
+namespace matador::model {
+
+/// One literal of a clause expression.
+struct Literal {
+    std::uint32_t feature = 0;
+    bool negated = false;
+
+    auto operator<=>(const Literal&) const = default;
+};
+
+/// A clause as an explicit AND-of-literals expression.
+struct ClauseExpression {
+    std::uint32_t cls = 0;    ///< class index
+    std::uint32_t index = 0;  ///< clause index within the class
+    int polarity = +1;
+    std::vector<Literal> literals;  ///< sorted by (feature, negated)
+
+    bool empty() const { return literals.empty(); }
+
+    /// AND of the literals; empty expressions evaluate to 0 (pruned).
+    bool evaluate(const util::BitVector& x) const;
+
+    /// AND restricted to literals with feature in [lo, hi); neutral 1 if
+    /// none fall in range (the partial-clause semantics of an HCB).
+    bool evaluate_partial(const util::BitVector& x, std::size_t lo, std::size_t hi) const;
+
+    /// Number of literals with feature index in [lo, hi).
+    std::size_t literals_in_range(std::size_t lo, std::size_t hi) const;
+
+    /// "C[c][j] = x1 & ~x2 & ..." (or "= 0" when empty).
+    std::string to_string() const;
+};
+
+/// Export every clause of `m` as an expression (classes outer, clauses inner).
+std::vector<ClauseExpression> export_expressions(const TrainedModel& m);
+
+/// Rebuild a TrainedModel from expressions.  Shape parameters must be
+/// supplied because empty trailing clauses carry no information.
+TrainedModel expressions_to_model(const std::vector<ClauseExpression>& exprs,
+                                  std::size_t num_features, std::size_t num_classes,
+                                  std::size_t clauses_per_class);
+
+}  // namespace matador::model

@@ -1,0 +1,40 @@
+#include "model/clause_schedule.hpp"
+
+#include <algorithm>
+
+namespace matador::model {
+
+std::size_t ClauseSchedule::chain_register_count() const {
+    std::size_t regs = 0;
+    for (auto flat : live_clauses) regs += last_active_packet[flat] + 1;
+    return regs;
+}
+
+ClauseSchedule schedule_clauses(const TrainedModel& m, const PacketPlan& plan) {
+    ClauseSchedule s;
+    const std::size_t total = m.total_clauses();
+    s.last_active_packet.assign(total, SIZE_MAX);
+    s.first_active_packet.assign(total, SIZE_MAX);
+
+    for (std::size_t c = 0; c < m.num_classes(); ++c) {
+        for (std::size_t j = 0; j < m.clauses_per_class(); ++j) {
+            const auto flat = std::uint32_t(c * m.clauses_per_class() + j);
+            const auto& cl = m.clause(c, j);
+            if (cl.empty()) continue;
+            s.live_clauses.push_back(flat);
+            std::size_t first = SIZE_MAX, last = 0;
+            for (const auto& mask : {cl.include_pos, cl.include_neg}) {
+                const std::size_t lo_bit = mask.find_first();
+                if (lo_bit < mask.size()) {
+                    first = std::min(first, lo_bit / plan.bus_width);
+                    last = std::max(last, mask.find_last() / plan.bus_width);
+                }
+            }
+            s.first_active_packet[flat] = first;
+            s.last_active_packet[flat] = last;
+        }
+    }
+    return s;
+}
+
+}  // namespace matador::model

@@ -1,0 +1,38 @@
+// Clause scheduling across packets / HCBs.
+//
+// For every clause, which packets carry its includes determines where it
+// gets logic (active), where it merely holds its value (passthrough), and
+// when its final value is ready.  Both the RTL generators and the
+// architecture simulator consume this schedule; the cost model uses it to
+// count chain registers (a clause stops costing registers after its last
+// active packet - the sparsity saving Section III alludes to).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/packetization.hpp"
+#include "model/trained_model.hpp"
+
+namespace matador::model {
+
+/// Global clause bookkeeping shared by all HCBs.
+struct ClauseSchedule {
+    /// Flat ids (class * clauses_per_class + index) of non-empty clauses,
+    /// class-major order.
+    std::vector<std::uint32_t> live_clauses;
+    /// For each flat id: last packet containing an include (SIZE_MAX if empty).
+    std::vector<std::size_t> last_active_packet;
+    /// For each flat id: first packet containing an include (SIZE_MAX if empty).
+    std::vector<std::size_t> first_active_packet;
+
+    /// Total chain/hold registers implied by the schedule: each live clause
+    /// needs one register per HCB stage up to and including its last active
+    /// packet, after which a single held register suffices (counted there).
+    std::size_t chain_register_count() const;
+};
+
+/// Compute the schedule for a model under a packet plan.
+ClauseSchedule schedule_clauses(const TrainedModel& m, const PacketPlan& plan);
+
+}  // namespace matador::model

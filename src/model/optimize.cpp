@@ -1,0 +1,120 @@
+#include "model/optimize.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace matador::model {
+
+bool WeightedClause::evaluate(const util::BitVector& x) const {
+    if (include_pos.none() && include_neg.none()) return false;
+    if (!include_pos.is_subset_of(x)) return false;
+    if (include_neg.intersects(x)) return false;
+    return true;
+}
+
+void WeightedModel::add_clause(WeightedClause c) {
+    if (c.class_weights.size() != num_classes_)
+        throw std::invalid_argument("WeightedModel::add_clause: weight size mismatch");
+    if (c.include_pos.size() != num_features_ || c.include_neg.size() != num_features_)
+        throw std::invalid_argument("WeightedModel::add_clause: mask size mismatch");
+    clauses_.push_back(std::move(c));
+}
+
+std::vector<int> WeightedModel::class_sums(const util::BitVector& x) const {
+    std::vector<int> sums(num_classes_, 0);
+    for (const auto& c : clauses_) {
+        if (!c.evaluate(x)) continue;
+        for (std::size_t k = 0; k < num_classes_; ++k) sums[k] += c.class_weights[k];
+    }
+    return sums;
+}
+
+std::uint32_t WeightedModel::predict(const util::BitVector& x) const {
+    const auto sums = class_sums(x);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < sums.size(); ++c)
+        if (sums[c] > sums[best]) best = c;
+    return std::uint32_t(best);
+}
+
+std::size_t WeightedModel::total_weight_magnitude() const {
+    std::size_t total = 0;
+    for (const auto& c : clauses_)
+        for (int w : c.class_weights) total += std::size_t(w < 0 ? -w : w);
+    return total;
+}
+
+int WeightedModel::max_weight_magnitude() const {
+    int mx = 0;
+    for (const auto& c : clauses_)
+        for (int w : c.class_weights) mx = std::max(mx, w < 0 ? -w : w);
+    return mx;
+}
+
+namespace {
+
+struct MaskKey {
+    util::BitVector pos, neg;
+    bool operator==(const MaskKey&) const = default;
+};
+struct MaskKeyHash {
+    std::size_t operator()(const MaskKey& k) const {
+        return std::size_t(k.pos.hash() * 0x9e3779b97f4a7c15ull ^ k.neg.hash());
+    }
+};
+
+}  // namespace
+
+WeightedModel deduplicate_clauses(const TrainedModel& m, DedupStats* stats) {
+    DedupStats st;
+    st.original_clauses = m.total_clauses();
+
+    std::unordered_map<MaskKey, std::vector<int>, MaskKeyHash> groups;
+    for (std::size_t c = 0; c < m.num_classes(); ++c) {
+        for (std::size_t j = 0; j < m.clauses_per_class(); ++j) {
+            const Clause& cl = m.clause(c, j);
+            if (cl.empty()) continue;
+            ++st.live_clauses;
+            auto& weights = groups[MaskKey{cl.include_pos, cl.include_neg}];
+            weights.resize(m.num_classes(), 0);
+            weights[c] += cl.polarity;
+        }
+    }
+
+    WeightedModel out(m.num_features(), m.num_classes());
+    for (auto& [key, weights] : groups) {
+        const bool all_zero =
+            std::all_of(weights.begin(), weights.end(), [](int w) { return w == 0; });
+        if (all_zero) {
+            ++st.cancelled_clauses;
+            continue;
+        }
+        WeightedClause wc;
+        wc.include_pos = key.pos;
+        wc.include_neg = key.neg;
+        wc.class_weights = std::move(weights);
+        out.add_clause(std::move(wc));
+    }
+    st.unique_clauses = out.num_clauses();
+    if (stats) *stats = st;
+    return out;
+}
+
+std::size_t estimate_weighted_class_sum_luts(const WeightedModel& m,
+                                             unsigned sum_width) {
+    // Each non-zero weight contributes one adder input; a weight of
+    // magnitude w costs popcount(w) shifted adds (shift-add decomposition),
+    // each ~1.1 LUT per vote as in the unweighted model, and the final
+    // subtract costs sum_width LUTs per class.
+    double luts = double(m.num_classes()) * double(sum_width);
+    for (const auto& c : m.clauses())
+        for (int w : c.class_weights) {
+            const unsigned mag = unsigned(w < 0 ? -w : w);
+            luts += 1.1 * double(std::popcount(mag));
+        }
+    return std::size_t(luts);
+}
+
+}  // namespace matador::model

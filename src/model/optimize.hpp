@@ -1,0 +1,87 @@
+// Model-level optimization: clause deduplication into weighted votes.
+//
+// The sharing analysis (Fig. 3) regularly finds *identical whole clauses* -
+// within a class (same polarity or opposite) and across classes.  Synthesis
+// absorbs the duplicated AND cones, but each duplicate still costs a chain
+// register and a class-sum input.  Going one step further than the paper
+// (toward the Coalesced TM it cites as future work), this pass merges every
+// set of identical clauses into a single clause with an integer *weight
+// per class*:
+//     weight[c] = sum of polarities of the merged clauses of class c.
+// Class sums become weighted sums; predictions are provably unchanged
+// (weights are exact vote counts).  Clauses whose weights are all zero
+// (e.g. a +1/-1 pair inside one class) disappear entirely.
+//
+// The weighted form maps to hardware as one AND cone + one chain register
+// per unique clause, and small shift-add weights in the class-sum block;
+// estimate_weighted_class_sum_luts() prices that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/trained_model.hpp"
+#include "util/bitvector.hpp"
+
+namespace matador::model {
+
+/// One deduplicated clause with per-class vote weights.
+struct WeightedClause {
+    util::BitVector include_pos;
+    util::BitVector include_neg;
+    std::vector<int> class_weights;  ///< size = num_classes
+
+    bool evaluate(const util::BitVector& x) const;
+};
+
+/// A deduplicated, weighted-vote model.
+class WeightedModel {
+public:
+    WeightedModel() = default;
+    WeightedModel(std::size_t num_features, std::size_t num_classes)
+        : num_features_(num_features), num_classes_(num_classes) {}
+
+    std::size_t num_features() const { return num_features_; }
+    std::size_t num_classes() const { return num_classes_; }
+    std::size_t num_clauses() const { return clauses_.size(); }
+    const std::vector<WeightedClause>& clauses() const { return clauses_; }
+
+    void add_clause(WeightedClause c);
+
+    /// Weighted class sums; identical to the source model's class_sums.
+    std::vector<int> class_sums(const util::BitVector& x) const;
+    std::uint32_t predict(const util::BitVector& x) const;
+
+    /// Sum of |weight| across clauses and classes (total vote mass).
+    std::size_t total_weight_magnitude() const;
+    /// Largest |weight| (drives the weighted-adder width).
+    int max_weight_magnitude() const;
+
+private:
+    std::size_t num_features_ = 0;
+    std::size_t num_classes_ = 0;
+    std::vector<WeightedClause> clauses_;
+};
+
+/// Dedup statistics.
+struct DedupStats {
+    std::size_t original_clauses = 0;   ///< incl. empty
+    std::size_t live_clauses = 0;       ///< non-empty inputs to the merge
+    std::size_t unique_clauses = 0;     ///< surviving weighted clauses
+    std::size_t cancelled_clauses = 0;  ///< merged groups with all-zero weight
+    /// Chain/compute savings: 1 - unique/live.
+    double reduction() const {
+        return live_clauses == 0 ? 0.0
+                                 : 1.0 - double(unique_clauses) / double(live_clauses);
+    }
+};
+
+/// Merge identical clauses of `m` into a WeightedModel.
+WeightedModel deduplicate_clauses(const TrainedModel& m, DedupStats* stats = nullptr);
+
+/// LUT cost of the weighted class-sum block: each clause feeds each class
+/// it has a non-zero weight in through a shift-add of |weight|.
+std::size_t estimate_weighted_class_sum_luts(const WeightedModel& m,
+                                             unsigned sum_width);
+
+}  // namespace matador::model

@@ -1,0 +1,46 @@
+#include "model/packetization.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace matador::model {
+
+PacketPlan::PacketPlan(std::size_t input_bits, std::size_t bus_width)
+    : input_bits(input_bits), bus_width(bus_width) {
+    if (bus_width == 0 || bus_width > 64)
+        throw std::invalid_argument("PacketPlan: bus_width must be in [1, 64]");
+    if (input_bits == 0) throw std::invalid_argument("PacketPlan: input_bits == 0");
+    num_packets_ = (input_bits + bus_width - 1) / bus_width;
+}
+
+std::size_t PacketPlan::packet_hi(std::size_t k) const {
+    return std::min(input_bits, (k + 1) * bus_width);
+}
+
+std::vector<std::uint64_t> Packetizer::packetize(const util::BitVector& x) const {
+    if (x.size() != plan_.input_bits)
+        throw std::invalid_argument("Packetizer::packetize: size mismatch");
+    std::vector<std::uint64_t> packets(plan_.num_packets(), 0);
+    for (std::size_t k = 0; k < packets.size(); ++k) {
+        const std::size_t lo = plan_.packet_lo(k), hi = plan_.packet_hi(k);
+        std::uint64_t w = 0;
+        for (std::size_t i = lo; i < hi; ++i)
+            w |= std::uint64_t(x.get(i)) << (i - lo);
+        packets[k] = w;
+    }
+    return packets;
+}
+
+util::BitVector Packetizer::depacketize(const std::vector<std::uint64_t>& packets) const {
+    if (packets.size() != plan_.num_packets())
+        throw std::invalid_argument("Packetizer::depacketize: packet count mismatch");
+    util::BitVector x(plan_.input_bits);
+    for (std::size_t k = 0; k < packets.size(); ++k) {
+        const std::size_t lo = plan_.packet_lo(k), hi = plan_.packet_hi(k);
+        for (std::size_t i = lo; i < hi; ++i)
+            if ((packets[k] >> (i - lo)) & 1u) x.set(i);
+    }
+    return x;
+}
+
+}  // namespace matador::model

@@ -1,0 +1,56 @@
+// Bandwidth-driven data partitioning (Section III, Fig. 4(a)).
+//
+// The accelerator receives each datapoint as a sequence of bus-width
+// packets over AXI-stream.  PacketPlan captures the split: packet k carries
+// input bits [k*W, (k+1)*W), the last packet zero-padded.  The plan drives
+// both the processor-side Packetizer and the per-packet HCB generation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvector.hpp"
+
+namespace matador::model {
+
+/// The bit ranges of the packetized input stream.
+struct PacketPlan {
+    std::size_t input_bits = 0;  ///< datapoint width in bits
+    std::size_t bus_width = 64;  ///< channel width in bits (<= 64 here)
+
+    PacketPlan() = default;
+    PacketPlan(std::size_t input_bits, std::size_t bus_width);
+
+    /// ceil(input_bits / bus_width).
+    std::size_t num_packets() const { return num_packets_; }
+    /// First input bit carried by packet k.
+    std::size_t packet_lo(std::size_t k) const { return k * bus_width; }
+    /// One past the last *valid* input bit of packet k (padding excluded).
+    std::size_t packet_hi(std::size_t k) const;
+    /// Zero-padding bits in the final packet.
+    std::size_t padding_bits() const { return num_packets_ * bus_width - input_bits; }
+
+private:
+    std::size_t num_packets_ = 0;
+};
+
+/// Processor-side packetizer (Fig. 4(a)): slices a datapoint into bus-width
+/// words, least-significant bits first, final packet zero-padded.
+class Packetizer {
+public:
+    explicit Packetizer(PacketPlan plan) : plan_(plan) {}
+
+    const PacketPlan& plan() const { return plan_; }
+
+    /// Split x (x.size() == plan.input_bits) into packets; each packet word
+    /// holds input bit (k*W + b) at bit position b.
+    std::vector<std::uint64_t> packetize(const util::BitVector& x) const;
+
+    /// Inverse of packetize (drops padding).  Used by the auto-debug flow.
+    util::BitVector depacketize(const std::vector<std::uint64_t>& packets) const;
+
+private:
+    PacketPlan plan_;
+};
+
+}  // namespace matador::model

@@ -1,0 +1,137 @@
+#include "model/sharing_analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace matador::model {
+
+SparsityStats analyze_sparsity(const TrainedModel& m) {
+    SparsityStats s;
+    s.total_clauses = m.total_clauses();
+    s.literal_slots = m.total_clauses() * 2 * m.num_features();
+    s.min_includes = SIZE_MAX;
+    for (std::size_t c = 0; c < m.num_classes(); ++c) {
+        for (std::size_t j = 0; j < m.clauses_per_class(); ++j) {
+            const std::size_t n = m.clause(c, j).num_includes();
+            s.total_includes += n;
+            if (n == 0) {
+                ++s.empty_clauses;
+            } else {
+                s.min_includes = std::min(s.min_includes, n);
+                s.max_includes = std::max(s.max_includes, n);
+            }
+        }
+    }
+    if (s.empty_clauses == s.total_clauses) s.min_includes = 0;
+    s.include_density =
+        s.literal_slots == 0 ? 0.0 : double(s.total_includes) / double(s.literal_slots);
+    s.mean_includes =
+        s.total_clauses == 0 ? 0.0 : double(s.total_includes) / double(s.total_clauses);
+    return s;
+}
+
+namespace {
+
+/// Signature of a clause restricted to features [lo, hi): hash of the
+/// (pos, neg) include masks in that window.  Collision-checked by keeping
+/// the actual masks in the map value for exact comparison.
+struct PartialKey {
+    util::BitVector pos, neg;
+    bool operator==(const PartialKey&) const = default;
+};
+
+struct PartialKeyHash {
+    std::size_t operator()(const PartialKey& k) const {
+        return std::size_t(k.pos.hash() * 0x9e3779b97f4a7c15ull ^ k.neg.hash());
+    }
+};
+
+}  // namespace
+
+SharingStats analyze_sharing(const TrainedModel& m, const PacketPlan& plan) {
+    SharingStats out;
+    out.per_packet.reserve(plan.num_packets());
+
+    for (std::size_t k = 0; k < plan.num_packets(); ++k) {
+        const std::size_t lo = plan.packet_lo(k), hi = plan.packet_hi(k);
+        PacketSharing ps;
+        ps.packet = k;
+
+        // signature -> (count, classes seen)
+        std::unordered_map<PartialKey, std::pair<std::size_t, std::vector<std::size_t>>,
+                           PartialKeyHash>
+            seen;
+
+        for (std::size_t c = 0; c < m.num_classes(); ++c) {
+            for (std::size_t j = 0; j < m.clauses_per_class(); ++j) {
+                const Clause& cl = m.clause(c, j);
+                PartialKey key{cl.include_pos.slice(lo, hi), cl.include_neg.slice(lo, hi)};
+                if (key.pos.none() && key.neg.none()) {
+                    ++ps.trivial_partials;
+                    continue;
+                }
+                ++ps.total_partials;
+                auto& entry = seen[std::move(key)];
+                ++entry.first;
+                entry.second.push_back(c);
+            }
+        }
+
+        ps.unique_partials = seen.size();
+        for (const auto& [key, entry] : seen) {
+            const auto& [count, classes] = entry;
+            if (count <= 1) continue;
+            // count-1 duplicates per signature; attribute to inter-class when
+            // the signature spans classes, else intra-class.
+            const bool multi_class =
+                std::adjacent_find(classes.begin(), classes.end(),
+                                   std::not_equal_to<>()) != classes.end();
+            if (multi_class)
+                ps.inter_class_duplicates += count - 1;
+            else
+                ps.intra_class_duplicates += count - 1;
+        }
+        out.per_packet.push_back(std::move(ps));
+    }
+
+    // Duplicate whole clauses.
+    {
+        std::unordered_map<PartialKey, std::size_t, PartialKeyHash> whole;
+        for (std::size_t c = 0; c < m.num_classes(); ++c)
+            for (std::size_t j = 0; j < m.clauses_per_class(); ++j) {
+                const Clause& cl = m.clause(c, j);
+                if (cl.empty()) continue;
+                ++whole[PartialKey{cl.include_pos, cl.include_neg}];
+            }
+        for (const auto& [key, count] : whole)
+            if (count > 1) out.duplicate_full_clauses += count - 1;
+    }
+
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& ps : out.per_packet)
+        if (ps.total_partials > 0) {
+            sum += ps.sharing_ratio();
+            ++n;
+        }
+    out.mean_sharing_ratio = n == 0 ? 0.0 : sum / double(n);
+    return out;
+}
+
+std::vector<std::size_t> include_histogram(const TrainedModel& m, std::size_t buckets) {
+    std::vector<std::size_t> hist(buckets, 0);
+    if (buckets == 0) return hist;
+    std::size_t max_inc = 0;
+    for (std::size_t c = 0; c < m.num_classes(); ++c)
+        for (std::size_t j = 0; j < m.clauses_per_class(); ++j)
+            max_inc = std::max(max_inc, m.clause(c, j).num_includes());
+    const double width = max_inc == 0 ? 1.0 : double(max_inc + 1) / double(buckets);
+    for (std::size_t c = 0; c < m.num_classes(); ++c)
+        for (std::size_t j = 0; j < m.clauses_per_class(); ++j) {
+            auto b = std::size_t(double(m.clause(c, j).num_includes()) / width);
+            hist[std::min(b, buckets - 1)]++;
+        }
+    return hist;
+}
+
+}  // namespace matador::model

@@ -1,0 +1,67 @@
+// Sparsity and logic-sharing analysis of a trained model (Section II, Fig. 3).
+//
+// The paper's pivotal empirical observation: trained TM models are extremely
+// sparse (few includes) and partial-clause expressions repeat heavily both
+// within a class and across classes, which lets synthesis absorb shared
+// logic.  This module quantifies exactly that, per packet range, so the
+// claim can be measured (bench/fig3_sparsity_sharing) and so the cost model
+// can anticipate post-synthesis LUT counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/packetization.hpp"
+#include "model/trained_model.hpp"
+
+namespace matador::model {
+
+/// Sparsity summary of a trained model.
+struct SparsityStats {
+    std::size_t total_clauses = 0;
+    std::size_t empty_clauses = 0;         ///< clauses with zero includes
+    std::size_t total_includes = 0;        ///< included literals
+    std::size_t literal_slots = 0;         ///< total_clauses * 2 * features
+    double include_density = 0.0;          ///< total_includes / literal_slots
+    std::size_t min_includes = 0;          ///< over non-empty clauses
+    std::size_t max_includes = 0;
+    double mean_includes = 0.0;            ///< over all clauses
+};
+
+/// Compute sparsity statistics.
+SparsityStats analyze_sparsity(const TrainedModel& m);
+
+/// Sharing statistics of the partial clauses in one packet's bit range.
+struct PacketSharing {
+    std::size_t packet = 0;
+    std::size_t total_partials = 0;      ///< non-trivial partial clauses
+    std::size_t unique_partials = 0;     ///< distinct include signatures
+    std::size_t trivial_partials = 0;    ///< no includes in range (wire-through)
+    std::size_t intra_class_duplicates = 0;  ///< repeats within the same class
+    std::size_t inter_class_duplicates = 0;  ///< repeats spanning classes
+
+    /// 1 - unique/total: fraction of partial clauses synthesisable for free.
+    double sharing_ratio() const {
+        return total_partials == 0
+                   ? 0.0
+                   : 1.0 - double(unique_partials) / double(total_partials);
+    }
+};
+
+/// Full-model sharing summary.
+struct SharingStats {
+    std::vector<PacketSharing> per_packet;
+    std::size_t duplicate_full_clauses = 0;  ///< identical whole clauses
+    double mean_sharing_ratio = 0.0;         ///< over non-degenerate packets
+};
+
+/// Analyze expression sharing under the packet plan: for every packet,
+/// hash each clause's include signature restricted to the packet's bit
+/// range and count duplicates.
+SharingStats analyze_sharing(const TrainedModel& m, const PacketPlan& plan);
+
+/// Histogram of includes-per-clause with `buckets` equal-width bins over
+/// [0, max_includes]; used by the sparsity report.
+std::vector<std::size_t> include_histogram(const TrainedModel& m, std::size_t buckets);
+
+}  // namespace matador::model

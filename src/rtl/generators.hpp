@@ -1,0 +1,51 @@
+// RTL generators: TrainedModel + ArchParams -> complete accelerator design.
+//
+// Produces the block diagram of Fig. 5 as synthesisable Verilog-2001:
+//   * hcb_<k>_comb : pure combinational partial-clause logic (from the AIG;
+//                    round-trippable through the structural parser),
+//   * hcb_<k>      : sequential wrapper with the Clause Out register,
+//   * class_sum    : per-class polarity-split adder trees, pipelined,
+//   * argmax_tree  : binary comparison tree, pipelined, ties to lower index,
+//   * matador_ctrl : AXI-stream control FSM (reset / stall / compute / idle),
+//   * matador_top  : the full core wiring packet routing to HCBs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/architecture.hpp"
+#include "model/trained_model.hpp"
+#include "rtl/hcb_builder.hpp"
+#include "rtl/verilog_ast.hpp"
+
+namespace matador::rtl {
+
+/// The complete generated design plus the metadata verification needs.
+struct RtlDesign {
+    model::ArchParams arch;
+    ClauseSchedule schedule;
+    std::vector<HcbNetlist> hcbs;   ///< the AIGs behind the comb modules
+
+    std::vector<Module> hcb_comb;   ///< hcb_<k>_comb
+    std::vector<Module> hcb_seq;    ///< hcb_<k>
+    Module class_sum;
+    Module argmax;
+    Module controller;
+    Module top;
+};
+
+/// Generate the full design.  `strash` toggles logic sharing in the HCB
+/// AIGs (false emulates the DON'T_TOUCH flow of Fig. 8).
+RtlDesign generate_rtl(const model::TrainedModel& m, const model::ArchParams& arch,
+                       bool strash = true);
+
+/// Build just one HCB's combinational module from its netlist
+/// (exposed for the verification flow and tests).
+Module generate_hcb_comb_module(const HcbNetlist& hcb, const std::string& name,
+                                bool dont_touch = false);
+
+/// Write every module of the design into `dir` (one .v file per module).
+/// Returns the written file paths.
+std::vector<std::string> write_design(const RtlDesign& design, const std::string& dir);
+
+}  // namespace matador::rtl

@@ -1,0 +1,97 @@
+#include "rtl/hcb_builder.hpp"
+
+#include <stdexcept>
+
+#include "logic/aig_simulate.hpp"
+
+namespace matador::rtl {
+
+using logic::Aig;
+using logic::Lit;
+using model::PacketPlan;
+using model::TrainedModel;
+
+std::vector<HcbNetlist> build_hcbs(const TrainedModel& m, const PacketPlan& plan,
+                                   bool strash) {
+    const ClauseSchedule sched = schedule_clauses(m, plan);
+    const std::size_t cpc = m.clauses_per_class();
+
+    std::vector<HcbNetlist> hcbs;
+    hcbs.reserve(plan.num_packets());
+
+    for (std::size_t k = 0; k < plan.num_packets(); ++k) {
+        HcbNetlist h{HcbSpec{}, Aig(strash)};
+        h.spec.packet = k;
+        h.spec.lo = plan.packet_lo(k);
+        h.spec.hi = plan.packet_hi(k);
+
+        // Partition live clauses into active vs passthrough for this packet.
+        for (auto flat : sched.live_clauses) {
+            const auto& cl = m.clause(flat / cpc, flat % cpc);
+            const bool active = cl.include_pos.slice(h.spec.lo, h.spec.hi).any() ||
+                                cl.include_neg.slice(h.spec.lo, h.spec.hi).any();
+            if (active) {
+                h.spec.active_clauses.push_back(flat);
+                h.spec.has_chain_input.push_back(sched.first_active_packet[flat] < k);
+            } else if (sched.first_active_packet[flat] < k &&
+                       sched.last_active_packet[flat] > k) {
+                // Mid-stream wire-through: value already live, more to come.
+                h.spec.passthrough_clauses.push_back(flat);
+            }
+        }
+
+        // PIs: packet bits first ...
+        const std::size_t packet_bits = h.spec.hi - h.spec.lo;
+        std::vector<Lit> bit_lit(packet_bits);
+        for (std::size_t b = 0; b < packet_bits; ++b) bit_lit[b] = h.aig.create_pi();
+        // ... then chain inputs for the active clauses that need one.
+        std::vector<Lit> chain_lit(h.spec.active_clauses.size(), logic::kConst1);
+        for (std::size_t i = 0; i < h.spec.active_clauses.size(); ++i)
+            if (h.spec.has_chain_input[i]) chain_lit[i] = h.aig.create_pi();
+
+        // One partial-clause AND cone per active clause.  Literals are
+        // folded left-deep in sorted feature order so clauses sharing a
+        // literal prefix share AND nodes under strash (the clause-level
+        // expression sharing of Fig. 3); the per-clause chain input is
+        // ANDed last to keep those shared prefixes intact.
+        for (std::size_t i = 0; i < h.spec.active_clauses.size(); ++i) {
+            const auto flat = h.spec.active_clauses[i];
+            const auto& cl = m.clause(flat / cpc, flat % cpc);
+            Lit acc = logic::kConst1;
+            for (std::size_t f = h.spec.lo; f < h.spec.hi; ++f) {
+                if (cl.include_pos.get(f))
+                    acc = h.aig.create_and(acc, bit_lit[f - h.spec.lo]);
+                if (cl.include_neg.get(f))
+                    acc = h.aig.create_and(acc, logic::lit_not(bit_lit[f - h.spec.lo]));
+            }
+            if (h.spec.has_chain_input[i]) acc = h.aig.create_and(acc, chain_lit[i]);
+            h.aig.add_po(acc);
+        }
+        hcbs.push_back(std::move(h));
+    }
+    return hcbs;
+}
+
+std::vector<bool> evaluate_hcb(const HcbNetlist& hcb, const util::BitVector& x,
+                               const std::vector<bool>& chain_in) {
+    if (chain_in.size() != hcb.spec.active_clauses.size())
+        throw std::invalid_argument("evaluate_hcb: chain size mismatch");
+
+    std::vector<bool> pi_values;
+    pi_values.reserve(hcb.aig.num_pis());
+    for (std::size_t f = hcb.spec.lo; f < hcb.spec.hi; ++f)
+        pi_values.push_back(x.get(f));
+    for (std::size_t i = 0; i < chain_in.size(); ++i)
+        if (hcb.spec.has_chain_input[i]) pi_values.push_back(chain_in[i]);
+
+    std::vector<std::uint64_t> patterns(pi_values.size());
+    for (std::size_t i = 0; i < pi_values.size(); ++i)
+        patterns[i] = pi_values[i] ? ~std::uint64_t{0} : 0;
+
+    std::vector<std::uint64_t> words = logic::simulate(hcb.aig, patterns);
+    std::vector<bool> out(words.size());
+    for (std::size_t i = 0; i < words.size(); ++i) out[i] = words[i] & 1u;
+    return out;
+}
+
+}  // namespace matador::rtl

@@ -1,0 +1,64 @@
+// Hard Coded Clause Block (HCB) netlist construction (Section III, Fig. 5).
+//
+// The clause expressions are divided across the data packets: HCB k holds,
+// for every clause, the partial AND over the includes whose feature index
+// falls in packet k's bit range, ANDed with the chained partial result from
+// HCB k-1 (HCB 0 seeds 1'b1).  Clauses with no includes in a packet's range
+// collapse to wire-throughs; empty clauses are pruned entirely.
+//
+// Each HCB's combinational logic is built as one AIG over the packet bits
+// and its chain inputs.  Building with strash enabled realizes the paper's
+// intra-/inter-unit logic sharing; strash disabled emulates DON'T_TOUCH.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/aig.hpp"
+#include "model/clause_schedule.hpp"
+#include "model/packetization.hpp"
+#include "model/trained_model.hpp"
+
+namespace matador::rtl {
+
+/// Re-exported for existing call sites; the schedule lives in the model
+/// layer so the architecture simulator can share it.
+using model::ClauseSchedule;
+using model::schedule_clauses;
+
+/// Static description of one HCB: which clauses it computes vs passes on.
+struct HcbSpec {
+    std::size_t packet = 0;   ///< packet / HCB index
+    std::size_t lo = 0;       ///< first feature bit of the packet
+    std::size_t hi = 0;       ///< one past the last valid feature bit
+    /// Flat clause ids (class * clauses_per_class + index) with includes in
+    /// [lo, hi) - these get logic in this HCB.
+    std::vector<std::uint32_t> active_clauses;
+    /// Live clauses that only pass through (registered, no logic).
+    std::vector<std::uint32_t> passthrough_clauses;
+    /// Active clauses that also have includes in an earlier packet (their
+    /// AND takes a chain input); the rest start fresh from 1'b1.
+    std::vector<bool> has_chain_input;  ///< parallel to active_clauses
+};
+
+/// One HCB's combinational cone.
+/// AIG PI order: packet bits [0, hi-lo) first, then one chain input per
+/// active clause with has_chain_input set (in active_clauses order).
+/// AIG PO order: partial clause outputs in active_clauses order.
+struct HcbNetlist {
+    HcbSpec spec;
+    logic::Aig aig;
+};
+
+/// Build all HCB netlists.  `strash` toggles structural hashing
+/// (logic sharing) in the per-HCB AIGs.
+std::vector<HcbNetlist> build_hcbs(const model::TrainedModel& m,
+                                   const model::PacketPlan& plan, bool strash = true);
+
+/// Reference evaluation of one HCB netlist for a full input vector:
+/// returns the expected PO values given the packet bits and chain inputs.
+/// Used by the verification flow to cross-check AIG vs expressions.
+std::vector<bool> evaluate_hcb(const HcbNetlist& hcb, const util::BitVector& x,
+                               const std::vector<bool>& chain_in);
+
+}  // namespace matador::rtl

@@ -1,0 +1,30 @@
+// Pynq deployment driver generation.
+//
+// MATADOR ships a sample Jupyter notebook that validates the deployed
+// accelerator's test accuracy and measures throughput/latency over the
+// AXI DMA (following the FINN measurement procedure).  This generator
+// emits the equivalent standalone Python script for a generated design:
+// it packetizes booleanized inputs exactly like model/packetization.hpp,
+// pushes them through the Pynq `allocate`/DMA API, and cross-checks the
+// returned classes against golden predictions baked in at generation time.
+// Without a board the script still runs in `--dry-run` mode against a
+// pure-Python golden model, so the artefact is testable here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/trained_model.hpp"
+#include "rtl/generators.hpp"
+#include "util/bitvector.hpp"
+
+namespace matador::rtl {
+
+/// Generate the Python driver/validation script for `design`.
+/// `sample_inputs` are embedded (packetized) with their golden predictions.
+std::string generate_pynq_driver(const RtlDesign& design,
+                                 const model::TrainedModel& m,
+                                 const std::vector<util::BitVector>& sample_inputs,
+                                 const std::string& bitstream_name = "matador.bit");
+
+}  // namespace matador::rtl

@@ -1,0 +1,132 @@
+#include "rtl/testbench_gen.hpp"
+
+#include <sstream>
+
+#include "model/packetization.hpp"
+
+namespace matador::rtl {
+
+std::string generate_testbench(const RtlDesign& design,
+                               const model::TrainedModel& m,
+                               const std::vector<util::BitVector>& inputs) {
+    const auto& arch = design.arch;
+    const model::Packetizer packetizer(arch.plan);
+    const std::size_t packets = arch.plan.num_packets();
+    const int iw = int(arch.argmax_levels == 0 ? 1 : arch.argmax_levels);
+    const int bus = int(arch.options.bus_width);
+
+    std::ostringstream os;
+    os << "// Auto-generated MATADOR testbench (auto-debug flow)\n";
+    os << "// " << inputs.size() << " datapoints, " << packets
+       << " packets each, " << bus << "-bit stream\n";
+    os << "`timescale 1ns/1ps\n";
+    os << "module matador_tb;\n";
+    os << "  reg clk = 1'b0;\n";
+    os << "  reg rst = 1'b1;\n";
+    os << "  reg [" << bus - 1 << ":0] s_axis_tdata = " << bus << "'d0;\n";
+    os << "  reg s_axis_tvalid = 1'b0;\n";
+    os << "  reg s_axis_tlast = 1'b0;\n";
+    os << "  wire s_axis_tready;\n";
+    os << "  wire [" << iw - 1 << ":0] result;\n";
+    os << "  wire result_valid;\n\n";
+
+    const std::size_t total_beats = inputs.size() * packets;
+    os << "  reg [" << bus - 1 << ":0] stimulus [0:" << (total_beats ? total_beats - 1 : 0)
+       << "];\n";
+    os << "  reg [" << iw - 1 << ":0] expected [0:"
+       << (inputs.empty() ? 0 : inputs.size() - 1) << "];\n\n";
+
+    os << "  initial begin\n";
+    std::size_t beat = 0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const auto words = packetizer.packetize(inputs[i]);
+        for (const auto w : words)
+            os << "    stimulus[" << beat++ << "] = " << bus << "'h" << std::hex << w
+               << std::dec << ";\n";
+        os << "    expected[" << i << "] = " << m.predict(inputs[i]) << ";\n";
+    }
+    os << "  end\n\n";
+
+    os << "  matador_top dut (\n"
+          "    .clk(clk), .rst(rst),\n"
+          "    .s_axis_tdata(s_axis_tdata), .s_axis_tvalid(s_axis_tvalid),\n"
+          "    .s_axis_tready(s_axis_tready), .s_axis_tlast(s_axis_tlast),\n"
+          "    .result(result), .result_valid(result_valid)\n"
+          "  );\n\n";
+
+    os << "  always #5 clk = ~clk;  // 100 MHz testbench clock\n\n";
+
+    os << "  integer beat_i = 0;\n";
+    os << "  integer result_i = 0;\n";
+    os << "  integer errors = 0;\n";
+    os << "  integer first_latency = -1;\n";
+    os << "  integer cycle = 0;\n";
+    os << "  integer prev_result_cycle = -1;\n";
+    os << "  integer ii = -1;\n\n";
+
+    os << "  always @(posedge clk) begin\n";
+    os << "    cycle = cycle + 1;\n";
+    os << "    if (!rst && s_axis_tready && beat_i < " << total_beats << ") begin\n";
+    os << "      s_axis_tdata  <= stimulus[beat_i];\n";
+    os << "      s_axis_tvalid <= 1'b1;\n";
+    os << "      s_axis_tlast  <= (beat_i % " << packets << ") == " << packets - 1
+       << ";\n";
+    os << "      beat_i = beat_i + 1;\n";
+    os << "    end else if (beat_i >= " << total_beats << ") begin\n";
+    os << "      s_axis_tvalid <= 1'b0;\n";
+    os << "    end\n";
+    os << "    if (result_valid) begin\n";
+    os << "      if (first_latency < 0) first_latency = cycle;\n";
+    os << "      if (prev_result_cycle >= 0 && ii < 0) ii = cycle - prev_result_cycle;\n";
+    os << "      prev_result_cycle = cycle;\n";
+    os << "      if (result !== expected[result_i]) begin\n";
+    os << "        $display(\"MATADOR-TB MISMATCH datapoint %0d: got %0d expected %0d\",\n";
+    os << "                 result_i, result, expected[result_i]);\n";
+    os << "        errors = errors + 1;\n";
+    os << "      end\n";
+    os << "      result_i = result_i + 1;\n";
+    os << "      if (result_i == " << inputs.size() << ") begin\n";
+    os << "        if (errors == 0) $display(\"MATADOR-TB PASS\");\n";
+    os << "        else $display(\"MATADOR-TB FAIL (%0d errors)\", errors);\n";
+    os << "        $display(\"MATADOR-TB first-result latency %0d cycles\", first_latency);\n";
+    os << "        $display(\"MATADOR-TB initiation interval %0d cycles\", ii);\n";
+    os << "        $finish;\n";
+    os << "      end\n";
+    os << "    end\n";
+    os << "  end\n\n";
+
+    os << "  initial begin\n";
+    os << "    repeat (4) @(posedge clk);\n";
+    os << "    rst = 1'b0;\n";
+    os << "    repeat (" << total_beats + 64 * (packets + 4) + 64
+       << ") @(posedge clk);\n";
+    os << "    $display(\"MATADOR-TB TIMEOUT\");\n";
+    os << "    $finish;\n";
+    os << "  end\n";
+    os << "endmodule\n";
+    return os.str();
+}
+
+std::string generate_ila_stub(const RtlDesign& design) {
+    const auto& arch = design.arch;
+    const int iw = int(arch.argmax_levels == 0 ? 1 : arch.argmax_levels);
+    std::ostringstream os;
+    os << "// Auto-generated ILA tap (debug core insertion point).\n";
+    os << "// MATADOR polls AXI-stream transactions through this probe set;\n";
+    os << "// because the accelerator itself needs no BRAM, the debug core\n";
+    os << "// does not eat into the accelerator's resource pool.\n";
+    os << "// probe0: s_axis_tvalid & s_axis_tready (beat accepted)\n";
+    os << "// probe1: s_axis_tdata[" << int(arch.options.bus_width) - 1 << ":0]\n";
+    os << "// probe2: result_valid\n";
+    os << "// probe3: result[" << iw - 1 << ":0]\n";
+    os << "ila_0 u_ila (\n";
+    os << "  .clk(clk),\n";
+    os << "  .probe0(s_axis_tvalid & s_axis_tready),\n";
+    os << "  .probe1(s_axis_tdata),\n";
+    os << "  .probe2(result_valid),\n";
+    os << "  .probe3(result)\n";
+    os << ");\n";
+    return os.str();
+}
+
+}  // namespace matador::rtl

@@ -1,0 +1,35 @@
+// Self-checking testbench generation (the auto-debug flow of Fig. 6).
+//
+// MATADOR validates throughput on the board by polling AXI-stream
+// transactions through auto-generated testbenches and ILA debug cores.
+// Here we generate the equivalent self-checking Verilog testbench: it
+// streams packetized test vectors into matador_top at one beat per cycle,
+// collects classifications, compares them with the golden predictions and
+// prints MATADOR-TB PASS/FAIL plus the measured initiation interval and
+// first-result latency.  The file is plain Verilog-2001 and runs under any
+// event-driven simulator (iverilog/Verilator/XSim); this repository's own
+// cycle-accurate architecture simulator reproduces the same measurements
+// natively (src/sim).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/trained_model.hpp"
+#include "rtl/generators.hpp"
+#include "util/bitvector.hpp"
+
+namespace matador::rtl {
+
+/// Generate the testbench text for `design`, streaming `inputs` and
+/// checking against the model's own predictions.
+std::string generate_testbench(const RtlDesign& design,
+                               const model::TrainedModel& m,
+                               const std::vector<util::BitVector>& inputs);
+
+/// Generate a comment-documented ILA (integrated logic analyzer) stub that
+/// taps the AXI-stream handshake and the result interface, mirroring the
+/// debug cores MATADOR inserts for on-board polling.
+std::string generate_ila_stub(const RtlDesign& design);
+
+}  // namespace matador::rtl

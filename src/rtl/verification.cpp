@@ -1,0 +1,127 @@
+#include "rtl/verification.hpp"
+
+#include "logic/aig_simulate.hpp"
+#include "model/clause_expression.hpp"
+#include "rtl/verilog_parser.hpp"
+#include "rtl/verilog_writer.hpp"
+#include "util/rng.hpp"
+
+namespace matador::rtl {
+
+namespace {
+
+util::BitVector random_input(std::size_t bits, util::Xoshiro256ss& rng) {
+    util::BitVector x(bits);
+    for (std::size_t w = 0; w < x.word_count(); ++w) x.set_word(w, rng());
+    return x;
+}
+
+}  // namespace
+
+bool cosim_hcb_module(const HcbNetlist& hcb, std::size_t random_rounds,
+                      std::uint64_t seed, std::string* error) {
+    const Module m = generate_hcb_comb_module(
+        hcb, "hcb_" + std::to_string(hcb.spec.packet) + "_comb");
+    const std::string text = emit_module(m);
+
+    ParsedModule parsed;
+    try {
+        parsed = parse_structural_verilog(text);
+    } catch (const std::exception& e) {
+        if (error) *error = e.what();
+        return false;
+    }
+
+    if (parsed.aig.num_pis() != hcb.aig.num_pis() ||
+        parsed.aig.num_pos() != hcb.aig.num_pos()) {
+        if (error)
+            *error = "parsed module I/O shape mismatch for " + m.name;
+        return false;
+    }
+
+    if (!logic::random_equivalent(parsed.aig, hcb.aig, random_rounds, seed)) {
+        if (error) *error = "random co-simulation mismatch in " + m.name;
+        return false;
+    }
+    if (hcb.aig.num_pis() <= 16 &&
+        !logic::exhaustive_equivalent(parsed.aig, hcb.aig)) {
+        if (error) *error = "exhaustive co-simulation mismatch in " + m.name;
+        return false;
+    }
+    return true;
+}
+
+VerificationReport verify_design(const RtlDesign& design,
+                                 const model::TrainedModel& m,
+                                 std::size_t random_vectors, std::uint64_t seed) {
+    VerificationReport rep;
+    util::Xoshiro256ss rng(seed);
+    const auto exprs = model::export_expressions(m);
+    const std::size_t cpc = m.clauses_per_class();
+
+    // Level 1: expressions vs model.
+    rep.expressions_match_model = true;
+    for (std::size_t v = 0; v < random_vectors && rep.expressions_match_model; ++v) {
+        const auto x = random_input(m.num_features(), rng);
+        for (const auto& e : exprs) {
+            const bool expr_out = e.evaluate(x);
+            const bool model_out = m.clause(e.cls, e.index).evaluate(x);
+            if (expr_out != model_out) {
+                rep.expressions_match_model = false;
+                rep.first_failure = "expression C[" + std::to_string(e.cls) + "][" +
+                                    std::to_string(e.index) + "] != model clause";
+                break;
+            }
+        }
+        ++rep.vectors_checked;
+    }
+
+    // Level 2: HCB AIG chain vs expressions.
+    rep.hcb_aigs_match_expressions = rep.expressions_match_model;
+    const std::size_t live = design.schedule.live_clauses.size();
+    for (std::size_t v = 0; v < random_vectors && rep.hcb_aigs_match_expressions;
+         ++v) {
+        const auto x = random_input(m.num_features(), rng);
+        // Chain the partial results through every HCB.
+        std::vector<bool> chain(m.total_clauses(), true);
+        for (const auto& hcb : design.hcbs) {
+            std::vector<bool> chain_in;
+            chain_in.reserve(hcb.spec.active_clauses.size());
+            for (auto flat : hcb.spec.active_clauses) chain_in.push_back(chain[flat]);
+            const auto out = evaluate_hcb(hcb, x, chain_in);
+            for (std::size_t i = 0; i < out.size(); ++i)
+                chain[hcb.spec.active_clauses[i]] = out[i];
+        }
+        for (std::size_t i = 0; i < live; ++i) {
+            const auto flat = design.schedule.live_clauses[i];
+            const auto& e = exprs[flat];
+            const bool expected = e.evaluate(x);
+            // Expressions of live clauses are non-empty, so the chained AND
+            // equals the full clause value.
+            if (chain[flat] != expected) {
+                rep.hcb_aigs_match_expressions = false;
+                rep.first_failure = "HCB chain mismatch on clause C[" +
+                                    std::to_string(flat / cpc) + "][" +
+                                    std::to_string(flat % cpc) + "]";
+                break;
+            }
+        }
+    }
+
+    // Level 3: emitted RTL parsed back vs the AIGs.
+    rep.rtl_matches_aigs = rep.hcb_aigs_match_expressions;
+    if (rep.rtl_matches_aigs) {
+        for (const auto& hcb : design.hcbs) {
+            std::string err;
+            if (!cosim_hcb_module(hcb, random_vectors, rng(), &err)) {
+                rep.rtl_matches_aigs = false;
+                rep.first_failure = err;
+                break;
+            }
+            ++rep.hcbs_checked;
+        }
+    }
+    return rep;
+}
+
+}  // namespace matador::rtl

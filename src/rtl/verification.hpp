@@ -1,0 +1,50 @@
+// Automated design verification (the paper's auto-debug flow, Fig. 6 dark
+// pink), reimplemented as a simulator-free equivalence ladder:
+//
+//   1. expression level : exported clause expressions vs the TrainedModel,
+//   2. netlist level    : per-HCB AIGs vs partial-clause expression
+//                         semantics, chained end to end,
+//   3. RTL text level   : emitted hcb_*_comb Verilog parsed back and
+//                         co-simulated against the generator's AIG
+//                         (random 64-way sweeps + exhaustive when small).
+//
+// System-level (cycle-accurate, streaming) verification lives in the core
+// flow where the architecture simulator is available.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/trained_model.hpp"
+#include "rtl/generators.hpp"
+
+namespace matador::rtl {
+
+/// Outcome of the verification ladder.
+struct VerificationReport {
+    bool expressions_match_model = false;
+    bool hcb_aigs_match_expressions = false;
+    bool rtl_matches_aigs = false;
+    std::size_t hcbs_checked = 0;
+    std::size_t vectors_checked = 0;
+    std::string first_failure;  ///< empty when ok()
+
+    bool ok() const {
+        return expressions_match_model && hcb_aigs_match_expressions &&
+               rtl_matches_aigs;
+    }
+};
+
+/// Run the full ladder on a generated design.
+/// `random_vectors` full input vectors drive levels 1-2; level 3 runs
+/// `random_vectors` 64-way sweeps per HCB plus an exhaustive check when an
+/// HCB has at most 16 inputs.
+VerificationReport verify_design(const RtlDesign& design,
+                                 const model::TrainedModel& m,
+                                 std::size_t random_vectors, std::uint64_t seed);
+
+/// Level-3 only, for one HCB: emit -> parse back -> equivalence check.
+bool cosim_hcb_module(const HcbNetlist& hcb, std::size_t random_rounds,
+                      std::uint64_t seed, std::string* error = nullptr);
+
+}  // namespace matador::rtl

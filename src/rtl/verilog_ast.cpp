@@ -1,0 +1,63 @@
+#include "rtl/verilog_ast.hpp"
+
+namespace matador::rtl {
+
+namespace {
+template <typename T>
+ExprP make(T&& node) {
+    auto e = std::make_shared<Expr>();
+    e->node = std::forward<T>(node);
+    return e;
+}
+}  // namespace
+
+ExprP ref(std::string name) { return make(Expr::Ref{std::move(name)}); }
+ExprP idx(std::string name, int index) { return make(Expr::Index{std::move(name), index}); }
+ExprP slice(std::string name, int msb, int lsb) {
+    return make(Expr::Slice{std::move(name), msb, lsb});
+}
+ExprP bconst(int width, std::uint64_t value) { return make(Expr::Const{width, value}); }
+ExprP uconst(std::uint64_t value) { return make(Expr::Const{0, value}); }
+ExprP vnot(ExprP a) { return make(Expr::Unary{UnaryOp::kNot, std::move(a)}); }
+ExprP vand(ExprP a, ExprP b) {
+    return make(Expr::Binary{BinaryOp::kAnd, std::move(a), std::move(b)});
+}
+ExprP vor(ExprP a, ExprP b) {
+    return make(Expr::Binary{BinaryOp::kOr, std::move(a), std::move(b)});
+}
+ExprP vxor(ExprP a, ExprP b) {
+    return make(Expr::Binary{BinaryOp::kXor, std::move(a), std::move(b)});
+}
+ExprP vadd(ExprP a, ExprP b) {
+    return make(Expr::Binary{BinaryOp::kAdd, std::move(a), std::move(b)});
+}
+ExprP vsub(ExprP a, ExprP b) {
+    return make(Expr::Binary{BinaryOp::kSub, std::move(a), std::move(b)});
+}
+ExprP veq(ExprP a, ExprP b) {
+    return make(Expr::Binary{BinaryOp::kEq, std::move(a), std::move(b)});
+}
+ExprP vge(ExprP a, ExprP b) {
+    return make(Expr::Binary{BinaryOp::kGe, std::move(a), std::move(b)});
+}
+ExprP vgt(ExprP a, ExprP b) {
+    return make(Expr::Binary{BinaryOp::kGt, std::move(a), std::move(b)});
+}
+ExprP vternary(ExprP c, ExprP t, ExprP e) {
+    return make(Expr::Ternary{std::move(c), std::move(t), std::move(e)});
+}
+ExprP vconcat(std::vector<ExprP> parts) { return make(Expr::Concat{std::move(parts)}); }
+ExprP vsigned(ExprP a) { return make(Expr::Signed{std::move(a)}); }
+ExprP vbin(BinaryOp op, ExprP a, ExprP b) {
+    return make(Expr::Binary{op, std::move(a), std::move(b)});
+}
+ExprP vun(UnaryOp op, ExprP a) { return make(Expr::Unary{op, std::move(a)}); }
+
+Stmt nb(ExprP lhs, ExprP rhs) {
+    return Stmt{NonBlocking{std::move(lhs), std::move(rhs)}};
+}
+Stmt blocking(ExprP lhs, ExprP rhs) {
+    return Stmt{Blocking{std::move(lhs), std::move(rhs)}};
+}
+
+}  // namespace matador::rtl

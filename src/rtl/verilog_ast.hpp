@@ -1,0 +1,176 @@
+// Minimal Verilog-2001 AST for the generated accelerator RTL.
+//
+// The generators build Modules from netlists and architecture parameters;
+// the writer (verilog_writer.hpp) serializes them to synthesisable text.
+// Combinational HCB logic uses only wires + continuous assigns over
+// ~ / & / | / ^, bit-selects and 1-bit constants, so the structural parser
+// (verilog_parser.hpp) can read it back for co-simulation.  Sequential
+// blocks (always @(posedge clk)) carry nonblocking assigns, if/else and
+// case - enough for the chain registers, class-sum pipeline and the
+// controller FSM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace matador::rtl {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprP = std::shared_ptr<const Expr>;
+
+enum class UnaryOp { kNot, kReduceAnd, kReduceOr, kMinus };
+enum class BinaryOp {
+    kAnd, kOr, kXor,
+    kAdd, kSub,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kShl, kShr,
+};
+
+struct Expr {
+    struct Ref {          // plain identifier
+        std::string name;
+    };
+    struct Index {        // name[i]
+        std::string name;
+        int index;
+    };
+    struct Slice {        // name[msb:lsb]
+        std::string name;
+        int msb, lsb;
+    };
+    struct Const {        // width'dvalue (width 0 => unsized decimal)
+        int width;
+        std::uint64_t value;
+        bool is_signed = false;
+    };
+    struct Unary {
+        UnaryOp op;
+        ExprP a;
+    };
+    struct Binary {
+        BinaryOp op;
+        ExprP a, b;
+    };
+    struct Ternary {
+        ExprP cond, then_e, else_e;
+    };
+    struct Concat {
+        std::vector<ExprP> parts;
+    };
+    struct Signed {       // $signed(a)
+        ExprP a;
+    };
+
+    std::variant<Ref, Index, Slice, Const, Unary, Binary, Ternary, Concat, Signed> node;
+};
+
+// Expression factory helpers.
+ExprP ref(std::string name);
+ExprP idx(std::string name, int index);
+ExprP slice(std::string name, int msb, int lsb);
+ExprP bconst(int width, std::uint64_t value);
+ExprP uconst(std::uint64_t value);  // unsized decimal
+ExprP vnot(ExprP a);
+ExprP vand(ExprP a, ExprP b);
+ExprP vor(ExprP a, ExprP b);
+ExprP vxor(ExprP a, ExprP b);
+ExprP vadd(ExprP a, ExprP b);
+ExprP vsub(ExprP a, ExprP b);
+ExprP veq(ExprP a, ExprP b);
+ExprP vge(ExprP a, ExprP b);
+ExprP vgt(ExprP a, ExprP b);
+ExprP vternary(ExprP c, ExprP t, ExprP e);
+ExprP vconcat(std::vector<ExprP> parts);
+ExprP vsigned(ExprP a);
+ExprP vbin(BinaryOp op, ExprP a, ExprP b);
+ExprP vun(UnaryOp op, ExprP a);
+
+// ---------------------------------------------------------------------------
+// Statements (inside always blocks)
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+
+struct NonBlocking {  // lhs <= rhs;
+    ExprP lhs, rhs;
+};
+struct Blocking {  // lhs = rhs;
+    ExprP lhs, rhs;
+};
+struct IfStmt {
+    ExprP cond;
+    std::vector<Stmt> then_body;
+    std::vector<Stmt> else_body;
+};
+struct CaseItem {
+    ExprP label;  // nullptr => default
+    std::vector<Stmt> body;
+};
+struct CaseStmt {
+    ExprP subject;
+    std::vector<CaseItem> items;
+};
+
+struct Stmt {
+    std::variant<NonBlocking, Blocking, IfStmt, CaseStmt> node;
+};
+
+Stmt nb(ExprP lhs, ExprP rhs);
+Stmt blocking(ExprP lhs, ExprP rhs);
+
+// ---------------------------------------------------------------------------
+// Module structure
+// ---------------------------------------------------------------------------
+
+enum class PortDir { kInput, kOutput };
+
+struct Port {
+    std::string name;
+    int width = 1;  // 1 => scalar, else [width-1:0]
+    PortDir dir = PortDir::kInput;
+    bool is_reg = false;  // output reg
+};
+
+struct Net {
+    std::string name;
+    int width = 1;
+    bool is_reg = false;
+    bool is_signed = false;
+    std::string comment;  // trailing // comment on the declaration
+};
+
+struct ContinuousAssign {
+    ExprP lhs, rhs;
+};
+
+struct AlwaysFF {
+    std::string clock = "clk";
+    std::vector<Stmt> body;
+};
+
+struct Instance {
+    std::string module_name;
+    std::string instance_name;
+    std::vector<std::pair<std::string, ExprP>> connections;  // (.port(expr))
+};
+
+struct Module {
+    std::string name;
+    std::vector<Port> ports;
+    std::vector<Net> nets;
+    std::vector<ContinuousAssign> assigns;
+    std::vector<AlwaysFF> always_blocks;
+    std::vector<Instance> instances;
+    std::vector<std::string> header_comments;
+    bool dont_touch = false;  ///< emit (* DONT_TOUCH = "yes" *) on the module
+};
+
+}  // namespace matador::rtl

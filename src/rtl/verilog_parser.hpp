@@ -1,0 +1,33 @@
+// Structural Verilog parser (combinational subset) for the auto-debug flow.
+//
+// The verification stage of MATADOR proves that the *emitted RTL text*
+// computes the same function as the model it was generated from.  This
+// parser reads back the combinational HCB modules - module header, port and
+// wire declarations, and continuous assigns over ~ & | ^, parentheses,
+// bit-selects and 1-bit constants - and reconstructs an AIG whose PI order
+// is the port-declaration bit order and whose POs are the output port bits.
+// Co-simulation against the generator's AIG then closes the loop without an
+// external simulator.
+#pragma once
+
+#include <string>
+
+#include "logic/aig.hpp"
+
+namespace matador::rtl {
+
+/// Result of parsing one combinational module.
+struct ParsedModule {
+    std::string name;
+    logic::Aig aig;
+    /// Input bit names in PI order ("packet[3]", "chain_in[0]", ...).
+    std::vector<std::string> input_bits;
+    /// Output bit names in PO order.
+    std::vector<std::string> output_bits;
+};
+
+/// Parse Verilog text.  Throws std::runtime_error with a line-numbered
+/// message on anything outside the supported structural subset.
+ParsedModule parse_structural_verilog(const std::string& text);
+
+}  // namespace matador::rtl

@@ -1,0 +1,19 @@
+// Verilog text emission from the AST of verilog_ast.hpp.
+#pragma once
+
+#include <string>
+
+#include "rtl/verilog_ast.hpp"
+
+namespace matador::rtl {
+
+/// Serialize one expression (used by tests and the testbench generator).
+std::string emit_expr(const Expr& e);
+
+/// Serialize a whole module to Verilog-2001 text.
+std::string emit_module(const Module& m);
+
+/// Write a module to a file (throws std::runtime_error on I/O failure).
+void write_module_file(const Module& m, const std::string& path);
+
+}  // namespace matador::rtl

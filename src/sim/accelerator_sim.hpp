@@ -1,0 +1,93 @@
+// Cycle-accurate simulator of the generated MATADOR accelerator.
+//
+// Models the architecture of Fig. 5 at clock-cycle granularity:
+//   * the AXI-stream channel delivers one packet per cycle (when tvalid),
+//   * packet k is routed to HCB k, whose Clause Out register updates at the
+//     end of the cycle (chained from HCB k-1's register),
+//   * the last packet of a datapoint fires the class-sum pipeline
+//     (class_sum_stages cycles) followed by the argmax pipeline
+//     (argmax_stages cycles), after which result_valid asserts.
+//
+// The simulator therefore *measures* the latency / initiation-interval /
+// throughput numbers that the architecture equations of
+// model/architecture.hpp predict - the system-level leg of the
+// verification flow asserts they agree, and bench/fig7_timing prints the
+// per-cycle trace reproducing the paper's timing diagram.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/architecture.hpp"
+#include "model/clause_schedule.hpp"
+#include "model/trained_model.hpp"
+#include "sim/axi_stream.hpp"
+#include "util/bitvector.hpp"
+
+namespace matador::sim {
+
+/// One line of the timing trace (Fig. 7 reproduction).
+struct TraceEvent {
+    std::size_t cycle = 0;
+    std::string what;
+};
+
+/// Simulation options.
+struct SimConfig {
+    std::size_t max_cycles = 1u << 22;  ///< hard stop
+    bool record_trace = false;          ///< collect TraceEvents
+    double stall_probability = 0.0;     ///< producer-side per-cycle stall
+    std::uint64_t stall_seed = 99;      ///< rng seed for stalls
+    /// When non-empty, dump the AXI-stream handshake, packet counter and
+    /// result interface into this VCD file (the ILA probe set).
+    std::string vcd_path;
+};
+
+/// Measured results.
+struct SimResult {
+    std::vector<std::uint32_t> predictions;   ///< per datapoint
+    std::vector<std::size_t> result_cycles;   ///< cycle of each result_valid
+    std::size_t cycles_run = 0;
+    std::size_t first_latency_cycles = 0;     ///< first beat -> first result
+    double mean_initiation_interval = 0.0;    ///< cycles between results
+    std::uint64_t beats_transferred = 0;
+    std::vector<TraceEvent> trace;
+
+    /// Effective throughput (classifications per second) at `clock_mhz`.
+    double throughput_inf_per_s(double clock_mhz) const {
+        if (result_cycles.size() < 2) return 0.0;
+        const double cycles = double(result_cycles.back() - result_cycles.front());
+        return (clock_mhz * 1e6) * double(result_cycles.size() - 1) / cycles;
+    }
+};
+
+/// The simulator itself.  Construction precomputes per-HCB include windows
+/// so a cycle costs O(active clauses of the routed HCB).
+class AcceleratorSim {
+public:
+    AcceleratorSim(const model::TrainedModel& m, const model::ArchParams& arch);
+
+    /// Stream `inputs` back-to-back and run until all results emerge.
+    SimResult run(const std::vector<util::BitVector>& inputs,
+                  const SimConfig& config = {}) const;
+
+    const model::ArchParams& arch() const { return arch_; }
+    const model::ClauseSchedule& schedule() const { return schedule_; }
+
+private:
+    struct ClauseWindow {
+        std::uint32_t flat;      ///< flat clause id
+        std::uint64_t pos_mask;  ///< includes over packet bits (positive)
+        std::uint64_t neg_mask;  ///< includes over packet bits (negated)
+    };
+
+    model::ArchParams arch_;
+    model::ClauseSchedule schedule_;
+    std::vector<std::vector<ClauseWindow>> hcb_windows_;  ///< per packet
+    std::vector<int> polarity_;                           ///< per flat clause
+    std::size_t num_classes_;
+    std::size_t clauses_per_class_;
+};
+
+}  // namespace matador::sim

@@ -1,0 +1,18 @@
+#include "sim/axi_stream.hpp"
+
+namespace matador::sim {
+
+void StreamDriver::enqueue_datapoint(const std::vector<std::uint64_t>& packets) {
+    for (std::size_t i = 0; i < packets.size(); ++i)
+        queue_.push_back({packets[i], i + 1 == packets.size()});
+}
+
+void StreamDriver::step(AxiStreamChannel& ch) {
+    if (queue_.empty()) return;
+    if (ch.offer(queue_.front())) {
+        ch.count_transfer();
+        queue_.pop_front();
+    }
+}
+
+}  // namespace matador::sim

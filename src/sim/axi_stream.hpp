@@ -1,0 +1,72 @@
+// Cycle-level AXI4-Stream channel model (valid/ready/last handshake).
+//
+// Models the DMA channel between the Zynq processing system and the fabric:
+// one beat of `bus_width` bits transfers per cycle when tvalid && tready.
+// The producer (Packetizer-driven driver) and consumer (accelerator) are
+// stepped once per cycle by the simulator.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace matador::sim {
+
+/// One stream beat.
+struct StreamBeat {
+    std::uint64_t tdata = 0;
+    bool tlast = false;
+};
+
+/// Single-stage AXI-stream channel: at most one beat in flight per cycle.
+class AxiStreamChannel {
+public:
+    /// Producer side: offer a beat this cycle (call before step()).
+    /// Returns true if the channel latched it (tvalid && tready).
+    bool offer(const StreamBeat& beat) {
+        if (!ready_ || has_beat_) return false;
+        beat_ = beat;
+        has_beat_ = true;
+        return true;
+    }
+
+    /// Consumer side: poll the beat presented this cycle.
+    bool valid() const { return has_beat_; }
+    const StreamBeat& beat() const { return beat_; }
+
+    /// Consumer side: accept the presented beat (combinational tready).
+    void consume() { has_beat_ = false; }
+
+    /// Consumer backpressure for the *next* cycle.
+    void set_ready(bool ready) { ready_ = ready; }
+    bool ready() const { return ready_; }
+
+    /// Statistics.
+    std::uint64_t beats_transferred() const { return beats_; }
+    void count_transfer() { ++beats_; }
+
+private:
+    bool ready_ = true;
+    bool has_beat_ = false;
+    StreamBeat beat_{};
+    std::uint64_t beats_ = 0;
+};
+
+/// Processor-side stream driver: queues packetized datapoints and offers
+/// one beat per cycle.
+class StreamDriver {
+public:
+    /// Enqueue the packets of one datapoint; the final packet carries tlast.
+    void enqueue_datapoint(const std::vector<std::uint64_t>& packets);
+
+    bool exhausted() const { return queue_.empty(); }
+    std::size_t pending_beats() const { return queue_.size(); }
+
+    /// One producer cycle: try to push the head beat into the channel.
+    void step(AxiStreamChannel& ch);
+
+private:
+    std::deque<StreamBeat> queue_;
+};
+
+}  // namespace matador::sim

@@ -1,0 +1,90 @@
+#include "sim/vcd_writer.hpp"
+
+#include <stdexcept>
+
+namespace matador::sim {
+
+VcdWriter::VcdWriter(const std::string& path, const std::string& module_name,
+                     const std::string& timescale)
+    : out_(path), module_name_(module_name), timescale_(timescale) {
+    if (!out_) throw std::runtime_error("VcdWriter: cannot open " + path);
+}
+
+std::string VcdWriter::make_id(std::size_t index) {
+    // Printable identifier characters per the VCD spec: '!' (33) .. '~' (126).
+    std::string id;
+    do {
+        id += char('!' + index % 94);
+        index /= 94;
+    } while (index > 0);
+    return id;
+}
+
+std::size_t VcdWriter::add_signal(const std::string& name, unsigned width) {
+    if (header_written_)
+        throw std::logic_error("VcdWriter: add_signal after first sample");
+    if (width == 0 || width > 64)
+        throw std::invalid_argument("VcdWriter: width must be in [1, 64]");
+    Signal s;
+    s.name = name;
+    s.width = width;
+    s.id = make_id(signals_.size());
+    signals_.push_back(std::move(s));
+    return signals_.size() - 1;
+}
+
+void VcdWriter::write_header_if_needed() {
+    if (header_written_) return;
+    out_ << "$date MATADOR auto-debug $end\n";
+    out_ << "$version MATADOR cycle-accurate simulator $end\n";
+    out_ << "$timescale " << timescale_ << " $end\n";
+    out_ << "$scope module " << module_name_ << " $end\n";
+    for (const auto& s : signals_)
+        out_ << "$var wire " << s.width << " " << s.id << " " << s.name << " $end\n";
+    out_ << "$upscope $end\n$enddefinitions $end\n";
+    header_written_ = true;
+}
+
+void VcdWriter::set(std::size_t handle, std::uint64_t value) {
+    Signal& s = signals_.at(handle);
+    if (s.width < 64) value &= (std::uint64_t{1} << s.width) - 1;
+    if (value != s.value) {
+        s.value = value;
+        s.dirty = true;
+    }
+}
+
+void VcdWriter::tick() {
+    write_header_if_needed();
+    bool stamped = false;
+    for (auto& s : signals_) {
+        if (!s.dirty && s.last_written == s.value) continue;
+        if (!s.dirty) continue;
+        if (!stamped) {
+            out_ << "#" << time_ << "\n";
+            stamped = true;
+        }
+        if (s.width == 1) {
+            out_ << (s.value & 1u) << s.id << "\n";
+        } else {
+            out_ << "b";
+            for (unsigned b = s.width; b-- > 0;) out_ << ((s.value >> b) & 1u);
+            out_ << " " << s.id << "\n";
+        }
+        s.last_written = s.value;
+        s.dirty = false;
+    }
+    ++time_;
+}
+
+void VcdWriter::close() {
+    if (out_.is_open()) {
+        write_header_if_needed();
+        out_ << "#" << time_ << "\n";
+        out_.close();
+    }
+}
+
+VcdWriter::~VcdWriter() { close(); }
+
+}  // namespace matador::sim

@@ -1,0 +1,61 @@
+// VCD (Value Change Dump) waveform emission for the auto-debug flow.
+//
+// The on-board flow polls AXI-stream transactions through an ILA; the
+// software equivalent is a waveform of the same probes from the
+// cycle-accurate simulator.  SimVcdRecorder replays a SimResult-producing
+// run while logging the stream handshake, packet counter, HCB enables and
+// the result interface into a standard VCD file viewable in GTKWave.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace matador::sim {
+
+/// Minimal VCD writer: declare signals, then record per-cycle values.
+class VcdWriter {
+public:
+    /// Open `path` and write the header (throws std::runtime_error on I/O
+    /// failure). `timescale` follows VCD syntax, e.g. "1ns".
+    VcdWriter(const std::string& path, const std::string& module_name,
+              const std::string& timescale = "1ns");
+
+    /// Declare a signal before the first sample; returns its handle.
+    std::size_t add_signal(const std::string& name, unsigned width);
+
+    /// Finish declarations (written lazily on the first sample).
+    /// Set the value of a signal for the *current* cycle.
+    void set(std::size_t handle, std::uint64_t value);
+
+    /// Commit the current cycle: emits changes and advances time.
+    void tick();
+
+    /// Flush and close (also done by the destructor).
+    void close();
+
+    ~VcdWriter();
+
+private:
+    struct Signal {
+        std::string name;
+        unsigned width;
+        std::string id;         // VCD short identifier
+        std::uint64_t value = 0;
+        std::uint64_t last_written = ~std::uint64_t{0};
+        bool dirty = true;      // force first emission
+    };
+
+    void write_header_if_needed();
+    static std::string make_id(std::size_t index);
+
+    std::ofstream out_;
+    std::string module_name_;
+    std::string timescale_;
+    std::vector<Signal> signals_;
+    bool header_written_ = false;
+    std::uint64_t time_ = 0;
+};
+
+}  // namespace matador::sim

@@ -1,0 +1,323 @@
+#include "tm/tsetlin_machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace matador::tm {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+}
+
+TsetlinMachine::TsetlinMachine(TmConfig cfg, std::size_t num_features,
+                               std::size_t num_classes)
+    : cfg_(cfg),
+      num_features_(num_features),
+      num_classes_(num_classes),
+      num_literals_(2 * num_features),
+      rng_(cfg.seed) {
+    if (num_features == 0) throw std::invalid_argument("TsetlinMachine: 0 features");
+    if (num_classes == 0) throw std::invalid_argument("TsetlinMachine: 0 classes");
+    if (cfg.clauses_per_class == 0)
+        throw std::invalid_argument("TsetlinMachine: 0 clauses per class");
+    if (cfg.specificity <= 1.0)
+        throw std::invalid_argument("TsetlinMachine: specificity must be > 1");
+    if (cfg.threshold <= 0) throw std::invalid_argument("TsetlinMachine: threshold <= 0");
+
+    // Word-aligned halves: [x | ~x], each ceil(F/64) words.
+    const std::size_t half_words = (num_features_ + kWordBits - 1) / kWordBits;
+    words_ = 2 * half_words;
+
+    const std::size_t total_clauses = num_classes_ * cfg_.clauses_per_class;
+    state_.assign(total_clauses * kStateBits * words_, 0);
+    include_.assign(total_clauses * words_, 0);
+    scratch_.assign(words_, 0);
+    mask_a_.assign(words_, 0);
+    mask_b_.assign(words_, 0);
+
+    // Initial state: kIncludeThreshold - 1 (all low planes set, MSB clear):
+    // every automaton sits just below the include boundary.
+    for (std::size_t fc = 0; fc < total_clauses; ++fc)
+        for (unsigned p = 0; p + 1 < kStateBits; ++p)
+            std::memset(plane(fc, p), 0xff, words_ * sizeof(std::uint64_t));
+
+    pow2_k_ = std::max(1u, unsigned(std::lround(std::log2(cfg_.specificity))));
+}
+
+void TsetlinMachine::build_literals(const util::BitVector& x) const {
+    const std::size_t half_words = words_ / 2;
+    const auto xw = x.words();
+    for (std::size_t w = 0; w < half_words; ++w) {
+        scratch_[w] = xw[w];
+        scratch_[half_words + w] = ~xw[w];
+    }
+    // Mask the tail of the negated half so invalid positions read 0.
+    const std::size_t tail = num_features_ % kWordBits;
+    if (tail != 0)
+        scratch_[words_ - 1] &= (std::uint64_t{1} << tail) - 1;
+}
+
+bool TsetlinMachine::clause_output_train(std::size_t fc) const {
+    const std::uint64_t* inc = include(fc);
+    for (std::size_t w = 0; w < words_; ++w)
+        if ((inc[w] & ~scratch_[w]) != 0) return false;
+    return true;
+}
+
+bool TsetlinMachine::clause_output_infer(std::size_t fc) const {
+    const std::uint64_t* inc = include(fc);
+    bool any_include = false;
+    for (std::size_t w = 0; w < words_; ++w) {
+        if ((inc[w] & ~scratch_[w]) != 0) return false;
+        any_include |= inc[w] != 0;
+    }
+    return any_include;
+}
+
+void TsetlinMachine::increment(std::size_t fc, const std::uint64_t* mask) {
+    const std::size_t half_words = words_ / 2;
+    const std::size_t tail = num_features_ % kWordBits;
+    const std::uint64_t tail_mask =
+        tail == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
+
+    for (std::size_t w = 0; w < words_; ++w) {
+        std::uint64_t carry = mask[w];
+        // Valid-literal mask: the tail word of each half carries no literals
+        // beyond bit F-1.
+        if (tail != 0 && (w == half_words - 1 || w == words_ - 1)) carry &= tail_mask;
+        if (carry == 0) continue;
+        for (unsigned p = 0; p < kStateBits; ++p) {
+            std::uint64_t* pl = plane(fc, p) + w;
+            const std::uint64_t t = *pl & carry;
+            *pl ^= carry;
+            carry = t;
+        }
+        if (carry != 0)  // overflow: saturate those lanes at the maximum state
+            for (unsigned p = 0; p < kStateBits; ++p) plane(fc, p)[w] |= carry;
+    }
+    refresh_include(fc);
+}
+
+void TsetlinMachine::decrement(std::size_t fc, const std::uint64_t* mask) {
+    for (std::size_t w = 0; w < words_; ++w) {
+        std::uint64_t borrow = mask[w];
+        if (borrow == 0) continue;
+        for (unsigned p = 0; p < kStateBits; ++p) {
+            std::uint64_t* pl = plane(fc, p) + w;
+            const std::uint64_t t = ~*pl & borrow;
+            *pl ^= borrow;
+            borrow = t;
+        }
+        if (borrow != 0)  // underflow: saturate those lanes at state 0
+            for (unsigned p = 0; p < kStateBits; ++p) plane(fc, p)[w] &= ~borrow;
+    }
+    refresh_include(fc);
+}
+
+void TsetlinMachine::refresh_include(std::size_t fc) {
+    std::memcpy(include(fc), plane(fc, kStateBits - 1), words_ * sizeof(std::uint64_t));
+}
+
+std::uint64_t TsetlinMachine::rare_word() {
+    if (cfg_.feedback == FeedbackMode::kFastPow2)
+        return rng_.bernoulli_word_pow2(pow2_k_);
+    return rng_.bernoulli_word_exact(1.0 / cfg_.specificity);
+}
+
+int TsetlinMachine::clamp_sum(int v) const {
+    return std::clamp(v, -cfg_.threshold, cfg_.threshold);
+}
+
+void TsetlinMachine::type_i_feedback(std::size_t fc) {
+    if (clause_output_train(fc)) {
+        // Clause fired: reinforce the pattern.  True literals march toward
+        // include (optionally damped by (s-1)/s), false literals erode
+        // toward exclude with probability 1/s.
+        for (std::size_t w = 0; w < words_; ++w) {
+            std::uint64_t inc = scratch_[w];
+            if (!cfg_.boost_true_positive) inc &= ~rare_word();
+            mask_a_[w] = inc;
+            mask_b_[w] = ~scratch_[w] & rare_word();
+        }
+        increment(fc, mask_a_.data());
+        decrement(fc, mask_b_.data());
+    } else {
+        // Clause silent: erode every automaton with probability 1/s.
+        for (std::size_t w = 0; w < words_; ++w) mask_a_[w] = rare_word();
+        decrement(fc, mask_a_.data());
+    }
+}
+
+void TsetlinMachine::type_ii_feedback(std::size_t fc) {
+    if (!clause_output_train(fc)) return;
+    // Clause fired on the wrong class: push excluded false literals toward
+    // include so the clause learns to reject this input.  (Included literals
+    // are necessarily 1 here, so ~L touches only excluded automata.)
+    for (std::size_t w = 0; w < words_; ++w) mask_a_[w] = ~scratch_[w];
+    increment(fc, mask_a_.data());
+}
+
+void TsetlinMachine::train_example(const util::BitVector& x, std::uint32_t target) {
+    if (x.size() != num_features_)
+        throw std::invalid_argument("TsetlinMachine::train_example: feature mismatch");
+    build_literals(x);
+
+    const std::size_t q = cfg_.clauses_per_class;
+    const double two_t = 2.0 * double(cfg_.threshold);
+
+    auto class_vote = [&](std::size_t cls) {
+        int v = 0;
+        for (std::size_t j = 0; j < q; ++j) {
+            const std::size_t fc = clause_base(cls, j);
+            if (clause_output_train(fc)) v += (j % 2 == 0) ? +1 : -1;
+        }
+        return v;
+    };
+
+    // Target class: Type I to +polarity clauses, Type II to -polarity.
+    {
+        const double p = (cfg_.threshold - clamp_sum(class_vote(target))) / two_t;
+        for (std::size_t j = 0; j < q; ++j) {
+            if (!rng_.bernoulli(p)) continue;
+            const std::size_t fc = clause_base(target, j);
+            if (j % 2 == 0)
+                type_i_feedback(fc);
+            else
+                type_ii_feedback(fc);
+        }
+    }
+
+    // One sampled negative class, mirrored feedback.
+    if (num_classes_ > 1) {
+        std::size_t neg = rng_.below(num_classes_ - 1);
+        if (neg >= target) ++neg;
+        const double p = (cfg_.threshold + clamp_sum(class_vote(neg))) / two_t;
+        for (std::size_t j = 0; j < q; ++j) {
+            if (!rng_.bernoulli(p)) continue;
+            const std::size_t fc = clause_base(neg, j);
+            if (j % 2 == 0)
+                type_ii_feedback(fc);
+            else
+                type_i_feedback(fc);
+        }
+    }
+}
+
+void TsetlinMachine::train_epoch(const data::Dataset& ds) {
+    if (ds.num_features != num_features_)
+        throw std::invalid_argument("TsetlinMachine::train_epoch: feature mismatch");
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        train_example(ds.examples[i], ds.labels[i]);
+}
+
+void TsetlinMachine::fit(const data::Dataset& ds, std::size_t epochs) {
+    std::vector<std::size_t> order(ds.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t e = 0; e < epochs; ++e) {
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng_.below(i)]);
+        for (auto i : order) train_example(ds.examples[i], ds.labels[i]);
+    }
+}
+
+std::vector<int> TsetlinMachine::class_sums(const util::BitVector& x) const {
+    if (x.size() != num_features_)
+        throw std::invalid_argument("TsetlinMachine::class_sums: feature mismatch");
+    build_literals(x);
+    std::vector<int> sums(num_classes_, 0);
+    const std::size_t q = cfg_.clauses_per_class;
+    for (std::size_t c = 0; c < num_classes_; ++c)
+        for (std::size_t j = 0; j < q; ++j)
+            if (clause_output_infer(clause_base(c, j)))
+                sums[c] += (j % 2 == 0) ? +1 : -1;
+    return sums;
+}
+
+std::uint32_t TsetlinMachine::predict(const util::BitVector& x) const {
+    const auto sums = class_sums(x);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < sums.size(); ++c)
+        if (sums[c] > sums[best]) best = c;
+    return std::uint32_t(best);
+}
+
+double TsetlinMachine::evaluate(const data::Dataset& ds) const {
+    if (ds.size() == 0) return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        correct += predict(ds.examples[i]) == ds.labels[i];
+    return double(correct) / double(ds.size());
+}
+
+model::TrainedModel TsetlinMachine::export_model() const {
+    model::TrainedModel m(num_features_, num_classes_, cfg_.clauses_per_class);
+    const std::size_t half_words = words_ / 2;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+        for (std::size_t j = 0; j < cfg_.clauses_per_class; ++j) {
+            const std::uint64_t* inc = include(clause_base(c, j));
+            auto& cl = m.clause(c, j);
+            for (std::size_t f = 0; f < num_features_; ++f) {
+                const std::size_t w = f / kWordBits, b = f % kWordBits;
+                if ((inc[w] >> b) & 1u) cl.include_pos.set(f);
+                if ((inc[half_words + w] >> b) & 1u) cl.include_neg.set(f);
+            }
+            cl.polarity = (j % 2 == 0) ? +1 : -1;
+        }
+    }
+    return m;
+}
+
+void TsetlinMachine::import_model(const model::TrainedModel& m) {
+    if (m.num_features() != num_features_ || m.num_classes() != num_classes_ ||
+        m.clauses_per_class() != cfg_.clauses_per_class)
+        throw std::invalid_argument("TsetlinMachine::import_model: shape mismatch");
+
+    const std::size_t half_words = words_ / 2;
+    const std::size_t total_clauses = num_classes_ * cfg_.clauses_per_class;
+
+    // Reset every automaton to just below the include boundary ...
+    std::memset(state_.data(), 0, state_.size() * sizeof(std::uint64_t));
+    for (std::size_t fc = 0; fc < total_clauses; ++fc)
+        for (unsigned p = 0; p + 1 < kStateBits; ++p)
+            std::memset(plane(fc, p), 0xff, words_ * sizeof(std::uint64_t));
+
+    // ... then lift included literals to exactly the include threshold.
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+        for (std::size_t j = 0; j < cfg_.clauses_per_class; ++j) {
+            const std::size_t fc = clause_base(c, j);
+            const auto& cl = m.clause(c, j);
+            auto lift = [&](std::size_t word_base, const util::BitVector& bits) {
+                for (auto f : bits.set_bits()) {
+                    const std::size_t w = word_base + f / kWordBits;
+                    const std::uint64_t bit = std::uint64_t{1} << (f % kWordBits);
+                    for (unsigned p = 0; p + 1 < kStateBits; ++p) plane(fc, p)[w] &= ~bit;
+                    plane(fc, kStateBits - 1)[w] |= bit;
+                }
+            };
+            lift(0, cl.include_pos);
+            lift(half_words, cl.include_neg);
+            refresh_include(fc);
+        }
+    }
+}
+
+unsigned TsetlinMachine::ta_state(std::size_t cls, std::size_t clause,
+                                  std::size_t literal) const {
+    if (cls >= num_classes_ || clause >= cfg_.clauses_per_class ||
+        literal >= num_literals_)
+        throw std::out_of_range("TsetlinMachine::ta_state");
+    const std::size_t half_words = words_ / 2;
+    const std::size_t f = literal < num_features_ ? literal : literal - num_features_;
+    const std::size_t w = (literal < num_features_ ? 0 : half_words) + f / kWordBits;
+    const std::size_t b = f % kWordBits;
+    unsigned v = 0;
+    const std::size_t fc = clause_base(cls, clause);
+    for (unsigned p = 0; p < kStateBits; ++p)
+        v |= unsigned((plane(fc, p)[w] >> b) & 1u) << p;
+    return v;
+}
+
+}  // namespace matador::tm

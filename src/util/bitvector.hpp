@@ -1,0 +1,142 @@
+// BitVector: a fixed-size, word-parallel bit vector.
+//
+// This is the fundamental data type of the whole MATADOR flow: booleanized
+// datapoints, Tsetlin-Machine include masks, AXI-stream packets and AIG
+// simulation patterns are all BitVectors.  All bulk operations work on
+// 64-bit words so clause evaluation and feedback can run word-parallel.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace matador::util {
+
+/// Fixed-size bit vector backed by 64-bit words.
+///
+/// Bits beyond `size()` in the last word are kept zero at all times
+/// (the *tail invariant*); every mutating operation restores it.  This lets
+/// `count()`, `operator==` and subset tests work directly on whole words.
+class BitVector {
+public:
+    static constexpr std::size_t kWordBits = 64;
+
+    BitVector() = default;
+
+    /// Construct with `size` bits, all zero.
+    explicit BitVector(std::size_t size)
+        : size_(size), words_((size + kWordBits - 1) / kWordBits, 0) {}
+
+    /// Construct from a string of '0'/'1' characters, index 0 first.
+    /// Characters other than '0'/'1' throw std::invalid_argument.
+    static BitVector from_string(const std::string& bits);
+
+    /// Number of bits.
+    std::size_t size() const { return size_; }
+    /// Number of backing 64-bit words.
+    std::size_t word_count() const { return words_.size(); }
+    bool empty() const { return size_ == 0; }
+
+    /// Read bit `i` (i < size()).
+    bool get(std::size_t i) const {
+        return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+    }
+    bool operator[](std::size_t i) const { return get(i); }
+
+    /// Write bit `i`.
+    void set(std::size_t i, bool v = true) {
+        const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+        if (v)
+            words_[i / kWordBits] |= mask;
+        else
+            words_[i / kWordBits] &= ~mask;
+    }
+    void clear(std::size_t i) { set(i, false); }
+
+    /// Set all bits to `v`.
+    void fill(bool v);
+    /// Set all bits to zero.
+    void reset() { fill(false); }
+
+    /// Number of set bits.
+    std::size_t count() const;
+    /// True if no bit is set.
+    bool none() const;
+    /// True if at least one bit is set.
+    bool any() const { return !none(); }
+
+    /// Fraction of set bits (0 for an empty vector).
+    double density() const { return size_ == 0 ? 0.0 : double(count()) / double(size_); }
+
+    /// Index of the lowest set bit, or size() if none.
+    std::size_t find_first() const;
+    /// Index of the lowest set bit > `from`, or size() if none.
+    std::size_t find_next(std::size_t from) const;
+    /// Index of the highest set bit, or size() if none.
+    std::size_t find_last() const;
+
+    /// Indices of all set bits, ascending.
+    std::vector<std::size_t> set_bits() const;
+
+    // -- word access (for word-parallel algorithms) ------------------------
+    std::span<const std::uint64_t> words() const { return words_; }
+    std::span<std::uint64_t> words() { return words_; }
+    std::uint64_t word(std::size_t w) const { return words_[w]; }
+    void set_word(std::size_t w, std::uint64_t v) {
+        words_[w] = v;
+        if (w + 1 == words_.size()) mask_tail();
+    }
+
+    // -- bulk logic (operands must have equal size) ------------------------
+    BitVector& operator&=(const BitVector& o);
+    BitVector& operator|=(const BitVector& o);
+    BitVector& operator^=(const BitVector& o);
+    /// In-place and-not: this &= ~o.
+    BitVector& and_not(const BitVector& o);
+    /// Flip every bit.
+    void flip();
+
+    friend BitVector operator&(BitVector a, const BitVector& b) { return a &= b; }
+    friend BitVector operator|(BitVector a, const BitVector& b) { return a |= b; }
+    friend BitVector operator^(BitVector a, const BitVector& b) { return a ^= b; }
+    friend BitVector operator~(BitVector a) {
+        a.flip();
+        return a;
+    }
+
+    /// True if every set bit of *this is also set in `o` (this ⊆ o).
+    bool is_subset_of(const BitVector& o) const;
+    /// True if *this and `o` share at least one set bit.
+    bool intersects(const BitVector& o) const;
+
+    /// Number of positions where *this and `o` differ.
+    std::size_t hamming_distance(const BitVector& o) const;
+
+    /// Copy bits [lo, hi) into a new BitVector of size hi-lo.
+    BitVector slice(std::size_t lo, std::size_t hi) const;
+
+    /// Append the bits of `o` to *this (sizes add).
+    void append(const BitVector& o);
+
+    /// Stable 64-bit content hash (FNV-1a over words).
+    std::uint64_t hash() const;
+
+    /// '0'/'1' string, index 0 first.
+    std::string to_string() const;
+
+    bool operator==(const BitVector& o) const = default;
+
+private:
+    void mask_tail() {
+        if (size_ % kWordBits != 0 && !words_.empty())
+            words_.back() &= (std::uint64_t{1} << (size_ % kWordBits)) - 1;
+    }
+
+    std::size_t size_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace matador::util

@@ -1,0 +1,45 @@
+// Minimal dense row-major matrix used by the quantized-MLP baseline.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace matador::util {
+
+/// Dense row-major matrix of T with bounds-asserted access.
+template <typename T>
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, T init = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    T& operator()(std::size_t r, std::size_t c) {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+    const T& operator()(std::size_t r, std::size_t c) const {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /// Pointer to the start of row r.
+    T* row(std::size_t r) { return data_.data() + r * cols_; }
+    const T* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+    std::vector<T>& data() { return data_; }
+    const std::vector<T>& data() const { return data_; }
+
+    void fill(T v) { data_.assign(data_.size(), v); }
+
+private:
+    std::size_t rows_ = 0, cols_ = 0;
+    std::vector<T> data_;
+};
+
+}  // namespace matador::util

@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation for the whole toolflow.
+//
+// Two layers:
+//  * SplitMix64  - seeding / hashing primitive.
+//  * Xoshiro256ss - the workhorse generator (xoshiro256**), fast enough to
+//    feed word-parallel Tsetlin-Machine feedback.  It satisfies
+//    std::uniform_random_bit_generator so it can drive <random> facilities.
+//
+// Everything in MATADOR that needs randomness takes an explicit seed so every
+// experiment is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace matador::util {
+
+/// SplitMix64 step: turns an arbitrary 64-bit value into a well-mixed one.
+/// Used for seeding and for stateless hashing of indices.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator (Blackman & Vigna).  Deterministic, fast and with
+/// 256-bit state; the jump/long-jump functions are not needed here because
+/// each component receives its own seed.
+class Xoshiro256ss {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256ss(std::uint64_t seed = 0x7a7a7a7a5eed5eedull) { reseed(seed); }
+
+    /// Re-initialise the state from a single 64-bit seed via SplitMix64.
+    void reseed(std::uint64_t seed) {
+        std::uint64_t sm = seed;
+        for (auto& s : s_) s = splitmix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+    result_type operator()() {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) {
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = (*this)();
+        __uint128_t m = __uint128_t(x) * __uint128_t(bound);
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = -bound % bound;
+            while (lo < threshold) {
+                x = (*this)();
+                m = __uint128_t(x) * __uint128_t(bound);
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return double((*this)() >> 11) * 0x1.0p-53; }
+
+    /// Bernoulli(p) draw.
+    bool bernoulli(double p) { return uniform() < p; }
+
+    /// 64 independent Bernoulli(2^-k) draws packed into one word:
+    /// the AND of k random words.  k = 0 returns all-ones.
+    /// This is the hardware-friendly approximation of Bernoulli(1/s)
+    /// used by FPGA Tsetlin-Machine trainers (Rahman et al., ISTM'23).
+    std::uint64_t bernoulli_word_pow2(unsigned k) {
+        std::uint64_t w = ~std::uint64_t{0};
+        for (unsigned i = 0; i < k; ++i) w &= (*this)();
+        return w;
+    }
+
+    /// 64 independent Bernoulli(p) draws packed into one word (exact, slow).
+    std::uint64_t bernoulli_word_exact(double p) {
+        std::uint64_t w = 0;
+        for (unsigned b = 0; b < 64; ++b)
+            w |= std::uint64_t(bernoulli(p)) << b;
+        return w;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t s_[4]{};
+};
+
+}  // namespace matador::util

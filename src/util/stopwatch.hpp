@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for flow-stage timing.
+#pragma once
+
+#include <chrono>
+
+namespace matador::util {
+
+/// Simple monotonic stopwatch; starts on construction.
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /// Restart timing from now.
+    void restart() { start_ = clock::now(); }
+
+    /// Elapsed seconds since construction / restart.
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Elapsed milliseconds.
+    double millis() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace matador::util

@@ -1,0 +1,64 @@
+#include "util/string_utils.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace matador::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string format_double(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string with_commas(long long v) {
+    std::string digits = std::to_string(v < 0 ? -v : v);
+    std::string out;
+    int count = 0;
+    for (std::size_t i = digits.size(); i-- > 0;) {
+        out.insert(out.begin(), digits[i]);
+        if (++count % 3 == 0 && i != 0) out.insert(out.begin(), ',');
+    }
+    if (v < 0) out.insert(out.begin(), '-');
+    return out;
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    for (auto& c : out) c = char(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+}  // namespace matador::util

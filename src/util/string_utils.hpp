@@ -1,0 +1,31 @@
+// Small string helpers shared by the RTL writer/parser and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace matador::util {
+
+/// Split `s` on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Join `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style number formatting helpers used by report tables.
+std::string format_double(double v, int precision);
+
+/// Format with thousands separators (e.g. 3846153 -> "3,846,153").
+std::string with_commas(long long v);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+}  // namespace matador::util

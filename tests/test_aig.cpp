@@ -1,0 +1,218 @@
+#include "logic/aig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/aig_simulate.hpp"
+
+namespace {
+
+using namespace matador::logic;
+
+TEST(Aig, ConstantsAndLiterals) {
+    EXPECT_EQ(lit_node(kConst0), 0u);
+    EXPECT_EQ(lit_not(kConst0), kConst1);
+    EXPECT_EQ(make_lit(5, true), 11u);
+    EXPECT_EQ(lit_node(11u), 5u);
+    EXPECT_TRUE(lit_complement(11u));
+}
+
+TEST(Aig, ConstantFolding) {
+    Aig g;
+    const Lit a = g.create_pi();
+    EXPECT_EQ(g.create_and(a, kConst0), kConst0);
+    EXPECT_EQ(g.create_and(a, kConst1), a);
+    EXPECT_EQ(g.create_and(a, a), a);
+    EXPECT_EQ(g.create_and(a, lit_not(a)), kConst0);
+    EXPECT_EQ(g.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashingShares) {
+    Aig g(true);
+    const Lit a = g.create_pi(), b = g.create_pi();
+    const Lit x = g.create_and(a, b);
+    const Lit y = g.create_and(b, a);  // commuted
+    EXPECT_EQ(x, y);
+    EXPECT_EQ(g.num_ands(), 1u);
+}
+
+TEST(Aig, StrashOffDuplicates) {
+    Aig g(false);
+    const Lit a = g.create_pi(), b = g.create_pi();
+    const Lit x = g.create_and(a, b);
+    const Lit y = g.create_and(a, b);
+    EXPECT_NE(x, y);
+    EXPECT_EQ(g.num_ands(), 2u);
+    EXPECT_FALSE(g.strash_enabled());
+}
+
+TEST(Aig, OrAndXorSemantics) {
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi();
+    g.add_po(g.create_or(a, b));
+    g.add_po(g.create_xor(a, b));
+    for (int va = 0; va <= 1; ++va)
+        for (int vb = 0; vb <= 1; ++vb) {
+            const auto out = simulate_single(g, {va == 1, vb == 1});
+            EXPECT_EQ(out[0], va || vb);
+            EXPECT_EQ(out[1], (va ^ vb) == 1);
+        }
+}
+
+TEST(Aig, AndTreeEmptyIsConst1) {
+    Aig g;
+    EXPECT_EQ(g.create_and_tree({}), kConst1);
+}
+
+TEST(Aig, AndTreeBalancedDepth) {
+    Aig g;
+    std::vector<Lit> lits;
+    for (int i = 0; i < 64; ++i) lits.push_back(g.create_pi());
+    g.add_po(g.create_and_tree(lits));
+    EXPECT_EQ(g.depth(), 6u);  // log2(64)
+    EXPECT_EQ(g.num_ands(), 63u);
+}
+
+TEST(Aig, AndTreeComputesConjunction) {
+    Aig g;
+    std::vector<Lit> lits;
+    for (int i = 0; i < 5; ++i) lits.push_back(g.create_pi());
+    g.add_po(g.create_and_tree(lits));
+    for (int pattern = 0; pattern < 32; ++pattern) {
+        std::vector<bool> in;
+        for (int b = 0; b < 5; ++b) in.push_back((pattern >> b) & 1);
+        EXPECT_EQ(simulate_single(g, in)[0], pattern == 31);
+    }
+}
+
+TEST(Aig, LevelsAndDepth) {
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi(), c = g.create_pi();
+    const Lit ab = g.create_and(a, b);
+    const Lit abc = g.create_and(ab, c);
+    g.add_po(abc);
+    const auto lv = g.levels();
+    EXPECT_EQ(lv[lit_node(a)], 0u);
+    EXPECT_EQ(lv[lit_node(ab)], 1u);
+    EXPECT_EQ(lv[lit_node(abc)], 2u);
+    EXPECT_EQ(g.depth(), 2u);
+}
+
+TEST(Aig, ReachableCountExcludesDeadLogic) {
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi(), c = g.create_pi();
+    const Lit live = g.create_and(a, b);
+    g.create_and(b, c);  // dead
+    g.add_po(live);
+    EXPECT_EQ(g.num_ands(), 2u);
+    EXPECT_EQ(g.count_reachable_ands(), 1u);
+}
+
+TEST(Aig, FanoutCounts) {
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi(), c = g.create_pi();
+    const Lit ab = g.create_and(a, b);
+    const Lit abc = g.create_and(ab, c);
+    const Lit abn = g.create_and(ab, lit_not(c));
+    g.add_po(abc);
+    g.add_po(abn);
+    const auto fo = g.fanout_counts();
+    EXPECT_EQ(fo[lit_node(ab)], 2u);
+    EXPECT_EQ(fo[lit_node(a)], 1u);
+    EXPECT_EQ(fo[lit_node(abc)], 1u);
+}
+
+TEST(Simulate, WordParallelMatchesSingle) {
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi(), c = g.create_pi();
+    g.add_po(g.create_or(g.create_and(a, b), g.create_and(lit_not(a), c)));
+    // 8 assignments packed in one word.
+    std::vector<std::uint64_t> patterns = {0xaa, 0xcc, 0xf0};
+    const auto words = simulate(g, patterns);
+    for (int i = 0; i < 8; ++i) {
+        const bool va = (0xaa >> i) & 1, vb = (0xcc >> i) & 1, vc = (0xf0 >> i) & 1;
+        const bool expected = (va && vb) || (!va && vc);
+        EXPECT_EQ((words[0] >> i) & 1u, std::uint64_t(expected));
+    }
+}
+
+TEST(Simulate, PiCountMismatchThrows) {
+    Aig g;
+    g.create_pi();
+    EXPECT_THROW(simulate(g, {}), std::invalid_argument);
+}
+
+TEST(Simulate, ComplementedPo) {
+    Aig g;
+    const Lit a = g.create_pi();
+    g.add_po(lit_not(a));
+    EXPECT_EQ(simulate_single(g, {true})[0], false);
+    EXPECT_EQ(simulate_single(g, {false})[0], true);
+}
+
+TEST(Equivalence, RandomDetectsDifference) {
+    Aig g1, g2;
+    {
+        const Lit a = g1.create_pi(), b = g1.create_pi();
+        g1.add_po(g1.create_and(a, b));
+    }
+    {
+        const Lit a = g2.create_pi(), b = g2.create_pi();
+        g2.add_po(g2.create_or(a, b));
+    }
+    EXPECT_FALSE(random_equivalent(g1, g2, 4, 1));
+}
+
+TEST(Equivalence, StrashAndNoStrashAgree) {
+    // Same function built with and without sharing must be equivalent.
+    auto build = [](bool strash) {
+        Aig g(strash);
+        const Lit a = g.create_pi(), b = g.create_pi(), c = g.create_pi();
+        const Lit ab1 = g.create_and(a, b);
+        const Lit ab2 = g.create_and(a, b);  // duplicate when strash off
+        g.add_po(g.create_and(ab1, c));
+        g.add_po(g.create_and(ab2, lit_not(c)));
+        return g;
+    };
+    const Aig shared = build(true), unshared = build(false);
+    EXPECT_LT(shared.num_ands(), unshared.num_ands());
+    EXPECT_TRUE(random_equivalent(shared, unshared, 8, 2));
+    EXPECT_TRUE(exhaustive_equivalent(shared, unshared));
+}
+
+TEST(Equivalence, ExhaustiveSmall) {
+    Aig g1, g2;
+    {  // a ^ b via xor helper
+        const Lit a = g1.create_pi(), b = g1.create_pi();
+        g1.add_po(g1.create_xor(a, b));
+    }
+    {  // a ^ b via De Morgan hand-expansion
+        const Lit a = g2.create_pi(), b = g2.create_pi();
+        const Lit nand_ab = lit_not(g2.create_and(a, b));
+        const Lit or_ab = g2.create_or(a, b);
+        g2.add_po(g2.create_and(nand_ab, or_ab));
+    }
+    EXPECT_TRUE(exhaustive_equivalent(g1, g2));
+}
+
+TEST(Equivalence, ExhaustiveAboveSixInputs) {
+    // 8 PIs: exercises the sweep-counter path.
+    auto build_and8 = [](bool reverse) {
+        Aig g;
+        std::vector<Lit> pis;
+        for (int i = 0; i < 8; ++i) pis.push_back(g.create_pi());
+        if (reverse) std::reverse(pis.begin(), pis.end());
+        g.add_po(g.create_and_tree(pis));
+        return g;
+    };
+    EXPECT_TRUE(exhaustive_equivalent(build_and8(false), build_and8(true)));
+}
+
+TEST(Equivalence, ShapeMismatchIsNotEquivalent) {
+    Aig g1, g2;
+    g1.create_pi();
+    g2.create_pi();
+    g2.create_pi();
+    EXPECT_FALSE(random_equivalent(g1, g2, 1, 3));
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+#include "logic/aig_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/aig_simulate.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace matador::logic;
+using matador::util::Xoshiro256ss;
+
+Aig random_aig(std::size_t pis, std::size_t ands, std::size_t pos,
+               std::uint64_t seed) {
+    Aig g;
+    Xoshiro256ss rng(seed);
+    std::vector<Lit> pool;
+    for (std::size_t i = 0; i < pis; ++i) pool.push_back(g.create_pi());
+    for (std::size_t i = 0; i < ands; ++i) {
+        Lit a = pool[rng.below(pool.size())];
+        Lit b = pool[rng.below(pool.size())];
+        if (rng.bernoulli(0.4)) a = lit_not(a);
+        if (rng.bernoulli(0.4)) b = lit_not(b);
+        pool.push_back(g.create_and(a, b));
+    }
+    for (std::size_t i = 0; i < pos; ++i)
+        g.add_po(pool[pool.size() - 1 - rng.below(std::min<std::size_t>(pool.size(), 6))]);
+    return g;
+}
+
+TEST(Sweep, RemovesDeadLogic) {
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi(), c = g.create_pi();
+    const Lit live = g.create_and(a, b);
+    g.create_and(b, c);  // dead
+    g.create_and(a, lit_not(c));  // dead
+    g.add_po(live);
+    const Aig s = sweep(g);
+    EXPECT_EQ(s.num_ands(), 1u);
+    EXPECT_EQ(s.num_pis(), 3u);  // dead PIs preserved for port stability
+    EXPECT_TRUE(exhaustive_equivalent(g, s));
+}
+
+TEST(Sweep, PreservesComplementedPos) {
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi();
+    g.add_po(lit_not(g.create_and(a, b)));
+    g.add_po(kConst1);
+    g.add_po(lit_not(a));
+    const Aig s = sweep(g);
+    EXPECT_TRUE(exhaustive_equivalent(g, s));
+}
+
+TEST(Balance, ChainBecomesLogDepth) {
+    Aig g;
+    Lit acc = g.create_pi();
+    for (int i = 0; i < 15; ++i) acc = g.create_and(acc, g.create_pi());
+    g.add_po(acc);
+    EXPECT_EQ(g.depth(), 15u);
+    const Aig b = balance(g);
+    EXPECT_EQ(b.depth(), 4u);  // 16 leaves -> log2
+    EXPECT_TRUE(exhaustive_equivalent(g, b));
+}
+
+TEST(Balance, SharedNodesStaySharedBoundaries) {
+    // A multi-fanout AND must remain a tree boundary, not be duplicated.
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi(), c = g.create_pi(),
+              d = g.create_pi();
+    const Lit shared = g.create_and(a, b);
+    g.add_po(g.create_and(shared, c));
+    g.add_po(g.create_and(shared, d));
+    const Aig bal = balance(g);
+    EXPECT_TRUE(exhaustive_equivalent(g, bal));
+    EXPECT_LE(bal.count_reachable_ands(), 3u);
+}
+
+TEST(Balance, ComplementedEdgesAreBoundaries) {
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi(), c = g.create_pi();
+    const Lit inner = g.create_and(a, b);
+    g.add_po(g.create_and(lit_not(inner), c));  // NAND boundary
+    const Aig bal = balance(g);
+    EXPECT_TRUE(exhaustive_equivalent(g, bal));
+}
+
+class AigOptProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AigOptProperty, SweepPreservesFunction) {
+    const Aig g = random_aig(8, 60, 5, GetParam());
+    const Aig s = sweep(g);
+    EXPECT_TRUE(exhaustive_equivalent(g, s)) << "seed " << GetParam();
+    EXPECT_LE(s.num_ands(), g.num_ands());
+}
+
+TEST_P(AigOptProperty, BalancePreservesFunctionAndNeverDeepens) {
+    const Aig g = random_aig(8, 60, 5, GetParam() * 7 + 1);
+    const Aig b = balance(g);
+    EXPECT_TRUE(exhaustive_equivalent(g, b)) << "seed " << GetParam();
+    EXPECT_LE(b.depth(), g.depth());
+}
+
+TEST_P(AigOptProperty, PassesCompose) {
+    const Aig g = random_aig(8, 40, 4, GetParam() * 13 + 3);
+    const Aig opt = balance(sweep(g));
+    EXPECT_TRUE(exhaustive_equivalent(g, opt)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AigOptProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace

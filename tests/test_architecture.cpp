@@ -1,0 +1,131 @@
+// Tests of the bandwidth-driven architecture equations - these encode the
+// paper's Table I latency/throughput arithmetic, which is the part of the
+// reproduction that must match *exactly*.
+#include "model/architecture.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using matador::model::ArchOptions;
+using matador::model::ArchParams;
+using matador::model::derive_architecture;
+
+ArchParams arch_for(std::size_t bits, std::size_t classes, std::size_t cpc,
+                    double mhz) {
+    ArchOptions o;
+    o.bus_width = 64;
+    o.clock_mhz = mhz;
+    return derive_architecture(bits, classes, cpc, o);
+}
+
+// Table I, MATADOR rows (50 MHz operating point):
+// MNIST-shape: 13 packets -> latency 16 cycles = 0.32us, 3,846,153 inf/s.
+TEST(Architecture, TableI_MnistShape) {
+    const auto a = arch_for(784, 10, 200, 50.0);
+    EXPECT_EQ(a.plan.num_packets(), 13u);
+    EXPECT_EQ(a.class_sum_stages, 1u);
+    EXPECT_EQ(a.argmax_levels, 4u);   // 16-input tree
+    EXPECT_EQ(a.argmax_stages, 2u);
+    EXPECT_EQ(a.latency_cycles(), 16u);
+    EXPECT_NEAR(a.latency_us(), 0.32, 1e-9);
+    EXPECT_NEAR(a.throughput_inf_per_s(), 3846153.0, 1.0);
+}
+
+// KWS6-shape: 377 bits -> 6 packets, latency 9 cycles = 0.18us, 8,333,333 inf/s.
+TEST(Architecture, TableI_Kws6Shape) {
+    const auto a = arch_for(377, 6, 300, 50.0);
+    EXPECT_EQ(a.plan.num_packets(), 6u);
+    EXPECT_EQ(a.argmax_levels, 3u);  // 8-input tree
+    EXPECT_EQ(a.argmax_stages, 2u);
+    EXPECT_EQ(a.class_sum_stages, 1u);
+    EXPECT_EQ(a.latency_cycles(), 9u);
+    EXPECT_NEAR(a.latency_us(), 0.18, 1e-9);
+    EXPECT_NEAR(a.throughput_inf_per_s(), 8333333.0, 1.0);
+}
+
+// CIFAR-2-shape: 1024 bits -> 16 packets, 1000 clauses/class deepens the
+// class-sum tree to 2 stages; 2 classes shrink argmax to 1 stage.
+// Latency 19 cycles = 0.38us, 3,125,000 inf/s.
+TEST(Architecture, TableI_Cifar2Shape) {
+    const auto a = arch_for(1024, 2, 1000, 50.0);
+    EXPECT_EQ(a.plan.num_packets(), 16u);
+    EXPECT_EQ(a.class_sum_stages, 2u);
+    EXPECT_EQ(a.argmax_levels, 1u);
+    EXPECT_EQ(a.argmax_stages, 1u);
+    EXPECT_EQ(a.latency_cycles(), 19u);
+    EXPECT_NEAR(a.latency_us(), 0.38, 1e-9);
+    EXPECT_NEAR(a.throughput_inf_per_s(), 3125000.0, 1.0);
+}
+
+// FMNIST / KMNIST shape: 784 bits, 500 clauses/class -> same 16-cycle
+// latency and 3.846M inf/s as MNIST.
+TEST(Architecture, TableI_FmnistKmnistShape) {
+    const auto a = arch_for(784, 10, 500, 50.0);
+    EXPECT_EQ(a.plan.num_packets(), 13u);
+    EXPECT_EQ(a.class_sum_stages, 1u);
+    EXPECT_EQ(a.argmax_stages, 2u);
+    EXPECT_EQ(a.latency_cycles(), 16u);
+    EXPECT_NEAR(a.latency_us(), 0.32, 1e-9);
+    EXPECT_NEAR(a.throughput_inf_per_s(), 3846153.0, 1.0);
+}
+
+TEST(Architecture, ThroughputIsBandwidthDriven) {
+    // II == packet count: throughput scales with the channel, not the model.
+    for (std::size_t cpc : {50u, 200u, 1000u}) {
+        const auto a = arch_for(784, 10, cpc, 50.0);
+        EXPECT_EQ(a.initiation_interval(), 13u);
+    }
+    const auto wide = arch_for(784, 10, 200, 50.0);
+    ArchOptions narrow_opts;
+    narrow_opts.bus_width = 32;
+    narrow_opts.clock_mhz = 50.0;
+    const auto narrow = derive_architecture(784, 10, 200, narrow_opts);
+    EXPECT_EQ(narrow.plan.num_packets(), 25u);
+    EXPECT_LT(narrow.throughput_inf_per_s(), wide.throughput_inf_per_s());
+}
+
+TEST(Architecture, SumWidthCoversVoteRange) {
+    const auto a = arch_for(64, 2, 100, 50.0);
+    // sums lie in [-100, 100]: need 8 bits signed.
+    EXPECT_GE(a.sum_width, 8u);
+    const auto b = arch_for(64, 2, 1000, 50.0);
+    EXPECT_GE(b.sum_width, 11u);
+}
+
+TEST(Architecture, TwoClassesHaveOneLevelArgmax) {
+    const auto a = arch_for(64, 2, 10, 50.0);
+    EXPECT_EQ(a.argmax_levels, 1u);
+    EXPECT_EQ(a.argmax_stages, 1u);
+}
+
+TEST(Architecture, SingleClassDegenerate) {
+    const auto a = arch_for(64, 1, 10, 50.0);
+    EXPECT_EQ(a.argmax_levels, 1u);  // clamped minimum
+    EXPECT_GE(a.latency_cycles(), a.plan.num_packets() + 2u);
+}
+
+TEST(Architecture, ClockScalesLatencyNotCycles) {
+    const auto a50 = arch_for(784, 10, 200, 50.0);
+    const auto a65 = arch_for(784, 10, 200, 65.0);
+    EXPECT_EQ(a50.latency_cycles(), a65.latency_cycles());
+    EXPECT_GT(a50.latency_us(), a65.latency_us());
+    EXPECT_LT(a50.throughput_inf_per_s(), a65.throughput_inf_per_s());
+}
+
+TEST(Architecture, RejectsZeroLevelOptions) {
+    ArchOptions o;
+    o.argmax_levels_per_stage = 0;
+    EXPECT_THROW(derive_architecture(64, 2, 10, o), std::invalid_argument);
+}
+
+TEST(Architecture, FromModelMatchesShapeOverload) {
+    matador::model::TrainedModel m(784, 10, 200);
+    ArchOptions o;
+    const auto a = derive_architecture(m, o);
+    const auto b = derive_architecture(784, 10, 200, o);
+    EXPECT_EQ(a.latency_cycles(), b.latency_cycles());
+    EXPECT_EQ(a.plan.num_packets(), b.plan.num_packets());
+}
+
+}  // namespace

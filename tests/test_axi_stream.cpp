@@ -1,0 +1,91 @@
+#include "sim/axi_stream.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using matador::sim::AxiStreamChannel;
+using matador::sim::StreamBeat;
+using matador::sim::StreamDriver;
+
+TEST(AxiStreamChannel, SingleBeatInFlight) {
+    AxiStreamChannel ch;
+    EXPECT_FALSE(ch.valid());
+    EXPECT_TRUE(ch.offer({0xAB, false}));
+    EXPECT_TRUE(ch.valid());
+    // Second offer in the same cycle must be refused.
+    EXPECT_FALSE(ch.offer({0xCD, false}));
+    EXPECT_EQ(ch.beat().tdata, 0xABu);
+    ch.consume();
+    EXPECT_FALSE(ch.valid());
+    EXPECT_TRUE(ch.offer({0xCD, true}));
+    EXPECT_TRUE(ch.beat().tlast);
+}
+
+TEST(AxiStreamChannel, BackpressureBlocksOffer) {
+    AxiStreamChannel ch;
+    ch.set_ready(false);
+    EXPECT_FALSE(ch.offer({1, false}));
+    EXPECT_FALSE(ch.valid());
+    ch.set_ready(true);
+    EXPECT_TRUE(ch.offer({1, false}));
+}
+
+TEST(AxiStreamChannel, TransferCounter) {
+    AxiStreamChannel ch;
+    EXPECT_EQ(ch.beats_transferred(), 0u);
+    ch.count_transfer();
+    ch.count_transfer();
+    EXPECT_EQ(ch.beats_transferred(), 2u);
+}
+
+TEST(StreamDriver, EnqueueMarksLastBeat) {
+    StreamDriver d;
+    d.enqueue_datapoint({10, 20, 30});
+    EXPECT_EQ(d.pending_beats(), 3u);
+    AxiStreamChannel ch;
+
+    d.step(ch);
+    EXPECT_EQ(ch.beat().tdata, 10u);
+    EXPECT_FALSE(ch.beat().tlast);
+    ch.consume();
+    d.step(ch);
+    ch.consume();
+    d.step(ch);
+    EXPECT_EQ(ch.beat().tdata, 30u);
+    EXPECT_TRUE(ch.beat().tlast);
+    ch.consume();
+    EXPECT_TRUE(d.exhausted());
+}
+
+TEST(StreamDriver, HoldsBeatUntilAccepted) {
+    StreamDriver d;
+    d.enqueue_datapoint({7});
+    AxiStreamChannel ch;
+    ch.set_ready(false);
+    d.step(ch);  // refused
+    EXPECT_EQ(d.pending_beats(), 1u);
+    ch.set_ready(true);
+    d.step(ch);
+    EXPECT_TRUE(ch.valid());
+    EXPECT_TRUE(d.exhausted());
+}
+
+TEST(StreamDriver, MultipleDatapointsKeepBoundaries) {
+    StreamDriver d;
+    d.enqueue_datapoint({1, 2});
+    d.enqueue_datapoint({3, 4});
+    AxiStreamChannel ch;
+    bool lasts[4];
+    for (int i = 0; i < 4; ++i) {
+        d.step(ch);
+        lasts[i] = ch.beat().tlast;
+        ch.consume();
+    }
+    EXPECT_FALSE(lasts[0]);
+    EXPECT_TRUE(lasts[1]);
+    EXPECT_FALSE(lasts[2]);
+    EXPECT_TRUE(lasts[3]);
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+#include "util/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using matador::util::BitVector;
+using matador::util::Xoshiro256ss;
+
+TEST(BitVector, DefaultIsEmpty) {
+    BitVector v;
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_TRUE(v.empty());
+    EXPECT_TRUE(v.none());
+    EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVector, ConstructedZeroed) {
+    BitVector v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_EQ(v.word_count(), 3u);
+    EXPECT_TRUE(v.none());
+    for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVector, SetGetClear) {
+    BitVector v(100);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(99);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(63));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(99));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.count(), 4u);
+    v.clear(63);
+    EXPECT_FALSE(v.get(63));
+    EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVector, FillRespectsTailInvariant) {
+    BitVector v(70);
+    v.fill(true);
+    EXPECT_EQ(v.count(), 70u);  // not 128
+    v.flip();
+    EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVector, FlipIsInvolution) {
+    BitVector v(77);
+    v.set(3);
+    v.set(76);
+    BitVector orig = v;
+    v.flip();
+    EXPECT_EQ(v.count(), 75u);
+    v.flip();
+    EXPECT_EQ(v, orig);
+}
+
+TEST(BitVector, FromStringRoundTrip) {
+    const std::string s = "0110001011";
+    BitVector v = BitVector::from_string(s);
+    EXPECT_EQ(v.size(), s.size());
+    EXPECT_EQ(v.to_string(), s);
+    EXPECT_EQ(v.count(), 5u);
+}
+
+TEST(BitVector, FromStringRejectsGarbage) {
+    EXPECT_THROW(BitVector::from_string("01x"), std::invalid_argument);
+}
+
+TEST(BitVector, LogicOps) {
+    BitVector a = BitVector::from_string("1100");
+    BitVector b = BitVector::from_string("1010");
+    EXPECT_EQ((a & b).to_string(), "1000");
+    EXPECT_EQ((a | b).to_string(), "1110");
+    EXPECT_EQ((a ^ b).to_string(), "0110");
+    EXPECT_EQ((~a).to_string(), "0011");
+    BitVector c = a;
+    c.and_not(b);
+    EXPECT_EQ(c.to_string(), "0100");
+}
+
+TEST(BitVector, SubsetAndIntersect) {
+    BitVector a = BitVector::from_string("1100");
+    BitVector b = BitVector::from_string("1110");
+    EXPECT_TRUE(a.is_subset_of(b));
+    EXPECT_FALSE(b.is_subset_of(a));
+    EXPECT_TRUE(a.is_subset_of(a));
+    EXPECT_TRUE(a.intersects(b));
+    BitVector z(4);
+    EXPECT_TRUE(z.is_subset_of(a));
+    EXPECT_FALSE(z.intersects(a));
+}
+
+TEST(BitVector, FindFirstNextLast) {
+    BitVector v(200);
+    EXPECT_EQ(v.find_first(), 200u);
+    EXPECT_EQ(v.find_last(), 200u);
+    v.set(5);
+    v.set(64);
+    v.set(190);
+    EXPECT_EQ(v.find_first(), 5u);
+    EXPECT_EQ(v.find_next(5), 64u);
+    EXPECT_EQ(v.find_next(64), 190u);
+    EXPECT_EQ(v.find_next(190), 200u);
+    EXPECT_EQ(v.find_last(), 190u);
+}
+
+TEST(BitVector, SetBitsEnumeration) {
+    BitVector v(130);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(129);
+    const auto bits = v.set_bits();
+    ASSERT_EQ(bits.size(), 4u);
+    EXPECT_EQ(bits[0], 0u);
+    EXPECT_EQ(bits[1], 63u);
+    EXPECT_EQ(bits[2], 64u);
+    EXPECT_EQ(bits[3], 129u);
+}
+
+TEST(BitVector, HammingDistance) {
+    BitVector a = BitVector::from_string("10101");
+    BitVector b = BitVector::from_string("00111");
+    EXPECT_EQ(a.hamming_distance(b), 2u);
+    EXPECT_EQ(a.hamming_distance(a), 0u);
+}
+
+TEST(BitVector, Slice) {
+    BitVector v = BitVector::from_string("0011010011");
+    EXPECT_EQ(v.slice(2, 7).to_string(), "11010");
+    EXPECT_EQ(v.slice(0, 10), v);
+    EXPECT_EQ(v.slice(3, 3).size(), 0u);
+}
+
+TEST(BitVector, SliceAcrossWordBoundary) {
+    BitVector v(200);
+    v.set(60);
+    v.set(70);
+    const auto s = v.slice(58, 75);
+    EXPECT_EQ(s.size(), 17u);
+    EXPECT_TRUE(s.get(2));
+    EXPECT_TRUE(s.get(12));
+    EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(BitVector, Append) {
+    BitVector a = BitVector::from_string("101");
+    BitVector b = BitVector::from_string("0110");
+    a.append(b);
+    EXPECT_EQ(a.to_string(), "1010110");
+}
+
+TEST(BitVector, HashDistinguishesContentAndSize) {
+    BitVector a(64), b(64), c(65);
+    b.set(1);
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_NE(a.hash(), c.hash());
+    BitVector a2(64);
+    EXPECT_EQ(a.hash(), a2.hash());
+}
+
+TEST(BitVector, SetWordMasksTail) {
+    BitVector v(66);
+    v.set_word(1, ~std::uint64_t{0});
+    EXPECT_EQ(v.count(), 2u);  // only bits 64, 65 survive
+}
+
+TEST(BitVector, DensityAndAny) {
+    BitVector v(10);
+    EXPECT_DOUBLE_EQ(v.density(), 0.0);
+    EXPECT_FALSE(v.any());
+    v.set(0);
+    v.set(9);
+    EXPECT_DOUBLE_EQ(v.density(), 0.2);
+    EXPECT_TRUE(v.any());
+}
+
+// Property sweep: logic identities hold on random vectors of many sizes.
+class BitVectorProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorProperty, DeMorganAndInvolution) {
+    const std::size_t n = GetParam();
+    Xoshiro256ss rng(n * 977 + 1);
+    BitVector a(n), b(n);
+    for (std::size_t w = 0; w < a.word_count(); ++w) {
+        a.set_word(w, rng());
+        b.set_word(w, rng());
+    }
+    EXPECT_EQ(~(a & b), (~a | ~b));
+    EXPECT_EQ(~(a | b), (~a & ~b));
+    EXPECT_EQ(~~a, a);
+    EXPECT_EQ((a ^ b) ^ b, a);
+}
+
+TEST_P(BitVectorProperty, CountConsistency) {
+    const std::size_t n = GetParam();
+    Xoshiro256ss rng(n * 1231 + 7);
+    BitVector a(n);
+    for (std::size_t w = 0; w < a.word_count(); ++w) a.set_word(w, rng());
+    EXPECT_EQ(a.count() + (~a).count(), n);
+    EXPECT_EQ(a.set_bits().size(), a.count());
+    // find_first/find_next enumerate exactly set_bits().
+    std::vector<std::size_t> iterated;
+    for (std::size_t i = a.find_first(); i < n; i = a.find_next(i))
+        iterated.push_back(i);
+    EXPECT_EQ(iterated, a.set_bits());
+}
+
+TEST_P(BitVectorProperty, SubsetAfterIntersection) {
+    const std::size_t n = GetParam();
+    Xoshiro256ss rng(n * 31 + 5);
+    BitVector a(n), b(n);
+    for (std::size_t w = 0; w < a.word_count(); ++w) {
+        a.set_word(w, rng());
+        b.set_word(w, rng());
+    }
+    EXPECT_TRUE((a & b).is_subset_of(a));
+    EXPECT_TRUE((a & b).is_subset_of(b));
+    EXPECT_TRUE(a.is_subset_of(a | b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorProperty,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128, 129, 384,
+                                           777, 1024));
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include "data/booleanizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using matador::data::QuantileBooleanizer;
+using matador::data::ThermometerBooleanizer;
+using matador::data::ThresholdBooleanizer;
+
+TEST(Threshold, EncodesAgainstThreshold) {
+    ThresholdBooleanizer b(0.5);
+    const auto v = b.encode({0.0, 0.5, 0.49, 1.0});
+    EXPECT_EQ(v.to_string(), "0101");
+    EXPECT_EQ(b.output_bits(4), 4u);
+}
+
+TEST(Thermometer, MonotoneUnaryCode) {
+    ThermometerBooleanizer b(4, 0.0, 1.0);
+    // thresholds at 0.2, 0.4, 0.6, 0.8
+    const auto v = b.encode({0.5});
+    EXPECT_EQ(v.to_string(), "1100");
+    const auto lo = b.encode({0.0});
+    EXPECT_EQ(lo.count(), 0u);
+    const auto hi = b.encode({1.0});
+    EXPECT_EQ(hi.count(), 4u);
+}
+
+TEST(Thermometer, UnaryPrefixProperty) {
+    ThermometerBooleanizer b(8, -1.0, 1.0);
+    for (double x : {-1.0, -0.3, 0.0, 0.42, 0.99, 1.0}) {
+        const auto v = b.encode({x});
+        // A thermometer code never has a 1 after a 0.
+        bool seen_zero = false;
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (!v.get(i)) seen_zero = true;
+            else EXPECT_FALSE(seen_zero) << "non-unary code for x=" << x;
+        }
+    }
+}
+
+TEST(Thermometer, MultiFeatureLayout) {
+    ThermometerBooleanizer b(2, 0.0, 1.0);
+    const auto v = b.encode({1.0, 0.0});
+    // feature 0 occupies bits [0,2), feature 1 bits [2,4)
+    EXPECT_EQ(v.to_string(), "1100");
+    EXPECT_EQ(b.output_bits(2), 4u);
+}
+
+TEST(Thermometer, RejectsBadParams) {
+    EXPECT_THROW(ThermometerBooleanizer(0, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(ThermometerBooleanizer(4, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Quantile, RequiresFit) {
+    QuantileBooleanizer b(3);
+    EXPECT_FALSE(b.fitted());
+    EXPECT_THROW(b.encode({1.0}), std::runtime_error);
+}
+
+TEST(Quantile, FitsPerFeatureThresholds) {
+    QuantileBooleanizer b(1);  // median split
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 100; ++i)
+        rows.push_back({double(i), double(100 - i) * 10.0});
+    b.fit(rows);
+    ASSERT_TRUE(b.fitted());
+    EXPECT_EQ(b.thresholds().size(), 2u);
+    // Median of feature 0 is ~49.5; values straddle it.
+    EXPECT_FALSE(b.encode({10.0, 500.0}).get(0));
+    EXPECT_TRUE(b.encode({90.0, 500.0}).get(0));
+}
+
+TEST(Quantile, BalancedOutputDensity) {
+    QuantileBooleanizer b(3);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 1000; ++i) rows.push_back({double(i % 97)});
+    b.fit(rows);
+    std::size_t ones = 0;
+    for (int i = 0; i < 97; ++i) ones += b.encode({double(i)}).count();
+    // 3 quantile thresholds split mass ~ evenly: average ~1.5 bits set.
+    EXPECT_NEAR(double(ones) / 97.0, 1.5, 0.3);
+}
+
+TEST(Quantile, RejectsRaggedRows) {
+    QuantileBooleanizer b(2);
+    EXPECT_THROW(b.fit({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+    EXPECT_THROW(b.fit({}), std::invalid_argument);
+}
+
+TEST(Quantile, EncodeRejectsWrongWidth) {
+    QuantileBooleanizer b(2);
+    b.fit({{1.0}, {2.0}, {3.0}});
+    EXPECT_THROW(b.encode({1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+#include "model/clause_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace matador::model;
+
+TEST(ClauseSchedule, TracksActivePacketRange) {
+    TrainedModel m(200, 1, 4);  // 200 bits / 64 -> 4 packets
+    // clause 0: includes in packets 0 and 2.
+    m.clause(0, 0).include_pos.set(3);
+    m.clause(0, 0).include_neg.set(140);
+    // clause 1: single include in packet 3.
+    m.clause(0, 1).include_pos.set(199);
+    // clause 2: empty.
+    // clause 3: includes only in packet 1.
+    m.clause(0, 3).include_neg.set(70);
+
+    const auto s = schedule_clauses(m, PacketPlan(200, 64));
+    ASSERT_EQ(s.live_clauses.size(), 3u);
+    EXPECT_EQ(s.first_active_packet[0], 0u);
+    EXPECT_EQ(s.last_active_packet[0], 2u);
+    EXPECT_EQ(s.first_active_packet[1], 3u);
+    EXPECT_EQ(s.last_active_packet[1], 3u);
+    EXPECT_EQ(s.first_active_packet[2], SIZE_MAX);
+    EXPECT_EQ(s.last_active_packet[2], SIZE_MAX);
+    EXPECT_EQ(s.first_active_packet[3], 1u);
+    EXPECT_EQ(s.last_active_packet[3], 1u);
+}
+
+TEST(ClauseSchedule, ChainRegisterCount) {
+    TrainedModel m(200, 1, 4);
+    m.clause(0, 0).include_pos.set(3);
+    m.clause(0, 0).include_neg.set(140);  // last active packet 2 -> 3 regs
+    m.clause(0, 1).include_pos.set(199);  // last active packet 3 -> 4 regs
+    m.clause(0, 3).include_neg.set(70);   // last active packet 1 -> 2 regs
+    const auto s = schedule_clauses(m, PacketPlan(200, 64));
+    EXPECT_EQ(s.chain_register_count(), 3u + 4u + 2u);
+}
+
+TEST(ClauseSchedule, NegatedIncludesCountTowardRange) {
+    TrainedModel m(130, 1, 2);
+    m.clause(0, 0).include_neg.set(129);  // packet 2 only
+    const auto s = schedule_clauses(m, PacketPlan(130, 64));
+    EXPECT_EQ(s.first_active_packet[0], 2u);
+    EXPECT_EQ(s.last_active_packet[0], 2u);
+}
+
+TEST(ClauseSchedule, LiveClausesAreClassMajorOrdered) {
+    TrainedModel m(64, 3, 2);
+    m.clause(2, 1).include_pos.set(0);
+    m.clause(0, 1).include_pos.set(1);
+    m.clause(1, 0).include_pos.set(2);
+    const auto s = schedule_clauses(m, PacketPlan(64, 64));
+    ASSERT_EQ(s.live_clauses.size(), 3u);
+    EXPECT_EQ(s.live_clauses[0], 1u);  // class 0 clause 1
+    EXPECT_EQ(s.live_clauses[1], 2u);  // class 1 clause 0
+    EXPECT_EQ(s.live_clauses[2], 5u);  // class 2 clause 1
+}
+
+TEST(ClauseSchedule, EmptyModelHasNoLiveClauses) {
+    TrainedModel m(64, 2, 4);
+    const auto s = schedule_clauses(m, PacketPlan(64, 64));
+    EXPECT_TRUE(s.live_clauses.empty());
+    EXPECT_EQ(s.chain_register_count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+#include "core/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace matador::core;
+
+TEST(ConfigIo, ApplyKnownKeys) {
+    FlowConfig cfg;
+    EXPECT_TRUE(apply_flow_option(cfg, "clauses_per_class", "250"));
+    EXPECT_EQ(cfg.tm.clauses_per_class, 250u);
+    EXPECT_TRUE(apply_flow_option(cfg, "threshold", "30"));
+    EXPECT_EQ(cfg.tm.threshold, 30);
+    EXPECT_TRUE(apply_flow_option(cfg, "specificity", "2.75"));
+    EXPECT_DOUBLE_EQ(cfg.tm.specificity, 2.75);
+    EXPECT_TRUE(apply_flow_option(cfg, "feedback", "exact"));
+    EXPECT_EQ(cfg.tm.feedback, matador::tm::FeedbackMode::kExact);
+    EXPECT_TRUE(apply_flow_option(cfg, "bus_width", "32"));
+    EXPECT_EQ(cfg.arch.bus_width, 32u);
+    EXPECT_TRUE(apply_flow_option(cfg, "device", "z7045"));
+    EXPECT_EQ(cfg.device, "z7045");
+    EXPECT_TRUE(apply_flow_option(cfg, "strash", "off"));
+    EXPECT_FALSE(cfg.strash);
+    EXPECT_TRUE(apply_flow_option(cfg, "rtl_output_dir", "/tmp/x"));
+    EXPECT_EQ(cfg.rtl_output_dir, "/tmp/x");
+}
+
+TEST(ConfigIo, ClockZeroMeansAuto) {
+    FlowConfig cfg;
+    EXPECT_TRUE(apply_flow_option(cfg, "clock_mhz", "100"));
+    EXPECT_FALSE(cfg.auto_frequency);
+    EXPECT_DOUBLE_EQ(cfg.arch.clock_mhz, 100.0);
+    EXPECT_TRUE(apply_flow_option(cfg, "clock_mhz", "0"));
+    EXPECT_TRUE(cfg.auto_frequency);
+}
+
+TEST(ConfigIo, UnknownKeyReturnsFalse) {
+    FlowConfig cfg;
+    EXPECT_FALSE(apply_flow_option(cfg, "frobnicate", "1"));
+}
+
+TEST(ConfigIo, BadValuesThrow) {
+    FlowConfig cfg;
+    EXPECT_THROW(apply_flow_option(cfg, "clauses_per_class", "many"),
+                 std::invalid_argument);
+    EXPECT_THROW(apply_flow_option(cfg, "strash", "maybe"), std::invalid_argument);
+    EXPECT_THROW(apply_flow_option(cfg, "feedback", "psychic"),
+                 std::invalid_argument);
+}
+
+TEST(ConfigIo, LoadWithCommentsAndSpacing) {
+    std::istringstream in(
+        "# a comment\n"
+        "clauses_per_class = 64   # trailing comment\n"
+        "\n"
+        "  epochs=3\n");
+    const FlowConfig cfg = load_flow_config(in);
+    EXPECT_EQ(cfg.tm.clauses_per_class, 64u);
+    EXPECT_EQ(cfg.epochs, 3u);
+}
+
+TEST(ConfigIo, LoadRejectsUnknownKeyWithLineNumber) {
+    std::istringstream in("epochs = 3\nbogus = 1\n");
+    try {
+        load_flow_config(in);
+        FAIL();
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(ConfigIo, LoadRejectsMissingEquals) {
+    std::istringstream in("epochs 3\n");
+    EXPECT_THROW(load_flow_config(in), std::runtime_error);
+}
+
+TEST(ConfigIo, SaveLoadRoundTrip) {
+    FlowConfig cfg;
+    cfg.tm.clauses_per_class = 77;
+    cfg.tm.threshold = 13;
+    cfg.tm.specificity = 3.25;
+    cfg.tm.feedback = matador::tm::FeedbackMode::kExact;
+    cfg.epochs = 9;
+    cfg.arch.bus_width = 16;
+    cfg.auto_frequency = false;
+    cfg.arch.clock_mhz = 55.0;
+    cfg.device = "z7045";
+    cfg.strash = false;
+    cfg.verify_vectors = 5;
+    cfg.sim_datapoints = 6;
+    cfg.rtl_output_dir = "/tmp/out";
+    cfg.skip_rtl_verification = true;
+
+    std::stringstream ss;
+    save_flow_config(cfg, ss);
+    const FlowConfig back = load_flow_config(ss);
+
+    EXPECT_EQ(back.tm.clauses_per_class, 77u);
+    EXPECT_EQ(back.tm.threshold, 13);
+    EXPECT_DOUBLE_EQ(back.tm.specificity, 3.25);
+    EXPECT_EQ(back.tm.feedback, matador::tm::FeedbackMode::kExact);
+    EXPECT_EQ(back.epochs, 9u);
+    EXPECT_EQ(back.arch.bus_width, 16u);
+    EXPECT_FALSE(back.auto_frequency);
+    EXPECT_DOUBLE_EQ(back.arch.clock_mhz, 55.0);
+    EXPECT_EQ(back.device, "z7045");
+    EXPECT_FALSE(back.strash);
+    EXPECT_EQ(back.verify_vectors, 5u);
+    EXPECT_EQ(back.sim_datapoints, 6u);
+    EXPECT_EQ(back.rtl_output_dir, "/tmp/out");
+    EXPECT_TRUE(back.skip_rtl_verification);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+#include "cost/device.hpp"
+#include "cost/power_model.hpp"
+#include "cost/resource_model.hpp"
+#include "cost/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/architecture.hpp"
+#include "model/clause_schedule.hpp"
+
+namespace {
+
+using namespace matador::cost;
+using matador::model::ArchOptions;
+using matador::model::PacketPlan;
+using matador::model::TrainedModel;
+using matador::model::derive_architecture;
+using matador::model::schedule_clauses;
+
+TEST(Device, KnownParts) {
+    const auto z20 = device_z7020();
+    EXPECT_EQ(z20.luts, 53200u);
+    EXPECT_EQ(z20.registers, 106400u);
+    const auto z45 = device_z7045();
+    EXPECT_GT(z45.luts, z20.luts);
+    EXPECT_EQ(device_by_name("z7020").name, "xc7z020");
+    EXPECT_EQ(device_by_name("xc7z045").name, "xc7z045");
+    EXPECT_THROW(device_by_name("virtex9000"), std::invalid_argument);
+}
+
+MatadorResourceInputs demo_inputs(std::size_t includes_per_clause) {
+    TrainedModel m(784, 10, 20);
+    for (std::size_t c = 0; c < 10; ++c)
+        for (std::size_t j = 0; j < 20; ++j)
+            for (std::size_t k = 0; k < includes_per_clause; ++k)
+                m.clause(c, j).include_pos.set((c * 97 + j * 31 + k * 53) % 784);
+    MatadorResourceInputs in;
+    in.arch = derive_architecture(m, ArchOptions{});
+    in.schedule = schedule_clauses(m, in.arch.plan);
+    in.hcb_mapped_luts = 700;
+    return in;
+}
+
+TEST(ResourceModel, BramStaysAtDmaConstant) {
+    const auto r = estimate_matador_resources(demo_inputs(5));
+    EXPECT_DOUBLE_EQ(r.bram36, 3.0);  // the paper's headline: no model BRAM
+}
+
+TEST(ResourceModel, LutsIncludeMappedHcbLogic) {
+    auto in = demo_inputs(5);
+    const auto base = estimate_matador_resources(in);
+    in.hcb_mapped_luts += 1000;
+    const auto more = estimate_matador_resources(in);
+    EXPECT_EQ(more.lut_logic - base.lut_logic, 1000u);
+    EXPECT_EQ(more.luts, more.lut_logic + more.lut_mem);
+}
+
+TEST(ResourceModel, RegistersTrackChainSchedule) {
+    const auto sparse = estimate_matador_resources(demo_inputs(2));
+    const auto dense = estimate_matador_resources(demo_inputs(12));
+    // Denser models keep clauses alive through more HCBs -> more registers.
+    EXPECT_GT(dense.registers, sparse.registers);
+}
+
+TEST(ResourceModel, MuxesSmallAndConstant) {
+    const auto r = estimate_matador_resources(demo_inputs(5));
+    EXPECT_EQ(r.f7_mux, 5u);
+    EXPECT_EQ(r.f8_mux, 0u);
+    EXPECT_GT(r.slices, 0u);
+}
+
+TEST(PowerModel, Decomposition) {
+    ResourceReport res;
+    res.luts = 8000;
+    res.registers = 16000;
+    res.bram36 = 3.0;
+    const auto p = estimate_power(res, device_z7020(), 50.0);
+    EXPECT_NEAR(p.total_w, p.dynamic_w + p.static_w, 1e-12);
+    EXPECT_NEAR(p.dynamic_w, p.ps_dynamic_w + p.fabric_dynamic_w, 1e-12);
+    EXPECT_GT(p.ps_dynamic_w, 1.0);  // ARM PS dominates, as in Table I
+    EXPECT_LT(p.fabric_dynamic_w, 0.3);
+}
+
+TEST(PowerModel, ScalesWithClockAndResources) {
+    ResourceReport small;
+    small.luts = 4000;
+    small.registers = 8000;
+    small.bram36 = 3;
+    ResourceReport big = small;
+    big.luts = 40000;
+    big.registers = 50000;
+    big.bram36 = 130;
+    const auto dev = device_z7020();
+    EXPECT_LT(estimate_power(small, dev, 50).total_w,
+              estimate_power(small, dev, 100).total_w);
+    EXPECT_LT(estimate_power(small, dev, 100).total_w,
+              estimate_power(big, dev, 100).total_w);
+}
+
+TEST(PowerModel, TableIRegime) {
+    // MATADOR MNIST-like occupancy at 50 MHz lands near the paper's 1.4 W
+    // total / 1.3 W dynamic; FINN-like occupancy at 100 MHz lands higher.
+    ResourceReport matador;
+    matador.luts = 8709;
+    matador.registers = 17440;
+    matador.bram36 = 3;
+    const auto pm = estimate_power(matador, device_z7020(), 50.0);
+    EXPECT_NEAR(pm.total_w, 1.43, 0.08);
+    EXPECT_NEAR(pm.dynamic_w, 1.29, 0.08);
+
+    ResourceReport finn;
+    finn.luts = 11622;
+    finn.registers = 17990;
+    finn.bram36 = 14.5;
+    const auto pf = estimate_power(finn, device_z7020(), 100.0);
+    EXPECT_GT(pf.total_w, pm.total_w);
+    EXPECT_NEAR(pf.total_w, 1.6, 0.12);
+}
+
+TEST(TimingModel, FanoutSlowsTheDesign) {
+    const auto light = estimate_timing(4, 8);
+    const auto heavy = estimate_timing(4, 800);
+    EXPECT_GT(heavy.critical_path_ns, light.critical_path_ns);
+    EXPECT_LT(heavy.fmax_estimate_mhz, light.fmax_estimate_mhz);
+}
+
+TEST(TimingModel, DepthSlowsTheDesign) {
+    EXPECT_GT(estimate_timing(8, 100).critical_path_ns,
+              estimate_timing(2, 100).critical_path_ns);
+}
+
+TEST(TimingModel, RecommendationStaysInPaperBand) {
+    for (unsigned depth : {1u, 3u, 6u, 12u})
+        for (std::size_t fo : {1u, 100u, 2000u}) {
+            const auto t = estimate_timing(depth, fo);
+            EXPECT_GE(t.recommended_mhz, 50.0);
+            EXPECT_LE(t.recommended_mhz, 65.0);
+        }
+}
+
+TEST(TimingModel, ZeroInputsClamped) {
+    const auto t = estimate_timing(0, 0);
+    EXPECT_GT(t.critical_path_ns, 0.0);
+    EXPECT_GT(t.recommended_mhz, 0.0);
+}
+
+}  // namespace

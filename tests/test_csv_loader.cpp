@@ -1,0 +1,111 @@
+#include "data/csv_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace matador::data;
+
+TEST(CsvLoader, BasicLabelFirst) {
+    std::istringstream in("1,0.5,0.25\n0,0.75,1.0\n");
+    const auto raw = load_csv(in);
+    EXPECT_EQ(raw.num_features, 2u);
+    ASSERT_EQ(raw.size(), 2u);
+    EXPECT_EQ(raw.labels[0], 1u);
+    EXPECT_DOUBLE_EQ(raw.rows[0][0], 0.5);
+    EXPECT_DOUBLE_EQ(raw.rows[1][1], 1.0);
+}
+
+TEST(CsvLoader, HeaderSkipped) {
+    std::istringstream in("label,f0,f1\n2,1,2\n");
+    CsvOptions o;
+    o.has_header = true;
+    const auto raw = load_csv(in, o);
+    ASSERT_EQ(raw.size(), 1u);
+    EXPECT_EQ(raw.labels[0], 2u);
+}
+
+TEST(CsvLoader, LabelLastColumn) {
+    std::istringstream in("0.1,0.2,3\n");
+    CsvOptions o;
+    o.label_column = -1;
+    const auto raw = load_csv(in, o);
+    EXPECT_EQ(raw.labels[0], 3u);
+    EXPECT_EQ(raw.num_features, 2u);
+    EXPECT_DOUBLE_EQ(raw.rows[0][0], 0.1);
+}
+
+TEST(CsvLoader, CustomDelimiterAndBlankLines) {
+    std::istringstream in("1;2;3\n\n0;4;5\n");
+    CsvOptions o;
+    o.delimiter = ';';
+    const auto raw = load_csv(in, o);
+    EXPECT_EQ(raw.size(), 2u);
+}
+
+TEST(CsvLoader, ErrorsCarryLineNumbers) {
+    std::istringstream ragged("1,2,3\n0,4\n");
+    try {
+        load_csv(ragged);
+        FAIL();
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(CsvLoader, RejectsNonNumeric) {
+    std::istringstream in("1,abc\n");
+    EXPECT_THROW(load_csv(in), std::runtime_error);
+}
+
+TEST(CsvLoader, RejectsNegativeOrFractionalLabels) {
+    std::istringstream neg("-1,0.5\n");
+    EXPECT_THROW(load_csv(neg), std::runtime_error);
+    std::istringstream frac("1.5,0.5\n");
+    EXPECT_THROW(load_csv(frac), std::runtime_error);
+}
+
+TEST(CsvLoader, RejectsTooFewColumns) {
+    std::istringstream in("1\n");
+    EXPECT_THROW(load_csv(in), std::runtime_error);
+}
+
+TEST(CsvLoader, BooleanizeThreshold) {
+    std::istringstream in("1,0.9,0.1\n0,0.2,0.8\n");
+    const auto raw = load_csv(in);
+    const auto ds = booleanize(raw, ThresholdBooleanizer(0.5), "demo");
+    EXPECT_EQ(ds.num_features, 2u);
+    EXPECT_EQ(ds.num_classes, 2u);
+    EXPECT_TRUE(ds.examples[0].get(0));
+    EXPECT_FALSE(ds.examples[0].get(1));
+    EXPECT_EQ(ds.name, "demo");
+}
+
+TEST(CsvLoader, BooleanizeQuantileEndToEnd) {
+    std::ostringstream csv;
+    for (int i = 0; i < 100; ++i)
+        csv << (i % 2) << "," << i << "," << (100 - i) << "\n";
+    std::istringstream in(csv.str());
+    const auto raw = load_csv(in);
+
+    QuantileBooleanizer q(3);
+    q.fit(raw.rows);
+    const auto ds = booleanize(raw, q, "quantile-demo");
+    EXPECT_EQ(ds.num_features, 6u);
+    ds.validate();
+}
+
+TEST(CsvLoader, ExplicitClassCountRespected) {
+    std::istringstream in("0,0.5\n1,0.6\n");
+    const auto raw = load_csv(in);
+    const auto ds = booleanize(raw, ThresholdBooleanizer(0.5), "x", 5);
+    EXPECT_EQ(ds.num_classes, 5u);
+}
+
+TEST(CsvLoader, MissingFileThrows) {
+    EXPECT_THROW(load_csv_file("/no/such/file.csv"), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+#include "model/clause_expression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace matador::model;
+using matador::util::BitVector;
+using matador::util::Xoshiro256ss;
+
+TrainedModel random_model(std::size_t features, std::size_t classes,
+                          std::size_t cpc, double density, std::uint64_t seed) {
+    TrainedModel m(features, classes, cpc);
+    Xoshiro256ss rng(seed);
+    for (std::size_t c = 0; c < classes; ++c)
+        for (std::size_t j = 0; j < cpc; ++j)
+            for (std::size_t f = 0; f < features; ++f) {
+                if (rng.bernoulli(density)) m.clause(c, j).include_pos.set(f);
+                // A feature cannot be included both plain and negated by a
+                // live automaton pair in practice; keep them disjoint.
+                else if (rng.bernoulli(density))
+                    m.clause(c, j).include_neg.set(f);
+            }
+    return m;
+}
+
+TEST(Expressions, ExportCountAndOrder) {
+    const auto m = random_model(16, 3, 4, 0.2, 1);
+    const auto exprs = export_expressions(m);
+    ASSERT_EQ(exprs.size(), 12u);
+    for (std::size_t i = 0; i < exprs.size(); ++i) {
+        EXPECT_EQ(exprs[i].cls, i / 4);
+        EXPECT_EQ(exprs[i].index, i % 4);
+        EXPECT_EQ(exprs[i].polarity, (i % 4) % 2 == 0 ? 1 : -1);
+    }
+}
+
+TEST(Expressions, LiteralsSorted) {
+    const auto m = random_model(32, 2, 6, 0.3, 2);
+    for (const auto& e : export_expressions(m))
+        for (std::size_t i = 1; i < e.literals.size(); ++i)
+            EXPECT_LT(e.literals[i - 1], e.literals[i]);
+}
+
+TEST(Expressions, EvaluateAgreesWithModel) {
+    const auto m = random_model(48, 3, 8, 0.15, 3);
+    const auto exprs = export_expressions(m);
+    Xoshiro256ss rng(9);
+    for (int trial = 0; trial < 50; ++trial) {
+        BitVector x(48);
+        for (std::size_t w = 0; w < x.word_count(); ++w) x.set_word(w, rng());
+        for (const auto& e : exprs)
+            EXPECT_EQ(e.evaluate(x), m.clause(e.cls, e.index).evaluate(x));
+    }
+}
+
+TEST(Expressions, PartialChainEqualsFull) {
+    const auto m = random_model(40, 2, 4, 0.2, 4);
+    const auto exprs = export_expressions(m);
+    Xoshiro256ss rng(10);
+    for (int trial = 0; trial < 30; ++trial) {
+        BitVector x(40);
+        for (std::size_t w = 0; w < x.word_count(); ++w) x.set_word(w, rng());
+        for (const auto& e : exprs) {
+            if (e.empty()) continue;
+            bool chained = true;
+            for (std::size_t lo = 0; lo < 40; lo += 10)
+                chained = chained && e.evaluate_partial(x, lo, lo + 10);
+            EXPECT_EQ(chained, e.evaluate(x));
+        }
+    }
+}
+
+TEST(Expressions, LiteralsInRange) {
+    ClauseExpression e;
+    e.literals = {{2, false}, {5, true}, {9, false}};
+    EXPECT_EQ(e.literals_in_range(0, 10), 3u);
+    EXPECT_EQ(e.literals_in_range(3, 9), 1u);
+    EXPECT_EQ(e.literals_in_range(5, 6), 1u);
+    EXPECT_EQ(e.literals_in_range(10, 20), 0u);
+}
+
+TEST(Expressions, ToStringFormat) {
+    ClauseExpression e;
+    e.cls = 3;
+    e.index = 17;
+    e.literals = {{101, false}, {205, true}};
+    EXPECT_EQ(e.to_string(), "C[3][17] = x101 & ~x205");
+    ClauseExpression empty;
+    EXPECT_EQ(empty.to_string(), "C[0][0] = 0");
+}
+
+TEST(Expressions, RoundTripToModel) {
+    const auto m = random_model(24, 4, 6, 0.25, 5);
+    const auto exprs = export_expressions(m);
+    const auto m2 = expressions_to_model(exprs, 24, 4, 6);
+    EXPECT_EQ(m, m2);
+}
+
+TEST(Expressions, RoundTripRejectsBadIndices) {
+    ClauseExpression e;
+    e.cls = 5;
+    EXPECT_THROW(expressions_to_model({e}, 8, 2, 2), std::invalid_argument);
+    ClauseExpression f;
+    f.literals = {{100, false}};
+    EXPECT_THROW(expressions_to_model({f}, 8, 2, 2), std::invalid_argument);
+}
+
+TEST(Expressions, EmptyExpressionEvaluatesFalse) {
+    ClauseExpression e;
+    EXPECT_FALSE(e.evaluate(BitVector(8)));
+    EXPECT_TRUE(e.evaluate_partial(BitVector(8), 0, 8));  // neutral partial
+}
+
+}  // namespace

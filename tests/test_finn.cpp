@@ -1,0 +1,111 @@
+#include "baseline/finn_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace matador::baseline;
+
+TEST(FinnFolding, RespectsTargetAndDivisibility) {
+    FinnOptions o;
+    o.target_fold = 105;
+    const auto e = estimate_finn(table2_finn_topology("mnist"), o);
+    ASSERT_EQ(e.folding.size(), 4u);
+    const std::size_t ins[] = {784, 64, 64, 64};
+    const std::size_t outs[] = {64, 64, 64, 10};
+    for (std::size_t l = 0; l < 4; ++l) {
+        EXPECT_EQ(ins[l] % e.folding[l].simd, 0u);
+        EXPECT_EQ(outs[l] % e.folding[l].pe, 0u);
+        EXPECT_LE(e.folding[l].fold, 105u);
+        EXPECT_EQ(e.folding[l].fold, (ins[l] / e.folding[l].simd) *
+                                         (outs[l] / e.folding[l].pe));
+    }
+    EXPECT_LE(e.initiation_interval, 105u);
+}
+
+TEST(FinnFolding, IiIsMaxFold) {
+    FinnOptions o;
+    o.target_fold = 200;
+    const auto e = estimate_finn(table2_finn_topology("kws6"), o);
+    std::size_t mx = 0;
+    for (const auto& f : e.folding) mx = std::max(mx, f.fold);
+    EXPECT_EQ(e.initiation_interval, mx);
+}
+
+TEST(FinnEstimate, ThroughputLatencyArithmetic) {
+    FinnOptions o;
+    o.clock_mhz = 100.0;
+    o.target_fold = 100;
+    const auto e = estimate_finn(table2_finn_topology("mnist"), o);
+    EXPECT_NEAR(e.throughput_inf_per_s(),
+                100e6 / double(e.initiation_interval), 1.0);
+    EXPECT_NEAR(e.latency_us(), double(e.latency_cycles) / 100.0, 1e-9);
+    EXPECT_GE(e.latency_cycles, e.initiation_interval);
+}
+
+TEST(FinnEstimate, MoreParallelismCostsMoreLuts) {
+    const auto topo = table2_finn_topology("mnist");
+    FinnOptions slow;
+    slow.target_fold = 2000;
+    FinnOptions fast;
+    fast.target_fold = 20;
+    const auto es = estimate_finn(topo, slow);
+    const auto ef = estimate_finn(topo, fast);
+    EXPECT_GT(ef.luts, es.luts);
+    EXPECT_LT(ef.initiation_interval, es.initiation_interval);
+}
+
+TEST(FinnEstimate, UsesBramUnlikeMatador) {
+    FinnOptions o;
+    o.target_fold = 105;
+    for (const char* ds : {"mnist", "kws6", "cifar2", "fmnist"}) {
+        const auto e = estimate_finn(table2_finn_topology(ds), o);
+        EXPECT_GT(e.bram36, 3.0) << ds;  // always above MATADOR's DMA-only 3
+    }
+}
+
+TEST(FinnEstimate, BiggerNetworksNeedMoreResources) {
+    FinnOptions o;
+    o.target_fold = 400;
+    const auto mnist = estimate_finn(table2_finn_topology("mnist"), o);
+    const auto fmnist = estimate_finn(table2_finn_topology("fmnist"), o);
+    // 784-256-256-10 at 2-bit dwarfs 784-64-64-64-10 at 1-bit.
+    EXPECT_GT(fmnist.bram36 + double(fmnist.lut_mem) / 1000.0,
+              mnist.bram36 + double(mnist.lut_mem) / 1000.0);
+}
+
+TEST(FinnEstimate, RegistersScaleWithLuts) {
+    FinnOptions o;
+    o.target_fold = 105;
+    const auto e = estimate_finn(table2_finn_topology("mnist"), o);
+    EXPECT_GT(e.registers, e.luts);  // pipeline-heavy dataflow
+    EXPECT_EQ(e.luts, e.lut_logic + e.lut_mem);
+}
+
+TEST(FinnTopology, PaperTableII) {
+    const auto mnist = table2_finn_topology("mnist");
+    ASSERT_EQ(mnist.size(), 4u);
+    EXPECT_EQ(mnist[0].in, 784u);
+    EXPECT_EQ(mnist[3].out, 10u);
+    EXPECT_EQ(mnist[0].weight_bits, 1u);
+
+    const auto kws = table2_finn_topology("kws6");
+    ASSERT_EQ(kws.size(), 3u);
+    EXPECT_EQ(kws[0].in, 377u);
+    EXPECT_EQ(kws[2].out, 6u);
+    EXPECT_EQ(kws[0].weight_bits, 2u);
+
+    const auto cifar = table2_finn_topology("cifar2");
+    EXPECT_EQ(cifar[0].in, 1024u);
+    EXPECT_EQ(cifar[2].out, 2u);
+
+    EXPECT_EQ(table2_finn_topology("fmnist")[1].in, 256u);
+    EXPECT_EQ(table2_finn_topology("kmnist")[0].in, 784u);
+    EXPECT_THROW(table2_finn_topology("nope"), std::invalid_argument);
+}
+
+TEST(FinnEstimate, RejectsEmptyTopology) {
+    EXPECT_THROW(estimate_finn({}, {}), std::invalid_argument);
+}
+
+}  // namespace

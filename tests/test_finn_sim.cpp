@@ -1,0 +1,95 @@
+#include "baseline/finn_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/finn_model.hpp"
+
+namespace {
+
+using namespace matador::baseline;
+
+std::vector<FinnFolding> folds(std::initializer_list<std::size_t> fs) {
+    std::vector<FinnFolding> v;
+    for (auto f : fs) v.push_back({1, 1, f});
+    return v;
+}
+
+TEST(FinnSim, SingleLayerIiEqualsFold) {
+    const auto r = simulate_finn_pipeline(folds({10}), 20);
+    EXPECT_EQ(r.images_completed, 20u);
+    EXPECT_DOUBLE_EQ(r.mean_initiation_interval, 10.0);
+    // fold cycles of compute + the registered FIFO pickup cycle.
+    EXPECT_EQ(r.first_latency_cycles, 11u);
+}
+
+TEST(FinnSim, SteadyStateIiIsMaxFold) {
+    const auto r = simulate_finn_pipeline(folds({5, 40, 10}), 30);
+    EXPECT_EQ(r.images_completed, 30u);
+    EXPECT_DOUBLE_EQ(r.mean_initiation_interval, 40.0);
+}
+
+TEST(FinnSim, FirstLatencyIsSumOfFoldsWithoutHeadInfo) {
+    // Foldings without in/out metadata degrade to store-and-forward:
+    // latency ~ sum of folds + handoff cycles.
+    const auto r = simulate_finn_pipeline(folds({5, 7, 9}), 5);
+    EXPECT_GE(r.first_latency_cycles, 5u + 7 + 9);
+    EXPECT_LE(r.first_latency_cycles, 5u + 7 + 9 + 4);
+}
+
+TEST(FinnSim, HeadOverlapShortensLatency) {
+    // With in/out known, a layer forwards after one input pass, so deep
+    // pipelines overlap: latency well below the sum of folds.
+    std::vector<FinnFolding> f = {
+        {4, 4, 64, 32, 32},  // head = 32/4 = 8
+        {4, 4, 64, 32, 32},
+        {4, 4, 64, 32, 32},
+    };
+    const auto r = simulate_finn_pipeline(f, 4);
+    EXPECT_LT(r.first_latency_cycles, 3u * 64);
+    EXPECT_GE(r.first_latency_cycles, 64u);  // last layer's full fold
+    EXPECT_DOUBLE_EQ(r.mean_initiation_interval, 64.0);
+}
+
+TEST(FinnSim, BackpressureDoesNotLoseImages) {
+    // Tight FIFOs + a slow tail layer: everything still retires, in order,
+    // at the bottleneck rate.
+    const auto r = simulate_finn_pipeline(folds({1, 1, 50}), 12, /*fifo_depth=*/1);
+    EXPECT_EQ(r.images_completed, 12u);
+    EXPECT_DOUBLE_EQ(r.mean_initiation_interval, 50.0);
+    for (std::size_t i = 1; i < r.retire_cycles.size(); ++i)
+        EXPECT_GT(r.retire_cycles[i], r.retire_cycles[i - 1]);
+}
+
+TEST(FinnSim, MeasuredIiMatchesAnalyticEstimator) {
+    // The cross-check the Table I bench relies on, for all five datasets:
+    // steady-state initiation interval must equal the analytic max fold.
+    for (const char* ds : {"mnist", "kws6", "cifar2", "fmnist", "kmnist"}) {
+        FinnOptions o;
+        o.target_fold = 200;
+        const auto est = estimate_finn(table2_finn_topology(ds), o);
+        const auto sim = simulate_finn_pipeline(est.folding, 25);
+        EXPECT_DOUBLE_EQ(sim.mean_initiation_interval,
+                         double(est.initiation_interval))
+            << ds;
+        // Measured fill latency sits between the optimistic analytic value
+        // and the store-and-forward bound.
+        std::size_t sum_folds = 0;
+        for (const auto& f : est.folding) sum_folds += f.fold;
+        EXPECT_GE(sim.first_latency_cycles, est.initiation_interval) << ds;
+        EXPECT_LE(sim.first_latency_cycles, sum_folds + est.folding.size() + 1)
+            << ds;
+    }
+}
+
+TEST(FinnSim, Validation) {
+    EXPECT_THROW(simulate_finn_pipeline({}, 5), std::invalid_argument);
+    EXPECT_THROW(simulate_finn_pipeline(folds({3}), 5, 0), std::invalid_argument);
+}
+
+TEST(FinnSim, ZeroImages) {
+    const auto r = simulate_finn_pipeline(folds({3, 4}), 0);
+    EXPECT_EQ(r.images_completed, 0u);
+    EXPECT_EQ(r.first_latency_cycles, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+#include "rtl/hcb_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/clause_expression.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace matador::rtl;
+using matador::model::PacketPlan;
+using matador::model::TrainedModel;
+using matador::util::BitVector;
+using matador::util::Xoshiro256ss;
+
+TrainedModel demo_model() {
+    // 130 features -> 3 packets of 64/64/2 bits.
+    TrainedModel m(130, 2, 4);
+    m.clause(0, 0).include_pos.set(0);     // packet 0
+    m.clause(0, 0).include_neg.set(65);    // packet 1
+    m.clause(0, 1).include_pos.set(64);    // packet 1 only
+    m.clause(0, 2).include_pos.set(129);   // packet 2 only
+    m.clause(1, 0).include_pos.set(0);     // shares the packet-0 head
+    m.clause(1, 0).include_pos.set(129);   // and a packet-2 tail
+    // clause (0,3), (1,1..3) empty.
+    return m;
+}
+
+TEST(HcbBuilder, SpecPartitioning) {
+    const auto m = demo_model();
+    const auto hcbs = build_hcbs(m, PacketPlan(130, 64));
+    ASSERT_EQ(hcbs.size(), 3u);
+
+    // Packet 0: clauses (0,0) flat 0 and (1,0) flat 4 active, no chain in.
+    const auto& h0 = hcbs[0].spec;
+    EXPECT_EQ(h0.active_clauses, (std::vector<std::uint32_t>{0, 4}));
+    EXPECT_FALSE(h0.has_chain_input[0]);
+    EXPECT_FALSE(h0.has_chain_input[1]);
+    EXPECT_TRUE(h0.passthrough_clauses.empty());
+
+    // Packet 1: (0,0) chained, (0,1) fresh; (1,0) passes through.
+    const auto& h1 = hcbs[1].spec;
+    EXPECT_EQ(h1.active_clauses, (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_TRUE(h1.has_chain_input[0]);
+    EXPECT_FALSE(h1.has_chain_input[1]);
+    EXPECT_EQ(h1.passthrough_clauses, (std::vector<std::uint32_t>{4}));
+
+    // Packet 2: (0,2) fresh, (1,0) chained.
+    const auto& h2 = hcbs[2].spec;
+    EXPECT_EQ(h2.active_clauses, (std::vector<std::uint32_t>{2, 4}));
+    EXPECT_FALSE(h2.has_chain_input[0]);
+    EXPECT_TRUE(h2.has_chain_input[1]);
+}
+
+TEST(HcbBuilder, PiCountsMatchSpec) {
+    const auto m = demo_model();
+    const auto hcbs = build_hcbs(m, PacketPlan(130, 64));
+    // HCB0: 64 packet bits + 0 chain.
+    EXPECT_EQ(hcbs[0].aig.num_pis(), 64u);
+    // HCB1: 64 + 1 chain (clause 0).
+    EXPECT_EQ(hcbs[1].aig.num_pis(), 65u);
+    // HCB2: 2 valid packet bits + 1 chain.
+    EXPECT_EQ(hcbs[2].aig.num_pis(), 3u);
+    for (const auto& h : hcbs)
+        EXPECT_EQ(h.aig.num_pos(), h.spec.active_clauses.size());
+}
+
+TEST(HcbBuilder, ChainedEvaluationMatchesExpressions) {
+    const auto m = demo_model();
+    const PacketPlan plan(130, 64);
+    const auto hcbs = build_hcbs(m, plan);
+    const auto exprs = matador::model::export_expressions(m);
+    Xoshiro256ss rng(5);
+
+    for (int trial = 0; trial < 40; ++trial) {
+        BitVector x(130);
+        for (std::size_t w = 0; w < x.word_count(); ++w) x.set_word(w, rng());
+
+        std::vector<bool> chain(m.total_clauses(), true);
+        for (const auto& h : hcbs) {
+            std::vector<bool> in;
+            for (auto flat : h.spec.active_clauses) in.push_back(chain[flat]);
+            const auto out = evaluate_hcb(h, x, in);
+            for (std::size_t i = 0; i < out.size(); ++i)
+                chain[h.spec.active_clauses[i]] = out[i];
+        }
+        for (const auto& e : exprs) {
+            if (e.empty()) continue;
+            const std::size_t flat = e.cls * 4 + e.index;
+            EXPECT_EQ(chain[flat], e.evaluate(x))
+                << "clause " << e.to_string() << " trial " << trial;
+        }
+    }
+}
+
+TEST(HcbBuilder, StrashSharesAcrossClauses) {
+    // Two clauses with identical partials: the strashed AIG must be smaller.
+    TrainedModel m(64, 2, 2);
+    for (std::size_t c = 0; c < 2; ++c) {
+        m.clause(c, 0).include_pos.set(1);
+        m.clause(c, 0).include_pos.set(2);
+        m.clause(c, 0).include_neg.set(3);
+    }
+    const auto shared = build_hcbs(m, PacketPlan(64, 64), true);
+    const auto unshared = build_hcbs(m, PacketPlan(64, 64), false);
+    EXPECT_LT(shared[0].aig.num_ands(), unshared[0].aig.num_ands());
+    EXPECT_EQ(shared[0].aig.num_ands(), 2u);    // one cone
+    EXPECT_EQ(unshared[0].aig.num_ands(), 4u);  // duplicated
+    EXPECT_FALSE(unshared[0].aig.strash_enabled());
+}
+
+TEST(HcbBuilder, EmptyClausesProduceNoLogic) {
+    TrainedModel m(64, 1, 4);  // all clauses empty
+    const auto hcbs = build_hcbs(m, PacketPlan(64, 64));
+    ASSERT_EQ(hcbs.size(), 1u);
+    EXPECT_TRUE(hcbs[0].spec.active_clauses.empty());
+    EXPECT_EQ(hcbs[0].aig.num_ands(), 0u);
+    EXPECT_EQ(hcbs[0].aig.num_pos(), 0u);
+}
+
+TEST(HcbBuilder, SingleLiteralClauseIsWireOrInverter) {
+    TrainedModel m(64, 1, 2);
+    m.clause(0, 0).include_pos.set(5);
+    m.clause(0, 1).include_neg.set(6);
+    const auto hcbs = build_hcbs(m, PacketPlan(64, 64));
+    EXPECT_EQ(hcbs[0].aig.num_ands(), 0u);  // no AND needed
+    BitVector x(64);
+    x.set(5);
+    const auto out = evaluate_hcb(hcbs[0], x, {true, true});
+    EXPECT_TRUE(out[0]);   // x5 high
+    EXPECT_TRUE(out[1]);   // x6 low -> ~x6 true
+}
+
+TEST(HcbBuilder, EvaluateRejectsBadChainSize) {
+    const auto m = demo_model();
+    const auto hcbs = build_hcbs(m, PacketPlan(130, 64));
+    EXPECT_THROW(evaluate_hcb(hcbs[0], BitVector(130), {true}),
+                 std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+#include "logic/lut_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/aig_simulate.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace matador::logic;
+using matador::util::Xoshiro256ss;
+
+/// Random AIG generator for property tests.
+Aig random_aig(std::size_t pis, std::size_t ands, std::size_t pos,
+               std::uint64_t seed, bool strash = true) {
+    Aig g(strash);
+    Xoshiro256ss rng(seed);
+    std::vector<Lit> pool;
+    for (std::size_t i = 0; i < pis; ++i) pool.push_back(g.create_pi());
+    for (std::size_t i = 0; i < ands; ++i) {
+        Lit a = pool[rng.below(pool.size())];
+        Lit b = pool[rng.below(pool.size())];
+        if (rng.bernoulli(0.5)) a = lit_not(a);
+        if (rng.bernoulli(0.5)) b = lit_not(b);
+        pool.push_back(g.create_and(a, b));
+    }
+    for (std::size_t i = 0; i < pos; ++i) {
+        Lit o = pool[pool.size() - 1 - rng.below(std::min<std::size_t>(pool.size(), 8))];
+        if (rng.bernoulli(0.3)) o = lit_not(o);
+        g.add_po(o);
+    }
+    return g;
+}
+
+/// Check LUT network vs AIG on random patterns.
+bool network_matches_aig(const LutNetwork& net, const Aig& aig, std::uint64_t seed) {
+    Xoshiro256ss rng(seed);
+    for (int round = 0; round < 16; ++round) {
+        std::vector<std::uint64_t> patterns(aig.num_pis());
+        for (auto& p : patterns) p = rng();
+        if (net.evaluate(patterns) != simulate(aig, patterns)) return false;
+    }
+    return true;
+}
+
+TEST(Cuts, TrivialCutForPi) {
+    Aig g;
+    g.create_pi();
+    const auto e = enumerate_cuts(g, {6, 8});
+    ASSERT_EQ(e.cuts.size(), 2u);
+    ASSERT_EQ(e.cuts[1].size(), 1u);
+    EXPECT_EQ(e.cuts[1][0].leaves, std::vector<std::uint32_t>{1});
+}
+
+TEST(Cuts, AndNodeGetsFaninCut) {
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi();
+    const Lit ab = g.create_and(a, b);
+    const auto e = enumerate_cuts(g, {6, 8});
+    const auto& cuts = e.cuts[lit_node(ab)];
+    // Best cut should be {a, b} at depth 1.
+    EXPECT_EQ(cuts.front().leaves,
+              (std::vector<std::uint32_t>{lit_node(a), lit_node(b)}));
+    EXPECT_EQ(cuts.front().depth, 1u);
+    EXPECT_EQ(e.best_depth[lit_node(ab)], 1u);
+}
+
+TEST(Cuts, DeepChainDepthShrinksWithK) {
+    // AND chain of 10 literals: with k=6 the mapped depth must be << 9.
+    Aig g;
+    Lit acc = g.create_pi();
+    for (int i = 0; i < 9; ++i) acc = g.create_and(acc, g.create_pi());
+    g.add_po(acc);
+    const auto e6 = enumerate_cuts(g, {6, 8});
+    const auto e2 = enumerate_cuts(g, {2, 8});
+    EXPECT_LT(e6.best_depth[lit_node(acc)], e2.best_depth[lit_node(acc)]);
+    EXPECT_LE(e6.best_depth[lit_node(acc)], 3u);
+}
+
+TEST(Cuts, DominatedCutsPruned) {
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi();
+    const Lit ab = g.create_and(a, b);
+    const auto e = enumerate_cuts(g, {6, 8});
+    // No cut in ab's set may be a strict superset of another.
+    const auto& cuts = e.cuts[lit_node(ab)];
+    for (std::size_t i = 0; i < cuts.size(); ++i)
+        for (std::size_t j = 0; j < cuts.size(); ++j)
+            if (i != j) EXPECT_FALSE(cuts[i].dominated_by(cuts[j]) &&
+                                     cuts[i].leaves != cuts[j].leaves);
+}
+
+TEST(Mapper, SingleAndIsOneLut) {
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi();
+    g.add_po(g.create_and(a, b));
+    const auto r = map_to_luts(g);
+    EXPECT_EQ(r.lut_count, 1u);
+    EXPECT_EQ(r.depth, 1u);
+    EXPECT_TRUE(network_matches_aig(r.network, g, 1));
+}
+
+TEST(Mapper, SixInputAndFitsOneLut) {
+    Aig g;
+    std::vector<Lit> pis;
+    for (int i = 0; i < 6; ++i) pis.push_back(g.create_pi());
+    g.add_po(g.create_and_tree(pis));
+    const auto r = map_to_luts(g);
+    EXPECT_EQ(r.lut_count, 1u);
+    EXPECT_TRUE(network_matches_aig(r.network, g, 2));
+}
+
+TEST(Mapper, SevenInputAndNeedsTwoLuts) {
+    Aig g;
+    std::vector<Lit> pis;
+    for (int i = 0; i < 7; ++i) pis.push_back(g.create_pi());
+    g.add_po(g.create_and_tree(pis));
+    const auto r = map_to_luts(g);
+    EXPECT_EQ(r.lut_count, 2u);
+    EXPECT_EQ(r.depth, 2u);
+    EXPECT_TRUE(network_matches_aig(r.network, g, 3));
+}
+
+TEST(Mapper, ConstantAndPiOutputs) {
+    Aig g;
+    const Lit a = g.create_pi();
+    g.add_po(kConst1);
+    g.add_po(a);
+    g.add_po(lit_not(a));
+    const auto r = map_to_luts(g);
+    EXPECT_EQ(r.lut_count, 0u);
+    const auto out = r.network.evaluate({0xff});
+    EXPECT_EQ(out[0], ~std::uint64_t{0});
+    EXPECT_EQ(out[1], 0xffull);
+    EXPECT_EQ(out[2], ~0xffull);
+}
+
+TEST(Mapper, SharedLogicMappedOnce) {
+    Aig g;
+    const Lit a = g.create_pi(), b = g.create_pi(), c = g.create_pi(),
+              d = g.create_pi();
+    // Two POs over >6 shared inputs forcing a shared intermediate LUT.
+    std::vector<Lit> base = {a, b, c, d};
+    for (int i = 0; i < 4; ++i) base.push_back(g.create_pi());
+    const Lit shared = g.create_and_tree(base);  // 8-input AND
+    g.add_po(g.create_and(shared, a));
+    g.add_po(g.create_and(shared, lit_not(b)));
+    const auto r = map_to_luts(g);
+    EXPECT_TRUE(network_matches_aig(r.network, g, 4));
+    EXPECT_LE(r.lut_count, 4u);
+}
+
+class MapperProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapperProperty, MappingPreservesFunction) {
+    const auto seed = GetParam();
+    const Aig g = random_aig(10, 60, 6, seed);
+    const auto r = map_to_luts(g);
+    EXPECT_TRUE(network_matches_aig(r.network, g, seed ^ 0xdead))
+        << "functional mismatch for seed " << seed;
+    EXPECT_GT(r.lut_count, 0u);
+}
+
+TEST_P(MapperProperty, StrashMappingNeverLargerThanDontTouch) {
+    const auto seed = GetParam();
+    // Build the same redundant function twice: with and without strash.
+    auto build = [&](bool strash) {
+        Aig g(strash);
+        Xoshiro256ss rng(seed);
+        std::vector<Lit> pis;
+        for (int i = 0; i < 8; ++i) pis.push_back(g.create_pi());
+        // 12 cones that heavily reuse subexpressions.
+        for (int o = 0; o < 12; ++o) {
+            std::vector<Lit> terms;
+            for (int t = 0; t < 4; ++t) {
+                Lit l = pis[(o + t) % 8];
+                if ((o + t) % 3 == 0) l = lit_not(l);
+                terms.push_back(l);
+            }
+            g.add_po(g.create_and_tree(terms));
+        }
+        return g;
+    };
+    const auto opt = map_to_luts(build(true));
+    const auto dt = map_to_luts(build(false));
+    EXPECT_LE(opt.lut_count, dt.lut_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(LutNetwork, RejectsMalformedLuts) {
+    LutNetwork net(2);
+    MappedLut too_many;
+    too_many.inputs = {1, 2, 1, 2, 1, 2, 1};
+    EXPECT_THROW(net.add_lut(too_many), std::invalid_argument);
+    MappedLut forward;
+    forward.inputs = {9};
+    EXPECT_THROW(net.add_lut(forward), std::invalid_argument);
+}
+
+TEST(LutNetwork, DepthOfChain) {
+    LutNetwork net(1);
+    MappedLut l1;
+    l1.inputs = {net.pi_id(0)};
+    l1.truth = 0x1;  // NOT
+    const auto id1 = net.add_lut(l1);
+    MappedLut l2;
+    l2.inputs = {id1};
+    l2.truth = 0x1;
+    const auto id2 = net.add_lut(l2);
+    net.add_output(id2 << 1);
+    EXPECT_EQ(net.depth(), 2u);
+    // NOT(NOT(x)) == x
+    EXPECT_EQ(net.evaluate({0xf0f0})[0], 0xf0f0ull);
+}
+
+}  // namespace

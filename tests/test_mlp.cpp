@@ -1,0 +1,122 @@
+#include "baseline/quantized_mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+namespace {
+
+using matador::baseline::MlpConfig;
+using matador::baseline::QuantizedMlp;
+using matador::data::make_iris_like;
+using matador::data::make_noisy_xor;
+using matador::data::train_test_split;
+
+MlpConfig tiny_config(std::vector<std::size_t> sizes) {
+    MlpConfig c;
+    c.layer_sizes = std::move(sizes);
+    c.learning_rate = 0.02;
+    c.seed = 3;
+    return c;
+}
+
+TEST(QuantizedMlp, ConstructorValidation) {
+    EXPECT_THROW(QuantizedMlp{tiny_config({8})}, std::invalid_argument);
+    MlpConfig bad = tiny_config({8, 4});
+    bad.weight_bits = 3;
+    EXPECT_THROW(QuantizedMlp{bad}, std::invalid_argument);
+    bad = tiny_config({8, 4});
+    bad.activation_bits = 4;
+    EXPECT_THROW(QuantizedMlp{bad}, std::invalid_argument);
+}
+
+TEST(QuantizedMlp, LogitShape) {
+    QuantizedMlp mlp(tiny_config({8, 6, 3}));
+    const auto l = mlp.logits(matador::util::BitVector(8));
+    EXPECT_EQ(l.size(), 3u);
+}
+
+TEST(QuantizedMlp, FloatReferenceLearnsXor) {
+    // The 32-bit reference mode checks the backprop machinery on the one
+    // problem binary nets without batch-norm are known to struggle with.
+    const auto ds = make_noisy_xor(3000, 2, 0.02, 5);
+    const auto split = train_test_split(ds, 0.8, 7);
+    MlpConfig cfg = tiny_config({4, 16, 2});
+    cfg.weight_bits = 32;
+    cfg.activation_bits = 32;
+    QuantizedMlp mlp(cfg);
+    mlp.fit(split.train, 20);
+    EXPECT_GT(mlp.evaluate(split.test), 0.93);
+}
+
+TEST(QuantizedMlp, BinaryLearnsImageLikeData) {
+    // The Table I regime: booleanized image prototypes, 1-bit everything.
+    matador::data::ImageLikeParams p;
+    p.width = 16;
+    p.height = 16;
+    p.num_classes = 4;
+    p.examples_per_class = 150;
+    p.seed = 3;
+    const auto ds = matador::data::make_image_like(p);
+    const auto split = train_test_split(ds, 0.8, 7);
+    MlpConfig cfg = tiny_config({256, 64, 64, 4});
+    cfg.learning_rate = 0.005;
+    QuantizedMlp mlp(cfg);
+    mlp.fit(split.train, 8);
+    EXPECT_GT(mlp.evaluate(split.test), 0.9);
+}
+
+TEST(QuantizedMlp, LearnsIrisLike) {
+    const auto ds = make_iris_like(150, 4, 9);
+    const auto split = train_test_split(ds, 0.8, 3);
+    QuantizedMlp mlp(tiny_config({16, 24, 3}));
+    mlp.fit(split.train, 25);
+    EXPECT_GT(mlp.evaluate(split.test), 0.8);
+}
+
+TEST(QuantizedMlp, TwoBitVariantsAlsoLearn) {
+    matador::data::ImageLikeParams p;
+    p.width = 16;
+    p.height = 16;
+    p.num_classes = 4;
+    p.examples_per_class = 150;
+    p.seed = 11;
+    const auto ds = matador::data::make_image_like(p);
+    const auto split = train_test_split(ds, 0.8, 13);
+    MlpConfig cfg = tiny_config({256, 48, 4});
+    cfg.weight_bits = 2;
+    cfg.activation_bits = 2;
+    cfg.learning_rate = 0.005;
+    QuantizedMlp mlp(cfg);
+    mlp.fit(split.train, 8);
+    EXPECT_GT(mlp.evaluate(split.test), 0.9);
+}
+
+TEST(QuantizedMlp, DeterministicForSeed) {
+    const auto ds = make_noisy_xor(500, 2, 0.05, 17);
+    QuantizedMlp a(tiny_config({4, 8, 2})), b(tiny_config({4, 8, 2}));
+    a.fit(ds, 3);
+    b.fit(ds, 3);
+    for (std::size_t i = 0; i < 20; ++i)
+        EXPECT_EQ(a.predict(ds.examples[i]), b.predict(ds.examples[i]));
+}
+
+TEST(QuantizedMlp, WeightStorageBits) {
+    QuantizedMlp one_bit(tiny_config({8, 4, 2}));
+    EXPECT_EQ(one_bit.weight_storage_bits(), 8u * 4 + 4 * 2);
+    MlpConfig cfg = tiny_config({8, 4, 2});
+    cfg.weight_bits = 2;
+    QuantizedMlp two_bit(cfg);
+    EXPECT_EQ(two_bit.weight_storage_bits(), 2u * (8 * 4 + 4 * 2));
+}
+
+TEST(QuantizedMlp, TrainRejectsWrongWidth) {
+    QuantizedMlp mlp(tiny_config({8, 4, 2}));
+    matador::data::Dataset ds;
+    ds.num_features = 4;
+    ds.num_classes = 2;
+    ds.add(matador::util::BitVector(4), 0);
+    EXPECT_THROW(mlp.train_epoch(ds), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+#include "model/packetization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using matador::model::Packetizer;
+using matador::model::PacketPlan;
+using matador::util::BitVector;
+using matador::util::Xoshiro256ss;
+
+TEST(PacketPlan, MnistExample) {
+    // The paper's example: 784-bit MNIST over a 64-bit channel = 13 packets.
+    const PacketPlan p(784, 64);
+    EXPECT_EQ(p.num_packets(), 13u);
+    EXPECT_EQ(p.padding_bits(), 13 * 64 - 784u);
+    EXPECT_EQ(p.packet_lo(0), 0u);
+    EXPECT_EQ(p.packet_hi(0), 64u);
+    EXPECT_EQ(p.packet_lo(12), 768u);
+    EXPECT_EQ(p.packet_hi(12), 784u);  // padding excluded
+}
+
+TEST(PacketPlan, ExactFit) {
+    const PacketPlan p(128, 64);
+    EXPECT_EQ(p.num_packets(), 2u);
+    EXPECT_EQ(p.padding_bits(), 0u);
+}
+
+TEST(PacketPlan, RejectsBadParams) {
+    EXPECT_THROW(PacketPlan(10, 0), std::invalid_argument);
+    EXPECT_THROW(PacketPlan(10, 65), std::invalid_argument);
+    EXPECT_THROW(PacketPlan(0, 64), std::invalid_argument);
+}
+
+TEST(Packetizer, OrdersLsbFirstWithPadding) {
+    const PacketPlan plan(10, 8);
+    const Packetizer p(plan);
+    BitVector x(10);
+    x.set(0);
+    x.set(7);
+    x.set(8);
+    const auto packets = p.packetize(x);
+    ASSERT_EQ(packets.size(), 2u);
+    EXPECT_EQ(packets[0], 0b10000001u);
+    EXPECT_EQ(packets[1], 0b00000001u);  // bit 8 -> packet1 bit0; pad zeros
+}
+
+TEST(Packetizer, RejectsWrongSize) {
+    const Packetizer p(PacketPlan(10, 8));
+    EXPECT_THROW(p.packetize(BitVector(9)), std::invalid_argument);
+    EXPECT_THROW(p.depacketize({1, 2, 3}), std::invalid_argument);
+}
+
+class PacketizerRoundTrip
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(PacketizerRoundTrip, DepacketizeInvertsPacketize) {
+    const auto [bits, bus] = GetParam();
+    const Packetizer p{PacketPlan(bits, bus)};
+    Xoshiro256ss rng(bits * 131 + bus);
+    for (int trial = 0; trial < 20; ++trial) {
+        BitVector x(bits);
+        for (std::size_t w = 0; w < x.word_count(); ++w) x.set_word(w, rng());
+        EXPECT_EQ(p.depacketize(p.packetize(x)), x);
+    }
+}
+
+TEST_P(PacketizerRoundTrip, PaddingBitsAreZero) {
+    const auto [bits, bus] = GetParam();
+    const Packetizer p{PacketPlan(bits, bus)};
+    BitVector x(bits);
+    x.fill(true);
+    const auto packets = p.packetize(x);
+    const auto& plan = p.plan();
+    const std::size_t valid = plan.packet_hi(packets.size() - 1) -
+                              plan.packet_lo(packets.size() - 1);
+    if (valid < bus) {
+        const std::uint64_t pad_mask = ~((std::uint64_t{1} << valid) - 1) &
+                                       (bus == 64 ? ~std::uint64_t{0}
+                                                  : (std::uint64_t{1} << bus) - 1);
+        EXPECT_EQ(packets.back() & pad_mask, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PacketizerRoundTrip,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{784, 64},
+                      std::pair<std::size_t, std::size_t>{377, 64},
+                      std::pair<std::size_t, std::size_t>{1024, 64},
+                      std::pair<std::size_t, std::size_t>{784, 32},
+                      std::pair<std::size_t, std::size_t>{63, 64},
+                      std::pair<std::size_t, std::size_t>{65, 64},
+                      std::pair<std::size_t, std::size_t>{16, 8},
+                      std::pair<std::size_t, std::size_t>{7, 3}));
+
+}  // namespace

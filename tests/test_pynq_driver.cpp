@@ -1,0 +1,96 @@
+#include "rtl/pynq_driver_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "model/architecture.hpp"
+
+namespace {
+
+using namespace matador;
+
+model::TrainedModel demo_model() {
+    model::TrainedModel m(96, 3, 4);
+    m.clause(0, 0).include_pos.set(0);
+    m.clause(1, 0).include_neg.set(50);
+    m.clause(2, 0).include_pos.set(95);
+    return m;
+}
+
+rtl::RtlDesign demo_design(const model::TrainedModel& m) {
+    model::ArchOptions o;
+    o.bus_width = 32;
+    return rtl::generate_rtl(m, model::derive_architecture(m, o));
+}
+
+std::vector<util::BitVector> demo_inputs() {
+    std::vector<util::BitVector> v;
+    util::BitVector a(96), b(96);
+    a.set(0);
+    b.set(50);
+    b.set(95);
+    v.push_back(a);
+    v.push_back(b);
+    return v;
+}
+
+TEST(PynqDriver, EmbedsArchitectureAndGolden) {
+    const auto m = demo_model();
+    const auto design = demo_design(m);
+    const auto inputs = demo_inputs();
+    const std::string py = rtl::generate_pynq_driver(design, m, inputs);
+
+    EXPECT_NE(py.find("INPUT_BITS = 96"), std::string::npos);
+    EXPECT_NE(py.find("BUS_WIDTH = 32"), std::string::npos);
+    EXPECT_NE(py.find("PACKETS_PER_SAMPLE = 3"), std::string::npos);
+    EXPECT_NE(py.find("EXPECTED_LATENCY_CYCLES = " +
+                      std::to_string(design.arch.latency_cycles())),
+              std::string::npos);
+    // Golden predictions baked in.
+    std::string golden = "GOLDEN = [";
+    golden += std::to_string(m.predict(inputs[0])) + ", ";
+    golden += std::to_string(m.predict(inputs[1])) + ", ";
+    EXPECT_NE(py.find(golden), std::string::npos);
+    EXPECT_NE(py.find("from pynq import Overlay"), std::string::npos);
+    EXPECT_NE(py.find("--dry-run"), std::string::npos);
+}
+
+TEST(PynqDriver, DryRunExecutesIfPythonAvailable) {
+    if (std::system("python3 --version > /dev/null 2>&1") != 0)
+        GTEST_SKIP() << "python3 not available";
+
+    const auto m = demo_model();
+    const auto design = demo_design(m);
+    const std::string py = rtl::generate_pynq_driver(design, m, demo_inputs());
+
+    const std::string path = ::testing::TempDir() + "matador_driver.py";
+    std::ofstream(path) << py;
+    const std::string cmd = "python3 " + path + " --dry-run > " + path + ".log 2>&1";
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+
+    std::ifstream log(path + ".log");
+    std::string text((std::istreambuf_iterator<char>(log)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("MATADOR-DEPLOY PASS"), std::string::npos) << text;
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".log");
+}
+
+TEST(PynqDriver, PacketsRespectPadding) {
+    const auto m = demo_model();
+    model::ArchOptions o;
+    o.bus_width = 40;  // 96 bits -> 3 packets, 24 pad bits
+    const auto design = rtl::generate_rtl(m, model::derive_architecture(m, o));
+    util::BitVector all_ones(96);
+    all_ones.fill(true);
+    const std::string py = rtl::generate_pynq_driver(design, m, {all_ones});
+    // The last packet must not carry bits beyond bit 95.
+    EXPECT_NE(py.find("PACKETS_PER_SAMPLE = 3"), std::string::npos);
+    EXPECT_EQ(py.find("0xffffffffff, 0xffffffffff, 0xffffffffff"),
+              std::string::npos);
+}
+
+}  // namespace

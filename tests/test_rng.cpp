@@ -1,0 +1,104 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+namespace {
+
+using matador::util::splitmix64;
+using matador::util::Xoshiro256ss;
+
+TEST(SplitMix64, AdvancesStateDeterministically) {
+    std::uint64_t s1 = 42, s2 = 42;
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+    EXPECT_EQ(s1, s2);
+    EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1);  // streams stay in lockstep
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+    Xoshiro256ss a(7), b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+    Xoshiro256ss a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += a() == b();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, ReseedRestartsStream) {
+    Xoshiro256ss a(9);
+    const auto first = a();
+    a.reseed(9);
+    EXPECT_EQ(a(), first);
+}
+
+TEST(Xoshiro, BelowInRangeAndCoversValues) {
+    Xoshiro256ss rng(3);
+    bool seen[10] = {};
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.below(10);
+        ASSERT_LT(v, 10u);
+        seen[v] = true;
+    }
+    for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+    Xoshiro256ss rng(5);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+    Xoshiro256ss rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+    Xoshiro256ss rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+class BernoulliWordPow2 : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BernoulliWordPow2, DensityIsTwoToMinusK) {
+    const unsigned k = GetParam();
+    Xoshiro256ss rng(17 + k);
+    std::size_t ones = 0;
+    const int words = 4000;
+    for (int i = 0; i < words; ++i) ones += std::size_t(std::popcount(rng.bernoulli_word_pow2(k)));
+    const double density = double(ones) / (64.0 * words);
+    const double expected = std::pow(0.5, k);
+    EXPECT_NEAR(density, expected, expected * 0.2 + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(K, BernoulliWordPow2, ::testing::Values(0u, 1u, 2u, 3u, 4u, 6u));
+
+TEST(Xoshiro, BernoulliWordExactDensity) {
+    Xoshiro256ss rng(23);
+    std::size_t ones = 0;
+    const int words = 2000;
+    for (int i = 0; i < words; ++i)
+        ones += std::size_t(std::popcount(rng.bernoulli_word_exact(0.25)));
+    EXPECT_NEAR(double(ones) / (64.0 * words), 0.25, 0.02);
+}
+
+TEST(Xoshiro, Pow2ZeroIsAllOnes) {
+    Xoshiro256ss rng(29);
+    EXPECT_EQ(rng.bernoulli_word_pow2(0), ~std::uint64_t{0});
+}
+
+}  // namespace

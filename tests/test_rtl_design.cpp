@@ -1,0 +1,151 @@
+#include "rtl/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "model/architecture.hpp"
+#include "rtl/testbench_gen.hpp"
+#include "rtl/verilog_writer.hpp"
+
+namespace {
+
+using namespace matador::rtl;
+using matador::model::ArchOptions;
+using matador::model::TrainedModel;
+using matador::model::derive_architecture;
+using matador::util::BitVector;
+
+TrainedModel demo_model() {
+    TrainedModel m(130, 2, 4);
+    m.clause(0, 0).include_pos.set(0);
+    m.clause(0, 0).include_neg.set(65);
+    m.clause(0, 1).include_pos.set(64);
+    m.clause(0, 2).include_pos.set(129);
+    m.clause(1, 0).include_pos.set(0);
+    m.clause(1, 0).include_pos.set(129);
+    return m;
+}
+
+RtlDesign demo_design() {
+    const auto m = demo_model();
+    ArchOptions o;
+    return generate_rtl(m, derive_architecture(m, o));
+}
+
+TEST(RtlDesign, ModuleInventory) {
+    const auto d = demo_design();
+    EXPECT_EQ(d.hcb_comb.size(), 3u);
+    EXPECT_EQ(d.hcb_seq.size(), 3u);
+    EXPECT_EQ(d.class_sum.name, "class_sum");
+    EXPECT_EQ(d.argmax.name, "argmax_tree");
+    EXPECT_EQ(d.controller.name, "matador_ctrl");
+    EXPECT_EQ(d.top.name, "matador_top");
+}
+
+TEST(RtlDesign, HcbCombUsesOnlyStructuralSubset) {
+    const auto d = demo_design();
+    for (const auto& m : d.hcb_comb) {
+        const std::string text = emit_module(m);
+        EXPECT_EQ(text.find("always"), std::string::npos);
+        EXPECT_EQ(text.find("?"), std::string::npos);
+        EXPECT_NE(text.find("assign"), std::string::npos);
+    }
+}
+
+TEST(RtlDesign, HcbSeqInstantiatesComb) {
+    const auto d = demo_design();
+    const std::string text = emit_module(d.hcb_seq[1]);
+    EXPECT_NE(text.find("hcb_1_comb u_comb"), std::string::npos);
+    EXPECT_NE(text.find("if (en)"), std::string::npos);
+    EXPECT_NE(text.find("pc_out <= pc_comb;"), std::string::npos);
+}
+
+TEST(RtlDesign, TopWiresChainFromProducingHcb) {
+    const auto d = demo_design();
+    const std::string text = emit_module(d.top);
+    // Clause 0's chain into HCB1 comes from HCB0's register bit 0.
+    EXPECT_NE(text.find(".chain_in(hcb0_out[0])"), std::string::npos);
+    // Final clause taps reference each clause's last active HCB.
+    EXPECT_NE(text.find("clause_final"), std::string::npos);
+    EXPECT_NE(text.find("matador_ctrl u_ctrl"), std::string::npos);
+    EXPECT_NE(text.find("class_sum u_class_sum"), std::string::npos);
+    EXPECT_NE(text.find("argmax_tree u_argmax"), std::string::npos);
+}
+
+TEST(RtlDesign, ClassSumSplitsPolarity) {
+    const auto d = demo_design();
+    const std::string text = emit_module(d.class_sum);
+    EXPECT_NE(text.find("pos_0"), std::string::npos);
+    EXPECT_NE(text.find("neg_0"), std::string::npos);
+    EXPECT_NE(text.find("pos_0 - neg_0"), std::string::npos);
+}
+
+TEST(RtlDesign, ArgmaxTiesToLowerIndexViaGe) {
+    const auto d = demo_design();
+    const std::string text = emit_module(d.argmax);
+    EXPECT_NE(text.find(">="), std::string::npos);
+    EXPECT_NE(text.find("$signed"), std::string::npos);
+}
+
+TEST(RtlDesign, ControllerHandlesWrapAndValid) {
+    const auto d = demo_design();
+    const std::string text = emit_module(d.controller);
+    EXPECT_NE(text.find("packet_index == 32'd2"), std::string::npos);  // 3 packets
+    EXPECT_NE(text.find("result_valid"), std::string::npos);
+    EXPECT_NE(text.find("valid_pipe"), std::string::npos);
+}
+
+TEST(RtlDesign, DontTouchPropagatesToCombModules) {
+    const auto m = demo_model();
+    ArchOptions o;
+    const auto d = generate_rtl(m, derive_architecture(m, o), /*strash=*/false);
+    EXPECT_TRUE(d.hcb_comb[0].dont_touch);
+    EXPECT_NE(emit_module(d.hcb_comb[0]).find("DONT_TOUCH"), std::string::npos);
+}
+
+TEST(RtlDesign, WriteDesignEmitsAllFiles) {
+    const auto d = demo_design();
+    const std::string dir = ::testing::TempDir() + "matador_rtl_test";
+    std::filesystem::remove_all(dir);
+    const auto files = write_design(d, dir);
+    // 3 comb + 3 seq + class_sum + argmax + ctrl + top = 10.
+    EXPECT_EQ(files.size(), 10u);
+    for (const auto& f : files) {
+        EXPECT_TRUE(std::filesystem::exists(f)) << f;
+        EXPECT_GT(std::filesystem::file_size(f), 0u) << f;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Testbench, SelfCheckingStructure) {
+    const auto m = demo_model();
+    ArchOptions o;
+    const auto d = generate_rtl(m, derive_architecture(m, o));
+    std::vector<BitVector> inputs;
+    BitVector x(130);
+    x.set(0);
+    inputs.push_back(x);
+    inputs.push_back(BitVector(130));
+    const std::string tb = generate_testbench(d, m, inputs);
+    EXPECT_NE(tb.find("module matador_tb;"), std::string::npos);
+    EXPECT_NE(tb.find("matador_top dut"), std::string::npos);
+    EXPECT_NE(tb.find("MATADOR-TB PASS"), std::string::npos);
+    EXPECT_NE(tb.find("initiation interval"), std::string::npos);
+    // 2 datapoints x 3 packets of stimulus.
+    EXPECT_NE(tb.find("stimulus[5]"), std::string::npos);
+    EXPECT_EQ(tb.find("stimulus[6]"), std::string::npos);
+    // Expected predictions baked in.
+    EXPECT_NE(tb.find("expected[1]"), std::string::npos);
+}
+
+TEST(Testbench, IlaStubTapsAxiAndResult) {
+    const auto d = demo_design();
+    const std::string ila = generate_ila_stub(d);
+    EXPECT_NE(ila.find("probe0(s_axis_tvalid & s_axis_tready)"), std::string::npos);
+    EXPECT_NE(ila.find("result_valid"), std::string::npos);
+    EXPECT_NE(ila.find("no BRAM"), std::string::npos);
+}
+
+}  // namespace

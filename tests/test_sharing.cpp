@@ -1,0 +1,114 @@
+#include "model/sharing_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace matador::model;
+
+TrainedModel model_with_duplicates() {
+    // 128 features (2 packets at bus 64), 2 classes, 4 clauses/class.
+    TrainedModel m(128, 2, 4);
+    // Three clauses share the identical partial in packet 0 (x1 & ~x2),
+    // spanning both classes; distinct tails in packet 1.
+    for (auto [c, j] : {std::pair<int, int>{0, 0}, {0, 2}, {1, 0}}) {
+        m.clause(std::size_t(c), std::size_t(j)).include_pos.set(1);
+        m.clause(std::size_t(c), std::size_t(j)).include_neg.set(2);
+    }
+    m.clause(0, 0).include_pos.set(70);
+    m.clause(0, 2).include_pos.set(71);
+    m.clause(1, 0).include_pos.set(72);
+    // One clause active only in packet 1.
+    m.clause(1, 2).include_neg.set(100);
+    // Clauses (0,1), (0,3), (1,1), (1,3) stay empty.
+    return m;
+}
+
+TEST(Sparsity, CountsAndDensity) {
+    const auto m = model_with_duplicates();
+    const auto s = analyze_sparsity(m);
+    EXPECT_EQ(s.total_clauses, 8u);
+    EXPECT_EQ(s.empty_clauses, 4u);
+    EXPECT_EQ(s.total_includes, 10u);
+    EXPECT_EQ(s.literal_slots, 8u * 2 * 128);
+    EXPECT_NEAR(s.include_density, 10.0 / 2048.0, 1e-12);
+    EXPECT_EQ(s.min_includes, 1u);
+    EXPECT_EQ(s.max_includes, 3u);
+    EXPECT_NEAR(s.mean_includes, 10.0 / 8.0, 1e-12);
+}
+
+TEST(Sparsity, AllEmptyModel) {
+    const TrainedModel m(32, 2, 2);
+    const auto s = analyze_sparsity(m);
+    EXPECT_EQ(s.empty_clauses, 4u);
+    EXPECT_EQ(s.min_includes, 0u);
+    EXPECT_EQ(s.max_includes, 0u);
+    EXPECT_DOUBLE_EQ(s.include_density, 0.0);
+}
+
+TEST(Sharing, DetectsPartialDuplicatesAcrossClasses) {
+    const auto m = model_with_duplicates();
+    const PacketPlan plan(128, 64);
+    const auto sh = analyze_sharing(m, plan);
+    ASSERT_EQ(sh.per_packet.size(), 2u);
+
+    const auto& p0 = sh.per_packet[0];
+    EXPECT_EQ(p0.total_partials, 3u);   // the three duplicated heads
+    EXPECT_EQ(p0.unique_partials, 1u);  // all identical
+    // Signature spans classes 0 and 1 -> inter-class duplicates.
+    EXPECT_EQ(p0.inter_class_duplicates, 2u);
+    EXPECT_EQ(p0.intra_class_duplicates, 0u);
+    EXPECT_NEAR(p0.sharing_ratio(), 2.0 / 3.0, 1e-12);
+
+    const auto& p1 = sh.per_packet[1];
+    EXPECT_EQ(p1.total_partials, 4u);  // 3 distinct tails + 1 lone clause
+    EXPECT_EQ(p1.unique_partials, 4u);
+    EXPECT_DOUBLE_EQ(p1.sharing_ratio(), 0.0);
+}
+
+TEST(Sharing, IntraClassAttribution) {
+    TrainedModel m(64, 2, 4);
+    // Two identical non-empty clauses inside class 0 only.
+    m.clause(0, 0).include_pos.set(5);
+    m.clause(0, 2).include_pos.set(5);
+    const auto sh = analyze_sharing(m, PacketPlan(64, 64));
+    EXPECT_EQ(sh.per_packet[0].intra_class_duplicates, 1u);
+    EXPECT_EQ(sh.per_packet[0].inter_class_duplicates, 0u);
+    EXPECT_EQ(sh.duplicate_full_clauses, 1u);
+}
+
+TEST(Sharing, TrivialPartialsCounted) {
+    const auto m = model_with_duplicates();
+    const auto sh = analyze_sharing(m, PacketPlan(128, 64));
+    // In packet 0: clause (1,2) is live but inactive there; empty clauses
+    // don't count as trivial (they're pruned, not routed).
+    EXPECT_GE(sh.per_packet[0].trivial_partials, 1u);
+}
+
+TEST(Sharing, DuplicateFullClauses) {
+    const auto m = model_with_duplicates();
+    const auto sh = analyze_sharing(m, PacketPlan(128, 64));
+    // All full clauses differ (distinct tails).
+    EXPECT_EQ(sh.duplicate_full_clauses, 0u);
+}
+
+TEST(Sharing, MeanRatioAveragesNonDegeneratePackets) {
+    const auto m = model_with_duplicates();
+    const auto sh = analyze_sharing(m, PacketPlan(128, 64));
+    EXPECT_NEAR(sh.mean_sharing_ratio, (2.0 / 3.0 + 0.0) / 2.0, 1e-12);
+}
+
+TEST(IncludeHistogram, BucketsSumToClauseCount) {
+    const auto m = model_with_duplicates();
+    const auto h = include_histogram(m, 4);
+    std::size_t sum = 0;
+    for (auto b : h) sum += b;
+    EXPECT_EQ(sum, m.total_clauses());
+}
+
+TEST(IncludeHistogram, ZeroBuckets) {
+    const auto m = model_with_duplicates();
+    EXPECT_TRUE(include_histogram(m, 0).empty());
+}
+
+}  // namespace

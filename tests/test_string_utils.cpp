@@ -1,0 +1,66 @@
+#include "util/string_utils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace matador::util;
+
+TEST(Split, BasicAndEmptyFields) {
+    const auto v = split("a,b,,c", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "");
+    EXPECT_EQ(v[3], "c");
+}
+
+TEST(Split, NoDelimiter) {
+    const auto v = split("abc", ',');
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], "abc");
+}
+
+TEST(Split, EmptyString) {
+    const auto v = split("", ',');
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], "");
+}
+
+TEST(Trim, StripsBothEnds) {
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StartsWith, Cases) {
+    EXPECT_TRUE(starts_with("module foo", "module"));
+    EXPECT_FALSE(starts_with("mod", "module"));
+    EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Join, Basic) {
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(FormatDouble, Precision) {
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_double(1.0, 3), "1.000");
+}
+
+TEST(WithCommas, GroupsThousands) {
+    EXPECT_EQ(with_commas(0), "0");
+    EXPECT_EQ(with_commas(999), "999");
+    EXPECT_EQ(with_commas(1000), "1,000");
+    EXPECT_EQ(with_commas(3846153), "3,846,153");
+    EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(ToLower, Ascii) {
+    EXPECT_EQ(to_lower("MNIST"), "mnist");
+    EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+}
+
+}  // namespace

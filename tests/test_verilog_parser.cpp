@@ -1,0 +1,143 @@
+#include "rtl/verilog_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/aig_simulate.hpp"
+
+namespace {
+
+using matador::rtl::parse_structural_verilog;
+using namespace matador::logic;
+
+TEST(Parser, MinimalModule) {
+    const auto p = parse_structural_verilog(
+        "module m (\n  input wire a,\n  output wire y\n);\n"
+        "  assign y = ~a;\nendmodule\n");
+    EXPECT_EQ(p.name, "m");
+    EXPECT_EQ(p.aig.num_pis(), 1u);
+    EXPECT_EQ(p.aig.num_pos(), 1u);
+    EXPECT_EQ(simulate_single(p.aig, {true})[0], false);
+    EXPECT_EQ(simulate_single(p.aig, {false})[0], true);
+}
+
+TEST(Parser, VectorPortsAndBitOrder) {
+    const auto p = parse_structural_verilog(
+        "module m (\n  input wire [2:0] a,\n  output wire [1:0] y\n);\n"
+        "  assign y[0] = a[0] & a[1];\n"
+        "  assign y[1] = a[2];\n"
+        "endmodule\n");
+    EXPECT_EQ(p.aig.num_pis(), 3u);
+    ASSERT_EQ(p.input_bits.size(), 3u);
+    EXPECT_EQ(p.input_bits[0], "a[0]");
+    EXPECT_EQ(p.output_bits[1], "y[1]");
+    const auto out = simulate_single(p.aig, {true, true, false});
+    EXPECT_TRUE(out[0]);
+    EXPECT_FALSE(out[1]);
+}
+
+TEST(Parser, WiresAndOperators) {
+    const auto p = parse_structural_verilog(
+        "module m (input wire a, input wire b, input wire c, output wire y);\n"
+        "  wire t1;\n  wire t2;\n"
+        "  assign t1 = a & ~b;\n"
+        "  assign t2 = t1 | c;\n"
+        "  assign y = t2 ^ a;\n"
+        "endmodule\n");
+    for (int pat = 0; pat < 8; ++pat) {
+        const bool a = pat & 1, b = pat & 2, c = pat & 4;
+        const bool expected = ((a && !b) || c) != a;
+        EXPECT_EQ(simulate_single(p.aig, {a, b, c})[0], expected);
+    }
+}
+
+TEST(Parser, ParensAndConstants) {
+    const auto p = parse_structural_verilog(
+        "module m (input wire a, output wire y, output wire z);\n"
+        "  assign y = (a | 1'b0) & 1'b1;\n"
+        "  assign z = 1'b1;\n"
+        "endmodule\n");
+    EXPECT_EQ(simulate_single(p.aig, {true})[0], true);
+    EXPECT_EQ(simulate_single(p.aig, {false})[1], true);
+}
+
+TEST(Parser, CommentsAndAttributesSkipped) {
+    const auto p = parse_structural_verilog(
+        "// header comment\n(* DONT_TOUCH = \"yes\" *)\n"
+        "module m (input wire a, output wire y);\n"
+        "  // mid comment\n"
+        "  assign y = a;  // trailing\n"
+        "endmodule\n");
+    EXPECT_EQ(p.aig.num_pos(), 1u);
+}
+
+TEST(Parser, OperatorPrecedenceAndBeforeOr) {
+    const auto p = parse_structural_verilog(
+        "module m (input wire a, input wire b, input wire c, output wire y);\n"
+        "  assign y = a | b & c;\n"
+        "endmodule\n");
+    // Must parse as a | (b & c).
+    EXPECT_EQ(simulate_single(p.aig, {true, false, false})[0], true);
+    EXPECT_EQ(simulate_single(p.aig, {false, true, false})[0], false);
+}
+
+TEST(Parser, ErrorUndeclaredSignal) {
+    EXPECT_THROW(parse_structural_verilog(
+                     "module m (input wire a, output wire y);\n"
+                     "  assign y = ghost;\nendmodule\n"),
+                 std::runtime_error);
+}
+
+TEST(Parser, ErrorUseBeforeAssign) {
+    EXPECT_THROW(parse_structural_verilog(
+                     "module m (input wire a, output wire y);\n"
+                     "  wire t;\n  assign y = t;\n  assign t = a;\nendmodule\n"),
+                 std::runtime_error);
+}
+
+TEST(Parser, ErrorMultipleDrivers) {
+    EXPECT_THROW(parse_structural_verilog(
+                     "module m (input wire a, output wire y);\n"
+                     "  assign y = a;\n  assign y = ~a;\nendmodule\n"),
+                 std::runtime_error);
+}
+
+TEST(Parser, ErrorUnassignedOutput) {
+    EXPECT_THROW(parse_structural_verilog(
+                     "module m (input wire a, output wire [1:0] y);\n"
+                     "  assign y[0] = a;\nendmodule\n"),
+                 std::runtime_error);
+}
+
+TEST(Parser, ErrorWideConstant) {
+    EXPECT_THROW(parse_structural_verilog(
+                     "module m (input wire a, output wire y);\n"
+                     "  assign y = 2'b10;\nendmodule\n"),
+                 std::runtime_error);
+}
+
+TEST(Parser, ErrorMissingEndmodule) {
+    EXPECT_THROW(parse_structural_verilog(
+                     "module m (input wire a, output wire y);\n  assign y = a;\n"),
+                 std::runtime_error);
+}
+
+TEST(Parser, ErrorBitIndexOutOfRange) {
+    EXPECT_THROW(parse_structural_verilog(
+                     "module m (input wire [1:0] a, output wire y);\n"
+                     "  assign y = a[5];\nendmodule\n"),
+                 std::runtime_error);
+}
+
+TEST(Parser, ErrorMessageIncludesLineNumber) {
+    try {
+        parse_structural_verilog(
+            "module m (input wire a, output wire y);\n"
+            "  assign y = ghost;\n"
+            "endmodule\n");
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+#include "rtl/verilog_writer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace matador::rtl;
+
+TEST(Writer, Atoms) {
+    EXPECT_EQ(emit_expr(*ref("clk")), "clk");
+    EXPECT_EQ(emit_expr(*idx("bus", 3)), "bus[3]");
+    EXPECT_EQ(emit_expr(*slice("bus", 7, 0)), "bus[7:0]");
+    EXPECT_EQ(emit_expr(*bconst(1, 1)), "1'b1");
+    EXPECT_EQ(emit_expr(*bconst(8, 200)), "8'd200");
+    EXPECT_EQ(emit_expr(*uconst(42)), "42");
+}
+
+TEST(Writer, UnaryAndBinary) {
+    EXPECT_EQ(emit_expr(*vnot(ref("a"))), "~a");
+    EXPECT_EQ(emit_expr(*vand(ref("a"), ref("b"))), "a & b");
+    EXPECT_EQ(emit_expr(*vor(ref("a"), ref("b"))), "a | b");
+    EXPECT_EQ(emit_expr(*vxor(ref("a"), ref("b"))), "a ^ b");
+    EXPECT_EQ(emit_expr(*vadd(ref("a"), ref("b"))), "a + b");
+}
+
+TEST(Writer, PrecedenceParens) {
+    // OR of ANDs needs no parens; AND of ORs does.
+    EXPECT_EQ(emit_expr(*vor(vand(ref("a"), ref("b")), ref("c"))), "a & b | c");
+    EXPECT_EQ(emit_expr(*vand(vor(ref("a"), ref("b")), ref("c"))), "(a | b) & c");
+    EXPECT_EQ(emit_expr(*vnot(vand(ref("a"), ref("b")))), "~(a & b)");
+    EXPECT_EQ(emit_expr(*vand(vnot(ref("a")), ref("b"))), "~a & b");
+}
+
+TEST(Writer, TernaryAndSigned) {
+    EXPECT_EQ(emit_expr(*vternary(ref("c"), ref("x"), ref("y"))), "c ? x : y");
+    EXPECT_EQ(emit_expr(*vsigned(ref("v"))), "$signed(v)");
+    EXPECT_EQ(emit_expr(*vge(vsigned(ref("a")), vsigned(ref("b")))),
+              "$signed(a) >= $signed(b)");
+}
+
+TEST(Writer, Concat) {
+    EXPECT_EQ(emit_expr(*vconcat({ref("hi"), ref("lo")})), "{hi, lo}");
+}
+
+TEST(Writer, ModuleSkeleton) {
+    Module m;
+    m.name = "demo";
+    m.header_comments = {"a comment"};
+    m.ports.push_back({"clk", 1, PortDir::kInput, false});
+    m.ports.push_back({"q", 4, PortDir::kOutput, true});
+    m.nets.push_back({"t", 1, false, false, "note"});
+    m.assigns.push_back({ref("t"), vand(ref("clk"), bconst(1, 1))});
+    AlwaysFF ff;
+    ff.body.push_back(nb(ref("q"), vconcat({slice("q", 2, 0), ref("t")})));
+    m.always_blocks.push_back(std::move(ff));
+
+    const std::string text = emit_module(m);
+    EXPECT_NE(text.find("// a comment"), std::string::npos);
+    EXPECT_NE(text.find("module demo ("), std::string::npos);
+    EXPECT_NE(text.find("input wire clk,"), std::string::npos);
+    EXPECT_NE(text.find("output reg [3:0] q"), std::string::npos);
+    EXPECT_NE(text.find("wire t;  // note"), std::string::npos);
+    EXPECT_NE(text.find("assign t = clk & 1'b1;"), std::string::npos);
+    EXPECT_NE(text.find("always @(posedge clk) begin"), std::string::npos);
+    EXPECT_NE(text.find("q <= {q[2:0], t};"), std::string::npos);
+    EXPECT_NE(text.find("endmodule"), std::string::npos);
+}
+
+TEST(Writer, DontTouchAttribute) {
+    Module m;
+    m.name = "dt";
+    m.dont_touch = true;
+    m.ports.push_back({"a", 1, PortDir::kInput, false});
+    EXPECT_NE(emit_module(m).find("(* DONT_TOUCH = \"yes\" *)"), std::string::npos);
+}
+
+TEST(Writer, IfElseAndCase) {
+    Module m;
+    m.name = "fsm";
+    m.ports.push_back({"clk", 1, PortDir::kInput, false});
+    m.ports.push_back({"rst", 1, PortDir::kInput, false});
+    m.nets.push_back({"state", 2, true, false, ""});
+    AlwaysFF ff;
+    IfStmt top;
+    top.cond = ref("rst");
+    top.then_body.push_back(nb(ref("state"), bconst(2, 0)));
+    CaseStmt cs;
+    cs.subject = ref("state");
+    CaseItem i0;
+    i0.label = bconst(2, 0);
+    i0.body.push_back(nb(ref("state"), bconst(2, 1)));
+    CaseItem idef;
+    idef.label = nullptr;
+    idef.body.push_back(nb(ref("state"), bconst(2, 0)));
+    cs.items = {i0, idef};
+    top.else_body.push_back(Stmt{cs});
+    ff.body.push_back(Stmt{top});
+    m.always_blocks.push_back(std::move(ff));
+
+    const std::string text = emit_module(m);
+    EXPECT_NE(text.find("if (rst)"), std::string::npos);
+    EXPECT_NE(text.find("else"), std::string::npos);
+    EXPECT_NE(text.find("case (state)"), std::string::npos);
+    EXPECT_NE(text.find("default:"), std::string::npos);
+    EXPECT_NE(text.find("endcase"), std::string::npos);
+}
+
+TEST(Writer, InstanceConnections) {
+    Module m;
+    m.name = "wrapper";
+    m.ports.push_back({"clk", 1, PortDir::kInput, false});
+    Instance inst;
+    inst.module_name = "child";
+    inst.instance_name = "u_child";
+    inst.connections.emplace_back("clk", ref("clk"));
+    inst.connections.emplace_back("d", bconst(1, 0));
+    m.instances.push_back(std::move(inst));
+    const std::string text = emit_module(m);
+    EXPECT_NE(text.find("child u_child ("), std::string::npos);
+    EXPECT_NE(text.find(".clk(clk),"), std::string::npos);
+    EXPECT_NE(text.find(".d(1'b0)"), std::string::npos);
+}
+
+TEST(Writer, SubtractionParenthesizesRight) {
+    // a - (b - c) must not print as a - b - c.
+    EXPECT_EQ(emit_expr(*vsub(ref("a"), vsub(ref("b"), ref("c")))), "a - (b - c)");
+}
+
+}  // namespace

@@ -1,0 +1,320 @@
+// matador: the command-line face of the automation tool (the paper's GUI,
+// Fig. 6(a), without the window).
+//
+// Subcommands (each drives the corresponding flow stage):
+//   matador flow      --dataset <spec> [options]        end-to-end run
+//   matador train     --dataset <spec> --model-out m.tm [options]
+//   matador generate  --model m.tm --rtl-out dir [options]
+//   matador verify    --model m.tm [options]
+//   matador simulate  --model m.tm [--vcd out.vcd] [--trace] [options]
+//   matador datasets                                    list dataset specs
+//
+// Dataset specs:
+//   mnist-like | kmnist-like | fmnist-like | cifar2-like | kws6-like |
+//   noisy-xor | iris-like                (synthetic surrogates)
+//   csv:<path>[:label=<col|last>][:levels=<n>]   (real data; thermometer
+//                                                 booleanized when levels>1,
+//                                                 threshold 0.5 otherwise)
+//
+// All FlowConfig keys are accepted as --<key> <value> (see config_io.hpp);
+// --config <file> loads a key=value file first, explicit flags override.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/config_io.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "data/csv_loader.hpp"
+#include "data/synthetic.hpp"
+#include "model/architecture.hpp"
+#include "rtl/generators.hpp"
+#include "rtl/pynq_driver_gen.hpp"
+#include "rtl/testbench_gen.hpp"
+#include "rtl/verification.hpp"
+#include "sim/accelerator_sim.hpp"
+#include "tm/tsetlin_machine.hpp"
+#include "util/string_utils.hpp"
+
+namespace {
+
+using namespace matador;
+
+[[noreturn]] void usage(int code) {
+    std::puts(
+        "usage: matador <flow|train|generate|verify|simulate|datasets> [options]\n"
+        "\n"
+        "common options:\n"
+        "  --dataset <spec>        dataset (see 'matador datasets')\n"
+        "  --examples <n>          synthetic examples per class (default 200)\n"
+        "  --data-seed <n>         synthetic dataset seed\n"
+        "  --train-fraction <f>    train/test split (default 0.85)\n"
+        "  --model <file>          trained model input (.tm)\n"
+        "  --model-out <file>      trained model output (.tm)\n"
+        "  --rtl-out <dir>         write the Verilog design here\n"
+        "  --config <file>         key=value flow configuration\n"
+        "  --vcd <file>            simulate: dump ILA-probe waveforms\n"
+        "  --trace                 simulate: print the cycle trace\n"
+        "  --<flow-key> <value>    any FlowConfig key (clauses_per_class,\n"
+        "                          threshold, specificity, epochs, bus_width,\n"
+        "                          clock_mhz, device, strash, ...)");
+    std::exit(code);
+}
+
+struct CliArgs {
+    std::string command;
+    std::map<std::string, std::string> options;
+    bool flag(const std::string& name) const { return options.count(name) > 0; }
+    std::string get(const std::string& name, const std::string& def = "") const {
+        const auto it = options.find(name);
+        return it == options.end() ? def : it->second;
+    }
+};
+
+CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
+    if (argc < 2) usage(1);
+    CliArgs args;
+    args.command = argv[1];
+
+    // First pass: --config loads the base file.
+    for (int i = 2; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--config")
+            cfg = core::load_flow_config_file(argv[i + 1]);
+
+    static const std::vector<std::string> cli_only = {
+        "dataset", "examples", "data-seed", "train-fraction", "model",
+        "model-out", "rtl-out", "config", "vcd", "trace", "datapoints"};
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) usage(1);
+        arg = arg.substr(2);
+        const bool is_flag = arg == "trace";
+        std::string value;
+        if (!is_flag) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for --%s\n", arg.c_str());
+                usage(1);
+            }
+            value = argv[++i];
+        }
+        if (std::find(cli_only.begin(), cli_only.end(), arg) != cli_only.end()) {
+            args.options[arg] = is_flag ? "1" : value;
+        } else if (!core::apply_flow_option(cfg, arg, value)) {
+            std::fprintf(stderr, "unknown option --%s\n", arg.c_str());
+            usage(1);
+        }
+    }
+    return args;
+}
+
+data::Dataset make_dataset(const CliArgs& args) {
+    const std::string spec = args.get("dataset");
+    if (spec.empty()) {
+        std::fprintf(stderr, "--dataset is required for this command\n");
+        usage(1);
+    }
+    const auto n = std::size_t(std::stoul(args.get("examples", "200")));
+    const auto seed = std::uint64_t(std::stoull(args.get("data-seed", "11")));
+
+    if (spec == "mnist-like") return data::make_mnist_like(n, seed);
+    if (spec == "kmnist-like") return data::make_kmnist_like(n, seed);
+    if (spec == "fmnist-like") return data::make_fmnist_like(n, seed);
+    if (spec == "cifar2-like") return data::make_cifar2_like(n, seed);
+    if (spec == "kws6-like") return data::make_kws6_like(n, seed);
+    if (spec == "noisy-xor") return data::make_noisy_xor(n * 10, 10, 0.02, seed);
+    if (spec == "iris-like") return data::make_iris_like(n, 4, seed);
+
+    if (spec.rfind("csv:", 0) == 0) {
+        // csv:<path>[:label=...][:levels=...]
+        const auto parts = util::split(spec.substr(4), ':');
+        data::CsvOptions opts;
+        std::size_t levels = 1;
+        for (std::size_t i = 1; i < parts.size(); ++i) {
+            if (parts[i].rfind("label=", 0) == 0) {
+                const std::string v = parts[i].substr(6);
+                opts.label_column = v == "last" ? -1 : std::stoi(v);
+            } else if (parts[i].rfind("levels=", 0) == 0) {
+                levels = std::stoul(parts[i].substr(7));
+            } else {
+                throw std::runtime_error("bad csv spec field: " + parts[i]);
+            }
+        }
+        const auto raw = data::load_csv_file(parts[0], opts);
+        if (levels > 1) {
+            data::QuantileBooleanizer q(levels);
+            q.fit(raw.rows);
+            return data::booleanize(raw, q, "csv");
+        }
+        // Features assumed normalized to [0, 1]: threshold at 0.5.
+        return data::booleanize(raw, data::ThresholdBooleanizer(0.5), "csv");
+    }
+    throw std::runtime_error("unknown dataset spec: " + spec);
+}
+
+model::TrainedModel load_model_arg(const CliArgs& args) {
+    const std::string path = args.get("model");
+    if (path.empty()) {
+        std::fprintf(stderr, "--model is required for this command\n");
+        usage(1);
+    }
+    return model::TrainedModel::load_file(path);
+}
+
+int cmd_flow(const CliArgs& args, core::FlowConfig cfg) {
+    if (!args.get("rtl-out").empty()) cfg.rtl_output_dir = args.get("rtl-out");
+    const auto ds = make_dataset(args);
+    const double frac = std::stod(args.get("train-fraction", "0.85"));
+    const auto split = data::train_test_split(ds, frac, 3);
+
+    const core::MatadorFlow flow(cfg);
+    const auto r = flow.run(split.train, split.test);
+    std::cout << core::format_flow_summary(r, ds.name);
+    std::cout << core::format_table({{ds.name, {core::to_table_row(r)}}});
+    if (!args.get("model-out").empty()) {
+        r.trained_model.save_file(args.get("model-out"));
+        std::printf("model written to %s\n", args.get("model-out").c_str());
+    }
+    return r.verification.ok() && r.system_verified ? 0 : 1;
+}
+
+int cmd_train(const CliArgs& args, const core::FlowConfig& cfg) {
+    const auto ds = make_dataset(args);
+    const double frac = std::stod(args.get("train-fraction", "0.85"));
+    const auto split = data::train_test_split(ds, frac, 3);
+
+    tm::TsetlinMachine machine(cfg.tm, ds.num_features, ds.num_classes);
+    machine.fit(split.train, cfg.epochs);
+    const auto m = machine.export_model();
+    std::printf("trained: %.2f%% train / %.2f%% test accuracy, %zu includes, "
+                "%.3f%% density\n",
+                100.0 * machine.evaluate(split.train),
+                100.0 * machine.evaluate(split.test), m.total_includes(),
+                100.0 * m.include_density());
+
+    const std::string out = args.get("model-out", "model.tm");
+    m.save_file(out);
+    std::printf("model written to %s\n", out.c_str());
+    return 0;
+}
+
+int cmd_generate(const CliArgs& args, const core::FlowConfig& cfg) {
+    const auto m = load_model_arg(args);
+    const auto arch = model::derive_architecture(m, cfg.arch);
+    const auto design = rtl::generate_rtl(m, arch, cfg.strash);
+
+    const std::string dir = args.get("rtl-out", "./matador_rtl");
+    const auto files = rtl::write_design(design, dir);
+    std::ofstream(dir + "/ila_stub.vh") << rtl::generate_ila_stub(design);
+    // Deploy-side validation artefacts: random stimulus + golden labels.
+    {
+        util::Xoshiro256ss rng(17);
+        std::vector<util::BitVector> samples;
+        for (int i = 0; i < 8; ++i) {
+            util::BitVector x(m.num_features());
+            for (std::size_t w = 0; w < x.word_count(); ++w) x.set_word(w, rng());
+            samples.push_back(std::move(x));
+        }
+        std::ofstream(dir + "/matador_tb.v")
+            << rtl::generate_testbench(design, m, samples);
+        std::ofstream(dir + "/validate_deploy.py")
+            << rtl::generate_pynq_driver(design, m, samples);
+    }
+    std::printf("%zu RTL files written to %s (+ testbench, ILA stub, deploy driver)\n",
+                files.size(), dir.c_str());
+    std::printf("architecture: %zu packets x %zub, latency %zu cycles, II %zu\n",
+                arch.plan.num_packets(), arch.options.bus_width,
+                arch.latency_cycles(), arch.initiation_interval());
+    return 0;
+}
+
+int cmd_verify(const CliArgs& args, const core::FlowConfig& cfg) {
+    const auto m = load_model_arg(args);
+    const auto arch = model::derive_architecture(m, cfg.arch);
+    const auto design = rtl::generate_rtl(m, arch, cfg.strash);
+    const auto rep = rtl::verify_design(design, m, cfg.verify_vectors, 1234);
+    std::printf("expressions vs model : %s\n",
+                rep.expressions_match_model ? "OK" : "FAIL");
+    std::printf("HCB netlists         : %s\n",
+                rep.hcb_aigs_match_expressions ? "OK" : "FAIL");
+    std::printf("RTL text co-sim      : %s (%zu HCBs)\n",
+                rep.rtl_matches_aigs ? "OK" : "FAIL", rep.hcbs_checked);
+    if (!rep.first_failure.empty())
+        std::printf("first failure: %s\n", rep.first_failure.c_str());
+    return rep.ok() ? 0 : 1;
+}
+
+int cmd_simulate(const CliArgs& args, const core::FlowConfig& cfg) {
+    const auto m = load_model_arg(args);
+    const auto arch = model::derive_architecture(m, cfg.arch);
+    sim::AcceleratorSim simulator(m, arch);
+
+    // Random stimulus (a dataset file may not exist for an imported model).
+    util::Xoshiro256ss rng(7);
+    const auto n = std::size_t(std::stoul(args.get("datapoints", "16")));
+    std::vector<util::BitVector> inputs;
+    for (std::size_t i = 0; i < n; ++i) {
+        util::BitVector x(m.num_features());
+        for (std::size_t w = 0; w < x.word_count(); ++w) x.set_word(w, rng());
+        inputs.push_back(std::move(x));
+    }
+
+    sim::SimConfig sc;
+    sc.record_trace = args.flag("trace");
+    sc.vcd_path = args.get("vcd");
+    const auto r = simulator.run(inputs, sc);
+
+    bool ok = r.predictions.size() == inputs.size();
+    for (std::size_t i = 0; ok && i < inputs.size(); ++i)
+        ok = r.predictions[i] == m.predict(inputs[i]);
+    std::printf("streamed %zu datapoints: predictions %s golden model\n", n,
+                ok ? "match" : "MISMATCH");
+    std::printf("latency %zu cycles (formula %zu), II %.1f (formula %zu)\n",
+                r.first_latency_cycles, arch.latency_cycles(),
+                r.mean_initiation_interval, arch.initiation_interval());
+    if (sc.record_trace)
+        for (const auto& e : r.trace)
+            std::printf("  cycle %3zu | %s\n", e.cycle, e.what.c_str());
+    if (!sc.vcd_path.empty()) std::printf("waveforms: %s\n", sc.vcd_path.c_str());
+    return ok ? 0 : 1;
+}
+
+int cmd_datasets() {
+    std::puts(
+        "synthetic surrogates (paper evaluation shapes):\n"
+        "  mnist-like    784 bits, 10 classes\n"
+        "  kmnist-like   784 bits, 10 classes (harder)\n"
+        "  fmnist-like   784 bits, 10 classes (denser)\n"
+        "  cifar2-like  1024 bits,  2 classes\n"
+        "  kws6-like     377 bits,  6 classes (13 bands x 29 frames)\n"
+        "  noisy-xor      12 bits,  2 classes\n"
+        "  iris-like      16 bits,  3 classes\n"
+        "real data:\n"
+        "  csv:<path>[:label=<col|last>][:levels=<n>]");
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        core::FlowConfig cfg;
+        const CliArgs args = parse_args(argc, argv, cfg);
+        if (args.command == "flow") return cmd_flow(args, cfg);
+        if (args.command == "train") return cmd_train(args, cfg);
+        if (args.command == "generate") return cmd_generate(args, cfg);
+        if (args.command == "verify") return cmd_verify(args, cfg);
+        if (args.command == "simulate") return cmd_simulate(args, cfg);
+        if (args.command == "datasets") return cmd_datasets();
+        if (args.command == "help" || args.command == "--help") usage(0);
+        std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
+        usage(1);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "matador: %s\n", e.what());
+        return 1;
+    }
+}
