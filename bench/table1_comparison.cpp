@@ -19,7 +19,7 @@
 #include "baseline/finn_model.hpp"
 #include "baseline/finn_sim.hpp"
 #include "bench_common.hpp"
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 
 namespace {
@@ -111,16 +111,21 @@ int main(int argc, char** argv) {
         cfg.sim_datapoints = 16;
         cfg.skip_rtl_verification = true;  // ladder covered by ctest; keep
                                            // the bench about the numbers
-        const auto r = core::MatadorFlow(cfg).run(split.train, split.test);
+        const auto ctx = core::Pipeline(cfg).run(split.train, split.test);
+        const auto r = ctx.to_flow_result();
 
         std::vector<core::TableRow> rows;
         rows.push_back(finn_row(w, split));
         rows.push_back(core::to_table_row(r, "MATADOR"));
         groups.emplace_back(w.display_name, std::move(rows));
 
-        std::printf("  MATADOR: %zu pkts, %zu cyc latency @%.1f MHz, sys-verified=%s\n",
+        std::printf("  MATADOR: %zu pkts, %zu cyc latency @%.1f MHz, sys-verified=%s"
+                    " (train %.1f s, generate %.1f s, total %.1f s)\n",
                     r.arch.plan.num_packets(), r.arch.latency_cycles(),
-                    r.arch.options.clock_mhz, r.system_verified ? "yes" : "NO");
+                    r.arch.options.clock_mhz, r.system_verified ? "yes" : "NO",
+                    ctx.record(core::StageKind::kTrain).seconds,
+                    ctx.record(core::StageKind::kGenerate).seconds,
+                    ctx.total_seconds());
 
         // Cross-check the FINN side the same way: the cycle-level dataflow
         // simulator must measure the analytic initiation interval.

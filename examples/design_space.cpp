@@ -1,5 +1,5 @@
 // Design-space exploration: the trade-off study the MATADOR GUI guides
-// users through (Fig. 6(a)).
+// users through (Fig. 6(a)), driven by the multi-threaded sweep API.
 //
 // Sweeps the two first-order design knobs on one dataset:
 //   * clauses per class (model capacity vs logic/registers),
@@ -8,10 +8,14 @@
 // showing that throughput depends ONLY on bandwidth (f / packets) while
 // resources and accuracy follow the model size, the paper's central
 // "bandwidth driven" design argument.
+//
+// The sweep fans the 12-point grid across worker threads sharing one
+// artifact cache, so each clause count trains once and its three bus-width
+// variants reuse the cached model.
 #include <cstdio>
 #include <iostream>
 
-#include "core/flow.hpp"
+#include "core/sweep.hpp"
 #include "data/synthetic.hpp"
 
 int main() {
@@ -29,34 +33,41 @@ int main() {
     const auto ds = data::make_image_like(p);
     const auto split = data::train_test_split(ds, 0.85, 7);
 
+    core::FlowConfig base;
+    base.tm.threshold = 15;
+    base.tm.specificity = 4.0;
+    base.tm.seed = 42;
+    base.epochs = 5;
+    base.verify_vectors = 2;
+    base.sim_datapoints = 8;
+    base.skip_rtl_verification = true;  // DSE mode: fast estimates
+
+    const auto grid = core::expand_grid(
+        base, {{"clauses_per_class", {"25", "50", "100", "200"}},
+               {"bus_width", {"16", "32", "64"}}});
+    const auto sweep = core::Pipeline::sweep(split.train, split.test, grid, {});
+
     std::printf("%-8s %-6s | %-7s %-7s %-9s | %-8s %-8s %-9s %-12s\n",
                 "clauses", "bus", "acc(%)", "LUTs", "regs", "lat(cyc)",
                 "lat(us)", "pwr(W)", "thrpt(inf/s)");
     std::puts(std::string(92, '-').c_str());
 
-    for (std::size_t cpc : {25u, 50u, 100u, 200u}) {
-        for (std::size_t bus : {16u, 32u, 64u}) {
-            core::FlowConfig cfg;
-            cfg.tm.clauses_per_class = cpc;
-            cfg.tm.threshold = 15;
-            cfg.tm.specificity = 4.0;
-            cfg.tm.seed = 42;
-            cfg.epochs = 5;
-            cfg.arch.bus_width = bus;
-            cfg.verify_vectors = 2;
-            cfg.sim_datapoints = 8;
-            cfg.skip_rtl_verification = true;  // DSE mode: fast estimates
-
-            const auto r = core::MatadorFlow(cfg).run(split.train, split.test);
-            std::printf(
-                "%-8zu %-6zu | %-7.2f %-7zu %-9zu | %-8zu %-8.3f %-9.3f %-12lld%s\n",
-                cpc, bus, 100.0 * r.test_accuracy, r.resources.luts,
-                r.resources.registers, r.arch.latency_cycles(), r.latency_us,
-                r.power.total_w, (long long)(r.throughput_inf_per_s),
-                r.system_verified ? "" : "  [SIM-FAIL]");
-        }
+    for (const auto& point : sweep.points) {
+        const auto& r = point.result;
+        std::printf(
+            "%-8zu %-6zu | %-7.2f %-7zu %-9zu | %-8zu %-8.3f %-9.3f %-12lld%s\n",
+            point.cfg.tm.clauses_per_class, point.cfg.arch.bus_width,
+            100.0 * r.test_accuracy, r.resources.luts, r.resources.registers,
+            r.arch.latency_cycles(), r.latency_us, r.power.total_w,
+            (long long)(r.throughput_inf_per_s),
+            point.ok ? "" : "  [FAIL]");
     }
 
+    std::printf(
+        "\n%zu design points on %u threads in %.2f s; front-end cache: "
+        "%zu trainings, %zu reused\n",
+        sweep.points.size(), sweep.threads_used, sweep.wall_seconds,
+        sweep.cache_stats.misses, sweep.cache_stats.hits);
     std::cout << "\nNote: throughput depends only on the bus width (packets per\n"
                  "datapoint), not on the clause count - MATADOR is bandwidth\n"
                  "driven. Resources grow with clauses per class instead.\n";

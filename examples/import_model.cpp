@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "data/synthetic.hpp"
 #include "tm/tsetlin_machine.hpp"
@@ -33,8 +33,8 @@ int main() {
     cfg.arch.bus_width = 8;
 
     // 1. "External" training + save.
-    const core::MatadorFlow flow(cfg);
-    const auto trained = flow.run(split.train, split.test);
+    const core::Pipeline pipeline(cfg);
+    const auto trained = pipeline.run(split.train, split.test).to_flow_result();
     const std::string path = "./iris_model.tm";
     trained.trained_model.save_file(path);
     std::printf("saved model to %s (%zu includes, density %.3f%%)\n", path.c_str(),
@@ -46,9 +46,12 @@ int main() {
     std::printf("reloaded: identical to saved model: %s\n",
                 loaded == trained.trained_model ? "yes" : "NO");
 
-    // 3. Import flow.
-    const auto imported = flow.run_with_model(loaded, &split.test);
+    // 3. Import flow: the train stage sees the supplied model and skips
+    //    training (it reports status "skipped" in the stage table).
+    const auto imported_ctx = pipeline.run_with_model(loaded, &split.test);
+    const auto imported = imported_ctx.to_flow_result();
     std::cout << core::format_flow_summary(imported, "imported iris-like model");
+    std::cout << "\n" << core::format_stage_report(imported_ctx);
     std::printf("import flow reproduces training flow: LUTs %s, latency %s\n",
                 imported.resources.luts == trained.resources.luts ? "match"
                                                                   : "MISMATCH",
@@ -65,5 +68,5 @@ int main() {
     std::printf("fine-tuning from import: %.2f%% -> %.2f%% test accuracy\n",
                 100.0 * before, 100.0 * after);
 
-    return imported.verification.ok() && imported.system_verified ? 0 : 1;
+    return imported_ctx.ok() ? 0 : 1;
 }

@@ -7,7 +7,7 @@
 // datapoint (the Fig. 7 timing diagram, measured rather than drawn).
 #include <iostream>
 
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "data/synthetic.hpp"
 #include "sim/accelerator_sim.hpp"
@@ -29,9 +29,11 @@ int main() {
     cfg.verify_vectors = 4;
     cfg.sim_datapoints = 24;
 
-    const core::MatadorFlow flow(cfg);
-    const core::FlowResult r = flow.run(split.train, split.test);
+    const core::Pipeline pipeline(cfg);
+    const core::CompileContext ctx = pipeline.run(split.train, split.test);
+    const core::FlowResult r = ctx.to_flow_result();
     std::cout << core::format_flow_summary(r, "kws6-like / 300 clauses per class");
+    std::cout << "\n" << core::format_stage_report(ctx);
 
     // Fig. 3: sharing per packet.
     std::cout << "\nexpression sharing per packet (Fig. 3 claim):\n";
@@ -57,5 +59,5 @@ int main() {
     std::printf("  -> first-result latency %zu cycles, II %.1f cycles\n",
                 sr.first_latency_cycles, sr.mean_initiation_interval);
 
-    return r.verification.ok() && r.system_verified ? 0 : 1;
+    return ctx.ok() ? 0 : 1;
 }

@@ -10,7 +10,7 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "data/synthetic.hpp"
 #include "model/architecture.hpp"
@@ -37,10 +37,12 @@ int main(int argc, char** argv) {
     cfg.sim_datapoints = 24;
     cfg.rtl_output_dir = argc > 1 ? argv[1] : "./mnist_rtl";
 
-    const core::MatadorFlow flow(cfg);
-    const core::FlowResult r = flow.run(split.train, split.test);
+    const core::Pipeline pipeline(cfg);
+    const core::CompileContext ctx = pipeline.run(split.train, split.test);
+    const core::FlowResult r = ctx.to_flow_result();
 
     std::cout << core::format_flow_summary(r, "mnist-like / 200 clauses per class");
+    std::cout << "\n" << core::format_stage_report(ctx);
 
     // Fig. 4 detail: the packet plan.
     std::cout << "\npacketization: " << r.arch.plan.input_bits << " bits -> "
@@ -48,10 +50,10 @@ int main(int argc, char** argv) {
               << r.arch.plan.bus_width << " bits ("
               << r.arch.plan.padding_bits() << " pad bits in the last packet)\n";
 
-    // Auto-debug artefacts: testbench + ILA stub alongside the RTL.
+    // Auto-debug artefacts: testbench + ILA stub alongside the RTL.  The
+    // generate stage already built the design; reuse it from the context.
     {
-        const auto arch = r.arch;
-        const auto design = rtl::generate_rtl(r.trained_model, arch);
+        const auto& design = *ctx.design;
         std::vector<util::BitVector> tb_inputs(split.test.examples.begin(),
                                                split.test.examples.begin() + 4);
         const std::string tb = rtl::generate_testbench(design, r.trained_model, tb_inputs);
@@ -69,5 +71,5 @@ int main(int argc, char** argv) {
     std::cout << "\nTable-I-style row:\n"
               << core::format_table(
                      {{"MNIST-like", {core::to_table_row(r, "MATADOR")}}});
-    return r.verification.ok() && r.system_verified ? 0 : 1;
+    return ctx.ok() ? 0 : 1;
 }

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "data/synthetic.hpp"
 
@@ -30,14 +30,17 @@ int main(int argc, char** argv) {
     cfg.arch.bus_width = 8;  // tiny input -> small packets, several HCBs
     if (argc > 1) cfg.rtl_output_dir = argv[1];
 
-    // 3. Run: train -> analyze -> generate -> verify -> simulate -> report.
-    const core::MatadorFlow flow(cfg);
-    const core::FlowResult result = flow.run(split.train, split.test);
+    // 3. Run the staged pipeline:
+    //    train -> analyze -> architect -> generate -> verify -> report.
+    const core::Pipeline pipeline(cfg);
+    const core::CompileContext ctx = pipeline.run(split.train, split.test);
+    const core::FlowResult result = ctx.to_flow_result();
 
     std::cout << core::format_flow_summary(result, "noisy-xor quickstart");
+    std::cout << "\n" << core::format_stage_report(ctx);
     if (!result.rtl_files.empty()) {
         std::cout << "\nGenerated RTL:\n";
         for (const auto& f : result.rtl_files) std::cout << "  " << f << "\n";
     }
-    return result.verification.ok() && result.system_verified ? 0 : 1;
+    return ctx.ok() ? 0 : 1;
 }

@@ -1,0 +1,83 @@
+#include "core/artifact_cache.hpp"
+
+namespace matador::core {
+
+std::uint64_t frontend_config_hash(const FlowConfig& cfg) {
+    Fnv1a h;
+    h.u64(cfg.tm.clauses_per_class);
+    h.u64(std::uint64_t(std::int64_t(cfg.tm.threshold)));
+    h.f64(cfg.tm.specificity);
+    h.u64(cfg.tm.boost_true_positive ? 1 : 0);
+    h.u64(std::uint64_t(cfg.tm.feedback));
+    h.u64(cfg.tm.seed);
+    h.u64(cfg.epochs);
+    return h.digest();
+}
+
+std::uint64_t dataset_fingerprint(const data::Dataset& ds) {
+    Fnv1a h;
+    h.u64(ds.num_features);
+    h.u64(ds.num_classes);
+    h.u64(ds.size());
+    for (auto label : ds.labels) h.u64(label);
+    for (const auto& x : ds.examples) h.u64(x.hash());
+    return h.digest();
+}
+
+std::optional<TrainedArtifact> ArtifactCache::find(std::uint64_t key) const {
+    std::shared_ptr<Slot> slot;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = slots_.find(key);
+        if (it == slots_.end()) return std::nullopt;
+        slot = it->second;
+    }
+    // Non-blocking, as documented: an in-flight compute holds slot->mu for
+    // its whole run, so a plain lock here would wait on it.
+    std::unique_lock<std::mutex> lock(slot->mu, std::try_to_lock);
+    if (!lock.owns_lock() || !slot->computed) return std::nullopt;
+    return slot->artifact;
+}
+
+TrainedArtifact ArtifactCache::get_or_compute(
+    std::uint64_t key, const std::function<TrainedArtifact()>& fn,
+    bool* was_cached) {
+    std::shared_ptr<Slot> slot;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto& entry = slots_[key];
+        if (!entry) entry = std::make_shared<Slot>();
+        slot = entry;
+    }
+    // Per-key lock: the first caller computes while same-key callers wait;
+    // other keys proceed in parallel.
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->computed) {
+        hits_++;
+        if (was_cached) *was_cached = true;
+        return slot->artifact;
+    }
+    slot->artifact = fn();
+    slot->computed = true;
+    misses_++;
+    if (was_cached) *was_cached = false;
+    return slot->artifact;
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+    Stats s;
+    s.hits = hits_.load();
+    s.misses = misses_.load();
+    std::lock_guard<std::mutex> lock(mu_);
+    s.entries = slots_.size();
+    return s;
+}
+
+void ArtifactCache::clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+}  // namespace matador::core

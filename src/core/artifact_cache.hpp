@@ -1,0 +1,98 @@
+// Artifact cache: config-hash-keyed reuse of expensive front-end artifacts.
+//
+// Design-space sweeps (Table I ablations) vary backend knobs — bus width,
+// clock, device — hundreds of times per study, but the trained model depends
+// only on the *front-end* slice of the FlowConfig (TM hyperparameters +
+// epochs) and the dataset contents.  The cache keys trained models by a
+// stable 64-bit hash of exactly that slice, so backend-only sweep points
+// skip retraining entirely.
+//
+// The cache is thread-safe and *single-flight*: concurrent sweep workers
+// asking for the same key block until the first worker has trained, then
+// share the result — training runs exactly once per distinct key.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "core/flow.hpp"
+#include "data/dataset.hpp"
+#include "model/trained_model.hpp"
+
+namespace matador::core {
+
+/// Streaming FNV-1a hasher for building cache keys out of config fields
+/// and dataset fingerprints.
+class Fnv1a {
+public:
+    void bytes(const void* p, std::size_t n) {
+        const auto* b = static_cast<const unsigned char*>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= b[i];
+            h_ *= 1099511628211ull;
+        }
+    }
+    void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+    void f64(double v) { bytes(&v, sizeof v); }
+    std::uint64_t digest() const { return h_; }
+
+private:
+    std::uint64_t h_ = 1469598103934665603ull;
+};
+
+/// Hash of the FlowConfig slice the front end (training) depends on.
+/// Two configs with equal front-end hashes train identical models.
+std::uint64_t frontend_config_hash(const FlowConfig& cfg);
+
+/// Stable content fingerprint of a dataset (shape, labels, feature bits).
+std::uint64_t dataset_fingerprint(const data::Dataset& ds);
+
+/// One cached front-end artifact set.
+struct TrainedArtifact {
+    std::shared_ptr<const model::TrainedModel> model;
+    double train_accuracy = 0.0;
+    double test_accuracy = 0.0;
+};
+
+/// Thread-safe, single-flight cache of trained front-end artifacts.
+class ArtifactCache {
+public:
+    struct Stats {
+        std::size_t hits = 0;    ///< lookups served from a finished entry
+        std::size_t misses = 0;  ///< lookups that ran the compute function
+        std::size_t entries = 0;
+    };
+
+    /// Lookup without computing (no single-flight wait; counts no stats).
+    std::optional<TrainedArtifact> find(std::uint64_t key) const;
+
+    /// Return the cached artifact for `key`, computing it with `fn` on the
+    /// first request.  Concurrent callers with the same key block until the
+    /// first finishes; `fn` runs exactly once per key.  Sets `*was_cached`
+    /// (when non-null) to whether the call was served without running `fn`.
+    TrainedArtifact get_or_compute(std::uint64_t key,
+                                   const std::function<TrainedArtifact()>& fn,
+                                   bool* was_cached = nullptr);
+
+    Stats stats() const;
+    void clear();
+
+private:
+    struct Slot {
+        std::mutex mu;
+        bool computed = false;
+        TrainedArtifact artifact;
+    };
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> slots_;
+    std::atomic<std::size_t> hits_{0};
+    std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace matador::core

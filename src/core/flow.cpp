@@ -1,150 +1,20 @@
 #include "core/flow.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "logic/lut_mapper.hpp"
-#include "model/clause_schedule.hpp"
-#include "rtl/generators.hpp"
-#include "sim/accelerator_sim.hpp"
-#include "util/rng.hpp"
+#include "core/pipeline.hpp"
 
 namespace matador::core {
 
-namespace {
-
-/// Max fanout of a packet-bit net: the number of live clauses that include
-/// the most popular feature (either polarity).  Drives the timing model.
-std::size_t max_feature_fanout(const model::TrainedModel& m) {
-    std::vector<std::size_t> fanout(m.num_features(), 0);
-    for (std::size_t c = 0; c < m.num_classes(); ++c) {
-        for (std::size_t j = 0; j < m.clauses_per_class(); ++j) {
-            const auto& cl = m.clause(c, j);
-            for (auto f : cl.include_pos.set_bits()) fanout[f]++;
-            for (auto f : cl.include_neg.set_bits()) fanout[f]++;
-        }
-    }
-    std::size_t mx = 0;
-    for (auto v : fanout) mx = std::max(mx, v);
-    return mx;
-}
-
-}  // namespace
+// MatadorFlow predates the staged pipeline; both entry points now just run
+// the full stage range and project the context onto the classic FlowResult.
 
 FlowResult MatadorFlow::run(const data::Dataset& train,
                             const data::Dataset& test) const {
-    tm::TsetlinMachine machine(cfg_.tm, train.num_features, train.num_classes);
-    machine.fit(train, cfg_.epochs);
-    model::TrainedModel m = machine.export_model();
-    return backend(std::move(m), machine.evaluate(train), machine.evaluate(test),
-                   &test);
+    return Pipeline(cfg_).run(train, test).to_flow_result();
 }
 
 FlowResult MatadorFlow::run_with_model(const model::TrainedModel& m,
                                        const data::Dataset* test) const {
-    double test_acc = 0.0;
-    if (test) {
-        std::size_t correct = 0;
-        for (std::size_t i = 0; i < test->size(); ++i)
-            correct += m.predict(test->examples[i]) == test->labels[i];
-        test_acc = test->size() ? double(correct) / double(test->size()) : 0.0;
-    }
-    return backend(m, 0.0, test_acc, test);
-}
-
-FlowResult MatadorFlow::backend(model::TrainedModel m, double train_acc,
-                                double test_acc, const data::Dataset* test) const {
-    FlowResult r;
-    r.train_accuracy = train_acc;
-    r.test_accuracy = test_acc;
-
-    // --- analyze ------------------------------------------------------------
-    r.arch = model::derive_architecture(m, cfg_.arch);
-    r.sparsity = model::analyze_sparsity(m);
-    r.sharing = model::analyze_sharing(m, r.arch.plan);
-    r.max_feature_fanout = max_feature_fanout(m);
-
-    // --- generate + map -----------------------------------------------------
-    rtl::RtlDesign design = rtl::generate_rtl(m, r.arch, cfg_.strash);
-    for (const auto& hcb : design.hcbs) {
-        if (cfg_.strash) {
-            const auto mapped = logic::map_to_luts(hcb.aig);
-            r.hcb_mapped_luts += mapped.lut_count;
-            r.hcb_max_depth = std::max(r.hcb_max_depth, mapped.depth);
-        } else {
-            // DON'T_TOUCH semantics (Fig. 8): synthesis may neither share
-            // nor repack the clause gates, so every AND instantiates as its
-            // own LUT and depth follows the raw gate network.
-            r.hcb_mapped_luts += hcb.aig.count_reachable_ands();
-            r.hcb_max_depth = std::max(r.hcb_max_depth, hcb.aig.depth());
-        }
-    }
-
-    // --- timing-driven frequency selection ----------------------------------
-    r.timing = cost::estimate_timing(r.hcb_max_depth, r.max_feature_fanout);
-    if (cfg_.auto_frequency) {
-        model::ArchOptions opts = cfg_.arch;
-        opts.clock_mhz = r.timing.recommended_mhz;
-        r.arch = model::derive_architecture(m, opts);
-        design.arch = r.arch;
-    }
-
-    // --- resources + power --------------------------------------------------
-    cost::MatadorResourceInputs rin;
-    rin.hcb_mapped_luts = r.hcb_mapped_luts;
-    rin.arch = r.arch;
-    rin.schedule = design.schedule;
-    r.resources = cost::estimate_matador_resources(rin);
-    const cost::DeviceSpec device = cost::device_by_name(cfg_.device);
-    r.power = cost::estimate_power(r.resources, device, r.arch.options.clock_mhz);
-
-    // --- verification ladder (auto-debug) -----------------------------------
-    if (!cfg_.skip_rtl_verification) {
-        r.verification =
-            rtl::verify_design(design, m, cfg_.verify_vectors, /*seed=*/1234);
-    } else {
-        r.verification.expressions_match_model = true;
-        r.verification.hcb_aigs_match_expressions = true;
-        r.verification.rtl_matches_aigs = true;
-    }
-
-    // --- system-level streaming check (cycle-accurate) -----------------------
-    {
-        std::vector<util::BitVector> inputs;
-        util::Xoshiro256ss rng(4321);
-        const std::size_t n = std::max<std::size_t>(2, cfg_.sim_datapoints);
-        for (std::size_t i = 0; i < n; ++i) {
-            if (test && i < test->size()) {
-                inputs.push_back(test->examples[i]);
-            } else {
-                util::BitVector x(m.num_features());
-                for (std::size_t w = 0; w < x.word_count(); ++w) x.set_word(w, rng());
-                inputs.push_back(std::move(x));
-            }
-        }
-        sim::AcceleratorSim simulator(m, r.arch);
-        const sim::SimResult sr = simulator.run(inputs);
-
-        bool ok = sr.predictions.size() == inputs.size();
-        for (std::size_t i = 0; ok && i < inputs.size(); ++i)
-            ok = sr.predictions[i] == m.predict(inputs[i]);
-        ok = ok && sr.first_latency_cycles == r.arch.latency_cycles();
-        ok = ok && std::llround(sr.mean_initiation_interval) ==
-                       (long long)(r.arch.initiation_interval());
-        r.system_verified = ok;
-        r.measured_latency_cycles = sr.first_latency_cycles;
-        r.measured_ii = sr.mean_initiation_interval;
-    }
-
-    r.latency_us = r.arch.latency_us();
-    r.throughput_inf_per_s = r.arch.throughput_inf_per_s();
-
-    // --- optional RTL emission ------------------------------------------------
-    if (!cfg_.rtl_output_dir.empty())
-        r.rtl_files = rtl::write_design(design, cfg_.rtl_output_dir);
-
-    r.trained_model = std::move(m);
-    return r;
+    return Pipeline(cfg_).run_with_model(m, test).to_flow_result();
 }
 
 }  // namespace matador::core

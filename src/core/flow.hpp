@@ -13,6 +13,12 @@
 //                     plus system-level cycle-accurate streaming check
 //                     (the auto-debug flow),
 //   6. report       - Table-I-style resource/power/latency/throughput row.
+//
+// MatadorFlow is now a thin compatibility shim over the staged Pipeline API
+// in pipeline.hpp, which exposes each stage as a named pass with status,
+// diagnostics, per-stage timing, run-from/stop-after selection, artifact
+// caching, and a multi-threaded sweep driver (sweep.hpp).  New code should
+// prefer core::Pipeline.
 #pragma once
 
 #include <cstdint>
@@ -76,7 +82,7 @@ struct FlowResult {
     std::vector<std::string> rtl_files;  ///< when rtl_output_dir was set
 };
 
-/// The flow driver.
+/// The classic one-shot flow driver (compatibility shim over core::Pipeline).
 class MatadorFlow {
 public:
     explicit MatadorFlow(FlowConfig cfg) : cfg_(std::move(cfg)) {}
@@ -88,15 +94,12 @@ public:
     FlowResult run(const data::Dataset& train, const data::Dataset& test) const;
 
     /// The yellow import flow: skip training, start from an existing model.
-    /// `test` (optional) supplies the accuracy column; `sample_inputs`
-    /// drive the system-level streaming check (random vectors if empty).
+    /// `test` (optional) supplies the accuracy column and seeds the
+    /// system-level streaming check (random vectors otherwise).
     FlowResult run_with_model(const model::TrainedModel& m,
                               const data::Dataset* test) const;
 
 private:
-    FlowResult backend(model::TrainedModel m, double train_acc,
-                       double test_acc, const data::Dataset* test) const;
-
     FlowConfig cfg_;
 };
 

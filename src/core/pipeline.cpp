@@ -1,0 +1,476 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "logic/lut_mapper.hpp"
+#include "sim/accelerator_sim.hpp"
+#include "tm/tsetlin_machine.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace matador::core {
+
+// ---------------------------------------------------------------------------
+// Stage identity
+// ---------------------------------------------------------------------------
+
+std::array<StageKind, kNumStages> stage_order() {
+    return {StageKind::kTrain,    StageKind::kAnalyze, StageKind::kArchitect,
+            StageKind::kGenerate, StageKind::kVerify,  StageKind::kReport};
+}
+
+const char* stage_name(StageKind k) {
+    switch (k) {
+        case StageKind::kTrain: return "train";
+        case StageKind::kAnalyze: return "analyze";
+        case StageKind::kArchitect: return "architect";
+        case StageKind::kGenerate: return "generate";
+        case StageKind::kVerify: return "verify";
+        case StageKind::kReport: return "report";
+    }
+    return "?";
+}
+
+std::optional<StageKind> stage_from_name(const std::string& name) {
+    for (auto k : stage_order())
+        if (name == stage_name(k)) return k;
+    return std::nullopt;
+}
+
+const char* status_name(StageStatus s) {
+    switch (s) {
+        case StageStatus::kNotRun: return "not-run";
+        case StageStatus::kOk: return "ok";
+        case StageStatus::kCached: return "cached";
+        case StageStatus::kSkipped: return "skipped";
+        case StageStatus::kFailed: return "FAILED";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------------
+// CompileContext
+// ---------------------------------------------------------------------------
+
+CompileContext::CompileContext(FlowConfig config) : cfg(std::move(config)) {
+    for (auto k : stage_order()) records[stage_index(k)].kind = k;
+}
+
+void CompileContext::note(StageKind stage, std::string message) {
+    diagnostics.push_back({Diagnostic::Severity::kNote, stage, std::move(message)});
+}
+
+void CompileContext::warn(StageKind stage, std::string message) {
+    diagnostics.push_back(
+        {Diagnostic::Severity::kWarning, stage, std::move(message)});
+}
+
+void CompileContext::error(StageKind stage, std::string message) {
+    diagnostics.push_back({Diagnostic::Severity::kError, stage, std::move(message)});
+}
+
+bool CompileContext::has_errors() const {
+    return std::any_of(diagnostics.begin(), diagnostics.end(), [](const auto& d) {
+        return d.severity == Diagnostic::Severity::kError;
+    });
+}
+
+bool CompileContext::ok() const {
+    if (has_errors()) return false;
+    return std::none_of(records.begin(), records.end(), [](const auto& r) {
+        return r.status == StageStatus::kFailed;
+    });
+}
+
+double CompileContext::total_seconds() const {
+    double s = 0.0;
+    for (const auto& r : records) s += r.seconds;
+    return s;
+}
+
+FlowResult CompileContext::to_flow_result() const {
+    FlowResult r;
+    if (trained) r.trained_model = *trained;
+    r.train_accuracy = train_accuracy;
+    r.test_accuracy = test_accuracy;
+    if (arch) r.arch = *arch;
+    if (sparsity) r.sparsity = *sparsity;
+    if (sharing) r.sharing = *sharing;
+    r.max_feature_fanout = max_feature_fanout.value_or(0);
+    r.hcb_mapped_luts = hcb_mapped_luts;
+    r.hcb_max_depth = hcb_max_depth;
+    if (timing) r.timing = *timing;
+    if (resources) r.resources = *resources;
+    if (power) r.power = *power;
+    if (verification) r.verification = *verification;
+    r.system_verified = system_verified;
+    r.measured_latency_cycles = measured_latency_cycles;
+    r.measured_ii = measured_ii;
+    if (arch) {
+        r.latency_us = arch->latency_us();
+        r.throughput_inf_per_s = arch->throughput_inf_per_s();
+    }
+    r.rtl_files = rtl_files;
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Stage implementations
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Max fanout of a packet-bit net: the number of live clauses that include
+/// the most popular feature (either polarity).  Drives the timing model.
+std::size_t compute_max_feature_fanout(const model::TrainedModel& m) {
+    std::vector<std::size_t> fanout(m.num_features(), 0);
+    for (std::size_t c = 0; c < m.num_classes(); ++c) {
+        for (std::size_t j = 0; j < m.clauses_per_class(); ++j) {
+            const auto& cl = m.clause(c, j);
+            for (auto f : cl.include_pos.set_bits()) fanout[f]++;
+            for (auto f : cl.include_neg.set_bits()) fanout[f]++;
+        }
+    }
+    std::size_t mx = 0;
+    for (auto v : fanout) mx = std::max(mx, v);
+    return mx;
+}
+
+double evaluate_model(const model::TrainedModel& m, const data::Dataset& ds) {
+    if (ds.size() == 0) return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        correct += m.predict(ds.examples[i]) == ds.labels[i];
+    return double(correct) / double(ds.size());
+}
+
+class TrainStage final : public Stage {
+public:
+    StageKind kind() const override { return StageKind::kTrain; }
+
+    StageStatus run(CompileContext& ctx) const override {
+        if (ctx.trained) {
+            // Yellow import flow: the model arrived from outside; only the
+            // accuracy column needs computing.
+            ctx.model_imported = true;
+            if (ctx.test_set)
+                ctx.test_accuracy = evaluate_model(*ctx.trained, *ctx.test_set);
+            ctx.note(kind(), "model imported; training skipped (yellow flow)");
+            return StageStatus::kSkipped;
+        }
+        if (!ctx.train_set) {
+            ctx.error(kind(),
+                      "train stage needs a training dataset or an imported model");
+            return StageStatus::kFailed;
+        }
+
+        const auto train_fn = [&]() -> TrainedArtifact {
+            tm::TsetlinMachine machine(ctx.cfg.tm, ctx.train_set->num_features,
+                                       ctx.train_set->num_classes);
+            machine.fit(*ctx.train_set, ctx.cfg.epochs);
+            TrainedArtifact a;
+            a.model = std::make_shared<model::TrainedModel>(machine.export_model());
+            a.train_accuracy = machine.evaluate(*ctx.train_set);
+            a.test_accuracy =
+                ctx.test_set ? machine.evaluate(*ctx.test_set) : 0.0;
+            return a;
+        };
+
+        bool cached = false;
+        TrainedArtifact a;
+        if (ctx.cache) {
+            Fnv1a key;
+            key.u64(frontend_config_hash(ctx.cfg));
+            key.u64(dataset_fingerprint(*ctx.train_set));
+            key.u64(ctx.test_set ? dataset_fingerprint(*ctx.test_set) : 0);
+            a = ctx.cache->get_or_compute(key.digest(), train_fn, &cached);
+        } else {
+            a = train_fn();
+        }
+        ctx.trained = a.model;
+        ctx.train_accuracy = a.train_accuracy;
+        ctx.test_accuracy = a.test_accuracy;
+        if (cached) ctx.note(kind(), "trained model served from artifact cache");
+        return cached ? StageStatus::kCached : StageStatus::kOk;
+    }
+};
+
+class AnalyzeStage final : public Stage {
+public:
+    StageKind kind() const override { return StageKind::kAnalyze; }
+
+    StageStatus run(CompileContext& ctx) const override {
+        if (!ctx.trained) {
+            ctx.warn(kind(), "no trained model; analyze skipped");
+            return StageStatus::kSkipped;
+        }
+        const auto& m = *ctx.trained;
+        ctx.sparsity = model::analyze_sparsity(m);
+        ctx.sharing = model::analyze_sharing(
+            m, model::PacketPlan(m.num_features(), ctx.cfg.arch.bus_width));
+        ctx.max_feature_fanout = compute_max_feature_fanout(m);
+        return StageStatus::kOk;
+    }
+};
+
+class ArchitectStage final : public Stage {
+public:
+    StageKind kind() const override { return StageKind::kArchitect; }
+
+    StageStatus run(CompileContext& ctx) const override {
+        if (!ctx.trained) {
+            ctx.warn(kind(), "no trained model; architect skipped");
+            return StageStatus::kSkipped;
+        }
+        // Initial derivation at the configured clock; the generate stage
+        // refines the clock from the mapped LUT depth when auto_frequency
+        // is on (it needs the HCB netlists to estimate timing).
+        ctx.arch = model::derive_architecture(*ctx.trained, ctx.cfg.arch);
+        return StageStatus::kOk;
+    }
+};
+
+class GenerateStage final : public Stage {
+public:
+    StageKind kind() const override { return StageKind::kGenerate; }
+
+    StageStatus run(CompileContext& ctx) const override {
+        if (!ctx.trained || !ctx.arch) {
+            ctx.warn(kind(), "missing model/architecture; generate skipped");
+            return StageStatus::kSkipped;
+        }
+        const auto& m = *ctx.trained;
+        ctx.design = std::make_shared<rtl::RtlDesign>(
+            rtl::generate_rtl(m, *ctx.arch, ctx.cfg.strash));
+        ctx.hcb_mapped_luts = 0;
+        ctx.hcb_max_depth = 0;
+        for (const auto& hcb : ctx.design->hcbs) {
+            if (ctx.cfg.strash) {
+                const auto mapped = logic::map_to_luts(hcb.aig);
+                ctx.hcb_mapped_luts += mapped.lut_count;
+                ctx.hcb_max_depth = std::max(ctx.hcb_max_depth, mapped.depth);
+            } else {
+                // DON'T_TOUCH semantics (Fig. 8): synthesis may neither share
+                // nor repack the clause gates, so every AND instantiates as
+                // its own LUT and depth follows the raw gate network.
+                ctx.hcb_mapped_luts += hcb.aig.count_reachable_ands();
+                ctx.hcb_max_depth = std::max(ctx.hcb_max_depth, hcb.aig.depth());
+            }
+        }
+
+        // Timing-driven frequency selection (50-65 MHz band).
+        if (!ctx.max_feature_fanout)
+            ctx.max_feature_fanout = compute_max_feature_fanout(m);
+        ctx.timing = cost::estimate_timing(ctx.hcb_max_depth,
+                                           *ctx.max_feature_fanout);
+        if (ctx.cfg.auto_frequency) {
+            model::ArchOptions opts = ctx.cfg.arch;
+            opts.clock_mhz = ctx.timing->recommended_mhz;
+            ctx.arch = model::derive_architecture(m, opts);
+            ctx.design->arch = *ctx.arch;
+        }
+
+        if (!ctx.cfg.rtl_output_dir.empty()) {
+            ctx.rtl_files = rtl::write_design(*ctx.design, ctx.cfg.rtl_output_dir);
+            ctx.note(kind(), "wrote " + std::to_string(ctx.rtl_files.size()) +
+                                 " RTL files to " + ctx.cfg.rtl_output_dir);
+        }
+        return StageStatus::kOk;
+    }
+};
+
+class VerifyStage final : public Stage {
+public:
+    StageKind kind() const override { return StageKind::kVerify; }
+
+    StageStatus run(CompileContext& ctx) const override {
+        if (!ctx.trained || !ctx.arch || !ctx.design) {
+            ctx.warn(kind(), "missing design artifacts; verify skipped");
+            return StageStatus::kSkipped;
+        }
+        const auto& m = *ctx.trained;
+
+        // Equivalence ladder (the auto-debug flow).
+        bool ladder_skipped = false;
+        rtl::VerificationReport rep;
+        if (!ctx.cfg.skip_rtl_verification) {
+            rep = rtl::verify_design(*ctx.design, m, ctx.cfg.verify_vectors,
+                                     /*seed=*/1234);
+        } else {
+            rep.expressions_match_model = true;
+            rep.hcb_aigs_match_expressions = true;
+            rep.rtl_matches_aigs = true;
+            ladder_skipped = true;
+        }
+        ctx.verification = rep;
+
+        // System-level streaming check (cycle-accurate).
+        std::vector<util::BitVector> inputs;
+        util::Xoshiro256ss rng(4321);
+        const std::size_t n = std::max<std::size_t>(2, ctx.cfg.sim_datapoints);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (ctx.test_set && i < ctx.test_set->size()) {
+                inputs.push_back(ctx.test_set->examples[i]);
+            } else {
+                util::BitVector x(m.num_features());
+                for (std::size_t w = 0; w < x.word_count(); ++w)
+                    x.set_word(w, rng());
+                inputs.push_back(std::move(x));
+            }
+        }
+        sim::AcceleratorSim simulator(m, *ctx.arch);
+        const sim::SimResult sr = simulator.run(inputs);
+
+        bool ok = sr.predictions.size() == inputs.size();
+        for (std::size_t i = 0; ok && i < inputs.size(); ++i)
+            ok = sr.predictions[i] == m.predict(inputs[i]);
+        ok = ok && sr.first_latency_cycles == ctx.arch->latency_cycles();
+        ok = ok && std::llround(sr.mean_initiation_interval) ==
+                       (long long)(ctx.arch->initiation_interval());
+        ctx.system_verified = ok;
+        ctx.measured_latency_cycles = sr.first_latency_cycles;
+        ctx.measured_ii = sr.mean_initiation_interval;
+
+        if (!rep.ok()) {
+            ctx.error(kind(), "equivalence ladder failed: " +
+                                  (rep.first_failure.empty() ? "unknown failure"
+                                                             : rep.first_failure));
+        }
+        if (!ok) ctx.error(kind(), "system-level streaming check failed");
+        if (!rep.ok() || !ok) return StageStatus::kFailed;
+        if (ladder_skipped)
+            ctx.note(kind(), "equivalence ladder skipped (fast sweep mode)");
+        return StageStatus::kOk;
+    }
+};
+
+class ReportStage final : public Stage {
+public:
+    StageKind kind() const override { return StageKind::kReport; }
+
+    StageStatus run(CompileContext& ctx) const override {
+        if (!ctx.arch || !ctx.design) {
+            ctx.warn(kind(), "missing design artifacts; report skipped");
+            return StageStatus::kSkipped;
+        }
+        cost::MatadorResourceInputs rin;
+        rin.hcb_mapped_luts = ctx.hcb_mapped_luts;
+        rin.arch = *ctx.arch;
+        rin.schedule = ctx.design->schedule;
+        ctx.resources = cost::estimate_matador_resources(rin);
+        const cost::DeviceSpec device = cost::device_by_name(ctx.cfg.device);
+        ctx.power = cost::estimate_power(*ctx.resources, device,
+                                         ctx.arch->options.clock_mhz);
+        return StageStatus::kOk;
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<Stage> make_default_stage(StageKind kind) {
+    switch (kind) {
+        case StageKind::kTrain: return std::make_unique<TrainStage>();
+        case StageKind::kAnalyze: return std::make_unique<AnalyzeStage>();
+        case StageKind::kArchitect: return std::make_unique<ArchitectStage>();
+        case StageKind::kGenerate: return std::make_unique<GenerateStage>();
+        case StageKind::kVerify: return std::make_unique<VerifyStage>();
+        case StageKind::kReport: return std::make_unique<ReportStage>();
+    }
+    throw std::invalid_argument("make_default_stage: bad stage kind");
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline driver
+// ---------------------------------------------------------------------------
+
+Pipeline::Pipeline(FlowConfig cfg, std::shared_ptr<ArtifactCache> cache)
+    : cfg_(std::move(cfg)), cache_(std::move(cache)) {
+    for (auto k : stage_order())
+        stages_[stage_index(k)] = make_default_stage(k);
+}
+
+void Pipeline::set_stage(std::unique_ptr<Stage> stage) {
+    stages_[stage_index(stage->kind())] = std::move(stage);
+}
+
+CompileContext Pipeline::run(const data::Dataset& train, const data::Dataset& test,
+                             StageRange range) const {
+    CompileContext ctx(cfg_);
+    ctx.cache = cache_;
+    ctx.train_set = &train;
+    ctx.test_set = &test;
+    run(ctx, range);
+    return ctx;
+}
+
+CompileContext Pipeline::run_with_model(const model::TrainedModel& m,
+                                        const data::Dataset* test,
+                                        StageRange range) const {
+    CompileContext ctx(cfg_);
+    ctx.cache = cache_;
+    ctx.test_set = test;
+    ctx.trained = std::make_shared<model::TrainedModel>(m);
+    run(ctx, range);
+    return ctx;
+}
+
+void Pipeline::run(CompileContext& ctx, StageRange range) const {
+    if (stage_index(range.from) > stage_index(range.to))
+        throw std::invalid_argument("Pipeline::run: range.from is after range.to");
+    for (auto k : stage_order()) {
+        if (stage_index(k) < stage_index(range.from) ||
+            stage_index(k) > stage_index(range.to))
+            continue;
+        const Stage& stage = *stages_[stage_index(k)];
+        StageRecord& rec = ctx.record(k);
+        util::Stopwatch watch;
+        StageStatus status;
+        try {
+            status = stage.run(ctx);
+        } catch (const std::exception& e) {
+            ctx.error(k, std::string(stage.name()) + ": " + e.what());
+            status = StageStatus::kFailed;
+        }
+        rec.status = status;
+        rec.seconds = watch.seconds();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Formatting
+// ---------------------------------------------------------------------------
+
+std::string format_stage_report(const CompileContext& ctx) {
+    std::ostringstream out;
+    out << "stage      status   wall(ms)\n";
+    for (const auto& rec : ctx.records) {
+        char line[80];
+        std::snprintf(line, sizeof line, "%-10s %-8s %9.2f\n",
+                      stage_name(rec.kind), status_name(rec.status),
+                      rec.seconds * 1e3);
+        out << line;
+    }
+    char total[64];
+    std::snprintf(total, sizeof total, "%-10s %-8s %9.2f\n", "total",
+                  ctx.ok() ? "ok" : "FAILED", ctx.total_seconds() * 1e3);
+    out << total;
+    return out.str();
+}
+
+std::string format_diagnostics(const CompileContext& ctx) {
+    std::ostringstream out;
+    for (const auto& d : ctx.diagnostics) {
+        const char* sev = d.severity == Diagnostic::Severity::kError     ? "error"
+                          : d.severity == Diagnostic::Severity::kWarning ? "warning"
+                                                                         : "note";
+        out << "[" << sev << "] " << stage_name(d.stage) << ": " << d.message
+            << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace matador::core

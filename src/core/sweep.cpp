@@ -1,0 +1,98 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "core/config_io.hpp"
+#include "util/stopwatch.hpp"
+
+namespace matador::core {
+
+SweepResult sweep(const data::Dataset& train, const data::Dataset& test,
+                  const std::vector<FlowConfig>& grid,
+                  const SweepOptions& options) {
+    if (stage_index(options.range.from) > stage_index(options.range.to))
+        throw std::invalid_argument("sweep: range.from is after range.to");
+
+    SweepResult result;
+    auto cache = options.cache ? options.cache : std::make_shared<ArtifactCache>();
+
+    unsigned threads = options.threads;
+    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = unsigned(std::min<std::size_t>(threads, std::max<std::size_t>(
+                                                          1, grid.size())));
+    result.threads_used = threads;
+    result.points.resize(grid.size());
+
+    util::Stopwatch watch;
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+        for (std::size_t i = next.fetch_add(1); i < grid.size();
+             i = next.fetch_add(1)) {
+            SweepPoint& p = result.points[i];
+            p.index = i;
+            p.cfg = grid[i];
+            // An escaping exception in a worker thread would terminate the
+            // process; fold it into the point's diagnostics instead.
+            try {
+                const Pipeline pipeline(grid[i], cache);
+                CompileContext ctx = pipeline.run(train, test, options.range);
+                p.result = ctx.to_flow_result();
+                p.ok = ctx.ok();
+                p.stages = ctx.records;
+                p.diagnostics = std::move(ctx.diagnostics);
+            } catch (const std::exception& e) {
+                p.ok = false;
+                p.diagnostics.push_back({Diagnostic::Severity::kError,
+                                         options.range.from,
+                                         std::string("sweep point: ") + e.what()});
+            }
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+        for (auto& th : pool) th.join();
+    }
+
+    result.wall_seconds = watch.seconds();
+    result.cache_stats = cache->stats();
+    return result;
+}
+
+std::vector<FlowConfig> expand_grid(
+    const FlowConfig& base,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>& axes) {
+    std::vector<FlowConfig> grid{base};
+    for (const auto& [key, values] : axes) {
+        if (values.empty())
+            throw std::invalid_argument("expand_grid: axis '" + key +
+                                        "' has no values");
+        std::vector<FlowConfig> expanded;
+        expanded.reserve(grid.size() * values.size());
+        for (const auto& cfg : grid) {
+            for (const auto& value : values) {
+                FlowConfig variant = cfg;
+                if (!apply_flow_option(variant, key, value))
+                    throw std::invalid_argument("expand_grid: unknown key '" +
+                                                key + "'");
+                expanded.push_back(std::move(variant));
+            }
+        }
+        grid = std::move(expanded);
+    }
+    return grid;
+}
+
+SweepResult Pipeline::sweep(const data::Dataset& train, const data::Dataset& test,
+                            const std::vector<FlowConfig>& grid,
+                            const SweepOptions& options) {
+    return core::sweep(train, test, grid, options);
+}
+
+}  // namespace matador::core

@@ -1,0 +1,58 @@
+// Design-space sweep driver: fan a grid of FlowConfig variants across
+// worker threads that share one ArtifactCache, so sweep points differing
+// only in backend knobs (bus width, clock, device, strash) reuse the same
+// trained model instead of retraining per point.
+//
+// Results come back in grid order regardless of thread scheduling, and a
+// given (grid, datasets) pair produces identical results at any thread
+// count: every stage is a deterministic function of its config + inputs,
+// and the cache only ever stores that deterministic result.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace matador::core {
+
+/// One evaluated grid point.
+struct SweepPoint {
+    std::size_t index = 0;  ///< position in the input grid
+    FlowConfig cfg;
+    FlowResult result;
+    bool ok = false;
+    std::array<StageRecord, kNumStages> stages;
+    std::vector<Diagnostic> diagnostics;
+};
+
+struct SweepOptions {
+    /// Worker threads; 0 = std::thread::hardware_concurrency().
+    unsigned threads = 0;
+    /// Stage range per point (default: the full pipeline).
+    StageRange range{};
+    /// Shared front-end cache; created internally when null.
+    std::shared_ptr<ArtifactCache> cache;
+};
+
+struct SweepResult {
+    std::vector<SweepPoint> points;  ///< grid order
+    ArtifactCache::Stats cache_stats;
+    unsigned threads_used = 0;
+    double wall_seconds = 0.0;
+};
+
+/// Free-function form of Pipeline::sweep.
+SweepResult sweep(const data::Dataset& train, const data::Dataset& test,
+                  const std::vector<FlowConfig>& grid,
+                  const SweepOptions& options = {});
+
+/// Cartesian grid expansion over a base config: each axis is a FlowConfig
+/// key (see config_io.hpp) with the values to try.  Axis order is
+/// outermost-first in the returned grid.  Unknown keys / bad values throw.
+std::vector<FlowConfig> expand_grid(
+    const FlowConfig& base,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>& axes);
+
+}  // namespace matador::core

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "data/synthetic.hpp"
 
@@ -106,6 +107,27 @@ TEST(Flow, FixedFrequencyRespected) {
     cfg.arch.clock_mhz = 100.0;
     const FlowResult r = MatadorFlow(cfg).run(split.train, split.test);
     EXPECT_DOUBLE_EQ(r.arch.options.clock_mhz, 100.0);
+}
+
+TEST(Flow, CompatShimMatchesStagedPipeline) {
+    // MatadorFlow is a shim over core::Pipeline; both entry points must
+    // produce the same FlowResult as driving the pipeline directly.
+    const auto ds = make_noisy_xor(900, 10, 0.03, 47);
+    const auto split = train_test_split(ds, 0.8, 53);
+    const FlowConfig cfg = small_flow_config();
+
+    const FlowResult shim = MatadorFlow(cfg).run(split.train, split.test);
+    const FlowResult staged =
+        matador::core::Pipeline(cfg).run(split.train, split.test).to_flow_result();
+
+    EXPECT_DOUBLE_EQ(shim.train_accuracy, staged.train_accuracy);
+    EXPECT_DOUBLE_EQ(shim.test_accuracy, staged.test_accuracy);
+    EXPECT_EQ(shim.hcb_mapped_luts, staged.hcb_mapped_luts);
+    EXPECT_EQ(shim.resources.luts, staged.resources.luts);
+    EXPECT_EQ(shim.arch.latency_cycles(), staged.arch.latency_cycles());
+    EXPECT_DOUBLE_EQ(shim.arch.options.clock_mhz, staged.arch.options.clock_mhz);
+    EXPECT_EQ(shim.measured_latency_cycles, staged.measured_latency_cycles);
+    EXPECT_EQ(shim.trained_model, staged.trained_model);
 }
 
 TEST(Report, TableRowAndFormatting) {

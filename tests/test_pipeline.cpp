@@ -1,0 +1,337 @@
+// Tests for the staged Pipeline API: stage ordering, run-from/stop-after
+// selection, artifact-cache hit/miss behaviour, diagnostics propagation,
+// and sweep determinism across thread counts.
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sweep.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace matador;
+using core::ArtifactCache;
+using core::CompileContext;
+using core::FlowConfig;
+using core::Pipeline;
+using core::StageKind;
+using core::StageRange;
+using core::StageStatus;
+
+FlowConfig small_config() {
+    FlowConfig cfg;
+    cfg.tm.clauses_per_class = 12;
+    cfg.tm.threshold = 8;
+    cfg.tm.seed = 21;
+    cfg.epochs = 5;
+    cfg.arch.bus_width = 8;
+    cfg.verify_vectors = 6;
+    cfg.sim_datapoints = 8;
+    return cfg;
+}
+
+data::Split small_split(std::uint64_t seed = 3) {
+    const auto ds = data::make_noisy_xor(900, 10, 0.03, seed);
+    return data::train_test_split(ds, 0.8, 5);
+}
+
+TEST(PipelineStages, NamesRoundTripAndFollowExecutionOrder) {
+    const auto order = core::stage_order();
+    ASSERT_EQ(order.size(), core::kNumStages);
+    EXPECT_EQ(order.front(), StageKind::kTrain);
+    EXPECT_EQ(order.back(), StageKind::kReport);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        EXPECT_EQ(core::stage_index(order[i]), i);
+        const auto parsed = core::stage_from_name(core::stage_name(order[i]));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, order[i]);
+    }
+    EXPECT_FALSE(core::stage_from_name("synthesize").has_value());
+}
+
+TEST(Pipeline, FullRunExecutesEveryStageInOrder) {
+    const auto split = small_split();
+    const Pipeline pipeline(small_config());
+    const CompileContext ctx = pipeline.run(split.train, split.test);
+
+    EXPECT_TRUE(ctx.ok()) << core::format_diagnostics(ctx);
+    for (auto k : core::stage_order()) {
+        EXPECT_EQ(ctx.record(k).status, StageStatus::kOk)
+            << core::stage_name(k);
+        EXPECT_GE(ctx.record(k).seconds, 0.0);
+    }
+    EXPECT_TRUE(ctx.trained);
+    EXPECT_TRUE(ctx.sparsity.has_value());
+    EXPECT_TRUE(ctx.arch.has_value());
+    EXPECT_TRUE(ctx.design);
+    EXPECT_TRUE(ctx.verification.has_value());
+    EXPECT_TRUE(ctx.system_verified);
+    EXPECT_TRUE(ctx.resources.has_value());
+    EXPECT_GT(ctx.total_seconds(), 0.0);
+}
+
+TEST(Pipeline, StopAfterLeavesLaterStagesNotRun) {
+    const auto split = small_split();
+    const Pipeline pipeline(small_config());
+    const CompileContext ctx = pipeline.run(
+        split.train, split.test, {StageKind::kTrain, StageKind::kArchitect});
+
+    EXPECT_EQ(ctx.record(StageKind::kTrain).status, StageStatus::kOk);
+    EXPECT_EQ(ctx.record(StageKind::kArchitect).status, StageStatus::kOk);
+    EXPECT_EQ(ctx.record(StageKind::kGenerate).status, StageStatus::kNotRun);
+    EXPECT_EQ(ctx.record(StageKind::kVerify).status, StageStatus::kNotRun);
+    EXPECT_EQ(ctx.record(StageKind::kReport).status, StageStatus::kNotRun);
+    EXPECT_TRUE(ctx.arch.has_value());
+    EXPECT_FALSE(ctx.design);
+    EXPECT_FALSE(ctx.resources.has_value());
+}
+
+TEST(Pipeline, ResumeFromStoppedContextCompletesThePipeline) {
+    const auto split = small_split();
+    const Pipeline pipeline(small_config());
+    CompileContext ctx = pipeline.run(split.train, split.test,
+                                      {StageKind::kTrain, StageKind::kArchitect});
+    ASSERT_TRUE(ctx.arch.has_value());
+
+    // Resume: generate through report on the same context.
+    pipeline.run(ctx, {StageKind::kGenerate, StageKind::kReport});
+    EXPECT_TRUE(ctx.ok()) << core::format_diagnostics(ctx);
+    EXPECT_TRUE(ctx.design);
+    EXPECT_TRUE(ctx.system_verified);
+    EXPECT_TRUE(ctx.resources.has_value());
+
+    // The resumed run matches a straight-through run exactly.
+    const CompileContext full = pipeline.run(split.train, split.test);
+    EXPECT_EQ(ctx.to_flow_result().resources.luts,
+              full.to_flow_result().resources.luts);
+    EXPECT_EQ(ctx.arch->latency_cycles(), full.arch->latency_cycles());
+}
+
+TEST(Pipeline, RunFromWithoutArtifactsSkipsDependentStages) {
+    CompileContext ctx(small_config());
+    const Pipeline pipeline(small_config());
+    // No dataset, no model: every stage lacks prerequisites.
+    pipeline.run(ctx, {StageKind::kAnalyze, StageKind::kReport});
+    EXPECT_EQ(ctx.record(StageKind::kTrain).status, StageStatus::kNotRun);
+    EXPECT_EQ(ctx.record(StageKind::kAnalyze).status, StageStatus::kSkipped);
+    EXPECT_EQ(ctx.record(StageKind::kGenerate).status, StageStatus::kSkipped);
+    EXPECT_EQ(ctx.record(StageKind::kReport).status, StageStatus::kSkipped);
+    EXPECT_FALSE(ctx.diagnostics.empty());
+}
+
+TEST(Pipeline, InvalidRangeThrows) {
+    const Pipeline pipeline(small_config());
+    CompileContext ctx(small_config());
+    EXPECT_THROW(pipeline.run(ctx, {StageKind::kVerify, StageKind::kTrain}),
+                 std::invalid_argument);
+}
+
+TEST(ArtifactCacheTest, BackendOnlyChangeHitsFrontendMiss) {
+    const auto split = small_split();
+    auto cache = std::make_shared<ArtifactCache>();
+
+    FlowConfig a = small_config();
+    const CompileContext ctx_a = Pipeline(a, cache).run(split.train, split.test);
+    EXPECT_EQ(ctx_a.record(StageKind::kTrain).status, StageStatus::kOk);
+    EXPECT_EQ(cache->stats().misses, 1u);
+
+    // Backend-only change: bus width.  Front-end key unchanged -> cache hit.
+    FlowConfig b = small_config();
+    b.arch.bus_width = 16;
+    const CompileContext ctx_b = Pipeline(b, cache).run(split.train, split.test);
+    EXPECT_EQ(ctx_b.record(StageKind::kTrain).status, StageStatus::kCached);
+    EXPECT_EQ(cache->stats().misses, 1u);
+    EXPECT_EQ(cache->stats().hits, 1u);
+    // Same model, different architecture.
+    EXPECT_DOUBLE_EQ(ctx_b.test_accuracy, ctx_a.test_accuracy);
+    EXPECT_NE(ctx_b.arch->plan.num_packets(), ctx_a.arch->plan.num_packets());
+
+    // Front-end change: TM seed.  New key -> miss.
+    FlowConfig c = small_config();
+    c.tm.seed = 99;
+    const CompileContext ctx_c = Pipeline(c, cache).run(split.train, split.test);
+    EXPECT_EQ(ctx_c.record(StageKind::kTrain).status, StageStatus::kOk);
+    EXPECT_EQ(cache->stats().misses, 2u);
+    EXPECT_EQ(cache->stats().entries, 2u);
+}
+
+TEST(ArtifactCacheTest, FrontendHashSeparatesTrainingKnobsFromBackendKnobs) {
+    const FlowConfig base = small_config();
+
+    FlowConfig backend = base;
+    backend.arch.bus_width = 64;
+    backend.device = "z7045";
+    backend.strash = false;
+    backend.verify_vectors = 99;
+    EXPECT_EQ(core::frontend_config_hash(base),
+              core::frontend_config_hash(backend));
+
+    FlowConfig frontend = base;
+    frontend.epochs += 1;
+    EXPECT_NE(core::frontend_config_hash(base),
+              core::frontend_config_hash(frontend));
+}
+
+TEST(ArtifactCacheTest, DatasetFingerprintTracksContent) {
+    const auto a = data::make_noisy_xor(200, 10, 0.02, 1);
+    const auto b = data::make_noisy_xor(200, 10, 0.02, 2);
+    auto c = a;
+    EXPECT_EQ(core::dataset_fingerprint(a), core::dataset_fingerprint(c));
+    EXPECT_NE(core::dataset_fingerprint(a), core::dataset_fingerprint(b));
+    c.labels[0] ^= 1;
+    EXPECT_NE(core::dataset_fingerprint(a), core::dataset_fingerprint(c));
+}
+
+// A stand-in verify stage that always fails, for diagnostics-propagation
+// coverage (a genuine ladder failure would need a miscompiled design).
+class FailingVerifyStage final : public core::Stage {
+public:
+    StageKind kind() const override { return StageKind::kVerify; }
+    StageStatus run(CompileContext& ctx) const override {
+        rtl::VerificationReport rep;
+        rep.first_failure = "injected: HCB 1 mismatch on vector 3";
+        ctx.verification = rep;
+        ctx.error(kind(), "equivalence ladder failed: " + rep.first_failure);
+        return StageStatus::kFailed;
+    }
+};
+
+TEST(Pipeline, FailingVerifyStagePropagatesDiagnostics) {
+    const auto split = small_split();
+    Pipeline pipeline(small_config());
+    pipeline.set_stage(std::make_unique<FailingVerifyStage>());
+    const CompileContext ctx = pipeline.run(split.train, split.test);
+
+    EXPECT_FALSE(ctx.ok());
+    EXPECT_TRUE(ctx.has_errors());
+    EXPECT_EQ(ctx.record(StageKind::kVerify).status, StageStatus::kFailed);
+    // The pipeline keeps going: the report stage still produces its row
+    // (matching the classic flow, which never aborted on a verify failure).
+    EXPECT_EQ(ctx.record(StageKind::kReport).status, StageStatus::kOk);
+
+    bool found = false;
+    for (const auto& d : ctx.diagnostics)
+        if (d.severity == core::Diagnostic::Severity::kError &&
+            d.stage == StageKind::kVerify &&
+            d.message.find("injected") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found);
+    EXPECT_NE(core::format_diagnostics(ctx).find("[error] verify"),
+              std::string::npos);
+    // And the classic view reflects the failure.
+    EXPECT_FALSE(ctx.to_flow_result().verification.ok());
+}
+
+TEST(Pipeline, StageExceptionBecomesFailedStatusWithDiagnostic) {
+    const auto split = small_split();
+    FlowConfig cfg = small_config();
+    cfg.device = "no-such-device";
+    const CompileContext ctx = Pipeline(cfg).run(split.train, split.test);
+    EXPECT_EQ(ctx.record(StageKind::kReport).status, StageStatus::kFailed);
+    EXPECT_FALSE(ctx.ok());
+    EXPECT_NE(core::format_diagnostics(ctx).find("report"), std::string::npos);
+}
+
+TEST(Sweep, BackendOnlySweepTrainsExactlyOnce) {
+    const auto split = small_split();
+    FlowConfig base = small_config();
+    base.skip_rtl_verification = true;
+
+    // Two-point backend-only grid: bus width 8 vs 16.
+    const auto grid =
+        core::expand_grid(base, {{"bus_width", {"8", "16"}}});
+    ASSERT_EQ(grid.size(), 2u);
+
+    core::SweepOptions options;
+    options.threads = 2;
+    const auto sr = Pipeline::sweep(split.train, split.test, grid, options);
+
+    ASSERT_EQ(sr.points.size(), 2u);
+    for (const auto& p : sr.points) EXPECT_TRUE(p.ok);
+    // The acceptance criterion: the train stage executed exactly once; the
+    // other point was served from the shared artifact cache.
+    EXPECT_EQ(sr.cache_stats.misses, 1u);
+    EXPECT_EQ(sr.cache_stats.hits, 1u);
+    const auto trained_runs = std::count_if(
+        sr.points.begin(), sr.points.end(), [](const core::SweepPoint& p) {
+            return p.stages[core::stage_index(StageKind::kTrain)].status ==
+                   StageStatus::kOk;
+        });
+    EXPECT_EQ(trained_runs, 1);
+    // Identical front end, different backend.
+    EXPECT_DOUBLE_EQ(sr.points[0].result.test_accuracy,
+                     sr.points[1].result.test_accuracy);
+    EXPECT_NE(sr.points[0].result.arch.plan.bus_width,
+              sr.points[1].result.arch.plan.bus_width);
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+    const auto split = small_split();
+    FlowConfig base = small_config();
+    base.skip_rtl_verification = true;
+    base.sim_datapoints = 4;
+
+    const auto grid = core::expand_grid(
+        base, {{"clauses_per_class", {"8", "12"}}, {"bus_width", {"8", "16"}}});
+    ASSERT_EQ(grid.size(), 4u);
+
+    core::SweepOptions serial;
+    serial.threads = 1;
+    core::SweepOptions parallel;
+    parallel.threads = 3;
+    const auto a = core::sweep(split.train, split.test, grid, serial);
+    const auto b = core::sweep(split.train, split.test, grid, parallel);
+
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_EQ(a.points[i].index, i);
+        EXPECT_EQ(b.points[i].index, i);
+        EXPECT_DOUBLE_EQ(a.points[i].result.test_accuracy,
+                         b.points[i].result.test_accuracy);
+        EXPECT_EQ(a.points[i].result.resources.luts,
+                  b.points[i].result.resources.luts);
+        EXPECT_EQ(a.points[i].result.arch.latency_cycles(),
+                  b.points[i].result.arch.latency_cycles());
+        EXPECT_DOUBLE_EQ(a.points[i].result.arch.options.clock_mhz,
+                         b.points[i].result.arch.options.clock_mhz);
+    }
+    // Both sweeps trained each distinct front end exactly once.
+    EXPECT_EQ(a.cache_stats.misses, 2u);
+    EXPECT_EQ(b.cache_stats.misses, 2u);
+}
+
+TEST(Sweep, ExpandGridOrderAndValidation) {
+    const FlowConfig base = small_config();
+    const auto grid = core::expand_grid(
+        base, {{"bus_width", {"8", "16"}}, {"epochs", {"1", "2", "3"}}});
+    ASSERT_EQ(grid.size(), 6u);
+    // Outermost-first: bus_width varies slowest.
+    EXPECT_EQ(grid[0].arch.bus_width, 8u);
+    EXPECT_EQ(grid[0].epochs, 1u);
+    EXPECT_EQ(grid[2].epochs, 3u);
+    EXPECT_EQ(grid[3].arch.bus_width, 16u);
+
+    EXPECT_THROW(core::expand_grid(base, {{"no_such_key", {"1"}}}),
+                 std::invalid_argument);
+    EXPECT_THROW(core::expand_grid(base, {{"bus_width", {}}}),
+                 std::invalid_argument);
+}
+
+TEST(Pipeline, ImportedModelSkipsTrainStage) {
+    const auto split = small_split();
+    const Pipeline pipeline(small_config());
+    const CompileContext trained = pipeline.run(split.train, split.test);
+
+    const CompileContext imported =
+        pipeline.run_with_model(*trained.trained, &split.test);
+    EXPECT_EQ(imported.record(StageKind::kTrain).status, StageStatus::kSkipped);
+    EXPECT_TRUE(imported.model_imported);
+    EXPECT_TRUE(imported.ok()) << core::format_diagnostics(imported);
+    EXPECT_DOUBLE_EQ(imported.test_accuracy, trained.test_accuracy);
+    EXPECT_DOUBLE_EQ(imported.train_accuracy, 0.0);
+    EXPECT_EQ(imported.to_flow_result().resources.luts,
+              trained.to_flow_result().resources.luts);
+}
+
+}  // namespace

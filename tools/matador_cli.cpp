@@ -1,12 +1,14 @@
 // matador: the command-line face of the automation tool (the paper's GUI,
 // Fig. 6(a), without the window).
 //
-// Subcommands (each drives the corresponding flow stage):
+// Subcommands (each drives the corresponding pipeline stage range):
 //   matador flow      --dataset <spec> [options]        end-to-end run
 //   matador train     --dataset <spec> --model-out m.tm [options]
 //   matador generate  --model m.tm --rtl-out dir [options]
 //   matador verify    --model m.tm [options]
 //   matador simulate  --model m.tm [--vcd out.vcd] [--trace] [options]
+//   matador sweep     --dataset <spec> --sweep key=v1,v2,... [--jobs n]
+//   matador stages                                      list pipeline stages
 //   matador datasets                                    list dataset specs
 //
 // Dataset specs:
@@ -18,6 +20,8 @@
 //
 // All FlowConfig keys are accepted as --<key> <value> (see config_io.hpp);
 // --config <file> loads a key=value file first, explicit flags override.
+// Unknown subcommands, unknown flags, and flags that do not apply to the
+// chosen subcommand are usage errors.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -27,8 +31,9 @@
 #include <vector>
 
 #include "core/config_io.hpp"
-#include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "core/sweep.hpp"
 #include "data/csv_loader.hpp"
 #include "data/synthetic.hpp"
 #include "model/architecture.hpp"
@@ -37,7 +42,6 @@
 #include "rtl/testbench_gen.hpp"
 #include "rtl/verification.hpp"
 #include "sim/accelerator_sim.hpp"
-#include "tm/tsetlin_machine.hpp"
 #include "util/string_utils.hpp"
 
 namespace {
@@ -46,7 +50,8 @@ using namespace matador;
 
 [[noreturn]] void usage(int code) {
     std::puts(
-        "usage: matador <flow|train|generate|verify|simulate|datasets> [options]\n"
+        "usage: matador <flow|train|generate|verify|simulate|sweep|stages|"
+        "datasets> [options]\n"
         "\n"
         "common options:\n"
         "  --dataset <spec>        dataset (see 'matador datasets')\n"
@@ -57,17 +62,26 @@ using namespace matador;
         "  --model-out <file>      trained model output (.tm)\n"
         "  --rtl-out <dir>         write the Verilog design here\n"
         "  --config <file>         key=value flow configuration\n"
+        "  --stop-after <stage>    flow: stop the pipeline after this stage\n"
+        "  --timing                flow: print the per-stage timing table\n"
         "  --vcd <file>            simulate: dump ILA-probe waveforms\n"
         "  --trace                 simulate: print the cycle trace\n"
+        "  --datapoints <n>        simulate: streamed datapoints (default 16)\n"
+        "  --sweep <key=v1,v2,..>  sweep: one grid axis (repeatable)\n"
+        "  --jobs <n>              sweep: worker threads (default: all cores)\n"
         "  --<flow-key> <value>    any FlowConfig key (clauses_per_class,\n"
         "                          threshold, specificity, epochs, bus_width,\n"
-        "                          clock_mhz, device, strash, ...)");
+        "                          clock_mhz, device, strash, ...)\n"
+        "\n"
+        "each subcommand accepts only the options that apply to it; anything\n"
+        "else is a usage error.");
     std::exit(code);
 }
 
 struct CliArgs {
     std::string command;
     std::map<std::string, std::string> options;
+    std::vector<std::string> sweep_axes;  ///< raw "key=v1,v2,..." specs
     bool flag(const std::string& name) const { return options.count(name) > 0; }
     std::string get(const std::string& name, const std::string& def = "") const {
         const auto it = options.find(name);
@@ -75,25 +89,100 @@ struct CliArgs {
     }
 };
 
+/// Which CLI-only options each subcommand understands.  Every subcommand
+/// also accepts the FlowConfig keys (apply_flow_option) except where
+/// `flow_keys` is false.
+struct CommandSpec {
+    const char* name;
+    std::vector<const char*> cli_options;
+    bool flow_keys = true;
+};
+
+const std::vector<CommandSpec>& command_specs() {
+    static const std::vector<CommandSpec> specs = {
+        {"flow",
+         {"dataset", "examples", "data-seed", "train-fraction", "model-out",
+          "rtl-out", "config", "stop-after", "timing"}},
+        {"train",
+         {"dataset", "examples", "data-seed", "train-fraction", "model-out",
+          "config"}},
+        {"generate", {"model", "rtl-out", "config"}},
+        {"verify", {"model", "config"}},
+        {"simulate", {"model", "vcd", "trace", "datapoints", "config"}},
+        {"sweep",
+         {"dataset", "examples", "data-seed", "train-fraction", "sweep",
+          "jobs", "config"}},
+        {"stages", {}, false},
+        {"datasets", {}, false},
+    };
+    return specs;
+}
+
+const CommandSpec* find_command(const std::string& name) {
+    for (const auto& spec : command_specs())
+        if (name == spec.name) return &spec;
+    return nullptr;
+}
+
+/// Options that take no value.
+bool is_boolean_flag(const std::string& name) {
+    return name == "trace" || name == "timing";
+}
+
+std::size_t parse_count_option(const std::string& name, const std::string& v) {
+    try {
+        std::size_t pos = 0;
+        const auto n = std::stoul(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+        return n;
+    } catch (...) {
+        throw std::runtime_error("bad value for --" + name + ": " + v);
+    }
+}
+
+double parse_fraction_option(const std::string& name, const std::string& v) {
+    try {
+        std::size_t pos = 0;
+        const double f = std::stod(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+        return f;
+    } catch (...) {
+        throw std::runtime_error("bad value for --" + name + ": " + v);
+    }
+}
+
 CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
     if (argc < 2) usage(1);
     CliArgs args;
     args.command = argv[1];
+    if (args.command == "help" || args.command == "--help" ||
+        args.command == "-h")
+        usage(0);
+    const CommandSpec* spec = find_command(args.command);
+    if (!spec) {
+        std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
+        usage(1);
+    }
 
-    // First pass: --config loads the base file.
+    // First pass: --config loads the base file (explicit flags override it).
     for (int i = 2; i + 1 < argc; ++i)
         if (std::string(argv[i]) == "--config")
             cfg = core::load_flow_config_file(argv[i + 1]);
 
-    static const std::vector<std::string> cli_only = {
-        "dataset", "examples", "data-seed", "train-fraction", "model",
-        "model-out", "rtl-out", "config", "vcd", "trace", "datapoints"};
+    const auto allowed = [&](const std::string& name) {
+        return std::find_if(spec->cli_options.begin(), spec->cli_options.end(),
+                            [&](const char* o) { return name == o; }) !=
+               spec->cli_options.end();
+    };
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0) usage(1);
+        if (arg.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+            usage(1);
+        }
         arg = arg.substr(2);
-        const bool is_flag = arg == "trace";
+        const bool is_flag = is_boolean_flag(arg);
         std::string value;
         if (!is_flag) {
             if (i + 1 >= argc) {
@@ -102,10 +191,14 @@ CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
             }
             value = argv[++i];
         }
-        if (std::find(cli_only.begin(), cli_only.end(), arg) != cli_only.end()) {
-            args.options[arg] = is_flag ? "1" : value;
-        } else if (!core::apply_flow_option(cfg, arg, value)) {
-            std::fprintf(stderr, "unknown option --%s\n", arg.c_str());
+        if (allowed(arg)) {
+            if (arg == "sweep")
+                args.sweep_axes.push_back(value);
+            else
+                args.options[arg] = is_flag ? "1" : value;
+        } else if (!spec->flow_keys || !core::apply_flow_option(cfg, arg, value)) {
+            std::fprintf(stderr, "unknown option for '%s': --%s\n",
+                         args.command.c_str(), arg.c_str());
             usage(1);
         }
     }
@@ -118,8 +211,8 @@ data::Dataset make_dataset(const CliArgs& args) {
         std::fprintf(stderr, "--dataset is required for this command\n");
         usage(1);
     }
-    const auto n = std::size_t(std::stoul(args.get("examples", "200")));
-    const auto seed = std::uint64_t(std::stoull(args.get("data-seed", "11")));
+    const auto n = parse_count_option("examples", args.get("examples", "200"));
+    const auto seed = std::uint64_t(parse_count_option("data-seed", args.get("data-seed", "11")));
 
     if (spec == "mnist-like") return data::make_mnist_like(n, seed);
     if (spec == "kmnist-like") return data::make_kmnist_like(n, seed);
@@ -167,34 +260,62 @@ model::TrainedModel load_model_arg(const CliArgs& args) {
 
 int cmd_flow(const CliArgs& args, core::FlowConfig cfg) {
     if (!args.get("rtl-out").empty()) cfg.rtl_output_dir = args.get("rtl-out");
+    core::StageRange range;
+    if (!args.get("stop-after").empty()) {
+        const auto stage = core::stage_from_name(args.get("stop-after"));
+        if (!stage) {
+            std::fprintf(stderr, "unknown stage: %s (see 'matador stages')\n",
+                         args.get("stop-after").c_str());
+            usage(1);
+        }
+        range.to = *stage;
+    }
     const auto ds = make_dataset(args);
-    const double frac = std::stod(args.get("train-fraction", "0.85"));
+    const double frac = parse_fraction_option("train-fraction", args.get("train-fraction", "0.85"));
     const auto split = data::train_test_split(ds, frac, 3);
 
-    const core::MatadorFlow flow(cfg);
-    const auto r = flow.run(split.train, split.test);
-    std::cout << core::format_flow_summary(r, ds.name);
-    std::cout << core::format_table({{ds.name, {core::to_table_row(r)}}});
-    if (!args.get("model-out").empty()) {
-        r.trained_model.save_file(args.get("model-out"));
-        std::printf("model written to %s\n", args.get("model-out").c_str());
+    const core::Pipeline pipeline(cfg);
+    const core::CompileContext ctx = pipeline.run(split.train, split.test, range);
+    const auto r = ctx.to_flow_result();
+    if (core::stage_index(range.to) >=
+        core::stage_index(core::StageKind::kReport)) {
+        std::cout << core::format_flow_summary(r, ds.name);
+        std::cout << core::format_table({{ds.name, {core::to_table_row(r)}}});
     }
-    return r.verification.ok() && r.system_verified ? 0 : 1;
+    if (args.flag("timing")) std::cout << "\n" << core::format_stage_report(ctx);
+    std::cout << core::format_diagnostics(ctx);
+    if (!args.get("model-out").empty()) {
+        if (ctx.trained &&
+            ctx.record(core::StageKind::kTrain).status !=
+                core::StageStatus::kFailed) {
+            r.trained_model.save_file(args.get("model-out"));
+            std::printf("model written to %s\n", args.get("model-out").c_str());
+        } else {
+            std::fprintf(stderr, "train stage failed; not writing %s\n",
+                         args.get("model-out").c_str());
+        }
+    }
+    return ctx.ok() ? 0 : 1;
 }
 
 int cmd_train(const CliArgs& args, const core::FlowConfig& cfg) {
     const auto ds = make_dataset(args);
-    const double frac = std::stod(args.get("train-fraction", "0.85"));
+    const double frac = parse_fraction_option("train-fraction", args.get("train-fraction", "0.85"));
     const auto split = data::train_test_split(ds, frac, 3);
 
-    tm::TsetlinMachine machine(cfg.tm, ds.num_features, ds.num_classes);
-    machine.fit(split.train, cfg.epochs);
-    const auto m = machine.export_model();
+    const core::Pipeline pipeline(cfg);
+    const core::CompileContext ctx = pipeline.run(
+        split.train, split.test, {core::StageKind::kTrain, core::StageKind::kTrain});
+    if (!ctx.ok()) {
+        std::fputs(core::format_diagnostics(ctx).c_str(), stderr);
+        return 1;
+    }
+    const auto& m = *ctx.trained;
     std::printf("trained: %.2f%% train / %.2f%% test accuracy, %zu includes, "
-                "%.3f%% density\n",
-                100.0 * machine.evaluate(split.train),
-                100.0 * machine.evaluate(split.test), m.total_includes(),
-                100.0 * m.include_density());
+                "%.3f%% density (%.2f s)\n",
+                100.0 * ctx.train_accuracy, 100.0 * ctx.test_accuracy,
+                m.total_includes(), 100.0 * m.include_density(),
+                ctx.record(core::StageKind::kTrain).seconds);
 
     const std::string out = args.get("model-out", "model.tm");
     m.save_file(out);
@@ -202,13 +323,20 @@ int cmd_train(const CliArgs& args, const core::FlowConfig& cfg) {
     return 0;
 }
 
-int cmd_generate(const CliArgs& args, const core::FlowConfig& cfg) {
+int cmd_generate(const CliArgs& args, core::FlowConfig cfg) {
     const auto m = load_model_arg(args);
-    const auto arch = model::derive_architecture(m, cfg.arch);
-    const auto design = rtl::generate_rtl(m, arch, cfg.strash);
-
     const std::string dir = args.get("rtl-out", "./matador_rtl");
-    const auto files = rtl::write_design(design, dir);
+    cfg.rtl_output_dir = dir;
+
+    const core::Pipeline pipeline(cfg);
+    const core::CompileContext ctx = pipeline.run_with_model(
+        m, nullptr, {core::StageKind::kTrain, core::StageKind::kGenerate});
+    if (!ctx.ok() || !ctx.design) {
+        std::fputs(core::format_diagnostics(ctx).c_str(), stderr);
+        return 1;
+    }
+    const auto& design = *ctx.design;
+    const auto& arch = *ctx.arch;
     std::ofstream(dir + "/ila_stub.vh") << rtl::generate_ila_stub(design);
     // Deploy-side validation artefacts: random stimulus + golden labels.
     {
@@ -225,27 +353,41 @@ int cmd_generate(const CliArgs& args, const core::FlowConfig& cfg) {
             << rtl::generate_pynq_driver(design, m, samples);
     }
     std::printf("%zu RTL files written to %s (+ testbench, ILA stub, deploy driver)\n",
-                files.size(), dir.c_str());
+                ctx.rtl_files.size(), dir.c_str());
     std::printf("architecture: %zu packets x %zub, latency %zu cycles, II %zu\n",
                 arch.plan.num_packets(), arch.options.bus_width,
                 arch.latency_cycles(), arch.initiation_interval());
+    std::printf("generate stage: %.2f s (%zu mapped LUTs, depth %u)\n",
+                ctx.record(core::StageKind::kGenerate).seconds,
+                ctx.hcb_mapped_luts, ctx.hcb_max_depth);
     return 0;
 }
 
-int cmd_verify(const CliArgs& args, const core::FlowConfig& cfg) {
+int cmd_verify(const CliArgs& args, core::FlowConfig cfg) {
     const auto m = load_model_arg(args);
-    const auto arch = model::derive_architecture(m, cfg.arch);
-    const auto design = rtl::generate_rtl(m, arch, cfg.strash);
-    const auto rep = rtl::verify_design(design, m, cfg.verify_vectors, 1234);
+    // The dedicated verify subcommand always runs the full equivalence
+    // ladder, even if a loaded --config file carries the fast-sweep skip.
+    cfg.skip_rtl_verification = false;
+    const core::Pipeline pipeline(cfg);
+    const core::CompileContext ctx = pipeline.run_with_model(
+        m, nullptr, {core::StageKind::kTrain, core::StageKind::kVerify});
+    if (!ctx.verification) {
+        std::fputs(core::format_diagnostics(ctx).c_str(), stderr);
+        return 1;
+    }
+    const auto& rep = *ctx.verification;
     std::printf("expressions vs model : %s\n",
                 rep.expressions_match_model ? "OK" : "FAIL");
     std::printf("HCB netlists         : %s\n",
                 rep.hcb_aigs_match_expressions ? "OK" : "FAIL");
     std::printf("RTL text co-sim      : %s (%zu HCBs)\n",
                 rep.rtl_matches_aigs ? "OK" : "FAIL", rep.hcbs_checked);
+    std::printf("system streaming sim : %s (latency %zu cycles, II %.1f)\n",
+                ctx.system_verified ? "OK" : "FAIL",
+                ctx.measured_latency_cycles, ctx.measured_ii);
     if (!rep.first_failure.empty())
         std::printf("first failure: %s\n", rep.first_failure.c_str());
-    return rep.ok() ? 0 : 1;
+    return ctx.ok() ? 0 : 1;
 }
 
 int cmd_simulate(const CliArgs& args, const core::FlowConfig& cfg) {
@@ -255,7 +397,7 @@ int cmd_simulate(const CliArgs& args, const core::FlowConfig& cfg) {
 
     // Random stimulus (a dataset file may not exist for an imported model).
     util::Xoshiro256ss rng(7);
-    const auto n = std::size_t(std::stoul(args.get("datapoints", "16")));
+    const auto n = parse_count_option("datapoints", args.get("datapoints", "16"));
     std::vector<util::BitVector> inputs;
     for (std::size_t i = 0; i < n; ++i) {
         util::BitVector x(m.num_features());
@@ -281,6 +423,74 @@ int cmd_simulate(const CliArgs& args, const core::FlowConfig& cfg) {
             std::printf("  cycle %3zu | %s\n", e.cycle, e.what.c_str());
     if (!sc.vcd_path.empty()) std::printf("waveforms: %s\n", sc.vcd_path.c_str());
     return ok ? 0 : 1;
+}
+
+int cmd_sweep(const CliArgs& args, const core::FlowConfig& cfg) {
+    if (args.sweep_axes.empty()) {
+        std::fprintf(stderr,
+                     "sweep needs at least one --sweep key=v1,v2,... axis\n");
+        usage(1);
+    }
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+    for (const auto& spec : args.sweep_axes) {
+        const auto eq = spec.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+            std::fprintf(stderr, "bad --sweep axis (want key=v1,v2,...): %s\n",
+                         spec.c_str());
+            usage(1);
+        }
+        axes.emplace_back(spec.substr(0, eq),
+                          util::split(spec.substr(eq + 1), ','));
+    }
+
+    const auto ds = make_dataset(args);
+    const double frac = parse_fraction_option("train-fraction", args.get("train-fraction", "0.85"));
+    const auto split = data::train_test_split(ds, frac, 3);
+
+    const auto grid = core::expand_grid(cfg, axes);
+    // Labels follow the same outermost-first expansion order as expand_grid.
+    std::vector<std::string> labels{""};
+    for (const auto& [key, values] : axes) {
+        std::vector<std::string> next;
+        for (const auto& prefix : labels)
+            for (const auto& value : values)
+                next.push_back(prefix.empty() ? key + "=" + value
+                                              : prefix + "  " + key + "=" + value);
+        labels = std::move(next);
+    }
+
+    core::SweepOptions options;
+    options.threads = unsigned(parse_count_option("jobs", args.get("jobs", "0")));
+    const auto sr = core::Pipeline::sweep(split.train, split.test, grid, options);
+
+    // One Table-I-style row per design point, labelled by its axis values.
+    std::vector<std::pair<std::string, std::vector<core::TableRow>>> groups;
+    bool all_ok = true;
+    for (const auto& p : sr.points) {
+        groups.emplace_back(labels[p.index],
+                            std::vector<core::TableRow>{
+                                core::to_table_row(p.result, "MATADOR")});
+        all_ok = all_ok && p.ok;
+        if (!p.ok)
+            std::printf("[point %zu (%s) FAILED]\n", p.index,
+                        labels[p.index].c_str());
+    }
+    std::cout << core::format_table(groups);
+    std::printf(
+        "\n%zu design points, %u threads, %.2f s wall; front-end cache: "
+        "%zu trainings, %zu reused\n",
+        sr.points.size(), sr.threads_used, sr.wall_seconds,
+        sr.cache_stats.misses, sr.cache_stats.hits);
+    return all_ok ? 0 : 1;
+}
+
+int cmd_stages() {
+    std::puts("pipeline stages, in order (Fig. 6):");
+    for (auto k : core::stage_order()) std::printf("  %s\n", core::stage_name(k));
+    std::puts(
+        "\n'matador flow --stop-after <stage>' runs a prefix of the pipeline;\n"
+        "'train'/'generate'/'verify' drive the corresponding stage ranges.");
+    return 0;
 }
 
 int cmd_datasets() {
@@ -309,8 +519,9 @@ int main(int argc, char** argv) {
         if (args.command == "generate") return cmd_generate(args, cfg);
         if (args.command == "verify") return cmd_verify(args, cfg);
         if (args.command == "simulate") return cmd_simulate(args, cfg);
+        if (args.command == "sweep") return cmd_sweep(args, cfg);
+        if (args.command == "stages") return cmd_stages();
         if (args.command == "datasets") return cmd_datasets();
-        if (args.command == "help" || args.command == "--help") usage(0);
         std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
         usage(1);
     } catch (const std::exception& e) {
