@@ -64,10 +64,11 @@ int main() {
     }
 
     std::printf(
-        "\n%zu design points on %u threads in %.2f s; front-end cache: "
-        "%zu trainings, %zu reused\n",
+        "\n%zu design points on %u threads in %.2f s; artifact store: "
+        "%zu trainings (%zu reused), %zu HCB builds (%zu reused)\n",
         sweep.points.size(), sweep.threads_used, sweep.wall_seconds,
-        sweep.cache_stats.misses, sweep.cache_stats.hits);
+        sweep.store_stats.train.misses, sweep.store_stats.train.hits(),
+        sweep.store_stats.generate.misses, sweep.store_stats.generate.hits());
     std::cout << "\nNote: throughput depends only on the bus width (packets per\n"
                  "datapoint), not on the clause count - MATADOR is bandwidth\n"
                  "driven. Resources grow with clauses per class instead.\n";

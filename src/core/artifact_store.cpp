@@ -1,0 +1,613 @@
+#include "core/artifact_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "rtl/generators.hpp"
+#include "rtl/verilog_parser.hpp"
+#include "rtl/verilog_writer.hpp"
+
+namespace fs = std::filesystem;
+
+namespace matador::core {
+
+// ---------------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------------
+
+std::uint64_t frontend_config_hash(const FlowConfig& cfg) {
+    Fnv1a h;
+    h.u64(cfg.tm.clauses_per_class);
+    h.u64(std::uint64_t(std::int64_t(cfg.tm.threshold)));
+    h.f64(cfg.tm.specificity);
+    h.u64(cfg.tm.boost_true_positive ? 1 : 0);
+    h.u64(std::uint64_t(cfg.tm.feedback));
+    h.u64(cfg.tm.seed);
+    h.u64(cfg.epochs);
+    return h.digest();
+}
+
+std::uint64_t backend_config_hash(const FlowConfig& cfg, std::uint64_t model_hash) {
+    Fnv1a h;
+    h.u64(model_hash);
+    h.u64(cfg.arch.bus_width);
+    h.u64(cfg.strash ? 1 : 0);
+    return h.digest();
+}
+
+std::uint64_t dataset_fingerprint(const data::Dataset& ds) {
+    Fnv1a h;
+    h.u64(ds.num_features);
+    h.u64(ds.num_classes);
+    h.u64(ds.size());
+    for (auto label : ds.labels) h.u64(label);
+    for (const auto& x : ds.examples) h.u64(x.hash());
+    return h.digest();
+}
+
+std::string key_hex(std::uint64_t key) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)key);
+    return buf;
+}
+
+const char* tier_name(ArtifactTier t) {
+    switch (t) {
+        case ArtifactTier::kNone: return "none";
+        case ArtifactTier::kMemory: return "memory";
+        case ArtifactTier::kDisk: return "disk";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Manifest helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr unsigned kManifestVersion = 1;
+constexpr const char* kManifestName = "manifest.txt";
+
+void warn_at(const ArtifactStore::WarnFn& warn, const std::string& msg) {
+    if (warn) warn(msg);
+}
+
+std::string fmt_double(double v) {
+    // Hexfloat: exact binary round-trip through strtod.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+bool parse_double(const std::string& s, double* out) {
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0') return false;
+    *out = v;
+    return true;
+}
+
+/// Parsed "key value..." manifest lines, in order, between the version
+/// header and the "end" trailer.
+struct Manifest {
+    std::vector<std::pair<std::string, std::string>> lines;
+
+    const std::string* find(const std::string& key) const {
+        for (const auto& [k, v] : lines)
+            if (k == key) return &v;
+        return nullptr;
+    }
+};
+
+/// Read and validate a manifest.  Returns nullopt (with a warning) on a
+/// missing / truncated / corrupt / future-version file.
+std::optional<Manifest> read_manifest(const fs::path& path, const char* stage_name,
+                                      std::uint64_t key,
+                                      const ArtifactStore::WarnFn& warn) {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;  // no entry; not worth a warning
+    const std::string where = path.string();
+
+    std::string line;
+    if (!std::getline(in, line)) {
+        warn_at(warn, "artifact store: empty manifest " + where + "; recomputing");
+        return std::nullopt;
+    }
+    const std::string magic = "MATADOR-ARTIFACT v";
+    if (line.rfind(magic, 0) != 0) {
+        warn_at(warn, "artifact store: bad manifest header in " + where +
+                          "; recomputing");
+        return std::nullopt;
+    }
+    unsigned version = 0;
+    try {
+        version = unsigned(std::stoul(line.substr(magic.size())));
+    } catch (...) {
+        version = 0;
+    }
+    if (version == 0 || version > kManifestVersion) {
+        warn_at(warn, "artifact store: manifest " + where + " has format v" +
+                          line.substr(magic.size()) +
+                          " (this build reads up to v" +
+                          std::to_string(kManifestVersion) + "); recomputing");
+        return std::nullopt;
+    }
+
+    Manifest m;
+    bool ended = false;
+    while (std::getline(in, line)) {
+        if (line == "end") {
+            ended = true;
+            break;
+        }
+        const auto sp = line.find(' ');
+        if (sp == std::string::npos || sp == 0) {
+            warn_at(warn, "artifact store: corrupt manifest line in " + where +
+                              ": '" + line + "'; recomputing");
+            return std::nullopt;
+        }
+        m.lines.emplace_back(line.substr(0, sp), line.substr(sp + 1));
+    }
+    if (!ended) {
+        warn_at(warn, "artifact store: truncated manifest " + where +
+                          " (missing 'end'); recomputing");
+        return std::nullopt;
+    }
+
+    const std::string* stage = m.find("stage");
+    const std::string* k = m.find("key");
+    if (!stage || *stage != stage_name || !k || *k != key_hex(key)) {
+        warn_at(warn, "artifact store: manifest " + where +
+                          " does not match its entry (stage/key mismatch); "
+                          "recomputing");
+        return std::nullopt;
+    }
+    return m;
+}
+
+/// Write `body` under the entry directory near-atomically: emit into a
+/// sibling per-process .tmp directory, then rename over.  An existing
+/// entry (e.g. one that failed its load-time validation and got
+/// recomputed) is replaced.  The pid suffix keeps concurrent processes
+/// sharing one cache_dir from scribbling into each other's staging area;
+/// within a process the per-key single-flight lock already serializes.
+void write_entry(const fs::path& entry_dir,
+                 const std::function<void(const fs::path&)>& body,
+                 const ArtifactStore::WarnFn& warn) {
+    const fs::path tmp =
+        entry_dir.string() + ".tmp." + std::to_string(::getpid());
+    std::error_code ec;
+    fs::remove_all(tmp, ec);
+    try {
+        fs::create_directories(tmp);
+        body(tmp);
+        std::error_code rec;
+        fs::rename(tmp, entry_dir, rec);
+        if (rec) {
+            // Destination exists (a stale or corrupt entry): replace it.
+            fs::remove_all(entry_dir);
+            fs::rename(tmp, entry_dir);
+        }
+    } catch (const std::exception& e) {
+        fs::remove_all(tmp, ec);
+        warn_at(warn, std::string("artifact store: could not persist ") +
+                          entry_dir.string() + ": " + e.what());
+    }
+}
+
+/// True for a well-formed entry directory name (16 lower-hex chars).
+/// Filters out stale ".tmp.<pid>" staging dirs left by a crashed writer.
+bool is_key_dir_name(const std::string& name) {
+    if (name.size() != 16) return false;
+    for (char c : name)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+    return true;
+}
+
+std::string read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path.string());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string hcb_module_name(std::size_t k) {
+    return "hcb_" + std::to_string(k) + "_comb";
+}
+
+std::string hcb_file_name(std::size_t k) {
+    return "hcb_" + std::to_string(k) + ".v";
+}
+
+/// Emitted Verilog for one cached HCB netlist - shared by save (write the
+/// text) and load (byte-identity self-check).
+std::string hcb_verilog(const rtl::HcbNetlist& hcb, std::size_t k, bool strash) {
+    return rtl::emit_module(
+        rtl::generate_hcb_comb_module(hcb, hcb_module_name(k), !strash));
+}
+
+/// Sanity ceiling for manifest-declared counts: a corrupt length field
+/// must become a clean "corrupt entry" verdict, not a giant allocation.
+constexpr std::size_t kMaxManifestCount = 1u << 24;
+
+std::vector<std::uint32_t> parse_id_list(const std::string& v, bool* ok) {
+    std::istringstream ss(v);
+    std::size_t n = 0;
+    *ok = false;
+    if (!(ss >> n) || n > kMaxManifestCount) return {};
+    std::vector<std::uint32_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (!(ss >> ids[i])) return {};
+    std::string extra;
+    if (ss >> extra) return {};
+    *ok = true;
+    return ids;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ArtifactStore
+// ---------------------------------------------------------------------------
+
+ArtifactStore::ArtifactStore(std::string cache_dir) : dir_(std::move(cache_dir)) {}
+
+template <typename T>
+T ArtifactStore::get_or_compute(StageSlots<T>& stage, const char* stage_name,
+                                std::uint64_t key, const std::function<T()>& fn,
+                                ArtifactTier* served, const WarnFn& warn) {
+    std::shared_ptr<typename StageSlots<T>::Slot> slot;
+    {
+        std::lock_guard<std::mutex> lock(stage.mu);
+        auto& entry = stage.slots[key];
+        if (!entry) entry = std::make_shared<typename StageSlots<T>::Slot>();
+        slot = entry;
+    }
+    // Per-key lock: the first caller loads or computes while same-key
+    // callers wait; other keys proceed in parallel.
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->computed) {
+        stage.memory_hits++;
+        if (served) *served = ArtifactTier::kMemory;
+        return slot->artifact;
+    }
+    if (persistent()) {
+        // A disk entry must never be able to fail the request: any load
+        // error - however exotic the corruption - degrades to a recompute.
+        std::optional<T> loaded;
+        try {
+            loaded = load_disk(stage_name, key, warn, (T*)nullptr);
+        } catch (const std::exception& e) {
+            warn_at(warn, std::string("artifact store: unreadable ") +
+                              stage_name + " entry " + key_hex(key) + " (" +
+                              e.what() + "); recomputing");
+        }
+        if (loaded) {
+            slot->artifact = std::move(*loaded);
+            slot->computed = true;
+            stage.disk_hits++;
+            if (served) *served = ArtifactTier::kDisk;
+            return slot->artifact;
+        }
+    }
+    slot->artifact = fn();
+    slot->computed = true;
+    stage.misses++;
+    if (served) *served = ArtifactTier::kNone;
+    if (persistent()) save_disk(stage_name, key, slot->artifact, warn);
+    return slot->artifact;
+}
+
+TrainedArtifact ArtifactStore::get_or_compute_trained(
+    std::uint64_t key, const std::function<TrainedArtifact()>& fn,
+    ArtifactTier* served, const WarnFn& warn) {
+    return get_or_compute(train_, "train", key, fn, served, warn);
+}
+
+GeneratedArtifact ArtifactStore::get_or_compute_generated(
+    std::uint64_t key, const std::function<GeneratedArtifact()>& fn,
+    ArtifactTier* served, const WarnFn& warn) {
+    return get_or_compute(generate_, "generate", key, fn, served, warn);
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier: trained models
+// ---------------------------------------------------------------------------
+
+std::optional<TrainedArtifact> ArtifactStore::load_disk(const char* stage_name,
+                                                        std::uint64_t key,
+                                                        const WarnFn& warn,
+                                                        TrainedArtifact*) const {
+    const fs::path entry = fs::path(dir_) / stage_name / key_hex(key);
+    const auto manifest = read_manifest(entry / kManifestName, stage_name, key, warn);
+    if (!manifest) return std::nullopt;
+
+    TrainedArtifact a;
+    const std::string* train_acc = manifest->find("train_accuracy");
+    const std::string* test_acc = manifest->find("test_accuracy");
+    if (!train_acc || !test_acc || !parse_double(*train_acc, &a.train_accuracy) ||
+        !parse_double(*test_acc, &a.test_accuracy)) {
+        warn_at(warn, "artifact store: corrupt accuracy fields in " +
+                          entry.string() + "; recomputing");
+        return std::nullopt;
+    }
+    try {
+        a.model = std::make_shared<model::TrainedModel>(
+            model::TrainedModel::load_file((entry / "model.tm").string()));
+    } catch (const std::exception& e) {
+        warn_at(warn, "artifact store: unusable model in " + entry.string() +
+                          " (" + e.what() + "); recomputing");
+        return std::nullopt;
+    }
+    return a;
+}
+
+void ArtifactStore::save_disk(const char* stage_name, std::uint64_t key,
+                              const TrainedArtifact& a, const WarnFn& warn) const {
+    if (!a.model) return;  // nothing worth persisting
+    const fs::path entry = fs::path(dir_) / stage_name / key_hex(key);
+    write_entry(
+        entry,
+        [&](const fs::path& tmp) {
+            a.model->save_file((tmp / "model.tm").string());
+            std::ofstream out(tmp / kManifestName);
+            out << "MATADOR-ARTIFACT v" << kManifestVersion << "\n";
+            out << "stage " << stage_name << "\n";
+            out << "key " << key_hex(key) << "\n";
+            out << "train_accuracy " << fmt_double(a.train_accuracy) << "\n";
+            out << "test_accuracy " << fmt_double(a.test_accuracy) << "\n";
+            out << "end\n";
+            if (!out) throw std::runtime_error("manifest write failed");
+        },
+        warn);
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier: generated RTL
+// ---------------------------------------------------------------------------
+
+std::optional<GeneratedArtifact> ArtifactStore::load_disk(const char* stage_name,
+                                                          std::uint64_t key,
+                                                          const WarnFn& warn,
+                                                          GeneratedArtifact*) const {
+    const fs::path entry = fs::path(dir_) / stage_name / key_hex(key);
+    const auto manifest = read_manifest(entry / kManifestName, stage_name, key, warn);
+    if (!manifest) return std::nullopt;
+
+    const auto corrupt = [&](const std::string& what) {
+        warn_at(warn, "artifact store: " + what + " in " + entry.string() +
+                          "; recomputing");
+        return std::nullopt;
+    };
+
+    GeneratedArtifact g;
+    const std::string* strash = manifest->find("strash");
+    const std::string* luts = manifest->find("mapped_luts");
+    const std::string* depth = manifest->find("max_depth");
+    const std::string* count = manifest->find("hcbs");
+    if (!strash || (*strash != "0" && *strash != "1") || !luts || !depth || !count)
+        return corrupt("missing or corrupt summary fields");
+    g.strash = *strash == "1";
+    try {
+        g.hcb_mapped_luts = std::stoul(*luts);
+        g.hcb_max_depth = unsigned(std::stoul(*depth));
+    } catch (...) {
+        return corrupt("corrupt LUT summary");
+    }
+    std::size_t num_hcbs = 0;
+    try {
+        num_hcbs = std::stoul(*count);
+    } catch (...) {
+        return corrupt("corrupt hcb count");
+    }
+    if (num_hcbs > kMaxManifestCount) return corrupt("corrupt hcb count");
+
+    // Per-HCB spec lines, in manifest order: hcb / active / passthrough / chain.
+    auto hcbs = std::make_shared<std::vector<rtl::HcbNetlist>>();
+    hcbs->reserve(num_hcbs);
+    std::size_t li = 0;
+    const auto& lines = manifest->lines;
+    const auto next_line = [&](const std::string& want) -> const std::string* {
+        while (li < lines.size() && lines[li].first != "hcb" &&
+               lines[li].first != "active" && lines[li].first != "passthrough" &&
+               lines[li].first != "chain")
+            ++li;
+        if (li >= lines.size() || lines[li].first != want) return nullptr;
+        return &lines[li++].second;
+    };
+
+    for (std::size_t k = 0; k < num_hcbs; ++k) {
+        rtl::HcbSpec spec;
+        const std::string* hdr = next_line("hcb");
+        if (!hdr) return corrupt("missing hcb spec line");
+        {
+            std::istringstream ss(*hdr);
+            if (!(ss >> spec.packet >> spec.lo >> spec.hi) || spec.packet != k)
+                return corrupt("corrupt hcb spec line");
+        }
+        bool ok = false;
+        const std::string* act = next_line("active");
+        if (!act) return corrupt("missing active-clause list");
+        spec.active_clauses = parse_id_list(*act, &ok);
+        if (!ok) return corrupt("corrupt active-clause list");
+        const std::string* pass = next_line("passthrough");
+        if (!pass) return corrupt("missing passthrough-clause list");
+        spec.passthrough_clauses = parse_id_list(*pass, &ok);
+        if (!ok) return corrupt("corrupt passthrough-clause list");
+        const std::string* chain = next_line("chain");
+        if (!chain) return corrupt("missing chain flags");
+        {
+            const auto bits = parse_id_list(*chain, &ok);
+            if (!ok || bits.size() != spec.active_clauses.size())
+                return corrupt("corrupt chain flags");
+            spec.has_chain_input.reserve(bits.size());
+            for (auto b : bits) spec.has_chain_input.push_back(b != 0);
+        }
+
+        // RTL roundtrip: parse the stored Verilog back into an AIG, then
+        // re-emit and demand byte identity with the stored text.  Anything
+        // short of that (corruption, a format drift, a parser gap) makes
+        // the entry untrusted.
+        std::string text;
+        try {
+            text = read_file(entry / hcb_file_name(k));
+        } catch (const std::exception& e) {
+            return corrupt(std::string("unreadable RTL (") + e.what() + ")");
+        }
+        rtl::HcbNetlist netlist;
+        netlist.spec = std::move(spec);
+        try {
+            netlist.aig = rtl::parse_structural_verilog(text, g.strash).aig;
+        } catch (const std::exception& e) {
+            return corrupt(std::string("unparsable RTL (") + e.what() + ")");
+        }
+        if (hcb_verilog(netlist, k, g.strash) != text)
+            return corrupt("RTL failed the byte-identity roundtrip check");
+        hcbs->push_back(std::move(netlist));
+    }
+    g.hcbs = std::move(hcbs);
+    return g;
+}
+
+void ArtifactStore::save_disk(const char* stage_name, std::uint64_t key,
+                              const GeneratedArtifact& a, const WarnFn& warn) const {
+    if (!a.hcbs) return;  // nothing worth persisting
+    const fs::path entry = fs::path(dir_) / stage_name / key_hex(key);
+    write_entry(
+        entry,
+        [&](const fs::path& tmp) {
+            std::ofstream out(tmp / kManifestName);
+            out << "MATADOR-ARTIFACT v" << kManifestVersion << "\n";
+            out << "stage " << stage_name << "\n";
+            out << "key " << key_hex(key) << "\n";
+            out << "strash " << (a.strash ? 1 : 0) << "\n";
+            out << "mapped_luts " << a.hcb_mapped_luts << "\n";
+            out << "max_depth " << a.hcb_max_depth << "\n";
+            out << "hcbs " << a.hcbs->size() << "\n";
+            for (std::size_t k = 0; k < a.hcbs->size(); ++k) {
+                const auto& spec = (*a.hcbs)[k].spec;
+                out << "hcb " << spec.packet << " " << spec.lo << " " << spec.hi
+                    << "\n";
+                out << "active " << spec.active_clauses.size();
+                for (auto id : spec.active_clauses) out << " " << id;
+                out << "\n";
+                out << "passthrough " << spec.passthrough_clauses.size();
+                for (auto id : spec.passthrough_clauses) out << " " << id;
+                out << "\n";
+                out << "chain " << spec.has_chain_input.size();
+                for (bool b : spec.has_chain_input) out << " " << (b ? 1 : 0);
+                out << "\n";
+
+                std::ofstream v(tmp / hcb_file_name(k), std::ios::binary);
+                v << hcb_verilog((*a.hcbs)[k], k, a.strash);
+                if (!v) throw std::runtime_error("RTL write failed");
+            }
+            out << "end\n";
+            if (!out) throw std::runtime_error("manifest write failed");
+        },
+        warn);
+}
+
+// ---------------------------------------------------------------------------
+// Stats and maintenance
+// ---------------------------------------------------------------------------
+
+std::size_t ArtifactStore::count_disk_entries(const char* stage_name) const {
+    if (!persistent()) return 0;
+    const fs::path stage_dir = fs::path(dir_) / stage_name;
+    std::error_code ec;
+    std::size_t n = 0;
+    for (const auto& e : fs::directory_iterator(stage_dir, ec))
+        if (e.is_directory() && is_key_dir_name(e.path().filename().string()) &&
+            fs::exists(e.path() / kManifestName))
+            ++n;
+    return n;
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+    Stats s;
+    const auto tier = [this](const auto& stage, const char* name) {
+        TierStats t;
+        t.memory_hits = stage.memory_hits.load();
+        t.disk_hits = stage.disk_hits.load();
+        t.misses = stage.misses.load();
+        {
+            std::lock_guard<std::mutex> lock(stage.mu);
+            for (const auto& [key, slot] : stage.slots)
+                if (slot->computed) ++t.memory_entries;
+        }
+        t.disk_entries = count_disk_entries(name);
+        return t;
+    };
+    s.train = tier(train_, "train");
+    s.generate = tier(generate_, "generate");
+    return s;
+}
+
+void ArtifactStore::clear_memory() {
+    {
+        std::lock_guard<std::mutex> lock(train_.mu);
+        train_.slots.clear();
+    }
+    train_.memory_hits = 0;
+    train_.disk_hits = 0;
+    train_.misses = 0;
+    {
+        std::lock_guard<std::mutex> lock(generate_.mu);
+        generate_.slots.clear();
+    }
+    generate_.memory_hits = 0;
+    generate_.disk_hits = 0;
+    generate_.misses = 0;
+}
+
+std::vector<ArtifactStore::DiskEntry> ArtifactStore::list_disk() const {
+    std::vector<DiskEntry> entries;
+    if (!persistent()) return entries;
+    for (const char* stage : {"train", "generate"}) {
+        const fs::path stage_dir = fs::path(dir_) / stage;
+        std::error_code ec;
+        std::vector<DiskEntry> stage_entries;
+        for (const auto& e : fs::directory_iterator(stage_dir, ec)) {
+            if (!e.is_directory()) continue;
+            if (!is_key_dir_name(e.path().filename().string())) continue;
+            DiskEntry d;
+            d.stage = stage;
+            d.key_hex = e.path().filename().string();
+            std::error_code fec;
+            for (const auto& f : fs::directory_iterator(e.path(), fec)) {
+                if (!f.is_regular_file()) continue;
+                d.files++;
+                d.bytes += f.file_size(fec);
+            }
+            stage_entries.push_back(std::move(d));
+        }
+        std::sort(stage_entries.begin(), stage_entries.end(),
+                  [](const DiskEntry& a, const DiskEntry& b) {
+                      return a.key_hex < b.key_hex;
+                  });
+        entries.insert(entries.end(), stage_entries.begin(), stage_entries.end());
+    }
+    return entries;
+}
+
+std::uintmax_t ArtifactStore::clear_disk() {
+    std::uintmax_t bytes = 0;
+    for (const auto& e : list_disk()) bytes += e.bytes;
+    if (persistent()) {
+        std::error_code ec;
+        fs::remove_all(fs::path(dir_) / "train", ec);
+        fs::remove_all(fs::path(dir_) / "generate", ec);
+    }
+    return bytes;
+}
+
+}  // namespace matador::core

@@ -1,0 +1,213 @@
+// ArtifactStore: two-tier, stage-scoped caching of expensive pipeline
+// artifacts, keyed by per-stage slices of the FlowConfig.
+//
+// Design-space sweeps (Table I ablations) re-run the Fig. 6 flow hundreds
+// of times while varying only backend knobs.  Each stage's artifact depends
+// on a distinct config slice:
+//
+//   train    -> frontend_config_hash (TM hyperparameters + epochs) plus the
+//               dataset fingerprints: the TrainedArtifact,
+//   generate -> backend_config_hash (model content hash + bus_width +
+//               strash): the GeneratedArtifact (HCB AIGs + LUT mapping) -
+//               clock and device do NOT enter the key, so clock/device-only
+//               sweep points skip HCB construction and mapping entirely.
+//
+// Each stage slot is backed by two tiers:
+//
+//   memory - thread-safe and single-flight: concurrent sweep workers asking
+//            for the same key block until the first has computed, then
+//            share the result (the compute runs exactly once per key),
+//   disk   - optional (cache_dir != ""), laid out as
+//            <cache_dir>/<stage>/<hash16>/ with a versioned manifest.
+//            Models persist through TrainedModel::save/load; HCB netlists
+//            persist as the emitted Verilog and are parsed back through the
+//            structural parser, with a byte-identity self-check on load.
+//            Corrupt, truncated, or future-version entries are skipped with
+//            a warning (reported through the optional warn sink) and
+//            recomputed - never trusted.
+//
+// A store outlives any single pipeline: sweeps share one across workers,
+// and a fresh process pointed at the same cache_dir rehydrates from disk
+// and trains / generates zero artifacts for known keys.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "data/dataset.hpp"
+#include "model/trained_model.hpp"
+#include "rtl/hcb_builder.hpp"
+
+namespace matador::core {
+
+/// Streaming FNV-1a hasher for building cache keys out of config fields
+/// and dataset fingerprints.
+class Fnv1a {
+public:
+    void bytes(const void* p, std::size_t n) {
+        const auto* b = static_cast<const unsigned char*>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= b[i];
+            h_ *= 1099511628211ull;
+        }
+    }
+    void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+    void f64(double v) { bytes(&v, sizeof v); }
+    std::uint64_t digest() const { return h_; }
+
+private:
+    std::uint64_t h_ = 1469598103934665603ull;
+};
+
+/// Hash of the FlowConfig slice the front end (training) depends on.
+/// Two configs with equal front-end hashes train identical models.
+std::uint64_t frontend_config_hash(const FlowConfig& cfg);
+
+/// Hash of the slice the generate stage depends on: the trained model's
+/// content hash plus bus_width and strash.  Clock, device, and every other
+/// backend knob are deliberately excluded - HCB AIGs and LUT mapping do
+/// not depend on them.
+std::uint64_t backend_config_hash(const FlowConfig& cfg, std::uint64_t model_hash);
+
+/// Stable content fingerprint of a dataset (shape, labels, feature bits).
+std::uint64_t dataset_fingerprint(const data::Dataset& ds);
+
+/// 16-char lower-case hex form of a key (the on-disk entry directory name).
+std::string key_hex(std::uint64_t key);
+
+/// Which tier served an artifact.
+enum class ArtifactTier {
+    kNone,    ///< computed fresh (cache miss, or no store)
+    kMemory,  ///< served from the in-process memory tier
+    kDisk,    ///< rehydrated from the on-disk tier
+};
+
+const char* tier_name(ArtifactTier t);
+
+/// The train stage's artifact set.
+struct TrainedArtifact {
+    std::shared_ptr<const model::TrainedModel> model;
+    double train_accuracy = 0.0;
+    double test_accuracy = 0.0;
+};
+
+/// The generate stage's expensive artifact set: the HCB AIG netlists and
+/// their LUT-mapping summary.  Module emission and timing are cheap and
+/// are re-derived per pipeline run (they also depend on the clock, which
+/// is outside the backend key).
+struct GeneratedArtifact {
+    std::shared_ptr<const std::vector<rtl::HcbNetlist>> hcbs;
+    std::size_t hcb_mapped_luts = 0;
+    unsigned hcb_max_depth = 0;
+    bool strash = true;  ///< how the AIGs were built (drives disk roundtrip)
+};
+
+/// Thread-safe, single-flight, two-tier artifact store.
+class ArtifactStore {
+public:
+    /// Sink for non-fatal warnings (corrupt / unreadable disk entries).
+    using WarnFn = std::function<void(const std::string&)>;
+
+    /// Per-stage hit/miss/entry counters, split by tier.
+    struct TierStats {
+        std::size_t memory_hits = 0;  ///< served from a finished memory slot
+        std::size_t disk_hits = 0;    ///< rehydrated from the disk tier
+        std::size_t misses = 0;       ///< the compute function ran
+        std::size_t memory_entries = 0;
+        std::size_t disk_entries = 0;
+        std::size_t hits() const { return memory_hits + disk_hits; }
+    };
+    struct Stats {
+        TierStats train;
+        TierStats generate;
+    };
+
+    /// One on-disk entry (for `matador cache ls` / stats).
+    struct DiskEntry {
+        std::string stage;    ///< "train" | "generate"
+        std::string key_hex;  ///< 16-char entry directory name
+        std::uintmax_t bytes = 0;
+        std::size_t files = 0;
+    };
+
+    /// `cache_dir` empty => memory tier only (the PR-1 behaviour).
+    explicit ArtifactStore(std::string cache_dir = "");
+
+    const std::string& cache_dir() const { return dir_; }
+    bool persistent() const { return !dir_.empty(); }
+
+    /// Return the artifact for `key`, computing it with `fn` on first
+    /// request.  Lookup order: memory tier, disk tier, compute.  Concurrent
+    /// callers with the same key block until the first finishes; `fn` runs
+    /// exactly once per key per process (and zero times when the disk tier
+    /// already holds the entry).  `served` (when non-null) receives the
+    /// tier that satisfied the call; `warn` receives non-fatal diagnostics
+    /// about skipped disk entries.
+    TrainedArtifact get_or_compute_trained(
+        std::uint64_t key, const std::function<TrainedArtifact()>& fn,
+        ArtifactTier* served = nullptr, const WarnFn& warn = {});
+
+    GeneratedArtifact get_or_compute_generated(
+        std::uint64_t key, const std::function<GeneratedArtifact()>& fn,
+        ArtifactTier* served = nullptr, const WarnFn& warn = {});
+
+    Stats stats() const;
+
+    /// Drop the memory tier (disk entries survive).
+    void clear_memory();
+
+    /// Enumerate the disk tier (empty when not persistent).
+    std::vector<DiskEntry> list_disk() const;
+
+    /// Remove every disk entry; returns the number of bytes freed.
+    std::uintmax_t clear_disk();
+
+private:
+    template <typename T>
+    struct StageSlots {
+        struct Slot {
+            std::mutex mu;
+            /// Atomic so stats() can observe it without taking mu (which an
+            /// in-flight compute holds for its whole run).
+            std::atomic<bool> computed{false};
+            T artifact;
+        };
+        mutable std::mutex mu;
+        std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> slots;
+        std::atomic<std::size_t> memory_hits{0};
+        std::atomic<std::size_t> disk_hits{0};
+        std::atomic<std::size_t> misses{0};
+    };
+
+    template <typename T>
+    T get_or_compute(StageSlots<T>& stage, const char* stage_name,
+                     std::uint64_t key, const std::function<T()>& fn,
+                     ArtifactTier* served, const WarnFn& warn);
+
+    std::optional<TrainedArtifact> load_disk(const char* stage_name,
+                                             std::uint64_t key, const WarnFn& warn,
+                                             TrainedArtifact*) const;
+    std::optional<GeneratedArtifact> load_disk(const char* stage_name,
+                                               std::uint64_t key, const WarnFn& warn,
+                                               GeneratedArtifact*) const;
+    void save_disk(const char* stage_name, std::uint64_t key,
+                   const TrainedArtifact& a, const WarnFn& warn) const;
+    void save_disk(const char* stage_name, std::uint64_t key,
+                   const GeneratedArtifact& a, const WarnFn& warn) const;
+
+    std::size_t count_disk_entries(const char* stage_name) const;
+
+    std::string dir_;
+    StageSlots<TrainedArtifact> train_;
+    StageSlots<GeneratedArtifact> generate_;
+};
+
+}  // namespace matador::core

@@ -80,6 +80,8 @@ bool apply_flow_option(FlowConfig& cfg, const std::string& key,
         cfg.rtl_output_dir = value;
     } else if (key == "skip_rtl_verification") {
         cfg.skip_rtl_verification = parse_bool(value, key);
+    } else if (key == "cache_dir") {
+        cfg.cache_dir = value;
     } else {
         return false;
     }
@@ -137,6 +139,7 @@ void save_flow_config(const FlowConfig& cfg, std::ostream& out) {
         out << "rtl_output_dir = " << cfg.rtl_output_dir << "\n";
     out << "skip_rtl_verification = "
         << (cfg.skip_rtl_verification ? "true" : "false") << "\n";
+    if (!cfg.cache_dir.empty()) out << "cache_dir = " << cfg.cache_dir << "\n";
 }
 
 }  // namespace matador::core

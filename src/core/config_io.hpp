@@ -20,7 +20,7 @@ namespace matador::core {
 ///   feedback (fast|exact), tm_seed, epochs,
 ///   bus_width, clock_mhz (number, or 0 for auto), argmax_levels_per_stage,
 ///   adder_levels_per_stage, device, strash, verify_vectors,
-///   sim_datapoints, rtl_output_dir, skip_rtl_verification
+///   sim_datapoints, rtl_output_dir, skip_rtl_verification, cache_dir
 bool apply_flow_option(FlowConfig& cfg, const std::string& key,
                        const std::string& value);
 

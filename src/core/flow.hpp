@@ -51,6 +51,10 @@ struct FlowConfig {
     std::size_t sim_datapoints = 32; ///< streaming datapoints for system check
     std::string rtl_output_dir;      ///< empty = keep the design in memory
     bool skip_rtl_verification = false;  ///< fast mode for large sweeps
+    /// Root of the persistent artifact store's disk tier; empty = the
+    /// memory tier only.  Never enters any config hash - it decides where
+    /// artifacts live, not what they are.
+    std::string cache_dir;
 };
 
 /// Everything the flow produces.

@@ -180,22 +180,29 @@ public:
             return a;
         };
 
-        bool cached = false;
+        ArtifactTier tier = ArtifactTier::kNone;
         TrainedArtifact a;
-        if (ctx.cache) {
+        if (ctx.store) {
             Fnv1a key;
             key.u64(frontend_config_hash(ctx.cfg));
             key.u64(dataset_fingerprint(*ctx.train_set));
             key.u64(ctx.test_set ? dataset_fingerprint(*ctx.test_set) : 0);
-            a = ctx.cache->get_or_compute(key.digest(), train_fn, &cached);
+            a = ctx.store->get_or_compute_trained(
+                key.digest(), train_fn, &tier,
+                [&](const std::string& msg) { ctx.warn(kind(), msg); });
         } else {
             a = train_fn();
         }
         ctx.trained = a.model;
         ctx.train_accuracy = a.train_accuracy;
         ctx.test_accuracy = a.test_accuracy;
-        if (cached) ctx.note(kind(), "trained model served from artifact cache");
-        return cached ? StageStatus::kCached : StageStatus::kOk;
+        ctx.record(kind()).tier = tier;
+        if (tier != ArtifactTier::kNone)
+            ctx.note(kind(), std::string("trained model served from artifact "
+                                         "store (") +
+                                 tier_name(tier) + " tier)");
+        return tier != ArtifactTier::kNone ? StageStatus::kCached
+                                           : StageStatus::kOk;
     }
 };
 
@@ -244,23 +251,56 @@ public:
             return StageStatus::kSkipped;
         }
         const auto& m = *ctx.trained;
-        ctx.design = std::make_shared<rtl::RtlDesign>(
-            rtl::generate_rtl(m, *ctx.arch, ctx.cfg.strash));
-        ctx.hcb_mapped_luts = 0;
-        ctx.hcb_max_depth = 0;
-        for (const auto& hcb : ctx.design->hcbs) {
-            if (ctx.cfg.strash) {
-                const auto mapped = logic::map_to_luts(hcb.aig);
-                ctx.hcb_mapped_luts += mapped.lut_count;
-                ctx.hcb_max_depth = std::max(ctx.hcb_max_depth, mapped.depth);
-            } else {
-                // DON'T_TOUCH semantics (Fig. 8): synthesis may neither share
-                // nor repack the clause gates, so every AND instantiates as
-                // its own LUT and depth follows the raw gate network.
-                ctx.hcb_mapped_luts += hcb.aig.count_reachable_ands();
-                ctx.hcb_max_depth = std::max(ctx.hcb_max_depth, hcb.aig.depth());
+
+        // The expensive, backend-key-invariant part: HCB AIG construction
+        // and LUT mapping.  Keyed by model content + bus_width + strash, so
+        // clock/device-only variants reuse it.
+        const auto generate_fn = [&]() -> GeneratedArtifact {
+            GeneratedArtifact g;
+            g.strash = ctx.cfg.strash;
+            auto hcbs = rtl::build_hcbs(m, ctx.arch->plan, ctx.cfg.strash);
+            for (const auto& hcb : hcbs) {
+                if (ctx.cfg.strash) {
+                    const auto mapped = logic::map_to_luts(hcb.aig);
+                    g.hcb_mapped_luts += mapped.lut_count;
+                    g.hcb_max_depth = std::max(g.hcb_max_depth, mapped.depth);
+                } else {
+                    // DON'T_TOUCH semantics (Fig. 8): synthesis may neither
+                    // share nor repack the clause gates, so every AND
+                    // instantiates as its own LUT and depth follows the raw
+                    // gate network.
+                    g.hcb_mapped_luts += hcb.aig.count_reachable_ands();
+                    g.hcb_max_depth =
+                        std::max(g.hcb_max_depth, hcb.aig.depth());
+                }
             }
+            g.hcbs = std::make_shared<std::vector<rtl::HcbNetlist>>(
+                std::move(hcbs));
+            return g;
+        };
+
+        ArtifactTier tier = ArtifactTier::kNone;
+        GeneratedArtifact artifact;
+        if (ctx.store) {
+            const auto key = backend_config_hash(ctx.cfg, m.content_hash());
+            artifact = ctx.store->get_or_compute_generated(
+                key, generate_fn, &tier,
+                [&](const std::string& msg) { ctx.warn(kind(), msg); });
+        } else {
+            artifact = generate_fn();
         }
+        ctx.record(kind()).tier = tier;
+        if (tier != ArtifactTier::kNone)
+            ctx.note(kind(), std::string("HCB netlists and LUT mapping served "
+                                         "from artifact store (") +
+                                 tier_name(tier) + " tier)");
+
+        // Cheap re-derivation per run: module emission (deterministic from
+        // the netlists, so disk-tier RTL is byte-identical to fresh RTL).
+        ctx.design = std::make_shared<rtl::RtlDesign>(rtl::assemble_rtl(
+            m, *ctx.arch, *artifact.hcbs, ctx.cfg.strash));
+        ctx.hcb_mapped_luts = artifact.hcb_mapped_luts;
+        ctx.hcb_max_depth = artifact.hcb_max_depth;
 
         // Timing-driven frequency selection (50-65 MHz band).
         if (!ctx.max_feature_fanout)
@@ -279,7 +319,8 @@ public:
             ctx.note(kind(), "wrote " + std::to_string(ctx.rtl_files.size()) +
                                  " RTL files to " + ctx.cfg.rtl_output_dir);
         }
-        return StageStatus::kOk;
+        return tier != ArtifactTier::kNone ? StageStatus::kCached
+                                           : StageStatus::kOk;
     }
 };
 
@@ -387,8 +428,10 @@ std::unique_ptr<Stage> make_default_stage(StageKind kind) {
 // Pipeline driver
 // ---------------------------------------------------------------------------
 
-Pipeline::Pipeline(FlowConfig cfg, std::shared_ptr<ArtifactCache> cache)
-    : cfg_(std::move(cfg)), cache_(std::move(cache)) {
+Pipeline::Pipeline(FlowConfig cfg, std::shared_ptr<ArtifactStore> store)
+    : cfg_(std::move(cfg)), store_(std::move(store)) {
+    if (!store_ && !cfg_.cache_dir.empty())
+        store_ = std::make_shared<ArtifactStore>(cfg_.cache_dir);
     for (auto k : stage_order())
         stages_[stage_index(k)] = make_default_stage(k);
 }
@@ -400,7 +443,7 @@ void Pipeline::set_stage(std::unique_ptr<Stage> stage) {
 CompileContext Pipeline::run(const data::Dataset& train, const data::Dataset& test,
                              StageRange range) const {
     CompileContext ctx(cfg_);
-    ctx.cache = cache_;
+    ctx.store = store_;
     ctx.train_set = &train;
     ctx.test_set = &test;
     run(ctx, range);
@@ -411,7 +454,7 @@ CompileContext Pipeline::run_with_model(const model::TrainedModel& m,
                                         const data::Dataset* test,
                                         StageRange range) const {
     CompileContext ctx(cfg_);
-    ctx.cache = cache_;
+    ctx.store = store_;
     ctx.test_set = test;
     ctx.trained = std::make_shared<model::TrainedModel>(m);
     run(ctx, range);
@@ -446,16 +489,19 @@ void Pipeline::run(CompileContext& ctx, StageRange range) const {
 
 std::string format_stage_report(const CompileContext& ctx) {
     std::ostringstream out;
-    out << "stage      status   wall(ms)\n";
+    out << "stage      status        wall(ms)\n";
     for (const auto& rec : ctx.records) {
-        char line[80];
-        std::snprintf(line, sizeof line, "%-10s %-8s %9.2f\n",
-                      stage_name(rec.kind), status_name(rec.status),
-                      rec.seconds * 1e3);
+        // "cached" entries say which tier served them (memory vs disk).
+        std::string status = status_name(rec.status);
+        if (rec.status == StageStatus::kCached)
+            status += std::string("(") + tier_name(rec.tier) + ")";
+        char line[96];
+        std::snprintf(line, sizeof line, "%-10s %-13s %9.2f\n",
+                      stage_name(rec.kind), status.c_str(), rec.seconds * 1e3);
         out << line;
     }
-    char total[64];
-    std::snprintf(total, sizeof total, "%-10s %-8s %9.2f\n", "total",
+    char total[80];
+    std::snprintf(total, sizeof total, "%-10s %-13s %9.2f\n", "total",
                   ctx.ok() ? "ok" : "FAILED", ctx.total_seconds() * 1e3);
     out << total;
     return out.str();

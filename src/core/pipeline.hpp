@@ -6,10 +6,13 @@
 // store (trained model, sharing stats, architecture, RTL design, reports).
 // The `Pipeline` driver runs any contiguous stage range, records a
 // `StageStatus` plus wall-clock seconds per stage, collects structured
-// diagnostics instead of ad-hoc bools, and reuses front-end artifacts
-// through a config-hash-keyed `ArtifactCache` so backend-only sweeps skip
-// retraining.  `Pipeline::sweep` (see sweep.hpp) fans a FlowConfig grid
-// across worker threads sharing one cache.
+// diagnostics instead of ad-hoc bools, and reuses expensive artifacts
+// through the two-tier, stage-scoped `ArtifactStore`: trained models are
+// keyed by the front-end config slice, generated HCB netlists by the
+// backend slice (model hash + bus_width + strash), each backed by a
+// single-flight memory tier and an optional on-disk tier (cache_dir).
+// `Pipeline::sweep` (see sweep.hpp) fans a FlowConfig grid across worker
+// threads sharing one store.
 //
 // `MatadorFlow` in flow.hpp remains as a thin compatibility shim over this.
 #pragma once
@@ -20,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "core/artifact_cache.hpp"
+#include "core/artifact_store.hpp"
 #include "core/flow.hpp"
 #include "rtl/generators.hpp"
 
@@ -57,7 +60,7 @@ std::optional<StageKind> stage_from_name(const std::string& name);
 enum class StageStatus {
     kNotRun,   ///< outside the requested range / pipeline not run yet
     kOk,       ///< ran and succeeded
-    kCached,   ///< artifacts served from the ArtifactCache
+    kCached,   ///< artifacts served from the ArtifactStore (see record tier)
     kSkipped,  ///< prerequisites missing (earlier stage failed or not run)
     kFailed,   ///< ran and found errors (see diagnostics)
 };
@@ -77,6 +80,8 @@ struct StageRecord {
     StageKind kind = StageKind::kTrain;
     StageStatus status = StageStatus::kNotRun;
     double seconds = 0.0;
+    /// For kCached: which store tier served the artifacts.
+    ArtifactTier tier = ArtifactTier::kNone;
 };
 
 // ---------------------------------------------------------------------------
@@ -130,7 +135,7 @@ public:
     std::optional<cost::PowerReport> power;
 
     // -- bookkeeping ------------------------------------------------------
-    std::shared_ptr<ArtifactCache> cache;  ///< may be null (no caching)
+    std::shared_ptr<ArtifactStore> store;  ///< may be null (no caching)
     std::array<StageRecord, kNumStages> records;
     std::vector<Diagnostic> diagnostics;
 
@@ -186,13 +191,15 @@ struct SweepResult;   // sweep.hpp
 
 class Pipeline {
 public:
-    /// `cache` may be shared across pipelines (sweeps do); pass null for an
-    /// uncached pipeline-private run.
+    /// `store` may be shared across pipelines (sweeps do).  When null, a
+    /// pipeline-private store is created over cfg.cache_dir if that is set
+    /// (so a restarted run rehydrates from disk); otherwise the run is
+    /// uncached.
     explicit Pipeline(FlowConfig cfg,
-                      std::shared_ptr<ArtifactCache> cache = nullptr);
+                      std::shared_ptr<ArtifactStore> store = nullptr);
 
     const FlowConfig& config() const { return cfg_; }
-    const std::shared_ptr<ArtifactCache>& cache() const { return cache_; }
+    const std::shared_ptr<ArtifactStore>& store() const { return store_; }
 
     /// Replace the stage of the same kind (instrumentation / testing hook,
     /// in the pass-manager tradition).
@@ -220,7 +227,7 @@ public:
 
 private:
     FlowConfig cfg_;
-    std::shared_ptr<ArtifactCache> cache_;
+    std::shared_ptr<ArtifactStore> store_;
     std::array<std::unique_ptr<Stage>, kNumStages> stages_;
 };
 

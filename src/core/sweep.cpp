@@ -16,7 +16,10 @@ SweepResult sweep(const data::Dataset& train, const data::Dataset& test,
         throw std::invalid_argument("sweep: range.from is after range.to");
 
     SweepResult result;
-    auto cache = options.cache ? options.cache : std::make_shared<ArtifactCache>();
+    auto store = options.store
+                     ? options.store
+                     : std::make_shared<ArtifactStore>(
+                           grid.empty() ? "" : grid.front().cache_dir);
 
     unsigned threads = options.threads;
     if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -36,7 +39,7 @@ SweepResult sweep(const data::Dataset& train, const data::Dataset& test,
             // An escaping exception in a worker thread would terminate the
             // process; fold it into the point's diagnostics instead.
             try {
-                const Pipeline pipeline(grid[i], cache);
+                const Pipeline pipeline(grid[i], store);
                 CompileContext ctx = pipeline.run(train, test, options.range);
                 p.result = ctx.to_flow_result();
                 p.ok = ctx.ok();
@@ -61,7 +64,7 @@ SweepResult sweep(const data::Dataset& train, const data::Dataset& test,
     }
 
     result.wall_seconds = watch.seconds();
-    result.cache_stats = cache->stats();
+    result.store_stats = store->stats();
     return result;
 }
 

@@ -1,12 +1,14 @@
 // Design-space sweep driver: fan a grid of FlowConfig variants across
-// worker threads that share one ArtifactCache, so sweep points differing
-// only in backend knobs (bus width, clock, device, strash) reuse the same
-// trained model instead of retraining per point.
+// worker threads that share one ArtifactStore, so sweep points differing
+// only in backend knobs reuse the same trained model (and, for points
+// differing only in clock/device, the same HCB netlists and LUT mapping)
+// instead of recomputing per point.  With a persistent store (cache_dir),
+// a restarted sweep rehydrates from the disk tier and trains zero models.
 //
 // Results come back in grid order regardless of thread scheduling, and a
 // given (grid, datasets) pair produces identical results at any thread
 // count: every stage is a deterministic function of its config + inputs,
-// and the cache only ever stores that deterministic result.
+// and the store only ever holds that deterministic result.
 #pragma once
 
 #include <cstddef>
@@ -32,13 +34,15 @@ struct SweepOptions {
     unsigned threads = 0;
     /// Stage range per point (default: the full pipeline).
     StageRange range{};
-    /// Shared front-end cache; created internally when null.
-    std::shared_ptr<ArtifactCache> cache;
+    /// Shared artifact store.  When null, one is created internally over
+    /// the first grid point's cache_dir (memory-only if that is empty).
+    std::shared_ptr<ArtifactStore> store;
 };
 
 struct SweepResult {
     std::vector<SweepPoint> points;  ///< grid order
-    ArtifactCache::Stats cache_stats;
+    /// Per-stage, per-tier hit/miss counters of the shared store.
+    ArtifactStore::Stats store_stats;
     unsigned threads_used = 0;
     double wall_seconds = 0.0;
 };

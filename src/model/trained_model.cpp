@@ -80,8 +80,30 @@ double TrainedModel::include_density() const {
     return slots == 0 ? 0.0 : double(total_includes()) / slots;
 }
 
+std::uint64_t TrainedModel::content_hash() const {
+    // FNV-1a; self-contained so the model layer stays independent of core.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(num_features_);
+    mix(num_classes_);
+    mix(clauses_per_class_);
+    for (const auto& cls : clauses_) {
+        for (const auto& cl : cls) {
+            mix(std::uint64_t(std::int64_t(cl.polarity)));
+            mix(cl.include_pos.hash());
+            mix(cl.include_neg.hash());
+        }
+    }
+    return h;
+}
+
 void TrainedModel::save(std::ostream& os) const {
-    os << "MATADOR-TM v1\n";
+    os << "MATADOR-TM v" << kFormatVersion << "\n";
     os << "features " << num_features_ << "\n";
     os << "classes " << num_classes_ << "\n";
     os << "clauses_per_class " << clauses_per_class_ << "\n";
@@ -106,8 +128,26 @@ void TrainedModel::save_file(const std::string& path) const {
 
 TrainedModel TrainedModel::load(std::istream& is) {
     std::string line;
-    if (!std::getline(is, line) || line != "MATADOR-TM v1")
-        throw std::runtime_error("TrainedModel::load: bad magic");
+    if (!std::getline(is, line))
+        throw std::runtime_error("TrainedModel::load: truncated file (no header)");
+    const std::string magic = "MATADOR-TM v";
+    if (line.rfind(magic, 0) != 0)
+        throw std::runtime_error("TrainedModel::load: bad magic (not a model file)");
+    unsigned version = 0;
+    try {
+        std::size_t pos = 0;
+        const std::string digits = line.substr(magic.size());
+        version = unsigned(std::stoul(digits, &pos));
+        if (pos != digits.size()) throw std::invalid_argument(digits);
+    } catch (...) {
+        throw std::runtime_error("TrainedModel::load: corrupt format-version header: " +
+                                 line);
+    }
+    if (version == 0 || version > kFormatVersion)
+        throw std::runtime_error(
+            "TrainedModel::load: file format v" + std::to_string(version) +
+            " is not supported (this build reads up to v" +
+            std::to_string(kFormatVersion) + ")");
 
     auto expect_kv = [&](const std::string& key) -> std::size_t {
         if (!std::getline(is, line))
@@ -149,7 +189,15 @@ TrainedModel TrainedModel::load(std::istream& is) {
                 in_neg = true;
                 continue;
             }
-            const std::size_t f = std::stoul(tok);
+            std::size_t f = 0;
+            try {
+                std::size_t pos = 0;
+                f = std::stoul(tok, &pos);
+                if (pos != tok.size()) throw std::invalid_argument(tok);
+            } catch (...) {
+                throw std::runtime_error("TrainedModel::load: corrupt literal token '" +
+                                         tok + "'");
+            }
             if (f >= features)
                 throw std::runtime_error("TrainedModel::load: literal index out of range");
             (in_neg ? cl.include_neg : cl.include_pos).set(f);

@@ -82,14 +82,22 @@ public:
     /// Include density: includes / (total_clauses * 2 * features).
     double include_density() const;
 
+    /// Stable 64-bit content hash (dimensions + every clause's polarity and
+    /// include masks).  Two models with equal hashes generate identical
+    /// hardware; the artifact store keys backend artifacts with it.
+    std::uint64_t content_hash() const;
+
     // -- serialization (the GUI's save / the "yellow" import flow) ---------
 
-    /// Plain-text, line-oriented format; stable across versions.
+    /// Version of the on-disk format written by save().
+    static constexpr unsigned kFormatVersion = 1;
+
+    /// Plain-text, line-oriented format with a "MATADOR-TM v<N>" header.
     void save(std::ostream& os) const;
     void save_file(const std::string& path) const;
 
-    /// Parse the format written by save(). Throws std::runtime_error on
-    /// malformed input.
+    /// Parse the format written by save(). Throws std::runtime_error with a
+    /// clear message on truncated, corrupt, or future-format-version input.
     static TrainedModel load(std::istream& is);
     static TrainedModel load_file(const std::string& path);
 

@@ -39,6 +39,14 @@ struct RtlDesign {
 RtlDesign generate_rtl(const model::TrainedModel& m, const model::ArchParams& arch,
                        bool strash = true);
 
+/// Assemble the full design from *prebuilt* HCB netlists (e.g. rehydrated
+/// from the artifact store's disk tier), skipping the expensive
+/// build_hcbs step.  Module emission is deterministic: given the same
+/// netlists and architecture this produces byte-identical RTL to
+/// generate_rtl.
+RtlDesign assemble_rtl(const model::TrainedModel& m, const model::ArchParams& arch,
+                       std::vector<HcbNetlist> hcbs, bool strash = true);
+
 /// Build just one HCB's combinational module from its netlist
 /// (exposed for the verification flow and tests).
 Module generate_hcb_comb_module(const HcbNetlist& hcb, const std::string& name,

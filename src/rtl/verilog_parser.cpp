@@ -148,7 +148,9 @@ constexpr Lit kUnassigned = 0xffffffffu;
 
 class Parser {
 public:
-    explicit Parser(const std::string& text) : lex_(text) {}
+    explicit Parser(const std::string& text, bool strash) : lex_(text) {
+        out_.aig = logic::Aig(strash);
+    }
 
     ParsedModule run() {
         expect_ident("module");
@@ -363,8 +365,8 @@ private:
 
 }  // namespace
 
-ParsedModule parse_structural_verilog(const std::string& text) {
-    return Parser(text).run();
+ParsedModule parse_structural_verilog(const std::string& text, bool strash) {
+    return Parser(text, strash).run();
 }
 
 }  // namespace matador::rtl

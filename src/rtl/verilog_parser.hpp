@@ -28,6 +28,12 @@ struct ParsedModule {
 
 /// Parse Verilog text.  Throws std::runtime_error with a line-numbered
 /// message on anything outside the supported structural subset.
-ParsedModule parse_structural_verilog(const std::string& text);
+///
+/// `strash` controls structural hashing in the reconstructed AIG.  The
+/// default (true) shares identical AND cones, which is what verification
+/// co-simulation wants.  Pass false to preserve the assign structure
+/// one-to-one - required to round-trip DON'T_TOUCH designs byte-exactly
+/// (the artifact store's disk tier relies on this).
+ParsedModule parse_structural_verilog(const std::string& text, bool strash = true);
 
 }  // namespace matador::rtl

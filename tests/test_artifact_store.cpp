@@ -1,0 +1,491 @@
+// Tests for the two-tier, stage-scoped ArtifactStore: key slices, memory
+// single-flight, disk persistence across store instances ("process
+// restarts"), byte-identical RTL rehydration, and corrupt-entry handling.
+#include "core/artifact_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/pipeline.hpp"
+#include "core/sweep.hpp"
+#include "data/synthetic.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using namespace matador;
+using core::ArtifactStore;
+using core::ArtifactTier;
+using core::CompileContext;
+using core::FlowConfig;
+using core::GeneratedArtifact;
+using core::Pipeline;
+using core::StageKind;
+using core::StageStatus;
+using core::TrainedArtifact;
+
+FlowConfig small_config() {
+    FlowConfig cfg;
+    cfg.tm.clauses_per_class = 12;
+    cfg.tm.threshold = 8;
+    cfg.tm.seed = 21;
+    cfg.epochs = 3;
+    cfg.arch.bus_width = 8;
+    cfg.verify_vectors = 4;
+    cfg.sim_datapoints = 6;
+    return cfg;
+}
+
+data::Split small_split(std::uint64_t seed = 3) {
+    const auto ds = data::make_noisy_xor(600, 10, 0.03, seed);
+    return data::train_test_split(ds, 0.8, 5);
+}
+
+/// Fresh scratch directory per test, removed on destruction.
+struct TempDir {
+    explicit TempDir(const std::string& name)
+        : path(fs::temp_directory_path() / ("matador-store-test-" + name)) {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    std::string str() const { return path.string(); }
+    fs::path path;
+};
+
+std::string slurp(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(bool(in)) << p;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TrainedArtifact tiny_trained() {
+    TrainedArtifact a;
+    auto m = std::make_shared<model::TrainedModel>(6, 2, 4);
+    m->clause(0, 0).include_pos.set(1);
+    m->clause(1, 1).include_neg.set(3);
+    a.model = std::move(m);
+    a.train_accuracy = 0.875;
+    a.test_accuracy = 1.0 / 3.0;  // not exactly representable in decimal
+    return a;
+}
+
+// ---------------------------------------------------------------------------
+// Key slices
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactStoreKeys, BackendHashIgnoresClockDeviceAndFrontendKnobs) {
+    const FlowConfig base = small_config();
+    const std::uint64_t model_hash = 0x1234abcdu;
+
+    FlowConfig variant = base;
+    variant.device = "z7045";
+    variant.auto_frequency = false;
+    variant.arch.clock_mhz = 55.0;
+    variant.epochs += 3;
+    variant.tm.seed = 999;
+    variant.verify_vectors = 77;
+    variant.cache_dir = "/elsewhere";
+    EXPECT_EQ(core::backend_config_hash(base, model_hash),
+              core::backend_config_hash(variant, model_hash));
+
+    FlowConfig wider = base;
+    wider.arch.bus_width = 16;
+    EXPECT_NE(core::backend_config_hash(base, model_hash),
+              core::backend_config_hash(wider, model_hash));
+
+    FlowConfig unshared = base;
+    unshared.strash = false;
+    EXPECT_NE(core::backend_config_hash(base, model_hash),
+              core::backend_config_hash(unshared, model_hash));
+
+    EXPECT_NE(core::backend_config_hash(base, model_hash),
+              core::backend_config_hash(base, model_hash + 1));
+}
+
+TEST(ArtifactStoreKeys, KeyHexIsStable16CharLowerHex) {
+    EXPECT_EQ(core::key_hex(0), "0000000000000000");
+    EXPECT_EQ(core::key_hex(0xDEADBEEF12345678ull), "deadbeef12345678");
+}
+
+// ---------------------------------------------------------------------------
+// Memory tier
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactStoreMemory, SingleFlightComputesOncePerKey) {
+    ArtifactStore store;  // memory only
+    std::atomic<int> computes{0};
+    const auto fn = [&]() -> TrainedArtifact {
+        computes++;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return tiny_trained();
+    };
+
+    std::vector<std::thread> pool;
+    std::atomic<int> memory_hits{0};
+    for (int t = 0; t < 6; ++t)
+        pool.emplace_back([&] {
+            ArtifactTier tier = ArtifactTier::kNone;
+            const auto a = store.get_or_compute_trained(42, fn, &tier);
+            ASSERT_TRUE(a.model);
+            if (tier == ArtifactTier::kMemory) memory_hits++;
+        });
+    for (auto& th : pool) th.join();
+
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(memory_hits.load(), 5);
+    const auto s = store.stats();
+    EXPECT_EQ(s.train.misses, 1u);
+    EXPECT_EQ(s.train.memory_hits, 5u);
+    EXPECT_EQ(s.train.disk_hits, 0u);
+    EXPECT_EQ(s.train.memory_entries, 1u);
+    EXPECT_EQ(s.train.disk_entries, 0u);  // not persistent
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier: trained models
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactStoreDisk, TrainedArtifactSurvivesStoreRestart) {
+    TempDir dir("trained-restart");
+    const auto original = tiny_trained();
+    {
+        ArtifactStore store(dir.str());
+        store.get_or_compute_trained(7, [&] { return original; });
+        EXPECT_EQ(store.stats().train.disk_entries, 1u);
+    }
+
+    // "Restart": a fresh store over the same directory must serve the
+    // artifact from disk without ever calling the compute function.
+    ArtifactStore fresh(dir.str());
+    ArtifactTier tier = ArtifactTier::kNone;
+    const auto back = fresh.get_or_compute_trained(
+        7,
+        []() -> TrainedArtifact {
+            ADD_FAILURE() << "disk hit expected; compute must not run";
+            return {};
+        },
+        &tier);
+    EXPECT_EQ(tier, ArtifactTier::kDisk);
+    ASSERT_TRUE(back.model);
+    EXPECT_EQ(*back.model, *original.model);
+    EXPECT_EQ(back.train_accuracy, original.train_accuracy);  // exact (hexfloat)
+    EXPECT_EQ(back.test_accuracy, original.test_accuracy);
+
+    // Second lookup in the same process: memory tier.
+    tier = ArtifactTier::kNone;
+    fresh.get_or_compute_trained(7, [] { return TrainedArtifact{}; }, &tier);
+    EXPECT_EQ(tier, ArtifactTier::kMemory);
+    const auto s = fresh.stats();
+    EXPECT_EQ(s.train.misses, 0u);
+    EXPECT_EQ(s.train.disk_hits, 1u);
+    EXPECT_EQ(s.train.memory_hits, 1u);
+}
+
+TEST(ArtifactStoreDisk, CorruptModelFileIsSkippedWithWarningAndRepaired) {
+    TempDir dir("trained-corrupt");
+    {
+        ArtifactStore store(dir.str());
+        store.get_or_compute_trained(7, [] { return tiny_trained(); });
+    }
+    // Poison the persisted model.
+    const fs::path model_file =
+        dir.path / "train" / core::key_hex(7) / "model.tm";
+    ASSERT_TRUE(fs::exists(model_file));
+    std::ofstream(model_file) << "MATADOR-TM v1\nfeatures garbage\n";
+
+    ArtifactStore fresh(dir.str());
+    std::vector<std::string> warnings;
+    ArtifactTier tier = ArtifactTier::kMemory;
+    int computes = 0;
+    fresh.get_or_compute_trained(
+        7,
+        [&] {
+            computes++;
+            return tiny_trained();
+        },
+        &tier, [&](const std::string& w) { warnings.push_back(w); });
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(tier, ArtifactTier::kNone);  // recomputed, not trusted
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("recomputing"), std::string::npos);
+
+    // The recompute rewrote the entry: a third store now loads cleanly.
+    ArtifactStore again(dir.str());
+    tier = ArtifactTier::kNone;
+    again.get_or_compute_trained(7, [] { return TrainedArtifact{}; }, &tier);
+    EXPECT_EQ(tier, ArtifactTier::kDisk);
+}
+
+TEST(ArtifactStoreDisk, FutureManifestVersionIsSkippedWithWarning) {
+    TempDir dir("future-version");
+    {
+        ArtifactStore store(dir.str());
+        store.get_or_compute_trained(9, [] { return tiny_trained(); });
+    }
+    const fs::path manifest =
+        dir.path / "train" / core::key_hex(9) / "manifest.txt";
+    std::string text = slurp(manifest);
+    text.replace(0, text.find('\n'), "MATADOR-ARTIFACT v9");
+    std::ofstream(manifest, std::ios::binary) << text;
+
+    ArtifactStore fresh(dir.str());
+    std::vector<std::string> warnings;
+    ArtifactTier tier = ArtifactTier::kMemory;
+    fresh.get_or_compute_trained(9, [] { return tiny_trained(); }, &tier,
+                                 [&](const std::string& w) {
+                                     warnings.push_back(w);
+                                 });
+    EXPECT_EQ(tier, ArtifactTier::kNone);
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("format v9"), std::string::npos) << warnings[0];
+}
+
+TEST(ArtifactStoreDisk, ListAndClear) {
+    TempDir dir("list-clear");
+    ArtifactStore store(dir.str());
+    store.get_or_compute_trained(1, [] { return tiny_trained(); });
+    store.get_or_compute_trained(2, [] { return tiny_trained(); });
+
+    const auto entries = store.list_disk();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].stage, "train");
+    EXPECT_EQ(entries[0].key_hex, core::key_hex(1));
+    EXPECT_EQ(entries[1].key_hex, core::key_hex(2));
+    EXPECT_EQ(entries[0].files, 2u);  // manifest + model
+    EXPECT_GT(entries[0].bytes, 0u);
+
+    const auto freed = store.clear_disk();
+    EXPECT_GT(freed, 0u);
+    EXPECT_TRUE(store.list_disk().empty());
+    EXPECT_EQ(store.stats().train.disk_entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier: generated RTL (through the full pipeline)
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactStoreDisk, DiskServedRtlIsByteIdenticalToFreshRtl) {
+    TempDir cache("rtl-identical-cache");
+    TempDir rtl_a("rtl-identical-a");
+    TempDir rtl_b("rtl-identical-b");
+    const auto split = small_split();
+
+    FlowConfig cfg = small_config();
+    cfg.cache_dir = cache.str();
+    cfg.rtl_output_dir = rtl_a.str();
+    const CompileContext fresh_run =
+        Pipeline(cfg).run(split.train, split.test);
+    ASSERT_TRUE(fresh_run.ok()) << core::format_diagnostics(fresh_run);
+    EXPECT_EQ(fresh_run.record(StageKind::kGenerate).status, StageStatus::kOk);
+    ASSERT_FALSE(fresh_run.rtl_files.empty());
+
+    // Restart: new store over the same cache, RTL into a different dir.
+    cfg.rtl_output_dir = rtl_b.str();
+    const CompileContext cached_run =
+        Pipeline(cfg).run(split.train, split.test);
+    ASSERT_TRUE(cached_run.ok()) << core::format_diagnostics(cached_run);
+    EXPECT_EQ(cached_run.record(StageKind::kTrain).status, StageStatus::kCached);
+    EXPECT_EQ(cached_run.record(StageKind::kTrain).tier, ArtifactTier::kDisk);
+    EXPECT_EQ(cached_run.record(StageKind::kGenerate).status,
+              StageStatus::kCached);
+    EXPECT_EQ(cached_run.record(StageKind::kGenerate).tier, ArtifactTier::kDisk);
+
+    ASSERT_EQ(fresh_run.rtl_files.size(), cached_run.rtl_files.size());
+    for (std::size_t i = 0; i < fresh_run.rtl_files.size(); ++i) {
+        EXPECT_EQ(slurp(fresh_run.rtl_files[i]), slurp(cached_run.rtl_files[i]))
+            << fresh_run.rtl_files[i];
+    }
+    // And the cached run produced identical design metrics.
+    EXPECT_EQ(fresh_run.hcb_mapped_luts, cached_run.hcb_mapped_luts);
+    EXPECT_EQ(fresh_run.hcb_max_depth, cached_run.hcb_max_depth);
+}
+
+TEST(ArtifactStoreDisk, DontTouchDesignRoundTripsThroughDisk) {
+    // strash=false AIGs contain deliberately duplicated AND nodes; the
+    // disk roundtrip must preserve them one-to-one (no re-sharing on
+    // parse), or LUT counts and RTL text would drift.
+    TempDir cache("dont-touch-cache");
+    const auto split = small_split();
+
+    FlowConfig cfg = small_config();
+    cfg.strash = false;
+    cfg.cache_dir = cache.str();
+    const CompileContext first = Pipeline(cfg).run(split.train, split.test);
+    ASSERT_TRUE(first.ok()) << core::format_diagnostics(first);
+
+    const CompileContext second = Pipeline(cfg).run(split.train, split.test);
+    ASSERT_TRUE(second.ok()) << core::format_diagnostics(second);
+    EXPECT_EQ(second.record(StageKind::kGenerate).status, StageStatus::kCached);
+    EXPECT_EQ(second.record(StageKind::kGenerate).tier, ArtifactTier::kDisk);
+    EXPECT_EQ(first.hcb_mapped_luts, second.hcb_mapped_luts);
+    EXPECT_EQ(first.hcb_max_depth, second.hcb_max_depth);
+}
+
+TEST(ArtifactStoreDisk, PoisonedRtlEntryIsSkippedWithWarningNotACrash) {
+    TempDir cache("rtl-poison-cache");
+    const auto split = small_split();
+
+    FlowConfig cfg = small_config();
+    cfg.cache_dir = cache.str();
+    const CompileContext first = Pipeline(cfg).run(split.train, split.test);
+    ASSERT_TRUE(first.ok()) << core::format_diagnostics(first);
+
+    // Poison one cached HCB: flip an operator so the text parses but no
+    // longer matches its own re-emission (caught by the byte-identity
+    // roundtrip check).
+    bool poisoned = false;
+    for (const auto& e :
+         fs::recursive_directory_iterator(cache.path / "generate")) {
+        if (e.path().extension() != ".v") continue;
+        std::string text = slurp(e.path());
+        const auto pos = text.find(" & ");
+        if (pos == std::string::npos) continue;
+        text.replace(pos, 3, " | ");
+        std::ofstream(e.path(), std::ios::binary) << text;
+        poisoned = true;
+        break;
+    }
+    ASSERT_TRUE(poisoned) << "no cached HCB RTL with an AND found";
+
+    const CompileContext second = Pipeline(cfg).run(split.train, split.test);
+    // Train still rehydrates; generate must detect the corruption, warn,
+    // and recompute - and the overall run still verifies.
+    EXPECT_EQ(second.record(StageKind::kTrain).status, StageStatus::kCached);
+    EXPECT_EQ(second.record(StageKind::kGenerate).status, StageStatus::kOk);
+    ASSERT_TRUE(second.ok()) << core::format_diagnostics(second);
+    bool warned = false;
+    for (const auto& d : second.diagnostics)
+        if (d.severity == core::Diagnostic::Severity::kWarning &&
+            d.stage == StageKind::kGenerate &&
+            d.message.find("recomputing") != std::string::npos)
+            warned = true;
+    EXPECT_TRUE(warned) << core::format_diagnostics(second);
+}
+
+TEST(ArtifactStoreDisk, HugeManifestCountIsCorruptionNotAnAllocation) {
+    // A bit-rotted length field must yield the warn-and-recompute path,
+    // not a length_error/bad_alloc that fails the stage forever.
+    TempDir cache("huge-count-cache");
+    const auto split = small_split();
+
+    FlowConfig cfg = small_config();
+    cfg.cache_dir = cache.str();
+    ASSERT_TRUE(Pipeline(cfg).run(split.train, split.test).ok());
+
+    bool poisoned = false;
+    for (const auto& e :
+         fs::recursive_directory_iterator(cache.path / "generate")) {
+        if (e.path().filename() != "manifest.txt") continue;
+        std::string text = slurp(e.path());
+        const auto pos = text.find("active ");
+        ASSERT_NE(pos, std::string::npos);
+        const auto eol = text.find('\n', pos);
+        text.replace(pos, eol - pos, "active 18446744073709000000");
+        std::ofstream(e.path(), std::ios::binary) << text;
+        poisoned = true;
+        break;
+    }
+    ASSERT_TRUE(poisoned);
+
+    const CompileContext ctx = Pipeline(cfg).run(split.train, split.test);
+    ASSERT_TRUE(ctx.ok()) << core::format_diagnostics(ctx);
+    EXPECT_EQ(ctx.record(StageKind::kGenerate).status, StageStatus::kOk);
+    bool warned = false;
+    for (const auto& d : ctx.diagnostics)
+        if (d.stage == StageKind::kGenerate &&
+            d.message.find("recomputing") != std::string::npos)
+            warned = true;
+    EXPECT_TRUE(warned) << core::format_diagnostics(ctx);
+
+    // The recompute repaired the entry: the next run is cached again.
+    const CompileContext healed = Pipeline(cfg).run(split.train, split.test);
+    EXPECT_EQ(healed.record(StageKind::kGenerate).status, StageStatus::kCached);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance criterion: restart + backend-only point => fully cached
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactStoreDisk, RestartedBackendOnlyPointRunsNeitherTrainNorGenerate) {
+    TempDir cache("restart-backend-only");
+    const auto split = small_split();
+
+    FlowConfig base = small_config();
+    base.cache_dir = cache.str();
+    {
+        const CompileContext warmup =
+            Pipeline(base).run(split.train, split.test);
+        ASSERT_TRUE(warmup.ok()) << core::format_diagnostics(warmup);
+        EXPECT_EQ(warmup.record(StageKind::kTrain).status, StageStatus::kOk);
+        EXPECT_EQ(warmup.record(StageKind::kGenerate).status, StageStatus::kOk);
+    }
+
+    // "Process restart": a brand-new store over the existing directory,
+    // and a backend-only variant (clock + device changed, nothing else).
+    FlowConfig variant = base;
+    variant.auto_frequency = false;
+    variant.arch.clock_mhz = 55.0;
+    variant.device = "z7045";
+    auto store = std::make_shared<ArtifactStore>(cache.str());
+    const CompileContext ctx =
+        Pipeline(variant, store).run(split.train, split.test);
+    ASSERT_TRUE(ctx.ok()) << core::format_diagnostics(ctx);
+
+    EXPECT_EQ(ctx.record(StageKind::kTrain).status, StageStatus::kCached);
+    EXPECT_EQ(ctx.record(StageKind::kTrain).tier, ArtifactTier::kDisk);
+    EXPECT_EQ(ctx.record(StageKind::kGenerate).status, StageStatus::kCached);
+    EXPECT_EQ(ctx.record(StageKind::kGenerate).tier, ArtifactTier::kDisk);
+
+    const auto s = store->stats();
+    EXPECT_EQ(s.train.misses, 0u);     // zero models trained
+    EXPECT_EQ(s.generate.misses, 0u);  // zero HCB builds / LUT mappings
+    EXPECT_EQ(s.train.disk_hits, 1u);
+    EXPECT_EQ(s.generate.disk_hits, 1u);
+
+    // The variant's own knobs still took effect.
+    EXPECT_DOUBLE_EQ(ctx.arch->options.clock_mhz, 55.0);
+}
+
+TEST(ArtifactStoreDisk, RestartedSweepTrainsZeroModels) {
+    TempDir cache("restart-sweep");
+    const auto split = small_split();
+    FlowConfig base = small_config();
+    base.skip_rtl_verification = true;
+    base.cache_dir = cache.str();
+
+    const auto grid = core::expand_grid(base, {{"bus_width", {"8", "16"}}});
+    const auto first = Pipeline::sweep(split.train, split.test, grid, {});
+    EXPECT_EQ(first.store_stats.train.misses, 1u);
+    EXPECT_EQ(first.store_stats.generate.misses, 2u);
+
+    // Restarted sweep (fresh internal store, same cache_dir via config).
+    const auto second = Pipeline::sweep(split.train, split.test, grid, {});
+    for (const auto& p : second.points) EXPECT_TRUE(p.ok);
+    EXPECT_EQ(second.store_stats.train.misses, 0u);
+    EXPECT_EQ(second.store_stats.generate.misses, 0u);
+    EXPECT_EQ(second.store_stats.train.disk_hits, 1u);
+    EXPECT_EQ(second.store_stats.generate.disk_hits, 2u);
+
+    // Same results either way.
+    ASSERT_EQ(first.points.size(), second.points.size());
+    for (std::size_t i = 0; i < first.points.size(); ++i) {
+        EXPECT_DOUBLE_EQ(first.points[i].result.test_accuracy,
+                         second.points[i].result.test_accuracy);
+        EXPECT_EQ(first.points[i].result.resources.luts,
+                  second.points[i].result.resources.luts);
+    }
+}
+
+}  // namespace

@@ -114,4 +114,60 @@ TEST(ConfigIo, SaveLoadRoundTrip) {
     EXPECT_TRUE(back.skip_rtl_verification);
 }
 
+TEST(ConfigIo, EveryFieldSurvivesSaveLoadRoundTrip) {
+    // Set EVERY FlowConfig field to a non-default value; a field that does
+    // not round-trip here means save_flow_config / apply_flow_option fell
+    // out of sync with the struct (and with the cache-key slices built on
+    // top of it).  Extend this test whenever a field is added.
+    FlowConfig cfg;
+    cfg.tm.clauses_per_class = 123;
+    cfg.tm.threshold = 17;
+    cfg.tm.specificity = 2.125;
+    cfg.tm.boost_true_positive = false;
+    cfg.tm.feedback = matador::tm::FeedbackMode::kExact;
+    cfg.tm.seed = 987;
+    cfg.epochs = 21;
+    cfg.arch.bus_width = 48;
+    cfg.arch.clock_mhz = 62.5;
+    cfg.arch.argmax_levels_per_stage = 3;
+    cfg.arch.adder_levels_per_stage = 7;
+    cfg.auto_frequency = false;
+    cfg.device = "z7045";
+    cfg.strash = false;
+    cfg.verify_vectors = 11;
+    cfg.sim_datapoints = 13;
+    cfg.rtl_output_dir = "/tmp/rtl-out";
+    cfg.skip_rtl_verification = true;
+    cfg.cache_dir = "/tmp/artifact-store";
+
+    std::stringstream ss;
+    save_flow_config(cfg, ss);
+    const FlowConfig back = load_flow_config(ss);
+
+    EXPECT_EQ(back.tm.clauses_per_class, cfg.tm.clauses_per_class);
+    EXPECT_EQ(back.tm.threshold, cfg.tm.threshold);
+    EXPECT_DOUBLE_EQ(back.tm.specificity, cfg.tm.specificity);
+    EXPECT_EQ(back.tm.boost_true_positive, cfg.tm.boost_true_positive);
+    EXPECT_EQ(back.tm.feedback, cfg.tm.feedback);
+    EXPECT_EQ(back.tm.seed, cfg.tm.seed);
+    EXPECT_EQ(back.epochs, cfg.epochs);
+    EXPECT_EQ(back.arch.bus_width, cfg.arch.bus_width);
+    EXPECT_DOUBLE_EQ(back.arch.clock_mhz, cfg.arch.clock_mhz);
+    EXPECT_EQ(back.arch.argmax_levels_per_stage, cfg.arch.argmax_levels_per_stage);
+    EXPECT_EQ(back.arch.adder_levels_per_stage, cfg.arch.adder_levels_per_stage);
+    EXPECT_EQ(back.auto_frequency, cfg.auto_frequency);
+    EXPECT_EQ(back.device, cfg.device);
+    EXPECT_EQ(back.strash, cfg.strash);
+    EXPECT_EQ(back.verify_vectors, cfg.verify_vectors);
+    EXPECT_EQ(back.sim_datapoints, cfg.sim_datapoints);
+    EXPECT_EQ(back.rtl_output_dir, cfg.rtl_output_dir);
+    EXPECT_EQ(back.skip_rtl_verification, cfg.skip_rtl_verification);
+    EXPECT_EQ(back.cache_dir, cfg.cache_dir);
+
+    // And the serialized text itself is a fixed point.
+    std::stringstream again;
+    save_flow_config(back, again);
+    EXPECT_EQ(ss.str(), again.str());
+}
+
 }  // namespace

@@ -11,7 +11,7 @@
 namespace {
 
 using namespace matador;
-using core::ArtifactCache;
+using core::ArtifactStore;
 using core::CompileContext;
 using core::FlowConfig;
 using core::Pipeline;
@@ -127,36 +127,52 @@ TEST(Pipeline, InvalidRangeThrows) {
                  std::invalid_argument);
 }
 
-TEST(ArtifactCacheTest, BackendOnlyChangeHitsFrontendMiss) {
+TEST(ArtifactStoreTest, BackendOnlyChangeHitsFrontendMiss) {
     const auto split = small_split();
-    auto cache = std::make_shared<ArtifactCache>();
+    auto store = std::make_shared<ArtifactStore>();
 
     FlowConfig a = small_config();
-    const CompileContext ctx_a = Pipeline(a, cache).run(split.train, split.test);
+    const CompileContext ctx_a = Pipeline(a, store).run(split.train, split.test);
     EXPECT_EQ(ctx_a.record(StageKind::kTrain).status, StageStatus::kOk);
-    EXPECT_EQ(cache->stats().misses, 1u);
+    EXPECT_EQ(store->stats().train.misses, 1u);
 
-    // Backend-only change: bus width.  Front-end key unchanged -> cache hit.
+    // Backend-only change: bus width.  Front-end key unchanged -> memory
+    // hit for train; the generate key includes bus_width, so that misses.
     FlowConfig b = small_config();
     b.arch.bus_width = 16;
-    const CompileContext ctx_b = Pipeline(b, cache).run(split.train, split.test);
+    const CompileContext ctx_b = Pipeline(b, store).run(split.train, split.test);
     EXPECT_EQ(ctx_b.record(StageKind::kTrain).status, StageStatus::kCached);
-    EXPECT_EQ(cache->stats().misses, 1u);
-    EXPECT_EQ(cache->stats().hits, 1u);
+    EXPECT_EQ(ctx_b.record(StageKind::kTrain).tier, core::ArtifactTier::kMemory);
+    EXPECT_EQ(store->stats().train.misses, 1u);
+    EXPECT_EQ(store->stats().train.memory_hits, 1u);
+    EXPECT_EQ(store->stats().generate.misses, 2u);
     // Same model, different architecture.
     EXPECT_DOUBLE_EQ(ctx_b.test_accuracy, ctx_a.test_accuracy);
     EXPECT_NE(ctx_b.arch->plan.num_packets(), ctx_a.arch->plan.num_packets());
 
+    // Clock-only change: both stage keys unchanged -> both stages cached.
+    FlowConfig c2 = small_config();
+    c2.auto_frequency = false;
+    c2.arch.clock_mhz = 55.0;
+    const CompileContext ctx_c2 =
+        Pipeline(c2, store).run(split.train, split.test);
+    EXPECT_EQ(ctx_c2.record(StageKind::kTrain).status, StageStatus::kCached);
+    EXPECT_EQ(ctx_c2.record(StageKind::kGenerate).status, StageStatus::kCached);
+    EXPECT_EQ(ctx_c2.record(StageKind::kGenerate).tier,
+              core::ArtifactTier::kMemory);
+    EXPECT_EQ(store->stats().generate.misses, 2u);
+    EXPECT_EQ(store->stats().generate.memory_hits, 1u);
+
     // Front-end change: TM seed.  New key -> miss.
     FlowConfig c = small_config();
     c.tm.seed = 99;
-    const CompileContext ctx_c = Pipeline(c, cache).run(split.train, split.test);
+    const CompileContext ctx_c = Pipeline(c, store).run(split.train, split.test);
     EXPECT_EQ(ctx_c.record(StageKind::kTrain).status, StageStatus::kOk);
-    EXPECT_EQ(cache->stats().misses, 2u);
-    EXPECT_EQ(cache->stats().entries, 2u);
+    EXPECT_EQ(store->stats().train.misses, 2u);
+    EXPECT_EQ(store->stats().train.memory_entries, 2u);
 }
 
-TEST(ArtifactCacheTest, FrontendHashSeparatesTrainingKnobsFromBackendKnobs) {
+TEST(ArtifactStoreTest, FrontendHashSeparatesTrainingKnobsFromBackendKnobs) {
     const FlowConfig base = small_config();
 
     FlowConfig backend = base;
@@ -173,7 +189,7 @@ TEST(ArtifactCacheTest, FrontendHashSeparatesTrainingKnobsFromBackendKnobs) {
               core::frontend_config_hash(frontend));
 }
 
-TEST(ArtifactCacheTest, DatasetFingerprintTracksContent) {
+TEST(ArtifactStoreTest, DatasetFingerprintTracksContent) {
     const auto a = data::make_noisy_xor(200, 10, 0.02, 1);
     const auto b = data::make_noisy_xor(200, 10, 0.02, 2);
     auto c = a;
@@ -250,9 +266,11 @@ TEST(Sweep, BackendOnlySweepTrainsExactlyOnce) {
     ASSERT_EQ(sr.points.size(), 2u);
     for (const auto& p : sr.points) EXPECT_TRUE(p.ok);
     // The acceptance criterion: the train stage executed exactly once; the
-    // other point was served from the shared artifact cache.
-    EXPECT_EQ(sr.cache_stats.misses, 1u);
-    EXPECT_EQ(sr.cache_stats.hits, 1u);
+    // other point was served from the shared artifact store.
+    EXPECT_EQ(sr.store_stats.train.misses, 1u);
+    EXPECT_EQ(sr.store_stats.train.hits(), 1u);
+    // bus_width enters the generate key, so both points built HCBs.
+    EXPECT_EQ(sr.store_stats.generate.misses, 2u);
     const auto trained_runs = std::count_if(
         sr.points.begin(), sr.points.end(), [](const core::SweepPoint& p) {
             return p.stages[core::stage_index(StageKind::kTrain)].status ==
@@ -297,8 +315,8 @@ TEST(Sweep, DeterministicAcrossThreadCounts) {
                          b.points[i].result.arch.options.clock_mhz);
     }
     // Both sweeps trained each distinct front end exactly once.
-    EXPECT_EQ(a.cache_stats.misses, 2u);
-    EXPECT_EQ(b.cache_stats.misses, 2u);
+    EXPECT_EQ(a.store_stats.train.misses, 2u);
+    EXPECT_EQ(b.store_stats.train.misses, 2u);
 }
 
 TEST(Sweep, ExpandGridOrderAndValidation) {

@@ -133,6 +133,58 @@ TEST(TrainedModel, LoadRejectsOutOfRangeIndices) {
     EXPECT_THROW(TrainedModel::load(ss), std::runtime_error);
 }
 
+TEST(TrainedModel, LoadRejectsFutureFormatVersionWithClearMessage) {
+    const TrainedModel m = tiny_model();
+    std::stringstream ss;
+    m.save(ss);
+    std::string text = ss.str();
+    const auto header_end = text.find('\n');
+    text.replace(0, header_end, "MATADOR-TM v99");
+    std::stringstream future(text);
+    try {
+        TrainedModel::load(future);
+        FAIL() << "future-version file must not load";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("v99"), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("not supported"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TrainedModel, LoadRejectsCorruptVersionHeader) {
+    std::stringstream garbage("MATADOR-TM vABC\nfeatures 4\n");
+    EXPECT_THROW(TrainedModel::load(garbage), std::runtime_error);
+    std::stringstream empty("");
+    EXPECT_THROW(TrainedModel::load(empty), std::runtime_error);
+}
+
+TEST(TrainedModel, LoadRejectsCorruptClauseData) {
+    // A literal token that is not a number must raise a clear error, not
+    // silently produce garbage include masks.
+    std::stringstream ss(
+        "MATADOR-TM v1\nfeatures 4\nclasses 1\nclauses_per_class 2\n"
+        "clause 0 0 1 pos 2x neg\nend\n");
+    EXPECT_THROW(TrainedModel::load(ss), std::runtime_error);
+}
+
+TEST(TrainedModel, ContentHashTracksContent) {
+    const TrainedModel a = tiny_model();
+    TrainedModel b = tiny_model();
+    EXPECT_EQ(a.content_hash(), b.content_hash());
+
+    b.clause(0, 0).include_pos.set(5);
+    EXPECT_NE(a.content_hash(), b.content_hash());
+
+    TrainedModel c = tiny_model();
+    c.clause(0, 0).polarity = -1;
+    EXPECT_NE(a.content_hash(), c.content_hash());
+
+    // Shape differences hash differently even with no includes anywhere.
+    EXPECT_NE(TrainedModel(8, 2, 4).content_hash(),
+              TrainedModel(8, 4, 2).content_hash());
+}
+
 TEST(TrainedModel, SaveIsStableText) {
     const TrainedModel m = tiny_model();
     std::stringstream a, b;

@@ -8,6 +8,7 @@
 //   matador verify    --model m.tm [options]
 //   matador simulate  --model m.tm [--vcd out.vcd] [--trace] [options]
 //   matador sweep     --dataset <spec> --sweep key=v1,v2,... [--jobs n]
+//   matador cache     <stats|ls|clear> --cache-dir dir  artifact store admin
 //   matador stages                                      list pipeline stages
 //   matador datasets                                    list dataset specs
 //
@@ -23,6 +24,7 @@
 // Unknown subcommands, unknown flags, and flags that do not apply to the
 // chosen subcommand are usage errors.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -50,8 +52,8 @@ using namespace matador;
 
 [[noreturn]] void usage(int code) {
     std::puts(
-        "usage: matador <flow|train|generate|verify|simulate|sweep|stages|"
-        "datasets> [options]\n"
+        "usage: matador <flow|train|generate|verify|simulate|sweep|cache|"
+        "stages|datasets> [options]\n"
         "\n"
         "common options:\n"
         "  --dataset <spec>        dataset (see 'matador datasets')\n"
@@ -69,6 +71,8 @@ using namespace matador;
         "  --datapoints <n>        simulate: streamed datapoints (default 16)\n"
         "  --sweep <key=v1,v2,..>  sweep: one grid axis (repeatable)\n"
         "  --jobs <n>              sweep: worker threads (default: all cores)\n"
+        "  --cache-dir <dir>       persistent artifact store (trained models +\n"
+        "                          generated RTL survive restarts)\n"
         "  --<flow-key> <value>    any FlowConfig key (clauses_per_class,\n"
         "                          threshold, specificity, epochs, bus_width,\n"
         "                          clock_mhz, device, strash, ...)\n"
@@ -112,6 +116,7 @@ const std::vector<CommandSpec>& command_specs() {
         {"sweep",
          {"dataset", "examples", "data-seed", "train-fraction", "sweep",
           "jobs", "config"}},
+        {"cache", {"config"}},
         {"stages", {}, false},
         {"datasets", {}, false},
     };
@@ -175,13 +180,25 @@ CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
                spec->cli_options.end();
     };
 
-    for (int i = 2; i < argc; ++i) {
+    // 'matador cache <stats|ls|clear>' takes a positional action.
+    int first_option = 2;
+    if (args.command == "cache") {
+        if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+            std::fprintf(stderr, "cache needs an action: stats|ls|clear\n");
+            usage(1);
+        }
+        args.options["action"] = argv[2];
+        first_option = 3;
+    }
+
+    for (int i = first_option; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0) {
             std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
             usage(1);
         }
         arg = arg.substr(2);
+        if (arg == "cache-dir") arg = "cache_dir";  // CLI spelling alias
         const bool is_flag = is_boolean_flag(arg);
         std::string value;
         if (!is_flag) {
@@ -476,12 +493,74 @@ int cmd_sweep(const CliArgs& args, const core::FlowConfig& cfg) {
                         labels[p.index].c_str());
     }
     std::cout << core::format_table(groups);
-    std::printf(
-        "\n%zu design points, %u threads, %.2f s wall; front-end cache: "
-        "%zu trainings, %zu reused\n",
-        sr.points.size(), sr.threads_used, sr.wall_seconds,
-        sr.cache_stats.misses, sr.cache_stats.hits);
+    std::printf("\n%zu design points, %u threads, %.2f s wall\n",
+                sr.points.size(), sr.threads_used, sr.wall_seconds);
+    const auto tier_line = [](const char* stage,
+                              const core::ArtifactStore::TierStats& t) {
+        std::printf(
+            "%s cache: misses=%zu mem_hits=%zu disk_hits=%zu "
+            "(entries: mem=%zu disk=%zu)\n",
+            stage, t.misses, t.memory_hits, t.disk_hits, t.memory_entries,
+            t.disk_entries);
+    };
+    tier_line("train", sr.store_stats.train);
+    tier_line("generate", sr.store_stats.generate);
     return all_ok ? 0 : 1;
+}
+
+int cmd_cache(const CliArgs& args, const core::FlowConfig& cfg) {
+    const std::string action = args.get("action");
+    if (action != "stats" && action != "ls" && action != "clear") {
+        std::fprintf(stderr, "unknown cache action: %s (want stats|ls|clear)\n",
+                     action.c_str());
+        usage(1);
+    }
+    if (cfg.cache_dir.empty()) {
+        std::fprintf(stderr,
+                     "cache %s needs --cache-dir (or cache_dir in --config)\n",
+                     action.c_str());
+        usage(1);
+    }
+    core::ArtifactStore store(cfg.cache_dir);
+
+    if (action == "clear") {
+        const auto bytes = store.clear_disk();
+        std::printf("cleared %s (%ju bytes freed)\n", cfg.cache_dir.c_str(),
+                    std::uintmax_t(bytes));
+        return 0;
+    }
+
+    const auto entries = store.list_disk();
+    if (action == "ls") {
+        if (entries.empty()) {
+            std::printf("no artifacts under %s\n", cfg.cache_dir.c_str());
+            return 0;
+        }
+        std::printf("%-10s %-18s %10s %6s\n", "stage", "key", "bytes", "files");
+        for (const auto& e : entries)
+            std::printf("%-10s %-18s %10ju %6zu\n", e.stage.c_str(),
+                        e.key_hex.c_str(), std::uintmax_t(e.bytes), e.files);
+        return 0;
+    }
+
+    // stats
+    std::size_t train_n = 0, gen_n = 0;
+    std::uintmax_t train_b = 0, gen_b = 0;
+    for (const auto& e : entries) {
+        if (e.stage == "train") {
+            train_n++;
+            train_b += e.bytes;
+        } else {
+            gen_n++;
+            gen_b += e.bytes;
+        }
+    }
+    std::printf("artifact store: %s\n", cfg.cache_dir.c_str());
+    std::printf("  train:    %zu entries, %ju bytes\n", train_n,
+                std::uintmax_t(train_b));
+    std::printf("  generate: %zu entries, %ju bytes\n", gen_n,
+                std::uintmax_t(gen_b));
+    return 0;
 }
 
 int cmd_stages() {
@@ -520,6 +599,7 @@ int main(int argc, char** argv) {
         if (args.command == "verify") return cmd_verify(args, cfg);
         if (args.command == "simulate") return cmd_simulate(args, cfg);
         if (args.command == "sweep") return cmd_sweep(args, cfg);
+        if (args.command == "cache") return cmd_cache(args, cfg);
         if (args.command == "stages") return cmd_stages();
         if (args.command == "datasets") return cmd_datasets();
         std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
