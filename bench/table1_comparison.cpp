@@ -12,7 +12,14 @@
 // (who wins, by what factor) can be checked directly; absolute accuracy
 // values are not comparable (synthetic data).
 //
-//   ./table1_comparison [scale]   (scale>1 shrinks datasets for quick runs)
+//   ./table1_comparison [scale] [shards] [cache_dir]
+//     scale  > 1 shrinks datasets for quick runs
+//     shards > 1 computes each MATADOR row through the distributed sweep
+//            machinery instead: a small bus_width grid is fanned over
+//            `shards` local shard processes coordinating through a
+//            work-stealing queue under cache_dir (default
+//            ./table1_shard_cache), merged, and the bus_width=64 point
+//            becomes the table row - same numbers, different engine.
 #include <cstdio>
 #include <iostream>
 
@@ -21,6 +28,9 @@
 #include "bench_common.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "core/sweep.hpp"
+#include "dist/shard_runner.hpp"
+#include "dist/sweep_merge.hpp"
 
 namespace {
 
@@ -89,8 +99,13 @@ void print_paper_reference() {
 
 int main(int argc, char** argv) {
     const std::size_t scale = argc > 1 ? std::size_t(std::atoi(argv[1])) : 1;
-    std::printf("=== Table I: MATADOR vs FINN (scale 1/%zu datasets) ===\n\n",
-                scale == 0 ? 1 : scale);
+    const unsigned shards = argc > 2 ? unsigned(std::atoi(argv[2])) : 1;
+    const std::string cache_root = argc > 3 ? argv[3] : "./table1_shard_cache";
+    std::printf("=== Table I: MATADOR vs FINN (scale 1/%zu datasets%s) ===\n\n",
+                scale == 0 ? 1 : scale,
+                shards > 1 ? (", " + std::to_string(shards) + " shard processes")
+                                 .c_str()
+                           : "");
 
     std::vector<std::pair<std::string, std::vector<core::TableRow>>> groups;
     for (const auto& w : bench::paper_workloads(std::max<std::size_t>(1, scale))) {
@@ -111,21 +126,52 @@ int main(int argc, char** argv) {
         cfg.sim_datapoints = 16;
         cfg.skip_rtl_verification = true;  // ladder covered by ctest; keep
                                            // the bench about the numbers
-        const auto ctx = core::Pipeline(cfg).run(split.train, split.test);
-        const auto r = ctx.to_flow_result();
+        core::FlowResult r;
+        if (shards > 1) {
+            // Distributed mode: fan a bus_width ablation of this workload
+            // over local shard processes (one work queue per dataset), then
+            // take the merged bus_width=64 point as the table row.
+            const auto grid =
+                core::expand_grid(cfg, {{"bus_width", {"32", "64"}}});
+            const std::string cdir = cache_root + "/" + w.finn_key;
+            dist::ShardOptions so;
+            so.poll_seconds = 0.05;
+            dist::run_local_shards(split.train, split.test, grid, cdir, shards,
+                                   so);
+            const auto merged = dist::merge_sweep(cdir);
+            if (!merged.complete()) {
+                std::fprintf(stderr, "[%s] sharded sweep incomplete (%zu/%zu)\n",
+                             w.display_name.c_str(), merged.missing.size(),
+                             merged.expected);
+                return 1;
+            }
+            r = merged.result.points.back().result;  // the bus_width=64 point
+            for (const auto& s : merged.shards)
+                std::printf("  shard %s: %zu points (%zu stolen), %.1f s\n",
+                            s.owner.c_str(), s.points_run, s.points_stolen,
+                            s.wall_seconds);
+            std::printf("  MATADOR: %zu pkts, %zu cyc latency @%.1f MHz, "
+                        "sys-verified=%s (merged from %s)\n",
+                        r.arch.plan.num_packets(), r.arch.latency_cycles(),
+                        r.arch.options.clock_mhz,
+                        r.system_verified ? "yes" : "NO", cdir.c_str());
+        } else {
+            const auto ctx = core::Pipeline(cfg).run(split.train, split.test);
+            r = ctx.to_flow_result();
+            std::printf(
+                "  MATADOR: %zu pkts, %zu cyc latency @%.1f MHz, sys-verified=%s"
+                " (train %.1f s, generate %.1f s, total %.1f s)\n",
+                r.arch.plan.num_packets(), r.arch.latency_cycles(),
+                r.arch.options.clock_mhz, r.system_verified ? "yes" : "NO",
+                ctx.record(core::StageKind::kTrain).seconds,
+                ctx.record(core::StageKind::kGenerate).seconds,
+                ctx.total_seconds());
+        }
 
         std::vector<core::TableRow> rows;
         rows.push_back(finn_row(w, split));
         rows.push_back(core::to_table_row(r, "MATADOR"));
         groups.emplace_back(w.display_name, std::move(rows));
-
-        std::printf("  MATADOR: %zu pkts, %zu cyc latency @%.1f MHz, sys-verified=%s"
-                    " (train %.1f s, generate %.1f s, total %.1f s)\n",
-                    r.arch.plan.num_packets(), r.arch.latency_cycles(),
-                    r.arch.options.clock_mhz, r.system_verified ? "yes" : "NO",
-                    ctx.record(core::StageKind::kTrain).seconds,
-                    ctx.record(core::StageKind::kGenerate).seconds,
-                    ctx.total_seconds());
 
         // Cross-check the FINN side the same way: the cycle-level dataflow
         // simulator must measure the analytic initiation interval.

@@ -12,6 +12,7 @@
 #include "rtl/generators.hpp"
 #include "rtl/verilog_parser.hpp"
 #include "rtl/verilog_writer.hpp"
+#include "util/fsio.hpp"
 
 namespace fs = std::filesystem;
 
@@ -209,14 +210,6 @@ bool is_key_dir_name(const std::string& name) {
     for (char c : name)
         if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
     return true;
-}
-
-std::string read_file(const fs::path& path) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) throw std::runtime_error("cannot open " + path.string());
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return ss.str();
 }
 
 std::string hcb_module_name(std::size_t k) {
@@ -458,7 +451,7 @@ std::optional<GeneratedArtifact> ArtifactStore::load_disk(const char* stage_name
         // the entry untrusted.
         std::string text;
         try {
-            text = read_file(entry / hcb_file_name(k));
+            text = util::read_file(entry / hcb_file_name(k));
         } catch (const std::exception& e) {
             return corrupt(std::string("unreadable RTL (") + e.what() + ")");
         }

@@ -12,10 +12,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "util/json.hpp"
 
 namespace matador::core {
 
@@ -58,5 +61,49 @@ SweepResult sweep(const data::Dataset& train, const data::Dataset& test,
 std::vector<FlowConfig> expand_grid(
     const FlowConfig& base,
     const std::vector<std::pair<std::string, std::vector<std::string>>>& axes);
+
+/// Evaluate one grid point exactly as a sweep worker does (exceptions fold
+/// into the point's diagnostics, never escape).  This is the shared kernel
+/// of the in-process sweep above and the distributed shard runner
+/// (src/dist/): both produce bit-identical SweepPoints for the same inputs.
+SweepPoint run_sweep_point(std::size_t index, const FlowConfig& cfg,
+                           const data::Dataset& train, const data::Dataset& test,
+                           const StageRange& range,
+                           const std::shared_ptr<ArtifactStore>& store);
+
+// ---------------------------------------------------------------------------
+// JSON serialization
+//
+// Powers `matador sweep --out results.json` (machine-readable sweep output)
+// and the distributed shard manifests under <cache_dir>/results/ that the
+// merge step (src/dist/sweep_merge.hpp) reassembles.  Round-trips are exact:
+// doubles keep their bits, the trained model embeds as its versioned
+// MATADOR-TM text, and the config embeds as its config_io key=value text.
+// ---------------------------------------------------------------------------
+
+/// Schema version of the documents below; readers reject newer versions.
+inline constexpr unsigned kSweepJsonVersion = 1;
+
+util::Json flow_result_to_json(const FlowResult& r);
+FlowResult flow_result_from_json(const util::Json& j);
+
+util::Json sweep_point_to_json(const SweepPoint& p);
+SweepPoint sweep_point_from_json(const util::Json& j);
+
+util::Json store_stats_to_json(const ArtifactStore::Stats& s);
+ArtifactStore::Stats store_stats_from_json(const util::Json& j);
+
+util::Json sweep_result_to_json(const SweepResult& r);
+SweepResult sweep_result_from_json(const util::Json& j);
+
+/// FlowConfig <-> the config_io key=value text (exact round-trip; used as
+/// the embedded config form in the JSON documents above).
+std::string flow_config_to_text(const FlowConfig& cfg);
+FlowConfig flow_config_from_text(const std::string& text);
+
+/// Order-sensitive content hash of a grid (over each point's config text).
+/// The distributed work queue stores it to refuse mixing two different
+/// sweeps in one queue directory.
+std::uint64_t grid_content_hash(const std::vector<FlowConfig>& grid);
 
 }  // namespace matador::core

@@ -30,10 +30,44 @@ DeviceSpec device_z7045() {
     return d;
 }
 
+namespace {
+
+/// Single source of truth for the name -> spec table, so the error message
+/// below can never drift from what device_by_name actually accepts.
+struct DeviceEntry {
+    const char* name;
+    const char* alias;
+    DeviceSpec (*make)();
+};
+
+constexpr DeviceEntry kDevices[] = {
+    {"z7020", "xc7z020", device_z7020},
+    {"z7045", "xc7z045", device_z7045},
+};
+
+}  // namespace
+
+std::vector<std::string> known_device_names() {
+    std::vector<std::string> names;
+    for (const auto& d : kDevices) {
+        names.push_back(d.name);
+        names.push_back(d.alias);
+    }
+    return names;
+}
+
 DeviceSpec device_by_name(const std::string& name) {
-    if (name == "z7020" || name == "xc7z020") return device_z7020();
-    if (name == "z7045" || name == "xc7z045") return device_z7045();
-    throw std::invalid_argument("device_by_name: unknown device " + name);
+    for (const auto& d : kDevices)
+        if (name == d.name || name == d.alias) return d.make();
+    std::string known;
+    for (const auto& d : kDevices) {
+        if (!known.empty()) known += ", ";
+        known += d.name;
+        known += "/";
+        known += d.alias;
+    }
+    throw std::invalid_argument("device_by_name: unknown device '" + name +
+                                "' (known devices: " + known + ")");
 }
 
 }  // namespace matador::cost

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace matador::cost {
 
@@ -23,7 +24,12 @@ DeviceSpec device_z7020();
 /// Zynq XC7Z045 (ZC706) - the platform of the BNN-r/f reference rows.
 DeviceSpec device_z7045();
 
-/// Lookup by name ("z7020" / "z7045"); throws std::invalid_argument.
+/// Every name device_by_name accepts (aliases included), for error
+/// messages and CLI help.
+std::vector<std::string> known_device_names();
+
+/// Lookup by name ("z7020" / "z7045"); throws std::invalid_argument with
+/// the known names listed.
 DeviceSpec device_by_name(const std::string& name);
 
 }  // namespace matador::cost

@@ -1,0 +1,71 @@
+// Shard runner: one process's worth of a distributed sweep.
+//
+// A shard opens (or initializes) the work-stealing queue under the shared
+// `cache_dir`, then loops: claim a grid index, run it through the ordinary
+// `core::Pipeline` - sharing one `ArtifactStore`, so cross-shard train /
+// generate dedupe falls out of the disk tier - and publish the point as a
+// versioned JSON manifest under `<cache_dir>/results/`.  A background
+// heartbeat thread refreshes the shard's lease mtimes so live points are
+// not stolen; when the shard is killed the heartbeats stop, the leases
+// expire, and surviving shards re-run those points.
+//
+// `run_local_shards` is the single-machine coordinator: it resets the
+// queue (fresh epoch), forks N local shard processes, and waits for them;
+// `dist::merge_sweep` (sweep_merge.hpp) then reassembles the result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "dist/work_queue.hpp"
+
+namespace matador::dist {
+
+struct ShardOptions {
+    /// Worker threads inside this shard; 0 = hardware_concurrency.
+    unsigned threads = 1;
+    /// Stage range per point (default: the full pipeline).
+    core::StageRange range{};
+    WorkQueueOptions queue{};
+    /// Lease-refresh period; 0 = lease_timeout / 4.
+    double heartbeat_seconds = 0.0;
+    /// Idle wait between claim attempts while other shards still hold
+    /// unexpired leases.
+    double poll_seconds = 0.2;
+};
+
+/// What one shard did; persisted as queue/stats/<owner>.json and summed by
+/// the merge step.
+struct ShardReport {
+    std::string owner;
+    std::size_t points_run = 0;     ///< manifests this shard published
+    std::size_t points_stolen = 0;  ///< of those, claimed from expired leases
+    std::size_t points_failed = 0;  ///< published with ok == false
+    unsigned threads_used = 1;
+    double wall_seconds = 0.0;
+    core::ArtifactStore::Stats store_stats;
+};
+
+util::Json shard_report_to_json(const ShardReport& r);
+ShardReport shard_report_from_json(const util::Json& j);
+
+/// Run one shard until the queue is drained.  `owner` must be unique per
+/// live shard (e.g. "s<id>-<host>-<pid>").  The grid must be identical on
+/// every shard of a sweep (the queue verifies its hash).
+ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
+                      const std::vector<core::FlowConfig>& grid,
+                      const std::string& cache_dir, const std::string& owner,
+                      const ShardOptions& options = {});
+
+/// Single-machine coordinator: start a fresh queue epoch and fork
+/// `num_shards` local shard processes over it.  Returns each shard's exit
+/// status (0 = completed with no failed points).  POSIX only.
+std::vector<int> run_local_shards(const data::Dataset& train,
+                                  const data::Dataset& test,
+                                  const std::vector<core::FlowConfig>& grid,
+                                  const std::string& cache_dir,
+                                  unsigned num_shards,
+                                  const ShardOptions& options = {});
+
+}  // namespace matador::dist

@@ -1,0 +1,42 @@
+// Merge step of a distributed sweep: reassemble a `core::SweepResult`
+// from the per-point manifests shards published under `<cache_dir>/results/`.
+//
+// The queue's grid.json fixes the point count, order, and per-point config,
+// so the merged result is point-for-point identical - same FlowResult bits,
+// same ordering, same ok flags - to a single-process `Pipeline::sweep` over
+// the same grid.  Manifests are validated against the grid (format version,
+// grid hash, and the embedded config text must match the grid's config for
+// that index), which catches stale leftovers from an earlier sweep epoch.
+// Store stats are summed across the shard reports; disk entry counts come
+// from a fresh scan of the store itself.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "dist/shard_runner.hpp"
+
+namespace matador::dist {
+
+struct MergeReport {
+    core::SweepResult result;  ///< points in grid order
+    std::size_t expected = 0;  ///< grid size per grid.json
+    /// Indices with no (valid) manifest yet: sweep still running, a shard
+    /// died without a survivor to steal from, or a stale-epoch manifest.
+    std::vector<std::size_t> missing;
+    /// One entry per line of `missing`, explaining why.
+    std::vector<std::string> missing_reasons;
+    std::vector<ShardReport> shards;
+
+    bool complete() const { return missing.empty(); }
+};
+
+/// Reassemble the sweep under `cache_dir`.  Throws std::runtime_error when
+/// there is no queue (grid.json) to merge against.  An incomplete sweep is
+/// NOT an error here - inspect `missing` (the CLI refuses to print a
+/// partial table unless asked).
+MergeReport merge_sweep(const std::string& cache_dir);
+
+}  // namespace matador::dist

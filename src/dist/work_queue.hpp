@@ -1,0 +1,147 @@
+// Filesystem-based work-stealing queue for distributed sweeps.
+//
+// Shards on any machines that share one artifact-store `cache_dir`
+// coordinate through plain directory operations - no server, no sockets.
+// Layout, under <cache_dir>/queue/:
+//
+//   grid.json                  the sweep's GridManifest: every point's
+//                              config text plus grid / dataset hashes
+//   todo/<idx>.task            one file per unclaimed grid index
+//   leases/<idx>.<owner>.lease claimed by <owner>; mtime refreshed by
+//                              heartbeats while the point runs
+//   done/<idx>.done            completed (its result manifest is written)
+//   stats/<owner>.json         per-shard report, summed by the merge step
+//
+// Claiming is an atomic rename(todo/... -> leases/...): exactly one
+// contender wins, the loser's rename fails with ENOENT and it moves on.
+// A lease whose mtime is older than the timeout belongs to a presumed-dead
+// shard and may be stolen (renamed to the thief's lease name), so a killed
+// shard's points are re-run, not lost.  In the rare race where a slow but
+// living shard is robbed, both executions produce the same deterministic
+// result and both manifest writes are atomic temp+rename - nothing is
+// corrupted or duplicated in the merged output, which is keyed by index.
+//
+// Initialization is atomic too: the full queue tree is built under a
+// temporary name and renamed into place, so concurrent shards either see
+// no queue (and race to create it, one winning) or a complete one.  The
+// grid hash stored in grid.json refuses mixing two different sweeps in
+// one queue directory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "util/json.hpp"
+
+namespace matador::data {
+class Dataset;
+}
+
+namespace matador::dist {
+
+/// The distributed form of a sweep grid: every point's config as its
+/// config_io text, plus the hashes that guard queue / dataset consistency
+/// across shards and machines.
+struct GridManifest {
+    std::uint64_t grid_hash = 0;          ///< core::grid_content_hash
+    std::uint64_t train_fingerprint = 0;  ///< core::dataset_fingerprint
+    std::uint64_t test_fingerprint = 0;
+    std::vector<std::string> config_texts;  ///< grid order
+
+    std::size_t size() const { return config_texts.size(); }
+
+    static GridManifest from_grid(const std::vector<core::FlowConfig>& grid,
+                                  const data::Dataset& train,
+                                  const data::Dataset& test);
+    std::vector<core::FlowConfig> to_grid() const;
+
+    util::Json to_json() const;
+    static GridManifest from_json(const util::Json& j);
+};
+
+struct WorkQueueOptions {
+    /// A lease older than this is presumed dead and may be stolen.
+    double lease_timeout_seconds = 60.0;
+    /// Disable stealing (a shard then only drains unclaimed indices).
+    bool steal = true;
+};
+
+class WorkQueue {
+public:
+    /// Open the queue under `<cache_dir>/queue`, initializing it atomically
+    /// when absent.  Throws std::runtime_error when an existing queue was
+    /// built for a different grid or different datasets.  `owner` is this
+    /// shard's identity; it must be unique per live shard (it names leases
+    /// and the stats file) and is sanitized to filename-safe characters.
+    WorkQueue(const std::string& cache_dir, const GridManifest& grid,
+              const std::string& owner, WorkQueueOptions options = {});
+
+    /// True when <cache_dir>/queue exists.
+    static bool exists(const std::string& cache_dir);
+
+    /// Remove the whole queue directory (start a fresh sweep epoch).
+    static void reset(const std::string& cache_dir);
+
+    const GridManifest& grid() const { return grid_; }
+    const std::string& owner() const { return owner_; }
+    std::string queue_dir() const;
+
+    /// Claim the next runnable index: lowest unclaimed one first, then -
+    /// when stealing is enabled - the lowest expired lease.  Returns
+    /// nullopt when nothing is claimable right now (other shards may still
+    /// be working; poll again or stop once drained()).  Thread-safe.
+    std::optional<std::size_t> claim();
+
+    /// Mark an index complete (done marker + drop this owner's lease).
+    void complete(std::size_t index);
+
+    /// Refresh the mtime of every lease this owner currently holds.
+    void heartbeat();
+
+    std::size_t done_count() const;
+    bool drained() const { return done_count() >= grid_.size(); }
+
+    /// Indices claimed by this handle via an expired-lease steal.
+    std::size_t stolen_count() const { return stolen_; }
+    /// Leases currently held by this handle.
+    std::size_t held_count() const;
+
+    /// Write this shard's report under queue/stats/<owner>.json.
+    void write_owner_stats(const util::Json& stats) const;
+    /// Read every shard report under queue/stats/.
+    std::vector<util::Json> read_all_stats() const;
+
+    /// This owner's lease path for an index (exposed for crash tests).
+    std::string lease_path(std::size_t index) const;
+
+private:
+    void init_or_verify();
+    std::optional<std::size_t> claim_from_todo();
+    std::optional<std::size_t> claim_stolen();
+    void touch_lease(std::size_t index) const;
+
+    std::string cache_dir_;
+    GridManifest grid_;
+    std::string owner_;
+    WorkQueueOptions options_;
+
+    mutable std::mutex mu_;
+    std::set<std::size_t> held_;
+    std::size_t stolen_ = 0;
+};
+
+// -- shared result-manifest paths -------------------------------------------
+
+/// Directory of per-point result manifests: <cache_dir>/results.
+std::string results_dir(const std::string& cache_dir);
+
+/// <cache_dir>/results/point_<index 8 digits>.json
+std::string point_manifest_path(const std::string& cache_dir, std::size_t index);
+
+}  // namespace matador::dist

@@ -1,0 +1,85 @@
+#include "util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fs = std::filesystem;
+
+namespace matador::util {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(const fs::path& tmp, const std::string& what) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw std::runtime_error("write_file_atomic: " + what + ": " +
+                             std::strerror(errno));
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+    const fs::path target(path);
+    const fs::path parent = target.parent_path();
+    fs::create_directories(parent);
+    // The temp name carries the pid so concurrent writers of one path
+    // (e.g. a stolen sweep point finished by both shards) never collide;
+    // the final rename is atomic and last-writer-wins.
+    const fs::path tmp =
+        parent / (target.filename().string() + ".tmp." +
+                  std::to_string(::getpid()));
+
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) fail(tmp, "cannot create " + tmp.string());
+    std::size_t off = 0;
+    while (off < content.size()) {
+        const ssize_t n =
+            ::write(fd, content.data() + off, content.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            fail(tmp, "cannot write " + path);
+        }
+        off += std::size_t(n);
+    }
+    // Data must be on disk BEFORE the rename: otherwise a power loss can
+    // commit the new directory entry but not the bytes, leaving a
+    // truncated file that looks successfully published.
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        fail(tmp, "cannot fsync " + path);
+    }
+    if (::close(fd) != 0) fail(tmp, "cannot close " + path);
+
+    std::error_code ec;
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        errno = ec.value();
+        fail(tmp, "cannot rename into " + path);
+    }
+    // Make the rename itself durable so a caller may now write dependent
+    // markers (e.g. a work queue's done file) in order.
+    const int dfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+}  // namespace matador::util

@@ -1,0 +1,21 @@
+// Small shared file-I/O helpers: whole-file reads and durable atomic
+// writes.  Used by the artifact store and the distributed-sweep layer so
+// both subsystems publish files with the same guarantees.
+#pragma once
+
+#include <string>
+
+namespace matador::util {
+
+/// Read a whole file; throws std::runtime_error when unreadable.
+std::string read_file(const std::string& path);
+
+/// Write `content` to `path` atomically AND durably: a per-process temp
+/// file is written, fsync'd, renamed over `path`, and the parent directory
+/// is fsync'd, so readers never observe a partial file and a power loss
+/// after return cannot roll the content back to a truncated state.
+/// Parent directories are created as needed.  Throws std::runtime_error on
+/// any failure (the temp file is cleaned up).
+void write_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace matador::util

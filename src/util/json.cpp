@@ -1,0 +1,383 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace matador::util {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+    static const char* names[] = {"null", "bool", "number",
+                                  "string", "array", "object"};
+    throw std::runtime_error(std::string("json: expected ") + want + ", got " +
+                             names[std::size_t(got)]);
+}
+
+void dump_string(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char ch : s) {
+        const auto c = static_cast<unsigned char>(ch);
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+        }
+    }
+    out += '"';
+}
+
+void dump_number(std::string& out, double v) {
+    if (std::isnan(v)) {
+        out += "\"nan\"";
+        return;
+    }
+    if (std::isinf(v)) {
+        out += v > 0 ? "\"inf\"" : "\"-inf\"";
+        return;
+    }
+    char buf[40];
+    // Integral values print without an exponent or trailing ".0" (except
+    // -0.0, whose sign the integer path would drop); everything else uses
+    // max_digits10 so strtod recovers the exact bits.
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15 &&
+        !(v == 0.0 && std::signbit(v))) {
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+    }
+    out += buf;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Json parse_document() {
+        Json v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after document");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error("json: " + what + " at offset " +
+                                 std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_keyword(const char* kw) {
+        std::size_t n = 0;
+        while (kw[n]) ++n;
+        if (text_.compare(pos_, n, kw) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    void append_utf8(std::string& out, unsigned cp) {
+        if (cp < 0x80) {
+            out += char(cp);
+        } else if (cp < 0x800) {
+            out += char(0xC0 | (cp >> 6));
+            out += char(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += char(0xE0 | (cp >> 12));
+            out += char(0x80 | ((cp >> 6) & 0x3F));
+            out += char(0x80 | (cp & 0x3F));
+        } else {
+            out += char(0xF0 | (cp >> 18));
+            out += char(0x80 | ((cp >> 12) & 0x3F));
+            out += char(0x80 | ((cp >> 6) & 0x3F));
+            out += char(0x80 | (cp & 0x3F));
+        }
+    }
+
+    unsigned parse_hex4() {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            ++pos_;
+            v <<= 4;
+            if (c >= '0' && c <= '9') v |= unsigned(c - '0');
+            else if (c >= 'a' && c <= 'f') v |= unsigned(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') v |= unsigned(c - 'A' + 10);
+            else fail("bad \\u escape digit");
+        }
+        return v;
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    unsigned cp = parse_hex4();
+                    if (cp >= 0xD800 && cp <= 0xDBFF) {
+                        // UTF-16 surrogate pair.
+                        if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                            text_[pos_ + 1] != 'u')
+                            fail("lone high surrogate");
+                        pos_ += 2;
+                        const unsigned lo = parse_hex4();
+                        if (lo < 0xDC00 || lo > 0xDFFF)
+                            fail("bad low surrogate");
+                        cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                    }
+                    append_utf8(out, cp);
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        const std::string token = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || token.empty())
+            fail("malformed number '" + token + "'");
+        return Json(v);
+    }
+
+    Json parse_value() {
+        skip_ws();
+        const char c = peek();
+        if (c == '{') {
+            ++pos_;
+            Json obj = Json::object();
+            skip_ws();
+            if (peek() == '}') {
+                ++pos_;
+                return obj;
+            }
+            while (true) {
+                skip_ws();
+                std::string key = parse_string();
+                skip_ws();
+                expect(':');
+                obj.set(key, parse_value());
+                skip_ws();
+                const char sep = peek();
+                ++pos_;
+                if (sep == '}') return obj;
+                if (sep != ',') fail("expected ',' or '}' in object");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            Json arr = Json::array();
+            skip_ws();
+            if (peek() == ']') {
+                ++pos_;
+                return arr;
+            }
+            while (true) {
+                arr.push_back(parse_value());
+                skip_ws();
+                const char sep = peek();
+                ++pos_;
+                if (sep == ']') return arr;
+                if (sep != ',') fail("expected ',' or ']' in array");
+            }
+        }
+        if (c == '"') return Json(parse_string());
+        if (c == 't') {
+            if (!consume_keyword("true")) fail("bad keyword");
+            return Json(true);
+        }
+        if (c == 'f') {
+            if (!consume_keyword("false")) fail("bad keyword");
+            return Json(false);
+        }
+        if (c == 'n') {
+            if (!consume_keyword("null")) fail("bad keyword");
+            return Json(nullptr);
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parse_number();
+        fail("unexpected character");
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+    if (type_ != Type::kBool) type_error("bool", type_);
+    return bool_;
+}
+
+double Json::as_double() const {
+    if (type_ != Type::kNumber) type_error("number", type_);
+    return num_;
+}
+
+const std::string& Json::as_string() const {
+    if (type_ != Type::kString) type_error("string", type_);
+    return str_;
+}
+
+const std::vector<Json>& Json::as_array() const {
+    if (type_ != Type::kArray) type_error("array", type_);
+    return arr_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::as_object() const {
+    if (type_ != Type::kObject) type_error("object", type_);
+    return obj_;
+}
+
+void Json::push_back(Json v) {
+    if (type_ == Type::kNull) type_ = Type::kArray;
+    if (type_ != Type::kArray) type_error("array", type_);
+    arr_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+    if (type_ == Type::kArray) return arr_.size();
+    if (type_ == Type::kObject) return obj_.size();
+    type_error("array or object", type_);
+}
+
+void Json::set(const std::string& key, Json v) {
+    if (type_ == Type::kNull) type_ = Type::kObject;
+    if (type_ != Type::kObject) type_error("object", type_);
+    for (auto& [k, existing] : obj_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+bool Json::contains(const std::string& key) const {
+    if (type_ != Type::kObject) return false;
+    for (const auto& [k, v] : obj_)
+        if (k == key) return true;
+    return false;
+}
+
+const Json& Json::at(const std::string& key) const {
+    if (type_ != Type::kObject) type_error("object", type_);
+    for (const auto& [k, v] : obj_)
+        if (k == key) return v;
+    throw std::runtime_error("json: missing key '" + key + "'");
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+    const auto newline = [&](int d) {
+        if (indent < 0) return;
+        out += '\n';
+        out.append(std::size_t(indent) * std::size_t(d), ' ');
+    };
+    switch (type_) {
+        case Type::kNull: out += "null"; break;
+        case Type::kBool: out += bool_ ? "true" : "false"; break;
+        case Type::kNumber: dump_number(out, num_); break;
+        case Type::kString: dump_string(out, str_); break;
+        case Type::kArray: {
+            out += '[';
+            for (std::size_t i = 0; i < arr_.size(); ++i) {
+                if (i) out += ',';
+                newline(depth + 1);
+                arr_[i].dump_to(out, indent, depth + 1);
+            }
+            if (!arr_.empty()) newline(depth);
+            out += ']';
+            break;
+        }
+        case Type::kObject: {
+            out += '{';
+            for (std::size_t i = 0; i < obj_.size(); ++i) {
+                if (i) out += ',';
+                newline(depth + 1);
+                dump_string(out, obj_[i].first);
+                out += indent < 0 ? ":" : ": ";
+                obj_[i].second.dump_to(out, indent, depth + 1);
+            }
+            if (!obj_.empty()) newline(depth);
+            out += '}';
+            break;
+        }
+    }
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+Json Json::parse(const std::string& text) {
+    return Parser(text).parse_document();
+}
+
+}  // namespace matador::util

@@ -28,6 +28,27 @@ TEST(Device, KnownParts) {
     EXPECT_THROW(device_by_name("virtex9000"), std::invalid_argument);
 }
 
+TEST(Device, UnknownDeviceErrorListsTheKnownNames) {
+    // Every accepted name (aliases included) is enumerable...
+    const auto names = matador::cost::known_device_names();
+    ASSERT_FALSE(names.empty());
+    for (const auto& name : names)
+        EXPECT_NO_THROW(device_by_name(name)) << name;
+
+    // ...and the unknown-device error spells them out instead of failing
+    // opaquely.
+    try {
+        device_by_name("virtex9000");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("virtex9000"), std::string::npos) << what;
+        EXPECT_NE(what.find("known devices"), std::string::npos) << what;
+        for (const char* name : {"z7020", "xc7z020", "z7045", "xc7z045"})
+            EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+}
+
 MatadorResourceInputs demo_inputs(std::size_t includes_per_clause) {
     TrainedModel m(784, 10, 20);
     for (std::size_t c = 0; c < 10; ++c)

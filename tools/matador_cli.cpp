@@ -8,9 +8,16 @@
 //   matador verify    --model m.tm [options]
 //   matador simulate  --model m.tm [--vcd out.vcd] [--trace] [options]
 //   matador sweep     --dataset <spec> --sweep key=v1,v2,... [--jobs n]
+//                     [--shards n | --shard-id i --shards n] [--out r.json]
+//   matador sweep-merge --cache-dir dir [--out r.json]   merge sharded sweep
 //   matador cache     <stats|ls|clear> --cache-dir dir  artifact store admin
 //   matador stages                                      list pipeline stages
 //   matador datasets                                    list dataset specs
+//
+// Distributed sweeps: 'sweep --shards n' forks n local shard processes over
+// a work-stealing queue under <cache_dir>/queue and merges their results;
+// 'sweep --shard-id i --shards n' runs ONE shard (any machine sharing the
+// cache_dir), and 'sweep-merge' reassembles the grid-ordered result.
 //
 // Dataset specs:
 //   mnist-like | kmnist-like | fmnist-like | cifar2-like | kws6-like |
@@ -23,6 +30,8 @@
 // --config <file> loads a key=value file first, explicit flags override.
 // Unknown subcommands, unknown flags, and flags that do not apply to the
 // chosen subcommand are usage errors.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -37,6 +46,9 @@
 #include "core/report.hpp"
 #include "core/sweep.hpp"
 #include "data/csv_loader.hpp"
+#include "dist/shard_runner.hpp"
+#include "dist/sweep_merge.hpp"
+#include "dist/work_queue.hpp"
 #include "data/synthetic.hpp"
 #include "model/architecture.hpp"
 #include "rtl/generators.hpp"
@@ -52,8 +64,8 @@ using namespace matador;
 
 [[noreturn]] void usage(int code) {
     std::puts(
-        "usage: matador <flow|train|generate|verify|simulate|sweep|cache|"
-        "stages|datasets> [options]\n"
+        "usage: matador <flow|train|generate|verify|simulate|sweep|sweep-merge|"
+        "cache|stages|datasets> [options]\n"
         "\n"
         "common options:\n"
         "  --dataset <spec>        dataset (see 'matador datasets')\n"
@@ -70,7 +82,16 @@ using namespace matador;
         "  --trace                 simulate: print the cycle trace\n"
         "  --datapoints <n>        simulate: streamed datapoints (default 16)\n"
         "  --sweep <key=v1,v2,..>  sweep: one grid axis (repeatable)\n"
-        "  --jobs <n>              sweep: worker threads (default: all cores)\n"
+        "  --jobs <n>              sweep: worker threads (default: all cores;\n"
+        "                          inside a shard the default is 1)\n"
+        "  --shards <n>            sweep: fork n local shard processes over a\n"
+        "                          work-stealing queue in --cache-dir, merge\n"
+        "  --shard-id <i>          sweep: run only shard i of --shards n (for\n"
+        "                          machines sharing one --cache-dir)\n"
+        "  --lease-timeout <sec>   sweep: steal a shard's claimed point after\n"
+        "                          this many seconds without a heartbeat (60)\n"
+        "  --out <file>            sweep/sweep-merge: write the full result\n"
+        "                          as machine-readable JSON\n"
         "  --cache-dir <dir>       persistent artifact store (trained models +\n"
         "                          generated RTL survive restarts)\n"
         "  --<flow-key> <value>    any FlowConfig key (clauses_per_class,\n"
@@ -115,7 +136,8 @@ const std::vector<CommandSpec>& command_specs() {
         {"simulate", {"model", "vcd", "trace", "datapoints", "config"}},
         {"sweep",
          {"dataset", "examples", "data-seed", "train-fraction", "sweep",
-          "jobs", "config"}},
+          "jobs", "shards", "shard-id", "lease-timeout", "out", "config"}},
+        {"sweep-merge", {"out", "config"}},
         {"cache", {"config"}},
         {"stages", {}, false},
         {"datasets", {}, false},
@@ -442,45 +464,22 @@ int cmd_simulate(const CliArgs& args, const core::FlowConfig& cfg) {
     return ok ? 0 : 1;
 }
 
-int cmd_sweep(const CliArgs& args, const core::FlowConfig& cfg) {
-    if (args.sweep_axes.empty()) {
-        std::fprintf(stderr,
-                     "sweep needs at least one --sweep key=v1,v2,... axis\n");
-        usage(1);
-    }
-    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
-    for (const auto& spec : args.sweep_axes) {
-        const auto eq = spec.find('=');
-        if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
-            std::fprintf(stderr, "bad --sweep axis (want key=v1,v2,...): %s\n",
-                         spec.c_str());
-            usage(1);
-        }
-        axes.emplace_back(spec.substr(0, eq),
-                          util::split(spec.substr(eq + 1), ','));
-    }
+void write_sweep_json(const CliArgs& args, const core::SweepResult& sr) {
+    const std::string path = args.get("out");
+    if (path.empty()) return;
+    std::ofstream out(path);
+    out << core::sweep_result_to_json(sr).dump(2) << "\n";
+    out.flush();  // surface close-time failures before claiming success
+    if (!out) throw std::runtime_error("cannot write --out file " + path);
+    std::printf("sweep results written to %s\n", path.c_str());
+}
 
-    const auto ds = make_dataset(args);
-    const double frac = parse_fraction_option("train-fraction", args.get("train-fraction", "0.85"));
-    const auto split = data::train_test_split(ds, frac, 3);
-
-    const auto grid = core::expand_grid(cfg, axes);
-    // Labels follow the same outermost-first expansion order as expand_grid.
-    std::vector<std::string> labels{""};
-    for (const auto& [key, values] : axes) {
-        std::vector<std::string> next;
-        for (const auto& prefix : labels)
-            for (const auto& value : values)
-                next.push_back(prefix.empty() ? key + "=" + value
-                                              : prefix + "  " + key + "=" + value);
-        labels = std::move(next);
-    }
-
-    core::SweepOptions options;
-    options.threads = unsigned(parse_count_option("jobs", args.get("jobs", "0")));
-    const auto sr = core::Pipeline::sweep(split.train, split.test, grid, options);
-
-    // One Table-I-style row per design point, labelled by its axis values.
+/// One Table-I-style row per design point, labelled by its axis values,
+/// plus the wall-clock line and the per-tier store stats.  Returns the
+/// all-points-ok flag.  The table is identical whether the points came
+/// from Pipeline::sweep or from a sharded run's merge.
+bool print_sweep_result(const core::SweepResult& sr,
+                        const std::vector<std::string>& labels) {
     std::vector<std::pair<std::string, std::vector<core::TableRow>>> groups;
     bool all_ok = true;
     for (const auto& p : sr.points) {
@@ -505,6 +504,162 @@ int cmd_sweep(const CliArgs& args, const core::FlowConfig& cfg) {
     };
     tier_line("train", sr.store_stats.train);
     tier_line("generate", sr.store_stats.generate);
+    return all_ok;
+}
+
+void print_shard_lines(const std::vector<dist::ShardReport>& shards) {
+    for (const auto& s : shards)
+        std::printf("shard %s: %zu points (%zu stolen, %zu failed), %.2f s\n",
+                    s.owner.c_str(), s.points_run, s.points_stolen,
+                    s.points_failed, s.wall_seconds);
+}
+
+int cmd_sweep(const CliArgs& args, const core::FlowConfig& cfg) {
+    if (args.sweep_axes.empty()) {
+        std::fprintf(stderr,
+                     "sweep needs at least one --sweep key=v1,v2,... axis\n");
+        usage(1);
+    }
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+    for (const auto& spec : args.sweep_axes) {
+        const auto eq = spec.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+            std::fprintf(stderr, "bad --sweep axis (want key=v1,v2,...): %s\n",
+                         spec.c_str());
+            usage(1);
+        }
+        axes.emplace_back(spec.substr(0, eq),
+                          util::split(spec.substr(eq + 1), ','));
+    }
+
+    const bool sharded = args.flag("shards") || args.flag("shard-id");
+    if (sharded && cfg.cache_dir.empty()) {
+        std::fprintf(stderr,
+                     "sharded sweeps need --cache-dir (the shared queue and "
+                     "artifact store live there)\n");
+        usage(1);
+    }
+    if (args.flag("shard-id") && !args.flag("shards")) {
+        std::fprintf(stderr, "--shard-id needs --shards <n>\n");
+        usage(1);
+    }
+
+    const auto ds = make_dataset(args);
+    const double frac = parse_fraction_option("train-fraction", args.get("train-fraction", "0.85"));
+    const auto split = data::train_test_split(ds, frac, 3);
+
+    const auto grid = core::expand_grid(cfg, axes);
+    // Labels follow the same outermost-first expansion order as expand_grid.
+    std::vector<std::string> labels{""};
+    for (const auto& [key, values] : axes) {
+        std::vector<std::string> next;
+        for (const auto& prefix : labels)
+            for (const auto& value : values)
+                next.push_back(prefix.empty() ? key + "=" + value
+                                              : prefix + "  " + key + "=" + value);
+        labels = std::move(next);
+    }
+
+    if (!sharded) {
+        core::SweepOptions options;
+        options.threads =
+            unsigned(parse_count_option("jobs", args.get("jobs", "0")));
+        const auto sr = core::Pipeline::sweep(split.train, split.test, grid, options);
+        const bool all_ok = print_sweep_result(sr, labels);
+        write_sweep_json(args, sr);
+        return all_ok ? 0 : 1;
+    }
+
+    dist::ShardOptions options;
+    // Inside a shard the thread default is 1: process-level parallelism is
+    // what --shards is for, and multi-machine shards size themselves.
+    options.threads = unsigned(parse_count_option("jobs", args.get("jobs", "1")));
+    options.queue.lease_timeout_seconds = parse_fraction_option(
+        "lease-timeout", args.get("lease-timeout", "60"));
+    if (options.queue.lease_timeout_seconds <= 0.0) {
+        // 0 would turn every live lease into a steal target: each point
+        // would run once per shard, all overhead, no protection.
+        std::fprintf(stderr, "--lease-timeout must be positive\n");
+        usage(1);
+    }
+    const auto shards =
+        unsigned(parse_count_option("shards", args.get("shards", "1")));
+    if (shards == 0) {
+        std::fprintf(stderr, "--shards must be at least 1\n");
+        usage(1);
+    }
+
+    if (args.flag("shard-id")) {
+        if (args.flag("out")) {
+            // A lone shard has no merged result to serialize.
+            std::fprintf(stderr,
+                         "--out does not apply to a single shard; use "
+                         "'matador sweep-merge --cache-dir ... --out ...'\n");
+            usage(1);
+        }
+        // One shard of a (possibly multi-machine) sweep sharing --cache-dir.
+        const auto shard_id =
+            parse_count_option("shard-id", args.get("shard-id"));
+        if (shard_id >= shards) {
+            std::fprintf(stderr, "--shard-id must be in [0, --shards)\n");
+            usage(1);
+        }
+        const std::string owner = "s" + std::to_string(shard_id) + "-" +
+                                  std::to_string(::getpid());
+        const auto report = dist::run_shard(split.train, split.test, grid,
+                                            cfg.cache_dir, owner, options);
+        std::printf(
+            "shard %zu/%u (%s): %zu points (%zu stolen, %zu failed), %.2f s\n",
+            shard_id, shards, report.owner.c_str(), report.points_run,
+            report.points_stolen, report.points_failed, report.wall_seconds);
+        std::printf("merge with: matador sweep-merge --cache-dir %s\n",
+                    cfg.cache_dir.c_str());
+        return report.points_failed == 0 ? 0 : 1;
+    }
+
+    // Coordinator: fresh epoch, fork local shard processes, merge.
+    const auto codes = dist::run_local_shards(split.train, split.test, grid,
+                                              cfg.cache_dir, shards, options);
+    for (std::size_t i = 0; i < codes.size(); ++i)
+        if (codes[i] >= 2)
+            std::fprintf(stderr, "shard %zu exited with code %d\n", i, codes[i]);
+    const auto merged = dist::merge_sweep(cfg.cache_dir);
+    if (!merged.complete()) {
+        std::fprintf(stderr, "sweep incomplete: %zu of %zu points missing\n",
+                     merged.missing.size(), merged.expected);
+        for (const auto& why : merged.missing_reasons)
+            std::fprintf(stderr, "  %s\n", why.c_str());
+        return 1;
+    }
+    const bool all_ok = print_sweep_result(merged.result, labels);
+    std::printf("%u shards\n", shards);
+    print_shard_lines(merged.shards);
+    write_sweep_json(args, merged.result);
+    return all_ok ? 0 : 1;
+}
+
+int cmd_sweep_merge(const CliArgs& args, const core::FlowConfig& cfg) {
+    if (cfg.cache_dir.empty()) {
+        std::fprintf(stderr,
+                     "sweep-merge needs --cache-dir (or cache_dir in --config)\n");
+        usage(1);
+    }
+    const auto merged = dist::merge_sweep(cfg.cache_dir);
+    if (!merged.complete()) {
+        std::fprintf(stderr, "sweep incomplete: %zu of %zu points missing\n",
+                     merged.missing.size(), merged.expected);
+        for (const auto& why : merged.missing_reasons)
+            std::fprintf(stderr, "  %s\n", why.c_str());
+        return 1;
+    }
+    // The merge has no --sweep axes to label rows with; index labels keep
+    // the row <-> grid-point mapping explicit.
+    std::vector<std::string> labels;
+    for (std::size_t i = 0; i < merged.result.points.size(); ++i)
+        labels.push_back("point " + std::to_string(i));
+    const bool all_ok = print_sweep_result(merged.result, labels);
+    print_shard_lines(merged.shards);
+    write_sweep_json(args, merged.result);
     return all_ok ? 0 : 1;
 }
 
@@ -599,6 +754,7 @@ int main(int argc, char** argv) {
         if (args.command == "verify") return cmd_verify(args, cfg);
         if (args.command == "simulate") return cmd_simulate(args, cfg);
         if (args.command == "sweep") return cmd_sweep(args, cfg);
+        if (args.command == "sweep-merge") return cmd_sweep_merge(args, cfg);
         if (args.command == "cache") return cmd_cache(args, cfg);
         if (args.command == "stages") return cmd_stages();
         if (args.command == "datasets") return cmd_datasets();
