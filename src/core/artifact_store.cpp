@@ -31,6 +31,11 @@ std::uint64_t frontend_config_hash(const FlowConfig& cfg) {
     h.u64(std::uint64_t(cfg.tm.feedback));
     h.u64(cfg.tm.seed);
     h.u64(cfg.epochs);
+    // Early-stopping knobs change which epoch's snapshot is returned, so
+    // they are part of the trained model's identity.  train_threads is
+    // deliberately absent: training is bit-reproducible at any thread count.
+    h.u64(cfg.eval_every);
+    h.u64(cfg.patience);
     return h.digest();
 }
 
@@ -245,6 +250,45 @@ std::vector<std::uint32_t> parse_id_list(const std::string& v, bool* ok) {
     return ids;
 }
 
+/// Decode the training-record fields of a train-stage manifest (epochs run,
+/// stop reason, best epoch, producer threads, accuracy history).  Strict:
+/// any missing or malformed field makes the entry untrusted.
+bool parse_fit_report(const Manifest& m, train::FitReport* out) {
+    const std::string* epochs = m.find("epochs_run");
+    const std::string* reason = m.find("stop_reason");
+    const std::string* best = m.find("best_epoch");
+    const std::string* threads = m.find("threads_used");
+    const std::string* history = m.find("history");
+    if (!epochs || !reason || !best || !threads || !history) return false;
+    try {
+        out->epochs_run = std::stoul(*epochs);
+        out->best_epoch = std::stoul(*best);
+        out->threads_used = unsigned(std::stoul(*threads));
+    } catch (...) {
+        return false;
+    }
+    const auto parsed = train::stop_reason_from_name(*reason);
+    if (!parsed) return false;
+    out->stop_reason = *parsed;
+
+    std::istringstream ss(*history);
+    std::size_t n = 0;
+    if (!(ss >> n) || n > kMaxManifestCount) return false;
+    out->history.clear();
+    out->history.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        train::EpochMetrics e;
+        std::string ta, ea;
+        if (!(ss >> e.epoch >> ta >> ea) || !parse_double(ta, &e.train_accuracy) ||
+            !parse_double(ea, &e.eval_accuracy))
+            return false;
+        out->history.push_back(e);
+    }
+    std::string extra;
+    if (ss >> extra) return false;
+    return true;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -332,6 +376,13 @@ std::optional<TrainedArtifact> ArtifactStore::load_disk(const char* stage_name,
                           entry.string() + "; recomputing");
         return std::nullopt;
     }
+    if (!parse_fit_report(*manifest, &a.fit)) {
+        warn_at(warn, "artifact store: corrupt training record in " +
+                          entry.string() + "; recomputing");
+        return std::nullopt;
+    }
+    a.fit.train_accuracy = a.train_accuracy;
+    a.fit.eval_accuracy = a.test_accuracy;
     try {
         a.model = std::make_shared<model::TrainedModel>(
             model::TrainedModel::load_file((entry / "model.tm").string()));
@@ -357,6 +408,16 @@ void ArtifactStore::save_disk(const char* stage_name, std::uint64_t key,
             out << "key " << key_hex(key) << "\n";
             out << "train_accuracy " << fmt_double(a.train_accuracy) << "\n";
             out << "test_accuracy " << fmt_double(a.test_accuracy) << "\n";
+            out << "epochs_run " << a.fit.epochs_run << "\n";
+            out << "stop_reason " << train::stop_reason_name(a.fit.stop_reason)
+                << "\n";
+            out << "best_epoch " << a.fit.best_epoch << "\n";
+            out << "threads_used " << a.fit.threads_used << "\n";
+            out << "history " << a.fit.history.size();
+            for (const auto& m : a.fit.history)
+                out << " " << m.epoch << " " << fmt_double(m.train_accuracy)
+                    << " " << fmt_double(m.eval_accuracy);
+            out << "\n";
             out << "end\n";
             if (!out) throw std::runtime_error("manifest write failed");
         },

@@ -45,6 +45,7 @@
 #include "data/dataset.hpp"
 #include "model/trained_model.hpp"
 #include "rtl/hcb_builder.hpp"
+#include "train/fit.hpp"
 
 namespace matador::core {
 
@@ -97,6 +98,11 @@ struct TrainedArtifact {
     std::shared_ptr<const model::TrainedModel> model;
     double train_accuracy = 0.0;
     double test_accuracy = 0.0;
+    /// How the model was trained (epochs run, stop reason, accuracy
+    /// history).  Persisted with the model so disk-rehydrated runs report
+    /// the same training record as the run that produced the entry;
+    /// threads_used records the producing run only.
+    train::FitReport fit;
 };
 
 /// The generate stage's expensive artifact set: the HCB AIG netlists and

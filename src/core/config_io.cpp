@@ -1,6 +1,7 @@
 #include "core/config_io.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -34,16 +35,41 @@ bool parse_bool(const std::string& v, const std::string& key) {
     throw std::invalid_argument("config: bad boolean for " + key + ": " + v);
 }
 
+/// Reject a TM hyperparameter value that would silently poison training
+/// (NaN feedback probabilities, unbalanced polarity alternation) with an
+/// error naming the exact key = value assignment.
+[[noreturn]] void reject(const std::string& key, const std::string& value,
+                         const std::string& why) {
+    throw std::invalid_argument("config: " + key + " = " + value + " " + why);
+}
+
 }  // namespace
 
 bool apply_flow_option(FlowConfig& cfg, const std::string& key,
                        const std::string& value) {
     if (key == "clauses_per_class") {
-        cfg.tm.clauses_per_class = parse_size(value, key);
+        const std::size_t n = parse_size(value, key);
+        if (n == 0)
+            reject(key, value, "is invalid: need at least one clause per class");
+        if (n % 2 != 0)
+            reject(key, value,
+                   "is invalid: must be even so +/- polarity alternation is "
+                   "balanced");
+        cfg.tm.clauses_per_class = n;
     } else if (key == "threshold") {
-        cfg.tm.threshold = int(parse_size(value, key));
+        const long long t = (long long)parse_size(value, key);
+        if (t <= 0 || t > std::numeric_limits<int>::max())
+            reject(key, value,
+                   "is invalid: the class-sum clamp T must be > 0 and fit an "
+                   "int (feedback probability is (T -/+ clamp(v)) / 2T)");
+        cfg.tm.threshold = int(t);
     } else if (key == "specificity") {
-        cfg.tm.specificity = parse_double(value, key);
+        const double s = parse_double(value, key);
+        if (!(s > 1.0))
+            reject(key, value,
+                   "is invalid: specificity s must be > 1 (literal masks are "
+                   "Bernoulli(1/s))");
+        cfg.tm.specificity = s;
     } else if (key == "boost_true_positive") {
         cfg.tm.boost_true_positive = parse_bool(value, key);
     } else if (key == "feedback") {
@@ -58,6 +84,12 @@ bool apply_flow_option(FlowConfig& cfg, const std::string& key,
         cfg.tm.seed = parse_size(value, key);
     } else if (key == "epochs") {
         cfg.epochs = parse_size(value, key);
+    } else if (key == "train_threads") {
+        cfg.train_threads = parse_size(value, key);
+    } else if (key == "eval_every") {
+        cfg.eval_every = parse_size(value, key);
+    } else if (key == "patience") {
+        cfg.patience = parse_size(value, key);
     } else if (key == "bus_width") {
         cfg.arch.bus_width = parse_size(value, key);
     } else if (key == "clock_mhz") {
@@ -127,6 +159,14 @@ void save_flow_config(const FlowConfig& cfg, std::ostream& out) {
         << (cfg.tm.feedback == tm::FeedbackMode::kFastPow2 ? "fast" : "exact") << "\n";
     out << "tm_seed = " << cfg.tm.seed << "\n";
     out << "epochs = " << cfg.epochs << "\n";
+    // train_threads is an execution knob (like cache_dir): it never changes
+    // the trained model, so the default 0 is omitted to keep config texts -
+    // and therefore distributed grid hashes - identical across machines
+    // that merely size their trainers differently.
+    if (cfg.train_threads != 0)
+        out << "train_threads = " << cfg.train_threads << "\n";
+    out << "eval_every = " << cfg.eval_every << "\n";
+    out << "patience = " << cfg.patience << "\n";
     out << "bus_width = " << cfg.arch.bus_width << "\n";
     out << "clock_mhz = " << (cfg.auto_frequency ? 0.0 : cfg.arch.clock_mhz) << "\n";
     out << "argmax_levels_per_stage = " << cfg.arch.argmax_levels_per_stage << "\n";

@@ -36,6 +36,7 @@
 #include "model/trained_model.hpp"
 #include "rtl/verification.hpp"
 #include "tm/tsetlin_machine.hpp"
+#include "train/fit.hpp"
 
 namespace matador::core {
 
@@ -43,6 +44,15 @@ namespace matador::core {
 struct FlowConfig {
     tm::TmConfig tm;                 ///< training hyperparameters
     std::size_t epochs = 10;
+    /// Trainer worker threads (train::ParallelTrainer); 0 = all hardware
+    /// threads.  Never affects the trained model - training is
+    /// bit-reproducible at any thread count - so, like cache_dir, it stays
+    /// out of every config hash.
+    std::size_t train_threads = 0;
+    /// Evaluate accuracy every this many epochs (0 = final epoch only).
+    std::size_t eval_every = 0;
+    /// Early stopping patience in evaluations (0 = off).  See train/fit.hpp.
+    std::size_t patience = 0;
     model::ArchOptions arch;         ///< bus width, clock, pipelining
     bool auto_frequency = true;      ///< pick clock from the timing model
     std::string device = "z7020";
@@ -62,6 +72,12 @@ struct FlowResult {
     model::TrainedModel trained_model;
     double train_accuracy = 0.0;
     double test_accuracy = 0.0;
+    /// How training ended (train::ParallelTrainer; empty/default when the
+    /// model was imported instead of trained).
+    std::size_t train_epochs_run = 0;
+    std::string train_stop_reason;  ///< "max-epochs" | "early-stop" | ""
+    std::size_t train_best_epoch = 0;
+    std::vector<train::EpochMetrics> accuracy_history;
 
     model::ArchParams arch;
     model::SparsityStats sparsity;

@@ -9,6 +9,7 @@
 #include "logic/lut_mapper.hpp"
 #include "sim/accelerator_sim.hpp"
 #include "tm/tsetlin_machine.hpp"
+#include "train/parallel_trainer.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -97,6 +98,12 @@ FlowResult CompileContext::to_flow_result() const {
     if (trained) r.trained_model = *trained;
     r.train_accuracy = train_accuracy;
     r.test_accuracy = test_accuracy;
+    if (train_report) {
+        r.train_epochs_run = train_report->epochs_run;
+        r.train_stop_reason = train::stop_reason_name(train_report->stop_reason);
+        r.train_best_epoch = train_report->best_epoch;
+        r.accuracy_history = train_report->history;
+    }
     if (arch) r.arch = *arch;
     if (sparsity) r.sparsity = *sparsity;
     if (sharing) r.sharing = *sharing;
@@ -171,12 +178,22 @@ public:
         const auto train_fn = [&]() -> TrainedArtifact {
             tm::TsetlinMachine machine(ctx.cfg.tm, ctx.train_set->num_features,
                                        ctx.train_set->num_classes);
-            machine.fit(*ctx.train_set, ctx.cfg.epochs);
+            train::FitOptions opts;
+            opts.epochs = ctx.cfg.epochs;
+            opts.threads = unsigned(ctx.cfg.train_threads);
+            opts.eval_every = ctx.cfg.eval_every;
+            opts.patience = ctx.cfg.patience;
+            train::ParallelTrainer trainer(opts);
+            // A present-but-empty test set must keep the historical
+            // "no test accuracy" 0.0 (the trainer itself would fall back
+            // to reporting train accuracy in the eval column).
+            const data::Dataset* eval_set =
+                ctx.test_set && ctx.test_set->size() > 0 ? ctx.test_set : nullptr;
             TrainedArtifact a;
+            a.fit = trainer.fit(machine, *ctx.train_set, eval_set);
             a.model = std::make_shared<model::TrainedModel>(machine.export_model());
-            a.train_accuracy = machine.evaluate(*ctx.train_set);
-            a.test_accuracy =
-                ctx.test_set ? machine.evaluate(*ctx.test_set) : 0.0;
+            a.train_accuracy = a.fit.train_accuracy;
+            a.test_accuracy = eval_set ? a.fit.eval_accuracy : 0.0;
             return a;
         };
 
@@ -196,7 +213,16 @@ public:
         ctx.trained = a.model;
         ctx.train_accuracy = a.train_accuracy;
         ctx.test_accuracy = a.test_accuracy;
+        ctx.train_report = a.fit;
         ctx.record(kind()).tier = tier;
+        {
+            char detail[96];
+            std::snprintf(detail, sizeof detail, "epochs=%zu/%zu stop=%s best=%zu",
+                          a.fit.epochs_run, ctx.cfg.epochs,
+                          train::stop_reason_name(a.fit.stop_reason),
+                          a.fit.best_epoch);
+            ctx.record(kind()).detail = detail;
+        }
         if (tier != ArtifactTier::kNone)
             ctx.note(kind(), std::string("trained model served from artifact "
                                          "store (") +
@@ -496,9 +522,11 @@ std::string format_stage_report(const CompileContext& ctx) {
         if (rec.status == StageStatus::kCached)
             status += std::string("(") + tier_name(rec.tier) + ")";
         char line[96];
-        std::snprintf(line, sizeof line, "%-10s %-13s %9.2f\n",
+        std::snprintf(line, sizeof line, "%-10s %-13s %9.2f",
                       stage_name(rec.kind), status.c_str(), rec.seconds * 1e3);
         out << line;
+        if (!rec.detail.empty()) out << "  " << rec.detail;
+        out << "\n";
     }
     char total[80];
     std::snprintf(total, sizeof total, "%-10s %-13s %9.2f\n", "total",

@@ -82,6 +82,9 @@ struct StageRecord {
     double seconds = 0.0;
     /// For kCached: which store tier served the artifacts.
     ArtifactTier tier = ArtifactTier::kNone;
+    /// Optional one-line stage summary for the stage report / sweep JSON
+    /// (the train stage reports "epochs=7/20 stop=early-stop ...").
+    std::string detail;
 };
 
 // ---------------------------------------------------------------------------
@@ -106,6 +109,9 @@ public:
     double train_accuracy = 0.0;
     double test_accuracy = 0.0;
     bool model_imported = false;  ///< yellow flow: model supplied, not trained
+    /// Training record (epochs run, stop reason, accuracy history); absent
+    /// for imported models.  Served from the artifact store on cache hits.
+    std::optional<train::FitReport> train_report;
 
     // -- analyze ----------------------------------------------------------
     std::optional<model::SparsityStats> sparsity;

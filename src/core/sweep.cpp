@@ -256,6 +256,20 @@ util::Json flow_result_to_json(const FlowResult& r) {
     }
     j.set("train_accuracy", num(r.train_accuracy));
     j.set("test_accuracy", num(r.test_accuracy));
+    j.set("train_epochs_run", num(r.train_epochs_run));
+    j.set("train_stop_reason", Json(r.train_stop_reason));
+    j.set("train_best_epoch", num(r.train_best_epoch));
+    {
+        Json h = Json::array();
+        for (const auto& m : r.accuracy_history) {
+            Json e = Json::object();
+            e.set("epoch", num(m.epoch));
+            e.set("train_accuracy", num(m.train_accuracy));
+            e.set("eval_accuracy", num(m.eval_accuracy));
+            h.push_back(std::move(e));
+        }
+        j.set("accuracy_history", std::move(h));
+    }
 
     {
         Json a = Json::object();
@@ -370,6 +384,20 @@ FlowResult flow_result_from_json(const util::Json& j) {
     }
     r.train_accuracy = get_f64(j, "train_accuracy");
     r.test_accuracy = get_f64(j, "test_accuracy");
+    // Training-record fields arrived with schema v2; default them when
+    // reading a v1 document.
+    if (j.contains("train_epochs_run")) {
+        r.train_epochs_run = get_size(j, "train_epochs_run");
+        r.train_stop_reason = get_str(j, "train_stop_reason");
+        r.train_best_epoch = get_size(j, "train_best_epoch");
+        for (const Json& e : j.at("accuracy_history").as_array()) {
+            train::EpochMetrics m;
+            m.epoch = get_size(e, "epoch");
+            m.train_accuracy = get_f64(e, "train_accuracy");
+            m.eval_accuracy = get_f64(e, "eval_accuracy");
+            r.accuracy_history.push_back(m);
+        }
+    }
 
     {
         const Json& a = j.at("arch");
@@ -485,6 +513,7 @@ util::Json sweep_point_to_json(const SweepPoint& p) {
         s.set("status", status_name(rec.status));
         s.set("seconds", num(rec.seconds));
         s.set("tier", tier_name(rec.tier));
+        s.set("detail", Json(rec.detail));
         stages.push_back(std::move(s));
     }
     j.set("stages", std::move(stages));
@@ -519,6 +548,7 @@ SweepPoint sweep_point_from_json(const util::Json& j) {
         rec.status = status_from_name(get_str(s, "status"));
         rec.seconds = get_f64(s, "seconds");
         rec.tier = tier_from_name(get_str(s, "tier"));
+        if (s.contains("detail")) rec.detail = get_str(s, "detail");
         p.stages[stage_index(rec.kind)] = rec;
     }
 

@@ -82,7 +82,10 @@ SweepPoint run_sweep_point(std::size_t index, const FlowConfig& cfg,
 // ---------------------------------------------------------------------------
 
 /// Schema version of the documents below; readers reject newer versions.
-inline constexpr unsigned kSweepJsonVersion = 1;
+/// v2 added the training record (epochs run, stop reason, accuracy
+/// history) to FlowResult and the per-stage detail string; v1 documents
+/// still load, with those fields defaulted.
+inline constexpr unsigned kSweepJsonVersion = 2;
 
 util::Json flow_result_to_json(const FlowResult& r);
 FlowResult flow_result_from_json(const util::Json& j);

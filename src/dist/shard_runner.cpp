@@ -49,6 +49,7 @@ util::Json shard_report_to_json(const ShardReport& r) {
     j.set("threads_used", Json(double(r.threads_used)));
     j.set("wall_seconds", Json(r.wall_seconds));
     j.set("store_stats", core::store_stats_to_json(r.store_stats));
+    j.set("in_progress", Json(r.in_progress));
     return j;
 }
 
@@ -63,6 +64,7 @@ ShardReport shard_report_from_json(const util::Json& j) {
     r.threads_used = unsigned(j.at("threads_used").as_double());
     r.wall_seconds = j.at("wall_seconds").as_double();
     r.store_stats = core::store_stats_from_json(j.at("store_stats"));
+    if (j.contains("in_progress")) r.in_progress = j.at("in_progress").as_bool();
     return r;
 }
 
@@ -87,8 +89,24 @@ ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
     threads =
         unsigned(std::min<std::size_t>(threads, std::max<std::size_t>(1, grid.size())));
 
+    std::atomic<std::size_t> run_count{0}, failed_count{0};
+    const auto make_report = [&](bool in_progress) {
+        ShardReport r;
+        r.owner = queue.owner();
+        r.points_run = run_count.load();
+        r.points_stolen = queue.stolen_count();
+        r.points_failed = failed_count.load();
+        r.threads_used = threads;
+        r.wall_seconds = watch.seconds();
+        r.store_stats = store->stats();
+        r.in_progress = in_progress;
+        return r;
+    };
+
     // Background heartbeat: keep every held lease visibly alive while its
-    // point computes (a single point can run far longer than the timeout).
+    // point computes (a single point can run far longer than the timeout),
+    // and publish an in-progress stats snapshot so `matador sweep-status`
+    // on any machine sees live per-shard progress.
     double heartbeat = options.heartbeat_seconds;
     if (heartbeat <= 0.0)
         heartbeat = std::max(0.05, options.queue.lease_timeout_seconds / 4.0);
@@ -99,11 +117,17 @@ ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
         std::unique_lock<std::mutex> lock(stop_mu);
         while (!stop_cv.wait_for(lock,
                                  std::chrono::duration<double>(heartbeat),
-                                 [&] { return stop; }))
+                                 [&] { return stop; })) {
             queue.heartbeat();
+            try {
+                queue.write_owner_stats(
+                    shard_report_to_json(make_report(/*in_progress=*/true)));
+            } catch (const std::exception&) {
+                // Progress snapshots are best-effort; the final report at
+                // the end of run_shard is the authoritative write.
+            }
+        }
     });
-
-    std::atomic<std::size_t> run_count{0}, failed_count{0};
     // First fatal worker error (manifest write, queue I/O).  Pipeline
     // errors are NOT fatal - run_sweep_point folds them into the point's
     // diagnostics; this catches the infrastructure failing around it.  The
@@ -165,14 +189,7 @@ ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
     if (!fatal_error.empty())
         throw std::runtime_error("run_shard: " + fatal_error);
 
-    ShardReport report;
-    report.owner = queue.owner();
-    report.points_run = run_count.load();
-    report.points_stolen = queue.stolen_count();
-    report.points_failed = failed_count.load();
-    report.threads_used = threads;
-    report.wall_seconds = watch.seconds();
-    report.store_stats = store->stats();
+    const ShardReport report = make_report(/*in_progress=*/false);
     queue.write_owner_stats(shard_report_to_json(report));
     return report;
 }

@@ -45,6 +45,10 @@ struct ShardReport {
     unsigned threads_used = 1;
     double wall_seconds = 0.0;
     core::ArtifactStore::Stats store_stats;
+    /// True in the periodic snapshots the heartbeat thread publishes while
+    /// the shard is still claiming points (the `matador sweep-status`
+    /// progress view); the final report overwrites with false.
+    bool in_progress = false;
 };
 
 util::Json shard_report_to_json(const ShardReport& r);

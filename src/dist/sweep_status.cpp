@@ -1,0 +1,130 @@
+#include "dist/sweep_status.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "dist/work_queue.hpp"
+#include "util/fsio.hpp"
+
+namespace fs = std::filesystem;
+
+namespace matador::dist {
+
+SweepStatus read_sweep_status(const std::string& cache_dir,
+                              double lease_timeout_seconds) {
+    const fs::path queue = fs::path(cache_dir) / "queue";
+    if (!fs::exists(queue / "grid.json"))
+        throw std::runtime_error(
+            "sweep-status: no sweep queue under " + cache_dir +
+            " (expected " + (queue / "grid.json").string() + ")");
+
+    SweepStatus s;
+    s.lease_timeout_seconds = lease_timeout_seconds;
+    const GridManifest grid = GridManifest::from_json(
+        util::Json::parse(util::read_file((queue / "grid.json").string())));
+    s.total = grid.size();
+
+    const auto count_indexed = [&](const char* sub) {
+        std::size_t n = 0;
+        std::error_code ec;
+        for (const auto& entry : fs::directory_iterator(queue / sub, ec)) {
+            const auto index = parse_queue_index(entry.path().filename().string());
+            if (index && *index < s.total) ++n;
+        }
+        return n;
+    };
+    s.todo = count_indexed("todo");
+    s.done = count_indexed("done");
+
+    const auto now = fs::file_time_type::clock::now();
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(queue / "leases", ec)) {
+        const std::string name = entry.path().filename().string();
+        const auto index = parse_queue_index(name);
+        if (!index || *index >= s.total) continue;
+        LeaseStatus lease;
+        lease.index = *index;
+        lease.owner = parse_lease_owner(name);
+        std::error_code mtime_ec;
+        const auto mtime = fs::last_write_time(entry.path(), mtime_ec);
+        if (mtime_ec) continue;  // vanished mid-scan (completed or stolen)
+        lease.heartbeat_age_seconds =
+            std::chrono::duration<double>(now - mtime).count();
+        lease.stale = lease.heartbeat_age_seconds > lease_timeout_seconds;
+        s.leases.push_back(std::move(lease));
+    }
+    std::sort(s.leases.begin(), s.leases.end(),
+              [](const LeaseStatus& a, const LeaseStatus& b) {
+                  return a.index < b.index;
+              });
+    s.leased = s.leases.size();
+
+    std::vector<fs::path> stats_files;
+    for (const auto& entry : fs::directory_iterator(queue / "stats", ec))
+        if (entry.path().extension() == ".json")
+            stats_files.push_back(entry.path());
+    std::sort(stats_files.begin(), stats_files.end());
+    for (const auto& path : stats_files) {
+        try {
+            s.shards.push_back(shard_report_from_json(
+                util::Json::parse(util::read_file(path.string()))));
+        } catch (const std::exception&) {
+            // Corrupt or mid-write stats only affect the progress view,
+            // never the sweep itself; skip.
+        }
+    }
+    return s;
+}
+
+std::string format_sweep_status(const SweepStatus& s) {
+    std::ostringstream out;
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "sweep: %zu points  todo=%zu leased=%zu done=%zu (%.0f%%)\n",
+                  s.total, s.todo, s.leased, s.done,
+                  s.total ? 100.0 * double(s.done) / double(s.total) : 0.0);
+    out << line;
+
+    if (!s.leases.empty()) {
+        out << "leases:\n";
+        for (const auto& l : s.leases) {
+            std::snprintf(line, sizeof line,
+                          "  point %zu  owner %s  heartbeat %.1fs ago%s\n",
+                          l.index, l.owner.c_str(), l.heartbeat_age_seconds,
+                          l.stale ? "  STALE" : "");
+            out << line;
+        }
+        if (s.stale_leases() > 0) {
+            std::snprintf(line, sizeof line,
+                          "warning: %zu lease(s) past the %.0fs timeout - "
+                          "owner presumed dead; surviving shards will steal "
+                          "and re-run those points\n",
+                          s.stale_leases(), s.lease_timeout_seconds);
+            out << line;
+        }
+    }
+
+    if (!s.shards.empty()) {
+        out << "shards:\n";
+        for (const auto& sh : s.shards) {
+            std::snprintf(line, sizeof line,
+                          "  %-24s %zu points (%zu stolen, %zu failed), "
+                          "%.2f s%s\n",
+                          sh.owner.c_str(), sh.points_run, sh.points_stolen,
+                          sh.points_failed, sh.wall_seconds,
+                          sh.in_progress ? "  [running]" : "");
+            out << line;
+        }
+    }
+
+    if (s.complete())
+        out << "sweep complete; merge with: matador sweep-merge --cache-dir "
+               "<cache_dir>\n";
+    return out.str();
+}
+
+}  // namespace matador::dist

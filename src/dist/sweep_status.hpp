@@ -1,0 +1,59 @@
+// One-shot cross-machine progress view of a distributed sweep.
+//
+// Reads the work-stealing queue under `<cache_dir>/queue/` exactly as a
+// shard would - grid.json for the point count, todo/ leases/ done/ for the
+// per-point state, stats/ for the per-shard reports that run_shard's
+// heartbeat keeps refreshing while points compute - but never writes
+// anything: it is safe to run from any machine sharing the cache_dir while
+// the sweep is live.  Leases whose heartbeat age exceeds the timeout are
+// flagged stale (their owner is presumed dead; a surviving shard will steal
+// and re-run them).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dist/shard_runner.hpp"
+
+namespace matador::dist {
+
+/// One outstanding lease (a point some shard is computing right now).
+struct LeaseStatus {
+    std::size_t index = 0;
+    std::string owner;
+    double heartbeat_age_seconds = 0.0;
+    /// Older than the lease timeout: the owner is presumed dead and the
+    /// point will be stolen by a surviving shard.
+    bool stale = false;
+};
+
+/// Aggregate queue + shard view.
+struct SweepStatus {
+    std::size_t total = 0;   ///< grid size per grid.json
+    std::size_t todo = 0;    ///< unclaimed points
+    std::size_t leased = 0;  ///< points being computed (== leases.size())
+    std::size_t done = 0;    ///< completed points
+    double lease_timeout_seconds = 0.0;  ///< staleness threshold applied
+    std::vector<LeaseStatus> leases;     ///< index order
+    /// Per-shard reports from queue/stats/ (both finished shards and the
+    /// in-progress snapshots the heartbeat thread publishes), owner order.
+    std::vector<ShardReport> shards;
+
+    std::size_t stale_leases() const {
+        std::size_t n = 0;
+        for (const auto& l : leases) n += l.stale;
+        return n;
+    }
+    bool complete() const { return done >= total; }
+};
+
+/// Read the queue under `cache_dir`.  Throws std::runtime_error when there
+/// is no queue (grid.json) to inspect.
+SweepStatus read_sweep_status(const std::string& cache_dir,
+                              double lease_timeout_seconds = 60.0);
+
+/// Render the status as the `matador sweep-status` report text.
+std::string format_sweep_status(const SweepStatus& s);
+
+}  // namespace matador::dist

@@ -45,9 +45,17 @@ std::string index_name(std::size_t index) {
     return buf;
 }
 
-/// Parse the leading zero-padded index of a queue file name; nullopt for
-/// foreign files (editors, OS metadata, sync-tool droppings).
-std::optional<std::size_t> parse_index(const std::string& filename) {
+bool lease_expired(const fs::path& lease, double timeout_seconds) {
+    std::error_code ec;
+    const auto mtime = fs::last_write_time(lease, ec);
+    if (ec) return false;  // vanished mid-scan: somebody else acted on it
+    const auto age = fs::file_time_type::clock::now() - mtime;
+    return std::chrono::duration<double>(age).count() > timeout_seconds;
+}
+
+}  // namespace
+
+std::optional<std::size_t> parse_queue_index(const std::string& filename) {
     std::size_t i = 0;
     while (i < filename.size() && filename[i] >= '0' && filename[i] <= '9') ++i;
     if (i == 0) return std::nullopt;
@@ -58,9 +66,7 @@ std::optional<std::size_t> parse_index(const std::string& filename) {
     }
 }
 
-/// Owner component of a "<idx>.<owner>.lease" file name; empty for
-/// foreign files.
-std::string lease_owner(const std::string& filename) {
+std::string parse_lease_owner(const std::string& filename) {
     const auto first = filename.find('.');
     const auto suffix = filename.rfind(".lease");
     if (first == std::string::npos || suffix == std::string::npos ||
@@ -68,16 +74,6 @@ std::string lease_owner(const std::string& filename) {
         return "";
     return filename.substr(first + 1, suffix - first - 1);
 }
-
-bool lease_expired(const fs::path& lease, double timeout_seconds) {
-    std::error_code ec;
-    const auto mtime = fs::last_write_time(lease, ec);
-    if (ec) return false;  // vanished mid-scan: somebody else acted on it
-    const auto age = fs::file_time_type::clock::now() - mtime;
-    return std::chrono::duration<double>(age).count() > timeout_seconds;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // GridManifest
@@ -225,7 +221,7 @@ std::optional<std::size_t> WorkQueue::claim_from_todo() {
     std::vector<std::pair<std::size_t, fs::path>> candidates;
     std::error_code ec;
     for (const auto& entry : fs::directory_iterator(todo, ec)) {
-        const auto index = parse_index(entry.path().filename().string());
+        const auto index = parse_queue_index(entry.path().filename().string());
         if (index && *index < grid_.size()) candidates.emplace_back(*index, entry.path());
     }
     std::sort(candidates.begin(), candidates.end());
@@ -256,13 +252,13 @@ std::optional<std::size_t> WorkQueue::claim_stolen() {
     std::error_code ec;
     for (const auto& entry : fs::directory_iterator(leases, ec)) {
         const std::string name = entry.path().filename().string();
-        const auto index = parse_index(name);
+        const auto index = parse_queue_index(name);
         if (!index || *index >= grid_.size()) continue;
         // Never steal from ourselves: a sibling worker thread may have
         // just claimed this index (rename done, held_ not yet updated),
         // and rename(x, x) "succeeds", which would hand the same point to
         // two threads.  Checking the filename's owner closes that window.
-        if (lease_owner(name) == owner_) continue;
+        if (parse_lease_owner(name) == owner_) continue;
         {
             std::lock_guard<std::mutex> lock(mu_);
             if (held_.count(*index)) continue;  // belt and braces
@@ -338,7 +334,7 @@ std::size_t WorkQueue::done_count() const {
     std::error_code ec;
     for (const auto& entry :
          fs::directory_iterator(fs::path(queue_dir()) / "done", ec)) {
-        const auto index = parse_index(entry.path().filename().string());
+        const auto index = parse_queue_index(entry.path().filename().string());
         if (index && *index < grid_.size()) ++n;
     }
     return n;

@@ -108,7 +108,11 @@ public:
     bool drained() const { return done_count() >= grid_.size(); }
 
     /// Indices claimed by this handle via an expired-lease steal.
-    std::size_t stolen_count() const { return stolen_; }
+    /// Thread-safe: the shard heartbeat reads this while workers claim.
+    std::size_t stolen_count() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return stolen_;
+    }
     /// Leases currently held by this handle.
     std::size_t held_count() const;
 
@@ -135,6 +139,17 @@ private:
     std::set<std::size_t> held_;
     std::size_t stolen_ = 0;
 };
+
+// -- queue file-name helpers (shared with sweep_status) ---------------------
+
+/// Leading zero-padded grid index of a queue file name ("00000007.task",
+/// "00000007.s0-12.lease", ...); nullopt for foreign files (editors, OS
+/// metadata, sync-tool droppings).
+std::optional<std::size_t> parse_queue_index(const std::string& filename);
+
+/// Owner component of a "<idx>.<owner>.lease" file name; empty for
+/// foreign files.
+std::string parse_lease_owner(const std::string& filename);
 
 // -- shared result-manifest paths -------------------------------------------
 

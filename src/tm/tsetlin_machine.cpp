@@ -35,8 +35,7 @@ TsetlinMachine::TsetlinMachine(TmConfig cfg, std::size_t num_features,
     state_.assign(total_clauses * kStateBits * words_, 0);
     include_.assign(total_clauses * words_, 0);
     scratch_.assign(words_, 0);
-    mask_a_.assign(words_, 0);
-    mask_b_.assign(words_, 0);
+    fb_scratch_ = make_scratch();
 
     // Initial state: kIncludeThreshold - 1 (all low planes set, MSB clear):
     // every automaton sits just below the include boundary.
@@ -47,31 +46,36 @@ TsetlinMachine::TsetlinMachine(TmConfig cfg, std::size_t num_features,
     pow2_k_ = std::max(1u, unsigned(std::lround(std::log2(cfg_.specificity))));
 }
 
-void TsetlinMachine::build_literals(const util::BitVector& x) const {
+void TsetlinMachine::build_literals(const util::BitVector& x,
+                                    std::uint64_t* dst) const {
+    if (x.size() != num_features_)
+        throw std::invalid_argument("TsetlinMachine::build_literals: feature mismatch");
     const std::size_t half_words = words_ / 2;
     const auto xw = x.words();
     for (std::size_t w = 0; w < half_words; ++w) {
-        scratch_[w] = xw[w];
-        scratch_[half_words + w] = ~xw[w];
+        dst[w] = xw[w];
+        dst[half_words + w] = ~xw[w];
     }
     // Mask the tail of the negated half so invalid positions read 0.
     const std::size_t tail = num_features_ % kWordBits;
     if (tail != 0)
-        scratch_[words_ - 1] &= (std::uint64_t{1} << tail) - 1;
+        dst[words_ - 1] &= (std::uint64_t{1} << tail) - 1;
 }
 
-bool TsetlinMachine::clause_output_train(std::size_t fc) const {
+bool TsetlinMachine::clause_output_train(std::size_t fc,
+                                         const std::uint64_t* literals) const {
     const std::uint64_t* inc = include(fc);
     for (std::size_t w = 0; w < words_; ++w)
-        if ((inc[w] & ~scratch_[w]) != 0) return false;
+        if ((inc[w] & ~literals[w]) != 0) return false;
     return true;
 }
 
-bool TsetlinMachine::clause_output_infer(std::size_t fc) const {
+bool TsetlinMachine::clause_output_infer(std::size_t fc,
+                                         const std::uint64_t* literals) const {
     const std::uint64_t* inc = include(fc);
     bool any_include = false;
     for (std::size_t w = 0; w < words_; ++w) {
-        if ((inc[w] & ~scratch_[w]) != 0) return false;
+        if ((inc[w] & ~literals[w]) != 0) return false;
         any_include |= inc[w] != 0;
     }
     return any_include;
@@ -121,88 +125,101 @@ void TsetlinMachine::refresh_include(std::size_t fc) {
     std::memcpy(include(fc), plane(fc, kStateBits - 1), words_ * sizeof(std::uint64_t));
 }
 
-std::uint64_t TsetlinMachine::rare_word() {
+template <class Rng>
+std::uint64_t TsetlinMachine::rare_word(Rng& rng) const {
     if (cfg_.feedback == FeedbackMode::kFastPow2)
-        return rng_.bernoulli_word_pow2(pow2_k_);
-    return rng_.bernoulli_word_exact(1.0 / cfg_.specificity);
+        return rng.bernoulli_word_pow2(pow2_k_);
+    return rng.bernoulli_word_exact(1.0 / cfg_.specificity);
 }
 
 int TsetlinMachine::clamp_sum(int v) const {
     return std::clamp(v, -cfg_.threshold, cfg_.threshold);
 }
 
-void TsetlinMachine::type_i_feedback(std::size_t fc) {
-    if (clause_output_train(fc)) {
+template <class Rng>
+void TsetlinMachine::type_i_feedback(std::size_t fc, const std::uint64_t* literals,
+                                     Rng& rng, FeedbackScratch& scratch) {
+    if (clause_output_train(fc, literals)) {
         // Clause fired: reinforce the pattern.  True literals march toward
         // include (optionally damped by (s-1)/s), false literals erode
         // toward exclude with probability 1/s.
         for (std::size_t w = 0; w < words_; ++w) {
-            std::uint64_t inc = scratch_[w];
-            if (!cfg_.boost_true_positive) inc &= ~rare_word();
-            mask_a_[w] = inc;
-            mask_b_[w] = ~scratch_[w] & rare_word();
+            std::uint64_t inc = literals[w];
+            if (!cfg_.boost_true_positive) inc &= ~rare_word(rng);
+            scratch.mask_a[w] = inc;
+            scratch.mask_b[w] = ~literals[w] & rare_word(rng);
         }
-        increment(fc, mask_a_.data());
-        decrement(fc, mask_b_.data());
+        increment(fc, scratch.mask_a.data());
+        decrement(fc, scratch.mask_b.data());
     } else {
         // Clause silent: erode every automaton with probability 1/s.
-        for (std::size_t w = 0; w < words_; ++w) mask_a_[w] = rare_word();
-        decrement(fc, mask_a_.data());
+        for (std::size_t w = 0; w < words_; ++w) scratch.mask_a[w] = rare_word(rng);
+        decrement(fc, scratch.mask_a.data());
     }
 }
 
-void TsetlinMachine::type_ii_feedback(std::size_t fc) {
-    if (!clause_output_train(fc)) return;
+void TsetlinMachine::type_ii_feedback(std::size_t fc, const std::uint64_t* literals,
+                                      FeedbackScratch& scratch) {
+    if (!clause_output_train(fc, literals)) return;
     // Clause fired on the wrong class: push excluded false literals toward
     // include so the clause learns to reject this input.  (Included literals
     // are necessarily 1 here, so ~L touches only excluded automata.)
-    for (std::size_t w = 0; w < words_; ++w) mask_a_[w] = ~scratch_[w];
-    increment(fc, mask_a_.data());
+    for (std::size_t w = 0; w < words_; ++w) scratch.mask_a[w] = ~literals[w];
+    increment(fc, scratch.mask_a.data());
+}
+
+int TsetlinMachine::class_vote_train(std::size_t cls,
+                                     const std::uint64_t* literals) const {
+    int v = 0;
+    for (std::size_t j = 0; j < cfg_.clauses_per_class; ++j) {
+        const std::size_t fc = clause_base(cls, j);
+        if (clause_output_train(fc, literals)) v += (j % 2 == 0) ? +1 : -1;
+    }
+    return v;
+}
+
+template <class Rng>
+void TsetlinMachine::train_class_impl(std::size_t cls, bool is_target,
+                                      const std::uint64_t* literals, Rng& rng,
+                                      FeedbackScratch& scratch) {
+    const std::size_t q = cfg_.clauses_per_class;
+    const double two_t = 2.0 * double(cfg_.threshold);
+    const int v = clamp_sum(class_vote_train(cls, literals));
+    // Target class: pull the vote up toward +T (Type I on +polarity).
+    // Negative class: push it down toward -T (mirrored feedback).
+    const double p = (is_target ? cfg_.threshold - v : cfg_.threshold + v) / two_t;
+    for (std::size_t j = 0; j < q; ++j) {
+        if (!rng.bernoulli(p)) continue;
+        const std::size_t fc = clause_base(cls, j);
+        const bool positive_polarity = j % 2 == 0;
+        if (positive_polarity == is_target)
+            type_i_feedback(fc, literals, rng, scratch);
+        else
+            type_ii_feedback(fc, literals, scratch);
+    }
+}
+
+void TsetlinMachine::train_class(std::size_t cls, bool is_target,
+                                 const std::uint64_t* literals,
+                                 util::KeyedRng& rng, FeedbackScratch& scratch) {
+    if (cls >= num_classes_)
+        throw std::out_of_range("TsetlinMachine::train_class: class index");
+    train_class_impl(cls, is_target, literals, rng, scratch);
 }
 
 void TsetlinMachine::train_example(const util::BitVector& x, std::uint32_t target) {
     if (x.size() != num_features_)
         throw std::invalid_argument("TsetlinMachine::train_example: feature mismatch");
-    build_literals(x);
-
-    const std::size_t q = cfg_.clauses_per_class;
-    const double two_t = 2.0 * double(cfg_.threshold);
-
-    auto class_vote = [&](std::size_t cls) {
-        int v = 0;
-        for (std::size_t j = 0; j < q; ++j) {
-            const std::size_t fc = clause_base(cls, j);
-            if (clause_output_train(fc)) v += (j % 2 == 0) ? +1 : -1;
-        }
-        return v;
-    };
+    build_literals(x, scratch_.data());
 
     // Target class: Type I to +polarity clauses, Type II to -polarity.
-    {
-        const double p = (cfg_.threshold - clamp_sum(class_vote(target))) / two_t;
-        for (std::size_t j = 0; j < q; ++j) {
-            if (!rng_.bernoulli(p)) continue;
-            const std::size_t fc = clause_base(target, j);
-            if (j % 2 == 0)
-                type_i_feedback(fc);
-            else
-                type_ii_feedback(fc);
-        }
-    }
+    train_class_impl(target, /*is_target=*/true, scratch_.data(), rng_, fb_scratch_);
 
     // One sampled negative class, mirrored feedback.
     if (num_classes_ > 1) {
         std::size_t neg = rng_.below(num_classes_ - 1);
         if (neg >= target) ++neg;
-        const double p = (cfg_.threshold + clamp_sum(class_vote(neg))) / two_t;
-        for (std::size_t j = 0; j < q; ++j) {
-            if (!rng_.bernoulli(p)) continue;
-            const std::size_t fc = clause_base(neg, j);
-            if (j % 2 == 0)
-                type_ii_feedback(fc);
-            else
-                type_i_feedback(fc);
-        }
+        train_class_impl(neg, /*is_target=*/false, scratch_.data(), rng_, fb_scratch_);
     }
 }
 
@@ -226,12 +243,12 @@ void TsetlinMachine::fit(const data::Dataset& ds, std::size_t epochs) {
 std::vector<int> TsetlinMachine::class_sums(const util::BitVector& x) const {
     if (x.size() != num_features_)
         throw std::invalid_argument("TsetlinMachine::class_sums: feature mismatch");
-    build_literals(x);
+    build_literals(x, scratch_.data());
     std::vector<int> sums(num_classes_, 0);
     const std::size_t q = cfg_.clauses_per_class;
     for (std::size_t c = 0; c < num_classes_; ++c)
         for (std::size_t j = 0; j < q; ++j)
-            if (clause_output_infer(clause_base(c, j)))
+            if (clause_output_infer(clause_base(c, j), scratch_.data()))
                 sums[c] += (j % 2 == 0) ? +1 : -1;
     return sums;
 }
@@ -241,6 +258,23 @@ std::uint32_t TsetlinMachine::predict(const util::BitVector& x) const {
     std::size_t best = 0;
     for (std::size_t c = 1; c < sums.size(); ++c)
         if (sums[c] > sums[best]) best = c;
+    return std::uint32_t(best);
+}
+
+std::uint32_t TsetlinMachine::predict_literals(const std::uint64_t* literals) const {
+    const std::size_t q = cfg_.clauses_per_class;
+    std::size_t best = 0;
+    int best_sum = 0;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+        int sum = 0;
+        for (std::size_t j = 0; j < q; ++j)
+            if (clause_output_infer(clause_base(c, j), literals))
+                sum += (j % 2 == 0) ? +1 : -1;
+        if (c == 0 || sum > best_sum) {
+            best = c;
+            best_sum = sum;
+        }
+    }
     return std::uint32_t(best);
 }
 

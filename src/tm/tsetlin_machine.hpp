@@ -15,6 +15,18 @@
 // Stochastic Bernoulli(1/s) literal masks come either from an exact per-bit
 // draw or from the hardware-style 2^-k AND-mask approximation used by the
 // FPGA TM training lineage the paper builds on (refs [20], [21]).
+//
+// Two training surfaces share the feedback kernels:
+//   * the classic sequential API (fit / train_epoch / train_example) with a
+//     single shared xoshiro stream - kept bit-compatible with earlier
+//     releases;
+//   * a class-scoped API (build_literals into a caller buffer,
+//     class_vote_train, train_class, predict_literals) for the parallel
+//     trainer in src/train/: literals are built once per example and shared
+//     read-only, each call touches only one class's clause banks, all
+//     randomness comes from caller-provided KeyedRng streams, and mutable
+//     scratch is caller-owned - so concurrent calls on distinct classes are
+//     data-race free and results never depend on thread count.
 #pragma once
 
 #include <cstdint>
@@ -57,7 +69,8 @@ public:
     /// shuffle the dataset between epochs for SGD-style training).
     void train_epoch(const data::Dataset& ds);
 
-    /// Convenience: shuffle + train for `epochs` passes.
+    /// Convenience: shuffle + train for `epochs` passes (sequential path;
+    /// `train::ParallelTrainer` is the scalable, thread-invariant engine).
     void fit(const data::Dataset& ds, std::size_t epochs);
 
     /// Single-example online update.
@@ -71,6 +84,41 @@ public:
 
     /// Fraction of correctly classified examples.
     double evaluate(const data::Dataset& ds) const;
+
+    // -- class-scoped training surface (src/train/ parallel engine) --------
+
+    /// Words in a literal vector [x | ~x] (two word-aligned halves).
+    std::size_t literal_words() const { return words_; }
+
+    /// Build the literal vector for `x` into `dst` (literal_words() words).
+    /// `dst` may then be shared read-only by any number of threads.
+    void build_literals(const util::BitVector& x, std::uint64_t* dst) const;
+
+    /// Per-call mutable scratch for train_class.  One per worker thread;
+    /// never share an instance across concurrent calls.
+    struct FeedbackScratch {
+        std::vector<std::uint64_t> mask_a, mask_b;
+    };
+    FeedbackScratch make_scratch() const {
+        return {std::vector<std::uint64_t>(words_, 0),
+                std::vector<std::uint64_t>(words_, 0)};
+    }
+
+    /// Training-semantics vote of one class on prebuilt literals.
+    int class_vote_train(std::size_t cls, const std::uint64_t* literals) const;
+
+    /// Apply one example's feedback to one class: the target-class half
+    /// (Type I to +polarity, Type II to -polarity) when `is_target`, the
+    /// mirrored negative-class half otherwise.  Touches only `cls`'s clause
+    /// banks, so concurrent calls on distinct classes are race-free.  All
+    /// stochastic choices come from `rng` - key it by (epoch, example,
+    /// class) to make training reproducible at any thread count.
+    void train_class(std::size_t cls, bool is_target, const std::uint64_t* literals,
+                     util::KeyedRng& rng, FeedbackScratch& scratch);
+
+    /// argmax prediction on prebuilt literals (inference semantics).
+    /// Thread-safe: touches no mutable state.
+    std::uint32_t predict_literals(const std::uint64_t* literals) const;
 
     /// Snapshot the include/exclude decisions as a TrainedModel
     /// (the boolean artefact consumed by the rest of the flow).
@@ -107,24 +155,34 @@ private:
         return include_.data() + flat_clause * words_;
     }
 
-    /// Build the literal vector [x, ~x] into scratch_ (word-aligned halves).
-    void build_literals(const util::BitVector& x) const;
-
     /// Clause output with *training* semantics (empty clause outputs 1).
-    bool clause_output_train(std::size_t flat_clause) const;
+    bool clause_output_train(std::size_t flat_clause,
+                             const std::uint64_t* literals) const;
     /// Clause output with inference semantics (empty clause outputs 0).
-    bool clause_output_infer(std::size_t flat_clause) const;
+    bool clause_output_infer(std::size_t flat_clause,
+                             const std::uint64_t* literals) const;
 
     /// Saturating bit-sliced state update on `flat_clause`.
     void increment(std::size_t flat_clause, const std::uint64_t* mask);
     void decrement(std::size_t flat_clause, const std::uint64_t* mask);
     void refresh_include(std::size_t flat_clause);
 
-    void type_i_feedback(std::size_t flat_clause);
-    void type_ii_feedback(std::size_t flat_clause);
+    template <class Rng>
+    void type_i_feedback(std::size_t flat_clause, const std::uint64_t* literals,
+                         Rng& rng, FeedbackScratch& scratch);
+    void type_ii_feedback(std::size_t flat_clause, const std::uint64_t* literals,
+                          FeedbackScratch& scratch);
+
+    /// Shared kernel of train_example (sequential rng) and train_class
+    /// (keyed streams): one class's worth of one example's feedback.
+    template <class Rng>
+    void train_class_impl(std::size_t cls, bool is_target,
+                          const std::uint64_t* literals, Rng& rng,
+                          FeedbackScratch& scratch);
 
     /// One word of Bernoulli(1/s) bits per cfg_.feedback.
-    std::uint64_t rare_word();
+    template <class Rng>
+    std::uint64_t rare_word(Rng& rng) const;
 
     int clamp_sum(int v) const;
 
@@ -137,8 +195,8 @@ private:
 
     std::vector<std::uint64_t> state_;
     std::vector<std::uint64_t> include_;
-    mutable std::vector<std::uint64_t> scratch_;   // literal vector [x, ~x]
-    std::vector<std::uint64_t> mask_a_, mask_b_;   // feedback mask scratch
+    mutable std::vector<std::uint64_t> scratch_;  // literal vector [x, ~x]
+    FeedbackScratch fb_scratch_;                  // sequential-path masks
     mutable util::Xoshiro256ss rng_;
 };
 

@@ -1,0 +1,68 @@
+// Fit contract of the parallel training engine: the knobs a training run
+// takes (FitOptions) and the structured record it leaves behind (FitReport
+// with its per-epoch accuracy history).  These are plain data types shared
+// by train::ParallelTrainer, the pipeline train stage (which surfaces them
+// through StageRecord / FlowResult), and the artifact store (which persists
+// them next to the cached model so rehydrated runs still report how the
+// model was trained).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace matador::train {
+
+/// Training-run options layered on top of the TM hyperparameters.
+/// `threads` never affects the trained model (the engine is bit-reproducible
+/// at any thread count); every other field does.
+struct FitOptions {
+    std::size_t epochs = 10;  ///< epoch budget (upper bound with early stop)
+    unsigned threads = 0;     ///< worker threads; 0 = all hardware threads
+    /// Evaluate train/eval accuracy every this many epochs (an entry per
+    /// evaluation lands in FitReport::history).  0 = final epoch only -
+    /// the cheapest cadence, but early stopping can then never trigger
+    /// before the budget is spent.
+    std::size_t eval_every = 0;
+    /// Early stopping: stop after this many consecutive evaluations without
+    /// an improvement in eval accuracy, and return the best-evaluation
+    /// snapshot instead of the last state.  0 = train the full budget.
+    std::size_t patience = 0;
+};
+
+/// One accuracy measurement (taken after `epoch` epochs, 1-based).
+struct EpochMetrics {
+    std::size_t epoch = 0;
+    double train_accuracy = 0.0;
+    /// Accuracy on the eval set; equals train_accuracy when no eval set was
+    /// provided (early stopping then tracks train accuracy).
+    double eval_accuracy = 0.0;
+};
+
+/// Why a fit ended.
+enum class StopReason {
+    kMaxEpochs,  ///< ran the full epoch budget
+    kEarlyStop,  ///< patience exhausted; best snapshot restored
+};
+
+const char* stop_reason_name(StopReason r);
+/// Parse a stop-reason name; nullopt for unknown names.
+std::optional<StopReason> stop_reason_from_name(const std::string& name);
+
+/// What a fit did.  Everything except `threads_used` is a deterministic
+/// function of (config, datasets, options minus threads).
+struct FitReport {
+    std::size_t epochs_run = 0;
+    StopReason stop_reason = StopReason::kMaxEpochs;
+    /// 1-based epoch whose snapshot the machine holds on return (the best
+    /// evaluation under patience, otherwise the last epoch).
+    std::size_t best_epoch = 0;
+    std::vector<EpochMetrics> history;  ///< one entry per evaluation point
+    /// Accuracies of the returned (possibly snapshot-restored) model.
+    double train_accuracy = 0.0;
+    double eval_accuracy = 0.0;
+    unsigned threads_used = 1;
+};
+
+}  // namespace matador::train

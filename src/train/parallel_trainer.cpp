@@ -1,0 +1,206 @@
+#include "train/parallel_trainer.hpp"
+
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+
+namespace matador::train {
+
+namespace {
+
+// Stream tags: every random decision site owns a disjoint KeyedRng key
+// space (seed, tag, ...), so no site can alias another's draws.
+constexpr std::uint64_t kShuffleStream = 1;   // (epoch)           epoch shuffle
+constexpr std::uint64_t kNegativeStream = 2;  // (epoch, example)  negative class
+constexpr std::uint64_t kFeedbackStream = 3;  // (epoch, example, class)
+
+/// Contiguous slice [first, last) of `total` items for worker `w` of `n`.
+std::pair<std::size_t, std::size_t> slice(std::size_t total, unsigned w,
+                                          unsigned n) {
+    return {total * w / n, total * (w + 1) / n};
+}
+
+}  // namespace
+
+const char* stop_reason_name(StopReason r) {
+    switch (r) {
+        case StopReason::kMaxEpochs: return "max-epochs";
+        case StopReason::kEarlyStop: return "early-stop";
+    }
+    return "?";
+}
+
+std::optional<StopReason> stop_reason_from_name(const std::string& name) {
+    for (const StopReason r : {StopReason::kMaxEpochs, StopReason::kEarlyStop})
+        if (name == stop_reason_name(r)) return r;
+    return std::nullopt;
+}
+
+ParallelTrainer::ParallelTrainer(FitOptions options) : options_(options) {}
+
+ParallelTrainer::~ParallelTrainer() = default;
+
+unsigned ParallelTrainer::threads() const {
+    return pool_ ? pool_->size() : WorkerPool::resolve(options_.threads);
+}
+
+double ParallelTrainer::accuracy(const tm::TsetlinMachine& machine,
+                                 const std::vector<std::uint64_t>& literals,
+                                 const std::vector<std::uint32_t>& labels,
+                                 std::size_t words) {
+    const std::size_t n = labels.size();
+    if (n == 0) return 0.0;
+    std::vector<std::size_t> correct(pool_->size(), 0);
+    pool_->run([&](unsigned w) {
+        const auto [first, last] = slice(n, w, pool_->size());
+        std::size_t c = 0;
+        for (std::size_t i = first; i < last; ++i)
+            c += machine.predict_literals(literals.data() + i * words) == labels[i];
+        correct[w] = c;
+    });
+    const std::size_t total =
+        std::accumulate(correct.begin(), correct.end(), std::size_t{0});
+    return double(total) / double(n);
+}
+
+FitReport ParallelTrainer::fit(tm::TsetlinMachine& machine,
+                               const data::Dataset& train,
+                               const data::Dataset* eval_set) {
+    if (train.num_features != machine.num_features())
+        throw std::invalid_argument("ParallelTrainer::fit: feature mismatch");
+    if (train.num_classes > machine.num_classes())
+        throw std::invalid_argument(
+            "ParallelTrainer::fit: dataset has more classes than the machine");
+    if (eval_set && eval_set->size() == 0) eval_set = nullptr;
+    if (eval_set && eval_set->num_features != machine.num_features())
+        throw std::invalid_argument("ParallelTrainer::fit: eval feature mismatch");
+
+    if (!pool_) pool_ = std::make_unique<WorkerPool>(WorkerPool::resolve(options_.threads));
+    const unsigned workers = pool_->size();
+    const std::size_t words = machine.literal_words();
+    const std::size_t n = train.size();
+    const std::size_t num_classes = machine.num_classes();
+    const std::uint64_t seed = machine.config().seed;
+
+    // Literals for every example, built once and shared read-only from here
+    // on (they depend only on the inputs, never on training state).
+    const auto build_matrix = [&](const data::Dataset& ds) {
+        std::vector<std::uint64_t> m(ds.size() * words);
+        pool_->run([&](unsigned w) {
+            const auto [first, last] = slice(ds.size(), w, workers);
+            for (std::size_t i = first; i < last; ++i)
+                machine.build_literals(ds.examples[i], m.data() + i * words);
+        });
+        return m;
+    };
+    const std::vector<std::uint64_t> train_lits = build_matrix(train);
+    const std::vector<std::uint64_t> eval_lits =
+        eval_set ? build_matrix(*eval_set) : std::vector<std::uint64_t>{};
+
+    // Per-worker mutable state: feedback mask scratch only.
+    std::vector<tm::TsetlinMachine::FeedbackScratch> scratch;
+    scratch.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) scratch.push_back(machine.make_scratch());
+
+    std::vector<std::size_t> order(n);
+
+    FitReport report;
+    report.threads_used = workers;
+    std::optional<model::TrainedModel> best_snapshot;
+    double best_metric = 0.0;
+    std::size_t evals_since_best = 0;
+
+    const auto evaluate_now = [&](std::size_t epoch_1based) {
+        EpochMetrics m;
+        m.epoch = epoch_1based;
+        m.train_accuracy = accuracy(machine, train_lits, train.labels, words);
+        m.eval_accuracy = eval_set
+                              ? accuracy(machine, eval_lits, eval_set->labels, words)
+                              : m.train_accuracy;
+        report.history.push_back(m);
+        return m;
+    };
+
+    // The early-stopping metric: eval accuracy when an eval set exists,
+    // train accuracy otherwise.
+    const auto metric_of = [&](const EpochMetrics& m) { return m.eval_accuracy; };
+
+    bool stopped_early = false;
+    for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+        // Keyed Fisher-Yates shuffle: same permutation at any thread count.
+        order.resize(n);
+        std::iota(order.begin(), order.end(), 0);
+        util::KeyedRng shuffle_rng(seed, kShuffleStream, epoch);
+        for (std::size_t i = n; i > 1; --i)
+            std::swap(order[i - 1], order[shuffle_rng.below(i)]);
+
+        pool_->run([&](unsigned w) {
+            const auto [c0, c1] = slice(num_classes, w, workers);
+            if (c0 == c1) return;
+            auto& masks = scratch[w];
+            for (std::size_t pos = 0; pos < n; ++pos) {
+                const std::size_t ex = order[pos];
+                const std::uint32_t target = train.labels[ex];
+                const std::uint64_t* lits = train_lits.data() + ex * words;
+                // Every worker derives the same negative class from the
+                // per-example stream; only the owner applies the feedback.
+                std::size_t neg = target;
+                if (num_classes > 1) {
+                    util::KeyedRng neg_rng(seed, kNegativeStream, epoch, ex);
+                    neg = neg_rng.below(num_classes - 1);
+                    if (neg >= target) ++neg;
+                }
+                if (target >= c0 && target < c1) {
+                    util::KeyedRng rng(seed, kFeedbackStream, epoch, ex, target);
+                    machine.train_class(target, /*is_target=*/true, lits, rng, masks);
+                }
+                if (num_classes > 1 && neg >= c0 && neg < c1) {
+                    util::KeyedRng rng(seed, kFeedbackStream, epoch, ex, neg);
+                    machine.train_class(neg, /*is_target=*/false, lits, rng, masks);
+                }
+            }
+        });
+        report.epochs_run = epoch + 1;
+
+        const bool last_epoch = epoch + 1 == options_.epochs;
+        const bool eval_point =
+            (options_.eval_every > 0 && (epoch + 1) % options_.eval_every == 0) ||
+            last_epoch;
+        if (!eval_point) continue;
+
+        const EpochMetrics m = evaluate_now(epoch + 1);
+        if (options_.patience == 0) continue;
+
+        if (report.history.size() == 1 || metric_of(m) > best_metric) {
+            best_metric = metric_of(m);
+            report.best_epoch = m.epoch;
+            best_snapshot = machine.export_model();
+            evals_since_best = 0;
+        } else if (++evals_since_best >= options_.patience && !last_epoch) {
+            report.stop_reason = StopReason::kEarlyStop;
+            stopped_early = true;
+            break;
+        }
+    }
+
+    if (options_.epochs == 0) evaluate_now(0);  // report the initial model
+
+    if (options_.patience > 0 && best_snapshot) {
+        // Return the best evaluation's model, not the last state.
+        if (report.best_epoch != report.history.back().epoch)
+            machine.import_model(*best_snapshot);
+        for (const EpochMetrics& m : report.history)
+            if (m.epoch == report.best_epoch) {
+                report.train_accuracy = m.train_accuracy;
+                report.eval_accuracy = m.eval_accuracy;
+            }
+    } else {
+        report.best_epoch = report.history.back().epoch;
+        report.train_accuracy = report.history.back().train_accuracy;
+        report.eval_accuracy = report.history.back().eval_accuracy;
+    }
+    if (!stopped_early) report.stop_reason = StopReason::kMaxEpochs;
+    return report;
+}
+
+}  // namespace matador::train

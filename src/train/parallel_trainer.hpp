@@ -1,0 +1,71 @@
+// ParallelTrainer: deterministic class-parallel Tsetlin-Machine training.
+//
+// The sequential trainer (TsetlinMachine::fit) funnels every feedback
+// decision through one shared RNG, so its result is welded to a single
+// execution order.  This engine restructures an epoch so the only data
+// dependency that remains is the real one - within a class, examples must
+// be seen in order - and everything else is free to run concurrently:
+//
+//   * literals: [x | ~x] vectors are built once per example up front and
+//     shared read-only by all workers and all epochs;
+//   * classes:  each worker owns a contiguous slice of per-class clause
+//     banks; example i's feedback touches only the target class and one
+//     sampled negative class, and each class's updates are applied by
+//     exactly one worker in epoch order - no locks, no barriers inside an
+//     epoch, disjoint writes;
+//   * randomness: stateless KeyedRng streams (util/rng.hpp) replace the
+//     shared sequential RNG - the epoch shuffle is keyed by (seed, epoch),
+//     negative-class sampling by (seed, epoch, example) so every worker
+//     derives it identically without drawing from a shared stream, and
+//     feedback masks by (seed, epoch, example, class).
+//
+// Because no draw depends on scheduling, the trained model is bit-identical
+// at any thread count - which keeps ArtifactStore train keys meaningful and
+// lets distributed sweep shards on machines of different widths agree.
+//
+// On top of the engine, fit() adds epoch metrics (per-evaluation train/eval
+// accuracy history), an evaluation cadence, and patience-based early
+// stopping with a best-model snapshot (see fit.hpp).
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "tm/tsetlin_machine.hpp"
+#include "train/fit.hpp"
+#include "train/worker_pool.hpp"
+
+namespace matador::train {
+
+class ParallelTrainer {
+public:
+    explicit ParallelTrainer(FitOptions options = {});
+    ~ParallelTrainer();
+
+    const FitOptions& options() const { return options_; }
+    /// Worker count the trainer will use (pool is created on first fit and
+    /// persists across fits).
+    unsigned threads() const;
+
+    /// Train `machine` in place on `train`.  `eval_set` (optional) supplies
+    /// the eval-accuracy column and the early-stopping metric; without it,
+    /// patience tracks train accuracy.  On return the machine holds the
+    /// selected model: the best evaluation snapshot when patience is
+    /// enabled, the last epoch's state otherwise.
+    FitReport fit(tm::TsetlinMachine& machine, const data::Dataset& train,
+                  const data::Dataset* eval_set = nullptr);
+
+private:
+    /// Accuracy of `machine` over a prebuilt literal matrix (parallel over
+    /// example slices; the count is an integer sum, so the result is
+    /// thread-count invariant).
+    double accuracy(const tm::TsetlinMachine& machine,
+                    const std::vector<std::uint64_t>& literals,
+                    const std::vector<std::uint32_t>& labels,
+                    std::size_t words);
+
+    FitOptions options_;
+    std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace matador::train

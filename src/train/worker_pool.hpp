@@ -1,0 +1,58 @@
+// Persistent worker pool for the parallel training engine.
+//
+// A pool owns `size() - 1` background threads and co-opts the calling
+// thread as worker 0, so `WorkerPool(1)` degenerates to plain inline
+// execution with zero thread traffic.  `run(fn)` invokes `fn(worker)` once
+// per worker and returns when all have finished; the pool itself carries no
+// work state between runs, which is what keeps it reusable across epochs
+// (spawning threads per epoch would dominate small workloads).
+//
+// Exceptions thrown inside workers are captured and the first one is
+// rethrown from run() on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace matador::train {
+
+class WorkerPool {
+public:
+    /// `threads` = total workers, including the calling thread; 0 and 1
+    /// both mean "no background threads".
+    explicit WorkerPool(unsigned threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    unsigned size() const { return unsigned(threads_.size()) + 1; }
+
+    /// Run `fn(worker)` for worker in [0, size()); worker 0 executes on the
+    /// calling thread.  Blocks until every worker has returned.  Rethrows
+    /// the first worker exception.  Not reentrant.
+    void run(const std::function<void(unsigned)>& fn);
+
+    /// Pick a worker count: `requested` when nonzero, else all hardware
+    /// threads (at least 1).
+    static unsigned resolve(unsigned requested);
+
+private:
+    void worker_loop(unsigned index);
+
+    std::vector<std::thread> threads_;
+    std::mutex mu_;
+    std::condition_variable start_cv_, done_cv_;
+    const std::function<void(unsigned)>* job_ = nullptr;
+    std::uint64_t generation_ = 0;  // bumped once per run()
+    unsigned remaining_ = 0;        // background workers still in flight
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace matador::train

@@ -1,10 +1,16 @@
 // Deterministic pseudo-random number generation for the whole toolflow.
 //
-// Two layers:
+// Three layers:
 //  * SplitMix64  - seeding / hashing primitive.
-//  * Xoshiro256ss - the workhorse generator (xoshiro256**), fast enough to
-//    feed word-parallel Tsetlin-Machine feedback.  It satisfies
+//  * Xoshiro256ss - the sequential workhorse generator (xoshiro256**), fast
+//    enough to feed word-parallel Tsetlin-Machine feedback.  It satisfies
 //    std::uniform_random_bit_generator so it can drive <random> facilities.
+//  * KeyedRng - a stateless, splitmix-keyed counter stream: its entire state
+//    derives from (seed, key words), so two sites keyed by different tuples
+//    draw independently no matter how much either consumes.  This is what
+//    makes parallel TM training bit-reproducible at any thread count: every
+//    (epoch, example, class) feedback site owns its own stream instead of
+//    racing for position in a shared sequential one.
 //
 // Everything in MATADOR that needs randomness takes an explicit seed so every
 // experiment is reproducible bit-for-bit.
@@ -23,10 +29,66 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
     return z ^ (z >> 31);
 }
 
+/// One-shot SplitMix64 hash of a value (state is not kept).
+constexpr std::uint64_t splitmix64_hash(std::uint64_t x) {
+    return splitmix64(x);
+}
+
+/// Distribution helpers layered over any raw 64-bit generator (CRTP: the
+/// derived class supplies operator()).  Shared by Xoshiro256ss and KeyedRng
+/// so both expose the exact same draw vocabulary.
+template <class Self>
+class RandomDraws {
+public:
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) {
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = self()();
+        __uint128_t m = __uint128_t(x) * __uint128_t(bound);
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = -bound % bound;
+            while (lo < threshold) {
+                x = self()();
+                m = __uint128_t(x) * __uint128_t(bound);
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return double(self()() >> 11) * 0x1.0p-53; }
+
+    /// Bernoulli(p) draw.
+    bool bernoulli(double p) { return uniform() < p; }
+
+    /// 64 independent Bernoulli(2^-k) draws packed into one word:
+    /// the AND of k random words.  k = 0 returns all-ones.
+    /// This is the hardware-friendly approximation of Bernoulli(1/s)
+    /// used by FPGA Tsetlin-Machine trainers (Rahman et al., ISTM'23).
+    std::uint64_t bernoulli_word_pow2(unsigned k) {
+        std::uint64_t w = ~std::uint64_t{0};
+        for (unsigned i = 0; i < k; ++i) w &= self()();
+        return w;
+    }
+
+    /// 64 independent Bernoulli(p) draws packed into one word (exact, slow).
+    std::uint64_t bernoulli_word_exact(double p) {
+        std::uint64_t w = 0;
+        for (unsigned b = 0; b < 64; ++b)
+            w |= std::uint64_t(bernoulli(p)) << b;
+        return w;
+    }
+
+private:
+    Self& self() { return static_cast<Self&>(*this); }
+};
+
 /// xoshiro256** generator (Blackman & Vigna).  Deterministic, fast and with
 /// 256-bit state; the jump/long-jump functions are not needed here because
 /// each component receives its own seed.
-class Xoshiro256ss {
+class Xoshiro256ss : public RandomDraws<Xoshiro256ss> {
 public:
     using result_type = std::uint64_t;
 
@@ -53,52 +115,44 @@ public:
         return result;
     }
 
-    /// Uniform integer in [0, bound). bound must be > 0.
-    std::uint64_t below(std::uint64_t bound) {
-        // Lemire's multiply-shift rejection method.
-        std::uint64_t x = (*this)();
-        __uint128_t m = __uint128_t(x) * __uint128_t(bound);
-        auto lo = static_cast<std::uint64_t>(m);
-        if (lo < bound) {
-            const std::uint64_t threshold = -bound % bound;
-            while (lo < threshold) {
-                x = (*this)();
-                m = __uint128_t(x) * __uint128_t(bound);
-                lo = static_cast<std::uint64_t>(m);
-            }
-        }
-        return static_cast<std::uint64_t>(m >> 64);
-    }
-
-    /// Uniform double in [0, 1).
-    double uniform() { return double((*this)() >> 11) * 0x1.0p-53; }
-
-    /// Bernoulli(p) draw.
-    bool bernoulli(double p) { return uniform() < p; }
-
-    /// 64 independent Bernoulli(2^-k) draws packed into one word:
-    /// the AND of k random words.  k = 0 returns all-ones.
-    /// This is the hardware-friendly approximation of Bernoulli(1/s)
-    /// used by FPGA Tsetlin-Machine trainers (Rahman et al., ISTM'23).
-    std::uint64_t bernoulli_word_pow2(unsigned k) {
-        std::uint64_t w = ~std::uint64_t{0};
-        for (unsigned i = 0; i < k; ++i) w &= (*this)();
-        return w;
-    }
-
-    /// 64 independent Bernoulli(p) draws packed into one word (exact, slow).
-    std::uint64_t bernoulli_word_exact(double p) {
-        std::uint64_t w = 0;
-        for (unsigned b = 0; b < 64; ++b)
-            w |= std::uint64_t(bernoulli(p)) << b;
-        return w;
-    }
-
 private:
     static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
         return (x << k) | (x >> (64 - k));
     }
     std::uint64_t s_[4]{};
+};
+
+/// Stateless counter-based stream keyed by (seed, up to four key words).
+///
+/// The key tuple is folded through SplitMix64 hashing into the initial
+/// counter; each draw is then one SplitMix64 step (the plain splitmix64
+/// generator, which passes BigCrush).  Properties the parallel trainer
+/// relies on:
+///   * same (seed, keys) => the identical draw sequence, always;
+///   * different tuples  => statistically independent streams;
+///   * construction is a handful of multiplies - cheap enough to make one
+///     stream per (epoch, example, class) feedback site.
+class KeyedRng : public RandomDraws<KeyedRng> {
+public:
+    using result_type = std::uint64_t;
+
+    explicit KeyedRng(std::uint64_t seed, std::uint64_t k0 = 0,
+                      std::uint64_t k1 = 0, std::uint64_t k2 = 0,
+                      std::uint64_t k3 = 0) {
+        state_ = splitmix64_hash(seed);
+        state_ = splitmix64_hash(state_ ^ k0);
+        state_ = splitmix64_hash(state_ ^ k1);
+        state_ = splitmix64_hash(state_ ^ k2);
+        state_ = splitmix64_hash(state_ ^ k3);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+    result_type operator()() { return splitmix64(state_); }
+
+private:
+    std::uint64_t state_ = 0;
 };
 
 }  // namespace matador::util

@@ -77,9 +77,68 @@ TEST(ConfigIo, LoadRejectsMissingEquals) {
     EXPECT_THROW(load_flow_config(in), std::runtime_error);
 }
 
+TEST(ConfigIo, RejectsInvalidTmHyperparameters) {
+    // Values that would silently produce NaN / nonsense feedback
+    // probabilities must fail at parse time, naming the assignment.
+    FlowConfig cfg;
+    try {
+        apply_flow_option(cfg, "specificity", "0.5");
+        FAIL() << "specificity <= 1 accepted";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("specificity = 0.5"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(apply_flow_option(cfg, "specificity", "1.0"),
+                 std::invalid_argument);
+    try {
+        apply_flow_option(cfg, "threshold", "0");
+        FAIL() << "threshold 0 accepted";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("threshold = 0"), std::string::npos);
+    }
+    EXPECT_THROW(apply_flow_option(cfg, "clauses_per_class", "0"),
+                 std::invalid_argument);
+    // A value past INT_MAX must be rejected too, not silently truncated
+    // into a different (or zero) threshold.
+    EXPECT_THROW(apply_flow_option(cfg, "threshold", "4294967301"),
+                 std::invalid_argument);
+    EXPECT_THROW(apply_flow_option(cfg, "threshold", "4294967296"),
+                 std::invalid_argument);
+    try {
+        apply_flow_option(cfg, "clauses_per_class", "15");
+        FAIL() << "odd clauses_per_class accepted";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("clauses_per_class = 15"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("even"), std::string::npos);
+    }
+    // The config is untouched by rejected assignments.
+    EXPECT_DOUBLE_EQ(cfg.tm.specificity, FlowConfig{}.tm.specificity);
+    EXPECT_EQ(cfg.tm.clauses_per_class, FlowConfig{}.tm.clauses_per_class);
+}
+
+TEST(ConfigIo, TrainingKnobs) {
+    FlowConfig cfg;
+    EXPECT_TRUE(apply_flow_option(cfg, "train_threads", "4"));
+    EXPECT_EQ(cfg.train_threads, 4u);
+    EXPECT_TRUE(apply_flow_option(cfg, "eval_every", "2"));
+    EXPECT_EQ(cfg.eval_every, 2u);
+    EXPECT_TRUE(apply_flow_option(cfg, "patience", "3"));
+    EXPECT_EQ(cfg.patience, 3u);
+}
+
+TEST(ConfigIo, DefaultTrainThreadsStaysOutOfConfigText) {
+    // train_threads is an execution knob: the default (0 = auto) must not
+    // appear in the serialized text, so machines that size their trainers
+    // differently still agree on distributed grid hashes.
+    std::stringstream ss;
+    save_flow_config(FlowConfig{}, ss);
+    EXPECT_EQ(ss.str().find("train_threads"), std::string::npos);
+}
+
 TEST(ConfigIo, SaveLoadRoundTrip) {
     FlowConfig cfg;
-    cfg.tm.clauses_per_class = 77;
+    cfg.tm.clauses_per_class = 78;
     cfg.tm.threshold = 13;
     cfg.tm.specificity = 3.25;
     cfg.tm.feedback = matador::tm::FeedbackMode::kExact;
@@ -98,7 +157,7 @@ TEST(ConfigIo, SaveLoadRoundTrip) {
     save_flow_config(cfg, ss);
     const FlowConfig back = load_flow_config(ss);
 
-    EXPECT_EQ(back.tm.clauses_per_class, 77u);
+    EXPECT_EQ(back.tm.clauses_per_class, 78u);
     EXPECT_EQ(back.tm.threshold, 13);
     EXPECT_DOUBLE_EQ(back.tm.specificity, 3.25);
     EXPECT_EQ(back.tm.feedback, matador::tm::FeedbackMode::kExact);
@@ -120,13 +179,16 @@ TEST(ConfigIo, EveryFieldSurvivesSaveLoadRoundTrip) {
     // out of sync with the struct (and with the cache-key slices built on
     // top of it).  Extend this test whenever a field is added.
     FlowConfig cfg;
-    cfg.tm.clauses_per_class = 123;
+    cfg.tm.clauses_per_class = 124;
     cfg.tm.threshold = 17;
     cfg.tm.specificity = 2.125;
     cfg.tm.boost_true_positive = false;
     cfg.tm.feedback = matador::tm::FeedbackMode::kExact;
     cfg.tm.seed = 987;
     cfg.epochs = 21;
+    cfg.train_threads = 5;
+    cfg.eval_every = 2;
+    cfg.patience = 4;
     cfg.arch.bus_width = 48;
     cfg.arch.clock_mhz = 62.5;
     cfg.arch.argmax_levels_per_stage = 3;
@@ -151,6 +213,9 @@ TEST(ConfigIo, EveryFieldSurvivesSaveLoadRoundTrip) {
     EXPECT_EQ(back.tm.feedback, cfg.tm.feedback);
     EXPECT_EQ(back.tm.seed, cfg.tm.seed);
     EXPECT_EQ(back.epochs, cfg.epochs);
+    EXPECT_EQ(back.train_threads, cfg.train_threads);
+    EXPECT_EQ(back.eval_every, cfg.eval_every);
+    EXPECT_EQ(back.patience, cfg.patience);
     EXPECT_EQ(back.arch.bus_width, cfg.arch.bus_width);
     EXPECT_DOUBLE_EQ(back.arch.clock_mhz, cfg.arch.clock_mhz);
     EXPECT_EQ(back.arch.argmax_levels_per_stage, cfg.arch.argmax_levels_per_stage);

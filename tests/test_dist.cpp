@@ -18,6 +18,7 @@
 #include "core/sweep.hpp"
 #include "data/synthetic.hpp"
 #include "dist/sweep_merge.hpp"
+#include "dist/sweep_status.hpp"
 #include "dist/work_queue.hpp"
 
 namespace fs = std::filesystem;
@@ -420,6 +421,67 @@ TEST(ShardRunner, WithStealingDisabledAShardReturnsOnceTodoIsDrained) {
     const auto merged = dist::merge_sweep(dir);
     EXPECT_FALSE(merged.complete());
     EXPECT_EQ(merged.missing, std::vector<std::size_t>{*held});
+    fs::remove_all(dir);
+}
+
+TEST(SweepStatus, CountsQueueStateAndFlagsStaleLeases) {
+    const auto split = small_split();
+    const auto dir = fresh_cache_dir("status");
+    const auto m = GridManifest::from_grid(small_grid(), split.train, split.test);
+    WorkQueue q(dir, m, "worker");
+
+    // 4 points: complete one, hold one fresh lease, age one into staleness,
+    // leave one in todo.
+    const auto a = q.claim();
+    ASSERT_TRUE(a.has_value());
+    q.complete(*a);
+    const auto b = q.claim();
+    const auto c = q.claim();
+    ASSERT_TRUE(b && c);
+    age_lease(q.lease_path(*c), 1e4);
+
+    const auto status = dist::read_sweep_status(dir, 60.0);
+    EXPECT_EQ(status.total, m.size());
+    EXPECT_EQ(status.done, 1u);
+    EXPECT_EQ(status.leased, 2u);
+    EXPECT_EQ(status.todo, m.size() - 3);
+    EXPECT_FALSE(status.complete());
+    EXPECT_EQ(status.stale_leases(), 1u);
+    for (const auto& lease : status.leases) {
+        EXPECT_EQ(lease.owner, "worker");
+        EXPECT_EQ(lease.stale, lease.index == *c);
+        if (lease.index == *c) EXPECT_GT(lease.heartbeat_age_seconds, 60.0);
+    }
+    const std::string text = dist::format_sweep_status(status);
+    EXPECT_NE(text.find("STALE"), std::string::npos);
+    EXPECT_NE(text.find("todo=1 leased=2 done=1"), std::string::npos);
+    fs::remove_all(dir);
+}
+
+TEST(SweepStatus, SeesShardReportsAndCompletion) {
+    const auto split = small_split();
+    const auto dir = fresh_cache_dir("status_done");
+    const auto grid = core::expand_grid(small_config(), {{"bus_width", {"8"}}});
+    dist::ShardOptions options;
+    options.threads = 1;
+    const auto report =
+        dist::run_shard(split.train, split.test, grid, dir, "s0-test", options);
+    EXPECT_EQ(report.points_run, 1u);
+
+    const auto status = dist::read_sweep_status(dir);
+    EXPECT_TRUE(status.complete());
+    EXPECT_EQ(status.done, 1u);
+    EXPECT_EQ(status.leased, 0u);
+    ASSERT_EQ(status.shards.size(), 1u);
+    EXPECT_EQ(status.shards[0].owner, "s0-test");
+    EXPECT_EQ(status.shards[0].points_run, 1u);
+    EXPECT_FALSE(status.shards[0].in_progress);
+    fs::remove_all(dir);
+}
+
+TEST(SweepStatus, ThrowsWithoutAQueue) {
+    const auto dir = fresh_cache_dir("status_none");
+    EXPECT_THROW(dist::read_sweep_status(dir), std::runtime_error);
     fs::remove_all(dir);
 }
 

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "core/sweep.hpp"
 #include "data/synthetic.hpp"
 
@@ -212,6 +214,86 @@ public:
         return StageStatus::kFailed;
     }
 };
+
+TEST(Pipeline, EmptyTestSetReportsZeroTestAccuracy) {
+    const auto split = small_split();
+    data::Dataset empty;
+    empty.name = "empty";
+    empty.num_features = split.train.num_features;
+    empty.num_classes = split.train.num_classes;
+
+    const Pipeline pipeline(small_config());
+    const CompileContext ctx = pipeline.run(
+        split.train, empty, {StageKind::kTrain, StageKind::kTrain});
+    ASSERT_EQ(ctx.record(StageKind::kTrain).status, StageStatus::kOk);
+    EXPECT_GT(ctx.train_accuracy, 0.0);
+    EXPECT_EQ(ctx.test_accuracy, 0.0) << "empty test set must not mirror "
+                                         "train accuracy";
+}
+
+TEST(Pipeline, TrainStageSurfacesTrainingRecord) {
+    const auto split = small_split();
+    FlowConfig cfg = small_config();
+    cfg.eval_every = 1;
+    const Pipeline pipeline(cfg);
+    const CompileContext ctx = pipeline.run(split.train, split.test);
+
+    ASSERT_TRUE(ctx.train_report.has_value());
+    EXPECT_EQ(ctx.train_report->epochs_run, cfg.epochs);
+    EXPECT_EQ(ctx.train_report->history.size(), cfg.epochs);
+    EXPECT_NE(ctx.record(StageKind::kTrain).detail.find("epochs=5/5"),
+              std::string::npos);
+
+    const auto r = ctx.to_flow_result();
+    EXPECT_EQ(r.train_epochs_run, cfg.epochs);
+    EXPECT_EQ(r.train_stop_reason, "max-epochs");
+    ASSERT_EQ(r.accuracy_history.size(), cfg.epochs);
+    EXPECT_DOUBLE_EQ(r.accuracy_history.back().eval_accuracy, r.test_accuracy);
+
+    // And the record round-trips through the sweep JSON document.
+    const auto back = core::flow_result_from_json(core::flow_result_to_json(r));
+    ASSERT_EQ(back.accuracy_history.size(), r.accuracy_history.size());
+    for (std::size_t i = 0; i < r.accuracy_history.size(); ++i) {
+        EXPECT_EQ(back.accuracy_history[i].epoch, r.accuracy_history[i].epoch);
+        EXPECT_EQ(back.accuracy_history[i].train_accuracy,
+                  r.accuracy_history[i].train_accuracy);
+        EXPECT_EQ(back.accuracy_history[i].eval_accuracy,
+                  r.accuracy_history[i].eval_accuracy);
+    }
+    EXPECT_EQ(back.train_stop_reason, r.train_stop_reason);
+}
+
+TEST(ArtifactStoreTest, DiskRehydratedTrainingRecordMatchesFreshRun) {
+    const auto split = small_split();
+    FlowConfig cfg = small_config();
+    cfg.eval_every = 2;
+    cfg.patience = 0;
+
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "matador_train_record_cache";
+    std::filesystem::remove_all(dir);
+    cfg.cache_dir = dir.string();
+
+    core::FlowResult fresh, rehydrated;
+    {
+        const Pipeline pipeline(cfg);
+        const CompileContext ctx = pipeline.run(split.train, split.test);
+        ASSERT_EQ(ctx.record(StageKind::kTrain).status, StageStatus::kOk);
+        fresh = ctx.to_flow_result();
+    }
+    {
+        const Pipeline pipeline(cfg);  // new store: must come from disk
+        const CompileContext ctx = pipeline.run(split.train, split.test);
+        ASSERT_EQ(ctx.record(StageKind::kTrain).status, StageStatus::kCached);
+        EXPECT_EQ(ctx.record(StageKind::kTrain).tier, core::ArtifactTier::kDisk);
+        rehydrated = ctx.to_flow_result();
+    }
+    // The serialized JSON keeps every double's bits: equal strings mean the
+    // disk tier reproduced the training record exactly.
+    EXPECT_EQ(core::flow_result_to_json(fresh).dump(),
+              core::flow_result_to_json(rehydrated).dump());
+    std::filesystem::remove_all(dir);
+}
 
 TEST(Pipeline, FailingVerifyStagePropagatesDiagnostics) {
     const auto split = small_split();

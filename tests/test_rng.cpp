@@ -4,6 +4,8 @@
 
 #include <bit>
 #include <cmath>
+#include <iterator>
+#include <vector>
 
 namespace {
 
@@ -99,6 +101,95 @@ TEST(Xoshiro, BernoulliWordExactDensity) {
 TEST(Xoshiro, Pow2ZeroIsAllOnes) {
     Xoshiro256ss rng(29);
     EXPECT_EQ(rng.bernoulli_word_pow2(0), ~std::uint64_t{0});
+}
+
+// ---------------------------------------------------------------------------
+// KeyedRng: the stateless streams behind thread-invariant parallel training.
+// ---------------------------------------------------------------------------
+
+using matador::util::KeyedRng;
+
+TEST(KeyedRng, SameKeySameSequence) {
+    KeyedRng a(42, 1, 2, 3), b(42, 1, 2, 3);
+    for (int i = 0; i < 200; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(KeyedRng, StreamsAreIndependentOfConsumption) {
+    // Draw sites keyed differently must not affect each other: stream B
+    // yields the same values whether stream A consumed 0 or 1000 draws.
+    KeyedRng a(42, 7, 0, 0);
+    KeyedRng b_fresh(42, 8, 0, 0);
+    std::vector<std::uint64_t> expected;
+    for (int i = 0; i < 32; ++i) expected.push_back(b_fresh());
+
+    for (int i = 0; i < 1000; ++i) (void)a();
+    KeyedRng b_again(42, 8, 0, 0);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(b_again(), expected[i]);
+}
+
+TEST(KeyedRng, DisjointKeysDiverge) {
+    // Every key word (and the seed) must separate streams.
+    const KeyedRng variants[] = {
+        KeyedRng(1, 2, 3, 4, 5), KeyedRng(9, 2, 3, 4, 5), KeyedRng(1, 9, 3, 4, 5),
+        KeyedRng(1, 2, 9, 4, 5), KeyedRng(1, 2, 3, 9, 5), KeyedRng(1, 2, 3, 4, 9),
+    };
+    for (std::size_t i = 0; i < std::size(variants); ++i) {
+        for (std::size_t j = i + 1; j < std::size(variants); ++j) {
+            KeyedRng a = variants[i], b = variants[j];
+            int equal = 0;
+            for (int k = 0; k < 64; ++k) equal += a() == b();
+            EXPECT_LT(equal, 3) << "streams " << i << " and " << j
+                                << " are correlated";
+        }
+    }
+}
+
+TEST(KeyedRng, UniformAndBelowBehaveLikeAGenerator) {
+    // The shared draw helpers sit on top of KeyedRng too.
+    KeyedRng rng(3, 1);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+
+    bool seen[7] = {};
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.below(7);
+        ASSERT_LT(v, 7u);
+        seen[v] = true;
+    }
+    for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(KeyedRng, Pow2MaskDensity) {
+    KeyedRng rng(17, 4);
+    std::size_t ones = 0;
+    const int words = 4000;
+    for (int i = 0; i < words; ++i)
+        ones += std::size_t(std::popcount(rng.bernoulli_word_pow2(2)));
+    EXPECT_NEAR(double(ones) / (64.0 * words), 0.25, 0.02);
+}
+
+TEST(KeyedRng, NeighbouringTuplesAreUncorrelated) {
+    // Adjacent (epoch, example, class) tuples are the common case in the
+    // trainer; a weak mixer would correlate them.
+    std::size_t agree = 0, total = 0;
+    for (std::uint64_t epoch = 0; epoch < 4; ++epoch) {
+        for (std::uint64_t ex = 0; ex < 16; ++ex) {
+            KeyedRng a(42, 3, epoch, ex, 0);
+            KeyedRng b(42, 3, epoch, ex + 1, 0);
+            for (int k = 0; k < 16; ++k) {
+                agree += std::popcount(a() ^ b());
+                total += 64;
+            }
+        }
+    }
+    // XOR of independent words has expected popcount density 1/2.
+    EXPECT_NEAR(double(agree) / double(total), 0.5, 0.02);
 }
 
 }  // namespace

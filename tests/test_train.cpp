@@ -1,0 +1,233 @@
+// Tests for the parallel training engine (src/train/): thread-invariance
+// of the trained model (the acceptance contract that keeps ArtifactStore
+// train keys meaningful), learning quality, epoch metrics, early stopping,
+// and the worker pool.
+#include "train/parallel_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "data/synthetic.hpp"
+#include "train/worker_pool.hpp"
+
+namespace {
+
+using matador::data::Dataset;
+using matador::data::train_test_split;
+using matador::tm::TmConfig;
+using matador::tm::TsetlinMachine;
+using matador::train::FitOptions;
+using matador::train::FitReport;
+using matador::train::ParallelTrainer;
+using matador::train::StopReason;
+using matador::train::WorkerPool;
+
+TmConfig small_config(std::size_t cpc = 20) {
+    TmConfig c;
+    c.clauses_per_class = cpc;
+    c.threshold = 10;
+    c.specificity = 3.9;
+    c.seed = 42;
+    return c;
+}
+
+/// 10-class, 64-bit image-like workload: small enough to train in
+/// milliseconds, enough classes to exercise 8-way class parallelism.
+Dataset ten_class_dataset(std::size_t examples_per_class = 30) {
+    matador::data::ImageLikeParams p;
+    p.width = 8;
+    p.height = 8;
+    p.num_classes = 10;
+    p.examples_per_class = examples_per_class;
+    p.seed = 5;
+    return matador::data::make_image_like(p);
+}
+
+std::uint64_t train_hash(unsigned threads, std::size_t epochs = 3,
+                         std::size_t patience = 0, std::size_t eval_every = 0) {
+    const Dataset ds = ten_class_dataset();
+    TsetlinMachine machine(small_config(), ds.num_features, ds.num_classes);
+    FitOptions opts;
+    opts.epochs = epochs;
+    opts.threads = threads;
+    opts.patience = patience;
+    opts.eval_every = eval_every;
+    ParallelTrainer trainer(opts);
+    trainer.fit(machine, ds);
+    return machine.export_model().content_hash();
+}
+
+// The ISSUE-4 acceptance contract: byte-identical models at 1, 2, 8 threads.
+TEST(ParallelTrainer, ThreadInvarianceAcceptance) {
+    const std::uint64_t h1 = train_hash(1);
+    const std::uint64_t h2 = train_hash(2);
+    const std::uint64_t h8 = train_hash(8);
+    EXPECT_EQ(h1, h2);
+    EXPECT_EQ(h1, h8);
+}
+
+TEST(ParallelTrainer, ThreadInvarianceWithEarlyStopping) {
+    // Early stopping adds evaluation and snapshot/restore to the epoch
+    // loop; none of it may depend on the thread count either.
+    const std::uint64_t h1 = train_hash(1, 6, /*patience=*/1, /*eval_every=*/1);
+    const std::uint64_t h4 = train_hash(4, 6, /*patience=*/1, /*eval_every=*/1);
+    EXPECT_EQ(h1, h4);
+}
+
+TEST(ParallelTrainer, MoreThreadsThanClassesStillDeterministic) {
+    const Dataset ds = matador::data::make_noisy_xor(400, 4, 0.02, 7);  // 2 classes
+    const auto run = [&](unsigned threads) {
+        TsetlinMachine machine(small_config(), ds.num_features, ds.num_classes);
+        FitOptions opts;
+        opts.epochs = 2;
+        opts.threads = threads;
+        ParallelTrainer trainer(opts);
+        trainer.fit(machine, ds);
+        return machine.export_model().content_hash();
+    };
+    EXPECT_EQ(run(1), run(16));
+}
+
+TEST(ParallelTrainer, LearnsNoisyXor) {
+    const Dataset ds = matador::data::make_noisy_xor(3000, 4, 0.02, 7);
+    const auto split = train_test_split(ds, 0.8, 3);
+    TsetlinMachine machine(small_config(20), ds.num_features, 2);
+    FitOptions opts;
+    opts.epochs = 15;
+    opts.threads = 4;
+    ParallelTrainer trainer(opts);
+    const FitReport rep = trainer.fit(machine, split.train, &split.test);
+    EXPECT_GT(rep.eval_accuracy, 0.93) << "keyed-stream training failed to learn";
+    EXPECT_NEAR(rep.eval_accuracy, machine.evaluate(split.test), 1e-12)
+        << "reported eval accuracy disagrees with the returned model";
+}
+
+TEST(ParallelTrainer, ReportBasics) {
+    const Dataset ds = ten_class_dataset(10);
+    TsetlinMachine machine(small_config(), ds.num_features, ds.num_classes);
+    FitOptions opts;
+    opts.epochs = 4;
+    opts.threads = 2;
+    ParallelTrainer trainer(opts);
+    const FitReport rep = trainer.fit(machine, ds);
+    EXPECT_EQ(rep.epochs_run, 4u);
+    EXPECT_EQ(rep.stop_reason, StopReason::kMaxEpochs);
+    EXPECT_EQ(rep.threads_used, 2u);
+    // eval_every = 0: exactly one (final) history entry.
+    ASSERT_EQ(rep.history.size(), 1u);
+    EXPECT_EQ(rep.history[0].epoch, 4u);
+    EXPECT_EQ(rep.best_epoch, 4u);
+    // No eval set: the eval column mirrors train accuracy.
+    EXPECT_DOUBLE_EQ(rep.history[0].train_accuracy, rep.history[0].eval_accuracy);
+}
+
+TEST(ParallelTrainer, EvalCadenceFillsHistory) {
+    const Dataset ds = ten_class_dataset(10);
+    TsetlinMachine machine(small_config(), ds.num_features, ds.num_classes);
+    FitOptions opts;
+    opts.epochs = 6;
+    opts.threads = 2;
+    opts.eval_every = 2;
+    ParallelTrainer trainer(opts);
+    const FitReport rep = trainer.fit(machine, ds);
+    ASSERT_EQ(rep.history.size(), 3u);  // epochs 2, 4, 6
+    EXPECT_EQ(rep.history[0].epoch, 2u);
+    EXPECT_EQ(rep.history[1].epoch, 4u);
+    EXPECT_EQ(rep.history[2].epoch, 6u);
+}
+
+TEST(ParallelTrainer, EarlyStoppingStopsAndRestoresBest) {
+    // A tiny, noisy workload with a large epoch budget: eval accuracy
+    // plateaus quickly, so patience=2 must end training before the budget.
+    const Dataset ds = matador::data::make_noisy_xor(600, 4, 0.10, 21);
+    const auto split = train_test_split(ds, 0.7, 3);
+    TsetlinMachine machine(small_config(8), ds.num_features, 2);
+    FitOptions opts;
+    opts.epochs = 60;
+    opts.threads = 2;
+    opts.eval_every = 1;
+    opts.patience = 2;
+    ParallelTrainer trainer(opts);
+    const FitReport rep = trainer.fit(machine, split.train, &split.test);
+
+    EXPECT_EQ(rep.stop_reason, StopReason::kEarlyStop);
+    EXPECT_LT(rep.epochs_run, 60u);
+    EXPECT_EQ(rep.history.size(), rep.epochs_run);  // eval_every = 1
+
+    // The returned machine holds the best evaluation's snapshot.
+    double best = 0.0;
+    std::size_t best_epoch = 0;
+    for (const auto& m : rep.history)
+        if (m.eval_accuracy > best) {
+            best = m.eval_accuracy;
+            best_epoch = m.epoch;
+        }
+    EXPECT_EQ(rep.best_epoch, best_epoch);
+    EXPECT_DOUBLE_EQ(rep.eval_accuracy, best);
+    EXPECT_NEAR(machine.evaluate(split.test), best, 1e-12);
+}
+
+TEST(ParallelTrainer, ZeroEpochsReportsInitialModel) {
+    const Dataset ds = ten_class_dataset(5);
+    TsetlinMachine machine(small_config(), ds.num_features, ds.num_classes);
+    FitOptions opts;
+    opts.epochs = 0;
+    opts.threads = 2;
+    ParallelTrainer trainer(opts);
+    const FitReport rep = trainer.fit(machine, ds);
+    EXPECT_EQ(rep.epochs_run, 0u);
+    ASSERT_EQ(rep.history.size(), 1u);
+    EXPECT_EQ(rep.history[0].epoch, 0u);
+}
+
+TEST(ParallelTrainer, RejectsMismatchedDatasets) {
+    const Dataset ds = ten_class_dataset(5);
+    TsetlinMachine machine(small_config(), ds.num_features + 1, ds.num_classes);
+    ParallelTrainer trainer;
+    EXPECT_THROW(trainer.fit(machine, ds), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+// ---------------------------------------------------------------------------
+
+TEST(WorkerPool, RunsEveryWorkerExactlyOnce) {
+    WorkerPool pool(4);
+    ASSERT_EQ(pool.size(), 4u);
+    std::atomic<unsigned> mask{0};
+    pool.run([&](unsigned w) { mask.fetch_or(1u << w); });
+    EXPECT_EQ(mask.load(), 0b1111u);
+}
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+    WorkerPool pool(1);
+    ASSERT_EQ(pool.size(), 1u);
+    std::set<unsigned> seen;
+    pool.run([&](unsigned w) { seen.insert(w); });  // no locking needed: inline
+    EXPECT_EQ(seen, std::set<unsigned>{0u});
+}
+
+TEST(WorkerPool, ReusableAcrossRuns) {
+    WorkerPool pool(3);
+    std::atomic<int> total{0};
+    for (int i = 0; i < 50; ++i)
+        pool.run([&](unsigned) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 150);
+}
+
+TEST(WorkerPool, PropagatesWorkerExceptions) {
+    WorkerPool pool(4);
+    EXPECT_THROW(pool.run([](unsigned w) {
+                     if (w == 2) throw std::runtime_error("boom");
+                 }),
+                 std::runtime_error);
+    // The pool survives a throwing run.
+    std::atomic<int> total{0};
+    pool.run([&](unsigned) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 4);
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 //   matador sweep     --dataset <spec> --sweep key=v1,v2,... [--jobs n]
 //                     [--shards n | --shard-id i --shards n] [--out r.json]
 //   matador sweep-merge --cache-dir dir [--out r.json]   merge sharded sweep
+//   matador sweep-status <cache_dir>                    live sweep progress
 //   matador cache     <stats|ls|clear> --cache-dir dir  artifact store admin
 //   matador stages                                      list pipeline stages
 //   matador datasets                                    list dataset specs
@@ -48,7 +49,9 @@
 #include "data/csv_loader.hpp"
 #include "dist/shard_runner.hpp"
 #include "dist/sweep_merge.hpp"
+#include "dist/sweep_status.hpp"
 #include "dist/work_queue.hpp"
+#include "train/fit.hpp"
 #include "data/synthetic.hpp"
 #include "model/architecture.hpp"
 #include "rtl/generators.hpp"
@@ -65,7 +68,7 @@ using namespace matador;
 [[noreturn]] void usage(int code) {
     std::puts(
         "usage: matador <flow|train|generate|verify|simulate|sweep|sweep-merge|"
-        "cache|stages|datasets> [options]\n"
+        "sweep-status|cache|stages|datasets> [options]\n"
         "\n"
         "common options:\n"
         "  --dataset <spec>        dataset (see 'matador datasets')\n"
@@ -94,6 +97,12 @@ using namespace matador;
         "                          as machine-readable JSON\n"
         "  --cache-dir <dir>       persistent artifact store (trained models +\n"
         "                          generated RTL survive restarts)\n"
+        "  --train-threads <n>     trainer worker threads (0 = all cores; the\n"
+        "                          trained model is bit-identical either way)\n"
+        "  --eval-every <n>        evaluate accuracy every n epochs (0 = end)\n"
+        "  --patience <n>          early stop after n evals without\n"
+        "                          improvement (0 = off)\n"
+        "  --history               train: print the per-epoch accuracy table\n"
         "  --<flow-key> <value>    any FlowConfig key (clauses_per_class,\n"
         "                          threshold, specificity, epochs, bus_width,\n"
         "                          clock_mhz, device, strash, ...)\n"
@@ -130,7 +139,7 @@ const std::vector<CommandSpec>& command_specs() {
           "rtl-out", "config", "stop-after", "timing"}},
         {"train",
          {"dataset", "examples", "data-seed", "train-fraction", "model-out",
-          "config"}},
+          "config", "history"}},
         {"generate", {"model", "rtl-out", "config"}},
         {"verify", {"model", "config"}},
         {"simulate", {"model", "vcd", "trace", "datapoints", "config"}},
@@ -138,6 +147,7 @@ const std::vector<CommandSpec>& command_specs() {
          {"dataset", "examples", "data-seed", "train-fraction", "sweep",
           "jobs", "shards", "shard-id", "lease-timeout", "out", "config"}},
         {"sweep-merge", {"out", "config"}},
+        {"sweep-status", {"lease-timeout", "config"}},
         {"cache", {"config"}},
         {"stages", {}, false},
         {"datasets", {}, false},
@@ -153,7 +163,7 @@ const CommandSpec* find_command(const std::string& name) {
 
 /// Options that take no value.
 bool is_boolean_flag(const std::string& name) {
-    return name == "trace" || name == "timing";
+    return name == "trace" || name == "timing" || name == "history";
 }
 
 std::size_t parse_count_option(const std::string& name, const std::string& v) {
@@ -212,6 +222,13 @@ CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
         args.options["action"] = argv[2];
         first_option = 3;
     }
+    // 'matador sweep-status <cache_dir>' takes an optional positional dir
+    // (equivalent to --cache-dir).
+    if (args.command == "sweep-status" && argc >= 3 &&
+        std::string(argv[2]).rfind("--", 0) != 0) {
+        cfg.cache_dir = argv[2];
+        first_option = 3;
+    }
 
     for (int i = first_option; i < argc; ++i) {
         std::string arg = argv[i];
@@ -220,7 +237,10 @@ CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
             usage(1);
         }
         arg = arg.substr(2);
-        if (arg == "cache-dir") arg = "cache_dir";  // CLI spelling alias
+        // CLI spelling aliases for FlowConfig keys.
+        if (arg == "cache-dir") arg = "cache_dir";
+        if (arg == "train-threads") arg = "train_threads";
+        if (arg == "eval-every") arg = "eval_every";
         const bool is_flag = is_boolean_flag(arg);
         std::string value;
         if (!is_flag) {
@@ -355,6 +375,20 @@ int cmd_train(const CliArgs& args, const core::FlowConfig& cfg) {
                 100.0 * ctx.train_accuracy, 100.0 * ctx.test_accuracy,
                 m.total_includes(), 100.0 * m.include_density(),
                 ctx.record(core::StageKind::kTrain).seconds);
+    if (ctx.train_report) {
+        const auto& rep = *ctx.train_report;
+        std::printf("epochs: %zu/%zu (%s), best epoch %zu, %u trainer "
+                    "thread%s\n",
+                    rep.epochs_run, cfg.epochs,
+                    train::stop_reason_name(rep.stop_reason), rep.best_epoch,
+                    rep.threads_used, rep.threads_used == 1 ? "" : "s");
+        if (args.flag("history") && !rep.history.empty()) {
+            std::printf("epoch   train%%    eval%%\n");
+            for (const auto& e : rep.history)
+                std::printf("%5zu  %7.2f  %7.2f\n", e.epoch,
+                            100.0 * e.train_accuracy, 100.0 * e.eval_accuracy);
+        }
+    }
 
     const std::string out = args.get("model-out", "model.tm");
     m.save_file(out);
@@ -663,6 +697,24 @@ int cmd_sweep_merge(const CliArgs& args, const core::FlowConfig& cfg) {
     return all_ok ? 0 : 1;
 }
 
+int cmd_sweep_status(const CliArgs& args, const core::FlowConfig& cfg) {
+    if (cfg.cache_dir.empty()) {
+        std::fprintf(stderr,
+                     "sweep-status needs a cache dir: 'matador sweep-status "
+                     "<cache_dir>' (or --cache-dir / cache_dir in --config)\n");
+        usage(1);
+    }
+    const double timeout = parse_fraction_option(
+        "lease-timeout", args.get("lease-timeout", "60"));
+    if (timeout <= 0.0) {
+        std::fprintf(stderr, "--lease-timeout must be positive\n");
+        usage(1);
+    }
+    const auto status = dist::read_sweep_status(cfg.cache_dir, timeout);
+    std::fputs(dist::format_sweep_status(status).c_str(), stdout);
+    return 0;
+}
+
 int cmd_cache(const CliArgs& args, const core::FlowConfig& cfg) {
     const std::string action = args.get("action");
     if (action != "stats" && action != "ls" && action != "clear") {
@@ -755,6 +807,7 @@ int main(int argc, char** argv) {
         if (args.command == "simulate") return cmd_simulate(args, cfg);
         if (args.command == "sweep") return cmd_sweep(args, cfg);
         if (args.command == "sweep-merge") return cmd_sweep_merge(args, cfg);
+        if (args.command == "sweep-status") return cmd_sweep_status(args, cfg);
         if (args.command == "cache") return cmd_cache(args, cfg);
         if (args.command == "stages") return cmd_stages();
         if (args.command == "datasets") return cmd_datasets();
