@@ -1,0 +1,153 @@
+// Inference-throughput bench: examples/sec of the scalar predict loop vs
+// the word-parallel batched engine (1 lane and 64 lanes per pass) vs the
+// batched engine fanned out over a worker pool - plus the check that makes
+// the speedup safe to take: every batched prediction must be bit-identical
+// to the scalar path, and the exit code reports exactly that.
+//
+// Usage: bench_infer_throughput [examples_per_class] [threads] [out.json]
+//   defaults: 200 examples/class, 4 threads, no JSON file
+//
+// The workload is the KWS6 surrogate (377 bits, 6 classes) with a briefly
+// trained 200-clauses/class model, so include masks have realistic
+// sparsity.  The batched win is word-level, not thread-level: the x64 row
+// speeds up on a single core.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "infer/engine.hpp"
+#include "tm/tsetlin_machine.hpp"
+#include "train/parallel_trainer.hpp"
+#include "train/worker_pool.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace matador;
+
+namespace {
+
+/// Run `pass` (one full sweep over the dataset) until ~0.3 s of wall clock
+/// has accumulated; returns examples/second.
+template <class Pass>
+double measure(std::size_t examples, Pass&& pass) {
+    // One warm-up pass, then time whole passes.
+    pass();
+    std::size_t passes = 0;
+    util::Stopwatch watch;
+    do {
+        pass();
+        ++passes;
+    } while (watch.seconds() < 0.3);
+    return double(passes * examples) / watch.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t examples_per_class =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 200;
+    const unsigned threads =
+        argc > 2 ? unsigned(std::strtoul(argv[2], nullptr, 10)) : 4;
+    const std::string json_path = argc > 3 ? argv[3] : "";
+
+    const data::Dataset ds = data::make_kws6_like(examples_per_class, 15);
+    tm::TmConfig cfg;
+    cfg.clauses_per_class = 200;
+    cfg.threshold = 20;
+    cfg.specificity = 2.8;
+    cfg.seed = 42;
+    tm::TsetlinMachine machine(cfg, ds.num_features, ds.num_classes);
+    {
+        train::FitOptions opts;
+        opts.epochs = 2;
+        opts.threads = threads;
+        train::ParallelTrainer(opts).fit(machine, ds);
+    }
+    const model::TrainedModel m = machine.export_model();
+    const infer::BatchEngine engine(m);
+    const std::size_t n = ds.size();
+
+    std::printf("inference throughput: %s (%zu bits, %zu classes, %zu "
+                "examples), %zu live clauses, %zu includes\n\n",
+                ds.name.c_str(), ds.num_features, ds.num_classes, n,
+                engine.live_clauses(), m.total_includes());
+
+    // Scalar baseline: the per-example word loop every consumer used to run.
+    std::vector<std::uint32_t> scalar_preds(n);
+    const double scalar_eps = measure(n, [&] {
+        for (std::size_t i = 0; i < n; ++i)
+            scalar_preds[i] = m.predict(ds.examples[i]);
+    });
+
+    // Batched engine, one example per pass (isolates the per-block
+    // transpose/compile overhead from the 64-way win).
+    const std::size_t words = engine.literal_words();
+    std::vector<std::uint32_t> batch1_preds(n);
+    auto scratch = engine.make_scratch();
+    std::vector<std::uint64_t> row(words);
+    const double batch1_eps = measure(n, [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+            machine.build_literals(ds.examples[i], row.data());
+            engine.predict_block(row.data(), words, 1, &batch1_preds[i],
+                                 scratch);
+        }
+    });
+
+    // Batched engine, 64 examples per pass, one core.
+    std::vector<std::uint32_t> batch64_preds;
+    const double batch64_eps = measure(
+        n, [&] { batch64_preds = engine.predict(ds.examples.data(), n); });
+
+    // Batched engine fanned out over the worker pool.
+    train::WorkerPool pool(threads);
+    std::vector<std::uint32_t> threaded_preds;
+    const double threaded_eps = measure(n, [&] {
+        threaded_preds = engine.predict(ds.examples.data(), n, &pool);
+    });
+
+    std::printf("mode                examples/s   speedup\n");
+    std::printf("scalar            %12.0f   %7.2fx\n", scalar_eps, 1.0);
+    std::printf("batched x1        %12.0f   %7.2fx\n", batch1_eps,
+                batch1_eps / scalar_eps);
+    std::printf("batched x64       %12.0f   %7.2fx\n", batch64_eps,
+                batch64_eps / scalar_eps);
+    std::printf("batched x64 +%uT  %12.0f   %7.2fx\n", threads, threaded_eps,
+                threaded_eps / scalar_eps);
+
+    // Equivalence gate: the speedup only counts if predictions are
+    // bit-identical across every path.
+    bool equivalent = true;
+    for (std::size_t i = 0; i < n; ++i)
+        equivalent = equivalent && scalar_preds[i] == batch1_preds[i] &&
+                     scalar_preds[i] == batch64_preds[i] &&
+                     scalar_preds[i] == threaded_preds[i];
+    std::printf("\nequivalence: %s\n",
+                equivalent ? "all modes bit-identical to the scalar path"
+                           : "PREDICTION MISMATCH (bug)");
+
+    if (!json_path.empty()) {
+        util::Json j = util::Json::object();
+        j.set("dataset", ds.name);
+        j.set("examples", double(n));
+        j.set("features", double(ds.num_features));
+        j.set("classes", double(ds.num_classes));
+        j.set("clauses_per_class", double(cfg.clauses_per_class));
+        j.set("live_clauses", double(engine.live_clauses()));
+        j.set("includes", double(m.total_includes()));
+        j.set("threads", double(threads));
+        j.set("scalar_examples_per_s", scalar_eps);
+        j.set("batch1_examples_per_s", batch1_eps);
+        j.set("batch64_examples_per_s", batch64_eps);
+        j.set("threaded_examples_per_s", threaded_eps);
+        j.set("speedup_batch64_vs_scalar", batch64_eps / scalar_eps);
+        j.set("speedup_threaded_vs_scalar", threaded_eps / scalar_eps);
+        j.set("equivalent", equivalent);
+        std::ofstream out(json_path);
+        out << j.dump(2) << "\n";
+        std::printf("results written to %s\n", json_path.c_str());
+    }
+    return equivalent ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "infer/engine.hpp"
 #include "logic/lut_mapper.hpp"
 #include "sim/accelerator_sim.hpp"
 #include "tm/tsetlin_machine.hpp"
@@ -149,10 +150,9 @@ std::size_t compute_max_feature_fanout(const model::TrainedModel& m) {
 
 double evaluate_model(const model::TrainedModel& m, const data::Dataset& ds) {
     if (ds.size() == 0) return 0.0;
-    std::size_t correct = 0;
-    for (std::size_t i = 0; i < ds.size(); ++i)
-        correct += m.predict(ds.examples[i]) == ds.labels[i];
-    return double(correct) / double(ds.size());
+    // 64 examples per pass; predictions (and the accuracy double) are
+    // bit-identical to the scalar m.predict loop this replaces.
+    return infer::BatchEngine(m).accuracy(ds);
 }
 
 class TrainStage final : public Stage {
@@ -392,9 +392,13 @@ public:
         sim::AcceleratorSim simulator(m, *ctx.arch);
         const sim::SimResult sr = simulator.run(inputs);
 
+        // Golden predictions come from the batched engine (bit-identical
+        // to m.predict, 64 streamed datapoints per pass).
+        const auto golden =
+            infer::BatchEngine(m).predict(inputs.data(), inputs.size());
         bool ok = sr.predictions.size() == inputs.size();
         for (std::size_t i = 0; ok && i < inputs.size(); ++i)
-            ok = sr.predictions[i] == m.predict(inputs[i]);
+            ok = sr.predictions[i] == golden[i];
         ok = ok && sr.first_latency_cycles == ctx.arch->latency_cycles();
         ok = ok && std::llround(sr.mean_initiation_interval) ==
                        (long long)(ctx.arch->initiation_interval());

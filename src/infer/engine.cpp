@@ -1,0 +1,303 @@
+#include "infer/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace matador::infer {
+
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+}  // namespace
+
+void transpose_64x64(std::uint64_t m[64]) {
+    // LSB-first variant (row k, bit p transposes to row p, bit k): each
+    // pass swaps the off-diagonal half-blocks of 2j x 2j tiles.
+    std::uint64_t mask = 0x00000000ffffffffull;
+    for (unsigned j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+        for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const std::uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+            m[k] ^= t << j;
+            m[k + j] ^= t;
+        }
+    }
+}
+
+void transpose_bits(const util::BitVector* xs, std::size_t count,
+                    std::size_t bits, std::uint64_t* out) {
+    if (count > 64)
+        throw std::invalid_argument("transpose_bits: count > 64");
+    std::uint64_t col[64];
+    for (std::size_t w = 0; w * kWordBits < bits; ++w) {
+        for (std::size_t j = 0; j < 64; ++j)
+            col[j] = j < count ? xs[j].word(w) : 0;
+        transpose_64x64(col);
+        const std::size_t lo = w * kWordBits;
+        const std::size_t n = std::min(kWordBits, bits - lo);
+        std::memcpy(out + lo, col, n * sizeof(std::uint64_t));
+    }
+}
+
+BatchEngine::BatchEngine(const model::TrainedModel& m)
+    : num_features_(m.num_features()),
+      num_classes_(m.num_classes()),
+      clauses_per_class_(m.clauses_per_class()) {
+    if (num_features_ == 0 || num_classes_ == 0)
+        throw std::invalid_argument("BatchEngine: empty model shape");
+    half_words_ = (num_features_ + kWordBits - 1) / kWordBits;
+    words_ = 2 * half_words_;
+
+    class_begin_.reserve(num_classes_ + 1);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+        class_begin_.push_back(std::uint32_t(clause_flat_.size()));
+        for (std::size_t j = 0; j < clauses_per_class_; ++j) {
+            const auto& cl = m.clause(c, j);
+            if (cl.empty()) continue;  // outputs 0: skip at compile time
+            clause_flat_.push_back(std::uint32_t(c * clauses_per_class_ + j));
+            clause_positive_.push_back(cl.polarity > 0);
+            lit_offsets_.push_back(std::uint32_t(lit_positions_.size()));
+            for (auto f : cl.include_pos.set_bits())
+                lit_positions_.push_back(std::uint32_t(f));
+            for (auto f : cl.include_neg.set_bits())
+                lit_positions_.push_back(
+                    std::uint32_t(half_words_ * kWordBits + f));
+        }
+    }
+    finish_compile();
+}
+
+BatchEngine::BatchEngine(const tm::TsetlinMachine& machine)
+    : num_features_(machine.num_features()),
+      num_classes_(machine.num_classes()),
+      clauses_per_class_(machine.clauses_per_class()) {
+    half_words_ = (num_features_ + kWordBits - 1) / kWordBits;
+    words_ = 2 * half_words_;
+
+    class_begin_.reserve(num_classes_ + 1);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+        class_begin_.push_back(std::uint32_t(clause_flat_.size()));
+        for (std::size_t j = 0; j < clauses_per_class_; ++j) {
+            const auto inc = machine.include_words(c, j);
+            // Include-plane bit positions ARE literal-row positions: word w
+            // bit b <-> transposed plane w*64+b.
+            std::size_t begin = lit_positions_.size();
+            for (std::size_t w = 0; w < inc.size(); ++w) {
+                std::uint64_t word = inc[w];
+                while (word != 0) {
+                    const unsigned b = unsigned(std::countr_zero(word));
+                    word &= word - 1;
+                    lit_positions_.push_back(
+                        std::uint32_t(w * kWordBits + b));
+                }
+            }
+            if (lit_positions_.size() == begin) continue;  // empty clause
+            clause_flat_.push_back(std::uint32_t(c * clauses_per_class_ + j));
+            clause_positive_.push_back(j % 2 == 0);
+            lit_offsets_.push_back(std::uint32_t(begin));
+        }
+    }
+    finish_compile();
+}
+
+void BatchEngine::finish_compile() {
+    class_begin_.push_back(std::uint32_t(clause_flat_.size()));
+    lit_offsets_.push_back(std::uint32_t(lit_positions_.size()));
+    // Enough counter planes for the largest same-sign clause count of any
+    // class (ripple-carry adds can then never overflow the top plane).
+    std::size_t max_sign = 1;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+        std::size_t pos = 0;
+        for (std::uint32_t k = class_begin_[c]; k < class_begin_[c + 1]; ++k)
+            pos += clause_positive_[k];
+        const std::size_t neg = class_begin_[c + 1] - class_begin_[c] - pos;
+        max_sign = std::max({max_sign, pos, neg});
+    }
+    planes_ = unsigned(std::bit_width(max_sign));
+}
+
+BatchEngine::Scratch BatchEngine::make_scratch() const {
+    Scratch s;
+    s.rows.assign(kLanes * words_, 0);
+    s.transposed.assign(words_ * kWordBits, 0);
+    s.planes.assign(2 * planes_, 0);
+    return s;
+}
+
+void BatchEngine::transpose_block(const std::uint64_t* literals,
+                                  std::size_t stride, std::size_t count,
+                                  Scratch& scratch) const {
+    std::uint64_t col[64];
+    for (std::size_t w = 0; w < words_; ++w) {
+        for (std::size_t j = 0; j < 64; ++j)
+            col[j] = j < count ? literals[j * stride + w] : 0;
+        transpose_64x64(col);
+        std::memcpy(scratch.transposed.data() + w * kWordBits, col,
+                    sizeof col);
+    }
+}
+
+std::uint64_t BatchEngine::clause_fired(std::size_t k,
+                                        const std::uint64_t* transposed) const {
+    std::uint64_t fired = ~std::uint64_t{0};
+    for (std::uint32_t i = lit_offsets_[k]; i < lit_offsets_[k + 1]; ++i) {
+        fired &= transposed[lit_positions_[i]];
+        if (fired == 0) break;
+    }
+    return fired;
+}
+
+void BatchEngine::predict_block(const std::uint64_t* literals,
+                                std::size_t stride, std::size_t count,
+                                std::uint32_t* out, Scratch& scratch) const {
+    if (count == 0) return;
+    if (count > kLanes)
+        throw std::invalid_argument("BatchEngine::predict_block: count > 64");
+    transpose_block(literals, stride, count, scratch);
+    const std::uint64_t* t = scratch.transposed.data();
+
+    int best_sum[kLanes];
+    std::uint32_t best_cls[kLanes];
+    std::uint64_t* pos_planes = scratch.planes.data();
+    std::uint64_t* neg_planes = scratch.planes.data() + planes_;
+
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+        std::fill(scratch.planes.begin(), scratch.planes.end(), 0);
+        for (std::uint32_t k = class_begin_[c]; k < class_begin_[c + 1]; ++k) {
+            std::uint64_t carry = clause_fired(k, t);
+            if (carry == 0) continue;
+            // Ripple-carry add of the 64-lane fired mask into the vote
+            // counter planes: O(log clauses) per clause, no lane loop.
+            std::uint64_t* planes = clause_positive_[k] ? pos_planes : neg_planes;
+            for (unsigned p = 0; p < planes_ && carry != 0; ++p) {
+                const std::uint64_t tmp = planes[p] & carry;
+                planes[p] ^= carry;
+                carry = tmp;
+            }
+        }
+        for (std::size_t j = 0; j < count; ++j) {
+            int sum = 0;
+            for (unsigned p = 0; p < planes_; ++p)
+                sum += int((pos_planes[p] >> j) & 1u) << p;
+            for (unsigned p = 0; p < planes_; ++p)
+                sum -= int((neg_planes[p] >> j) & 1u) << p;
+            // Strict > keeps ties on the lower class index (scalar argmax).
+            if (c == 0 || sum > best_sum[j]) {
+                best_sum[j] = sum;
+                best_cls[j] = std::uint32_t(c);
+            }
+        }
+    }
+    for (std::size_t j = 0; j < count; ++j) out[j] = best_cls[j];
+}
+
+void BatchEngine::build_rows(const util::BitVector* xs, std::size_t count,
+                             Scratch& scratch) const {
+    const std::size_t tail = num_features_ % kWordBits;
+    const std::uint64_t tail_mask =
+        tail == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
+    for (std::size_t j = 0; j < count; ++j) {
+        if (xs[j].size() != num_features_)
+            throw std::invalid_argument("BatchEngine: feature count mismatch");
+        std::uint64_t* row = scratch.rows.data() + j * words_;
+        const auto xw = xs[j].words();
+        for (std::size_t w = 0; w < half_words_; ++w) {
+            row[w] = xw[w];
+            row[half_words_ + w] = ~xw[w];
+        }
+        row[words_ - 1] &= tail_mask;
+    }
+}
+
+void BatchEngine::clause_outputs_block(const util::BitVector* xs,
+                                       std::size_t count, std::uint64_t* out,
+                                       Scratch& scratch) const {
+    if (count > kLanes)
+        throw std::invalid_argument(
+            "BatchEngine::clause_outputs_block: count > 64");
+    std::memset(out, 0,
+                num_classes_ * clauses_per_class_ * sizeof(std::uint64_t));
+    if (count == 0) return;
+    build_rows(xs, count, scratch);
+    transpose_block(scratch.rows.data(), words_, count, scratch);
+    const std::uint64_t mask = lane_mask(count);
+    for (std::size_t k = 0; k < clause_flat_.size(); ++k)
+        out[clause_flat_[k]] = clause_fired(k, scratch.transposed.data()) & mask;
+}
+
+std::vector<std::uint32_t> BatchEngine::predict(const util::BitVector* xs,
+                                                std::size_t n,
+                                                train::WorkerPool* pool) const {
+    std::vector<std::uint32_t> out(n);
+    const std::size_t blocks = (n + kLanes - 1) / kLanes;
+    const auto run_blocks = [&](std::size_t b0, std::size_t b1) {
+        Scratch scratch = make_scratch();
+        for (std::size_t b = b0; b < b1; ++b) {
+            const std::size_t first = b * kLanes;
+            const std::size_t count = std::min(kLanes, n - first);
+            build_rows(xs + first, count, scratch);
+            predict_block(scratch.rows.data(), words_, count,
+                          out.data() + first, scratch);
+        }
+    };
+    if (pool && pool->size() > 1) {
+        pool->run([&](unsigned w) {
+            const auto [b0, b1] = train::worker_slice(blocks, w, pool->size());
+            run_blocks(b0, b1);
+        });
+    } else {
+        run_blocks(0, blocks);
+    }
+    return out;
+}
+
+double BatchEngine::accuracy(const data::Dataset& ds,
+                             train::WorkerPool* pool) const {
+    if (ds.size() == 0) return 0.0;
+    const auto preds = predict(ds.examples.data(), ds.size(), pool);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        correct += preds[i] == ds.labels[i];
+    return double(correct) / double(ds.size());
+}
+
+double BatchEngine::accuracy_literals(const std::uint64_t* literals,
+                                      std::size_t stride,
+                                      const std::uint32_t* labels,
+                                      std::size_t n,
+                                      train::WorkerPool* pool) const {
+    if (n == 0) return 0.0;
+    const std::size_t blocks = (n + kLanes - 1) / kLanes;
+    const auto count_blocks = [&](std::size_t b0, std::size_t b1) {
+        Scratch scratch = make_scratch();
+        std::uint32_t preds[kLanes];
+        std::size_t correct = 0;
+        for (std::size_t b = b0; b < b1; ++b) {
+            const std::size_t first = b * kLanes;
+            const std::size_t count = std::min(kLanes, n - first);
+            predict_block(literals + first * stride, stride, count, preds,
+                          scratch);
+            for (std::size_t j = 0; j < count; ++j)
+                correct += preds[j] == labels[first + j];
+        }
+        return correct;
+    };
+    std::size_t total = 0;
+    if (pool && pool->size() > 1) {
+        std::vector<std::size_t> correct(pool->size(), 0);
+        pool->run([&](unsigned w) {
+            const auto [b0, b1] = train::worker_slice(blocks, w, pool->size());
+            correct[w] = count_blocks(b0, b1);
+        });
+        total = std::accumulate(correct.begin(), correct.end(),
+                                std::size_t{0});
+    } else {
+        total = count_blocks(0, blocks);
+    }
+    return double(total) / double(n);
+}
+
+}  // namespace matador::infer

@@ -1,0 +1,155 @@
+// Word-parallel batched inference: evaluate 64 examples per pass.
+//
+// Every evaluation in the flow used to be scalar: one example's literal
+// vector walked through per-clause word loops (TsetlinMachine::evaluate,
+// the pipeline's evaluate_model, the verify ladder, the streaming sim
+// check).  This engine brings the backend's 64-way pattern parallelism
+// (logic::simulate packs 64 input patterns per machine word) to model
+// inference:
+//
+//   * compile: a TrainedModel (or a live TsetlinMachine's include planes)
+//     is flattened into CSR literal-position lists, one entry per
+//     *non-empty* clause (empty clauses output 0 and are skipped entirely),
+//     grouped class-major;
+//   * transpose: a block of up to 64 examples' literal vectors [x | ~x] is
+//     bit-transposed so each word carries ONE literal across 64 examples
+//     (lane j = example j);
+//   * evaluate: a clause's 64 outputs are the AND of its included literals'
+//     transposed words - the same word-parallel subset test the trainer
+//     uses, now across examples instead of literals - and votes accumulate
+//     into bit-sliced lane counters (ripple-carry add of the fired mask,
+//     O(log clauses) per clause, no per-lane loop);
+//   * argmax: per-lane class sums, ties to the lower class index - exactly
+//     the scalar inference semantics, so predictions are bit-identical to
+//     TrainedModel::predict / TsetlinMachine::predict at every batch size.
+//
+// The engine holds no mutable state after construction: predict/accuracy
+// calls are pure reads over the compiled planes plus caller- (or worker-)
+// owned Scratch, so example-sliced fan-out over a train::WorkerPool is
+// data-race free and thread-count invariant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "model/trained_model.hpp"
+#include "tm/tsetlin_machine.hpp"
+#include "train/worker_pool.hpp"
+#include "util/bitvector.hpp"
+
+namespace matador::infer {
+
+/// In-place 64x64 bit-matrix transpose: afterwards, word p's bit j is the
+/// input word j's bit p (Hacker's Delight 7-3 recursive block swap).
+void transpose_64x64(std::uint64_t m[64]);
+
+/// Transpose up to 64 bit vectors (count <= 64, all of size >= bits) into
+/// per-bit pattern words: out[b] bit j = xs[j] bit b for j < count; lanes
+/// >= count read 0.  `out` must hold `bits` words.  This is the adapter
+/// between example-major data and anything pattern-parallel (the batched
+/// clause kernel, logic::simulate PI patterns).
+void transpose_bits(const util::BitVector* xs, std::size_t count,
+                    std::size_t bits, std::uint64_t* out);
+
+/// Mask of the low `count` lanes (all ones for count >= 64): what batched
+/// consumers AND with before comparing ragged final blocks.
+inline std::uint64_t lane_mask(std::size_t count) {
+    return count >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << count) - 1;
+}
+
+/// A model compiled for 64-example-per-pass evaluation.
+class BatchEngine {
+public:
+    /// Examples per block: one prediction lane per bit of a machine word.
+    static constexpr std::size_t kLanes = 64;
+
+    /// Compile a trained model's include masks.
+    explicit BatchEngine(const model::TrainedModel& m);
+    /// Compile a live machine's include planes (snapshot: later training
+    /// does not affect this engine).  Same literal layout as
+    /// TsetlinMachine::build_literals, so the trainer's prebuilt literal
+    /// matrix feeds predict_block directly.
+    explicit BatchEngine(const tm::TsetlinMachine& machine);
+
+    std::size_t num_features() const { return num_features_; }
+    std::size_t num_classes() const { return num_classes_; }
+    std::size_t clauses_per_class() const { return clauses_per_class_; }
+    /// Words in one example's literal vector [x | ~x] (two aligned halves).
+    std::size_t literal_words() const { return words_; }
+    /// Compiled (non-empty) clauses; empty clauses are skipped at compile.
+    std::size_t live_clauses() const { return clause_flat_.size(); }
+
+    /// Mutable workspace for one in-flight block.  One per thread; never
+    /// share an instance across concurrent calls (the engine itself is
+    /// freely shareable).
+    struct Scratch {
+        std::vector<std::uint64_t> rows;        ///< kLanes x words literal rows
+        std::vector<std::uint64_t> transposed;  ///< words x 64 literal planes
+        std::vector<std::uint64_t> planes;      ///< bit-sliced vote counters
+    };
+    Scratch make_scratch() const;
+
+    /// Predict one block of up to kLanes examples from example-major literal
+    /// vectors (`stride` words apart, layout of build_literals).  Writes
+    /// out[0..count).  Bit-identical to the scalar argmax at any count.
+    void predict_block(const std::uint64_t* literals, std::size_t stride,
+                       std::size_t count, std::uint32_t* out,
+                       Scratch& scratch) const;
+
+    /// All clauses' outputs on a block of up to kLanes inputs: out has
+    /// total_clauses() words, flat clause c*Q+j's bit i = clause output on
+    /// xs[i] (inference semantics; empty clauses read 0; lanes >= count
+    /// read 0).  This is what the verify ladder compares expressions
+    /// against, 64 vectors at a time.
+    void clause_outputs_block(const util::BitVector* xs, std::size_t count,
+                              std::uint64_t* out, Scratch& scratch) const;
+
+    /// Predictions for n examples; blocks are example-sliced across `pool`
+    /// when given (pure reads, so the result is thread-count invariant).
+    std::vector<std::uint32_t> predict(const util::BitVector* xs, std::size_t n,
+                                       train::WorkerPool* pool = nullptr) const;
+
+    /// Fraction of correctly classified examples (0.0 for an empty set) -
+    /// bit-identical to the scalar evaluate loops it replaces.
+    double accuracy(const data::Dataset& ds,
+                    train::WorkerPool* pool = nullptr) const;
+
+    /// Accuracy over a prebuilt example-major literal matrix (the parallel
+    /// trainer's eval cadence: literals are built once per fit, the engine
+    /// is recompiled per evaluation point).
+    double accuracy_literals(const std::uint64_t* literals, std::size_t stride,
+                             const std::uint32_t* labels, std::size_t n,
+                             train::WorkerPool* pool = nullptr) const;
+
+private:
+    void compile_clause(std::size_t flat, const std::uint64_t* include_words,
+                        bool positive);
+    void finish_compile();
+    /// Fill scratch.rows with xs[0..count)'s literal vectors.
+    void build_rows(const util::BitVector* xs, std::size_t count,
+                    Scratch& scratch) const;
+    /// Transpose example-major literal rows into scratch.transposed.
+    void transpose_block(const std::uint64_t* literals, std::size_t stride,
+                         std::size_t count, Scratch& scratch) const;
+    /// 64 outputs of compiled clause k over transposed literal planes.
+    std::uint64_t clause_fired(std::size_t k,
+                               const std::uint64_t* transposed) const;
+
+    std::size_t num_features_ = 0;
+    std::size_t num_classes_ = 0;
+    std::size_t clauses_per_class_ = 0;
+    std::size_t half_words_ = 0;
+    std::size_t words_ = 0;
+    unsigned planes_ = 1;  ///< counter bit-planes per vote sign
+
+    // CSR over non-empty clauses, class-major: clause k includes literal
+    // bit positions lit_positions_[lit_offsets_[k] .. lit_offsets_[k+1]).
+    std::vector<std::uint32_t> lit_positions_;
+    std::vector<std::uint32_t> lit_offsets_;
+    std::vector<std::uint32_t> clause_flat_;   ///< flat model index of clause k
+    std::vector<std::uint8_t> clause_positive_;
+    std::vector<std::uint32_t> class_begin_;   ///< per-class range into k-space
+};
+
+}  // namespace matador::infer

@@ -243,12 +243,15 @@ void TsetlinMachine::fit(const data::Dataset& ds, std::size_t epochs) {
 std::vector<int> TsetlinMachine::class_sums(const util::BitVector& x) const {
     if (x.size() != num_features_)
         throw std::invalid_argument("TsetlinMachine::class_sums: feature mismatch");
-    build_literals(x, scratch_.data());
+    // Caller-owned literals, not the shared train-path scratch_: a const
+    // method writing shared scratch would corrupt concurrent predictions.
+    std::vector<std::uint64_t> literals(words_);
+    build_literals(x, literals.data());
     std::vector<int> sums(num_classes_, 0);
     const std::size_t q = cfg_.clauses_per_class;
     for (std::size_t c = 0; c < num_classes_; ++c)
         for (std::size_t j = 0; j < q; ++j)
-            if (clause_output_infer(clause_base(c, j), scratch_.data()))
+            if (clause_output_infer(clause_base(c, j), literals.data()))
                 sums[c] += (j % 2 == 0) ? +1 : -1;
     return sums;
 }

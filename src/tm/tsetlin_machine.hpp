@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -77,12 +78,15 @@ public:
     void train_example(const util::BitVector& x, std::uint32_t target);
 
     /// Class sums with inference semantics (empty clauses vote 0).
+    /// Thread-safe: works on a local literal buffer, so any number of
+    /// threads may score a shared machine concurrently.
     std::vector<int> class_sums(const util::BitVector& x) const;
 
-    /// argmax of class sums, ties to lower index.
+    /// argmax of class sums, ties to lower index.  Thread-safe.
     std::uint32_t predict(const util::BitVector& x) const;
 
-    /// Fraction of correctly classified examples.
+    /// Fraction of correctly classified examples (scalar reference path;
+    /// infer::BatchEngine is the 64-examples-per-pass engine).
     double evaluate(const data::Dataset& ds) const;
 
     // -- class-scoped training surface (src/train/ parallel engine) --------
@@ -119,6 +123,14 @@ public:
     /// argmax prediction on prebuilt literals (inference semantics).
     /// Thread-safe: touches no mutable state.
     std::uint32_t predict_literals(const std::uint64_t* literals) const;
+
+    /// Packed include mask of one clause (literal_words() words, bit layout
+    /// of build_literals).  Read-only view for the batched inference
+    /// compiler (infer::BatchEngine); stale after further training.
+    std::span<const std::uint64_t> include_words(std::size_t cls,
+                                                 std::size_t clause) const {
+        return {include(clause_base(cls, clause)), words_};
+    }
 
     /// Snapshot the include/exclude decisions as a TrainedModel
     /// (the boolean artefact consumed by the rest of the flow).
@@ -195,9 +207,9 @@ private:
 
     std::vector<std::uint64_t> state_;
     std::vector<std::uint64_t> include_;
-    mutable std::vector<std::uint64_t> scratch_;  // literal vector [x, ~x]
-    FeedbackScratch fb_scratch_;                  // sequential-path masks
-    mutable util::Xoshiro256ss rng_;
+    std::vector<std::uint64_t> scratch_;  // train_example literals [x, ~x]
+    FeedbackScratch fb_scratch_;          // sequential-path masks
+    util::Xoshiro256ss rng_;
 };
 
 }  // namespace matador::tm

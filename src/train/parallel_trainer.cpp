@@ -4,6 +4,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "infer/engine.hpp"
+
 namespace matador::train {
 
 namespace {
@@ -13,12 +15,6 @@ namespace {
 constexpr std::uint64_t kShuffleStream = 1;   // (epoch)           epoch shuffle
 constexpr std::uint64_t kNegativeStream = 2;  // (epoch, example)  negative class
 constexpr std::uint64_t kFeedbackStream = 3;  // (epoch, example, class)
-
-/// Contiguous slice [first, last) of `total` items for worker `w` of `n`.
-std::pair<std::size_t, std::size_t> slice(std::size_t total, unsigned w,
-                                          unsigned n) {
-    return {total * w / n, total * (w + 1) / n};
-}
 
 }  // namespace
 
@@ -42,25 +38,6 @@ ParallelTrainer::~ParallelTrainer() = default;
 
 unsigned ParallelTrainer::threads() const {
     return pool_ ? pool_->size() : WorkerPool::resolve(options_.threads);
-}
-
-double ParallelTrainer::accuracy(const tm::TsetlinMachine& machine,
-                                 const std::vector<std::uint64_t>& literals,
-                                 const std::vector<std::uint32_t>& labels,
-                                 std::size_t words) {
-    const std::size_t n = labels.size();
-    if (n == 0) return 0.0;
-    std::vector<std::size_t> correct(pool_->size(), 0);
-    pool_->run([&](unsigned w) {
-        const auto [first, last] = slice(n, w, pool_->size());
-        std::size_t c = 0;
-        for (std::size_t i = first; i < last; ++i)
-            c += machine.predict_literals(literals.data() + i * words) == labels[i];
-        correct[w] = c;
-    });
-    const std::size_t total =
-        std::accumulate(correct.begin(), correct.end(), std::size_t{0});
-    return double(total) / double(n);
 }
 
 FitReport ParallelTrainer::fit(tm::TsetlinMachine& machine,
@@ -87,7 +64,7 @@ FitReport ParallelTrainer::fit(tm::TsetlinMachine& machine,
     const auto build_matrix = [&](const data::Dataset& ds) {
         std::vector<std::uint64_t> m(ds.size() * words);
         pool_->run([&](unsigned w) {
-            const auto [first, last] = slice(ds.size(), w, workers);
+            const auto [first, last] = worker_slice(ds.size(), w, workers);
             for (std::size_t i = first; i < last; ++i)
                 machine.build_literals(ds.examples[i], m.data() + i * words);
         });
@@ -111,12 +88,20 @@ FitReport ParallelTrainer::fit(tm::TsetlinMachine& machine,
     std::size_t evals_since_best = 0;
 
     const auto evaluate_now = [&](std::size_t epoch_1based) {
+        // Compile the machine's include planes once per evaluation point,
+        // then score both sets 64 examples per pass, block-sliced over the
+        // worker pool.  Predictions (and hence the accuracy history) are
+        // bit-identical to the scalar predict_literals loop this replaces.
+        const infer::BatchEngine engine(machine);
         EpochMetrics m;
         m.epoch = epoch_1based;
-        m.train_accuracy = accuracy(machine, train_lits, train.labels, words);
-        m.eval_accuracy = eval_set
-                              ? accuracy(machine, eval_lits, eval_set->labels, words)
-                              : m.train_accuracy;
+        m.train_accuracy = engine.accuracy_literals(
+            train_lits.data(), words, train.labels.data(), n, pool_.get());
+        m.eval_accuracy =
+            eval_set ? engine.accuracy_literals(eval_lits.data(), words,
+                                                eval_set->labels.data(),
+                                                eval_set->size(), pool_.get())
+                     : m.train_accuracy;
         report.history.push_back(m);
         return m;
     };
@@ -135,7 +120,7 @@ FitReport ParallelTrainer::fit(tm::TsetlinMachine& machine,
             std::swap(order[i - 1], order[shuffle_rng.below(i)]);
 
         pool_->run([&](unsigned w) {
-            const auto [c0, c1] = slice(num_classes, w, workers);
+            const auto [c0, c1] = worker_slice(num_classes, w, workers);
             if (c0 == c1) return;
             auto& masks = scratch[w];
             for (std::size_t pos = 0; pos < n; ++pos) {

@@ -25,7 +25,10 @@
 //
 // On top of the engine, fit() adds epoch metrics (per-evaluation train/eval
 // accuracy history), an evaluation cadence, and patience-based early
-// stopping with a best-model snapshot (see fit.hpp).
+// stopping with a best-model snapshot (see fit.hpp).  Evaluation points run
+// through infer::BatchEngine - 64 examples per pass over the prebuilt
+// literal matrix, block-sliced across the same worker pool - and stay
+// bit-identical to the scalar predict loop at any thread count.
 #pragma once
 
 #include <memory>
@@ -56,14 +59,6 @@ public:
                   const data::Dataset* eval_set = nullptr);
 
 private:
-    /// Accuracy of `machine` over a prebuilt literal matrix (parallel over
-    /// example slices; the count is an integer sum, so the result is
-    /// thread-count invariant).
-    double accuracy(const tm::TsetlinMachine& machine,
-                    const std::vector<std::uint64_t>& literals,
-                    const std::vector<std::uint32_t>& labels,
-                    std::size_t words);
-
     FitOptions options_;
     std::unique_ptr<WorkerPool> pool_;
 };

@@ -12,14 +12,23 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace matador::train {
+
+/// Contiguous slice [first, last) of `total` items for worker `w` of `n` -
+/// the standard static partition every pooled loop uses.
+inline std::pair<std::size_t, std::size_t> worker_slice(std::size_t total,
+                                                        unsigned w, unsigned n) {
+    return {total * w / n, total * (w + 1) / n};
+}
 
 class WorkerPool {
 public:

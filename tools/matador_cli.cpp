@@ -4,6 +4,7 @@
 // Subcommands (each drives the corresponding pipeline stage range):
 //   matador flow      --dataset <spec> [options]        end-to-end run
 //   matador train     --dataset <spec> --model-out m.tm [options]
+//   matador eval      --model m.tm --dataset <spec> [--check]   batched scoring
 //   matador generate  --model m.tm --rtl-out dir [options]
 //   matador verify    --model m.tm [options]
 //   matador simulate  --model m.tm [--vcd out.vcd] [--trace] [options]
@@ -51,7 +52,10 @@
 #include "dist/sweep_merge.hpp"
 #include "dist/sweep_status.hpp"
 #include "dist/work_queue.hpp"
+#include "infer/engine.hpp"
 #include "train/fit.hpp"
+#include "train/worker_pool.hpp"
+#include "util/stopwatch.hpp"
 #include "data/synthetic.hpp"
 #include "model/architecture.hpp"
 #include "rtl/generators.hpp"
@@ -67,8 +71,8 @@ using namespace matador;
 
 [[noreturn]] void usage(int code) {
     std::puts(
-        "usage: matador <flow|train|generate|verify|simulate|sweep|sweep-merge|"
-        "sweep-status|cache|stages|datasets> [options]\n"
+        "usage: matador <flow|train|eval|generate|verify|simulate|sweep|"
+        "sweep-merge|sweep-status|cache|stages|datasets> [options]\n"
         "\n"
         "common options:\n"
         "  --dataset <spec>        dataset (see 'matador datasets')\n"
@@ -81,6 +85,8 @@ using namespace matador;
         "  --config <file>         key=value flow configuration\n"
         "  --stop-after <stage>    flow: stop the pipeline after this stage\n"
         "  --timing                flow: print the per-stage timing table\n"
+        "  --check                 eval: also run the scalar reference path\n"
+        "                          and fail on any prediction mismatch\n"
         "  --vcd <file>            simulate: dump ILA-probe waveforms\n"
         "  --trace                 simulate: print the cycle trace\n"
         "  --datapoints <n>        simulate: streamed datapoints (default 16)\n"
@@ -140,6 +146,9 @@ const std::vector<CommandSpec>& command_specs() {
         {"train",
          {"dataset", "examples", "data-seed", "train-fraction", "model-out",
           "config", "history"}},
+        {"eval",
+         {"model", "dataset", "examples", "data-seed", "train-fraction",
+          "check", "config"}},
         {"generate", {"model", "rtl-out", "config"}},
         {"verify", {"model", "config"}},
         {"simulate", {"model", "vcd", "trace", "datapoints", "config"}},
@@ -163,7 +172,8 @@ const CommandSpec* find_command(const std::string& name) {
 
 /// Options that take no value.
 bool is_boolean_flag(const std::string& name) {
-    return name == "trace" || name == "timing" || name == "history";
+    return name == "trace" || name == "timing" || name == "history" ||
+           name == "check";
 }
 
 std::size_t parse_count_option(const std::string& name, const std::string& v) {
@@ -396,6 +406,41 @@ int cmd_train(const CliArgs& args, const core::FlowConfig& cfg) {
     return 0;
 }
 
+int cmd_eval(const CliArgs& args, const core::FlowConfig& cfg) {
+    const auto m = load_model_arg(args);
+    const auto ds = make_dataset(args);
+    const double frac = parse_fraction_option("train-fraction",
+                                              args.get("train-fraction", "0.85"));
+    // Same split as 'matador train', so the accuracy columns are directly
+    // comparable (and must match bit-for-bit on the model train wrote).
+    const auto split = data::train_test_split(ds, frac, 3);
+
+    const infer::BatchEngine engine(m);
+    train::WorkerPool pool(
+        train::WorkerPool::resolve(unsigned(cfg.train_threads)));
+    util::Stopwatch watch;
+    const double train_acc = engine.accuracy(split.train, &pool);
+    const double test_acc = engine.accuracy(split.test, &pool);
+    const double secs = watch.seconds();
+    std::printf("eval: %.2f%% train / %.2f%% test accuracy (batched 64-wide, "
+                "%zu+%zu examples, %zu live clauses, %.3f s)\n",
+                100.0 * train_acc, 100.0 * test_acc, split.train.size(),
+                split.test.size(), engine.live_clauses(), secs);
+
+    if (args.flag("check")) {
+        // Scalar reference sweep over the full dataset: every batched
+        // prediction must be bit-identical to TrainedModel::predict.
+        const auto batched = engine.predict(ds.examples.data(), ds.size());
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < ds.size(); ++i)
+            mismatches += batched[i] != m.predict(ds.examples[i]);
+        std::printf("check: %zu examples, %zu scalar/batched mismatches\n",
+                    ds.size(), mismatches);
+        if (mismatches != 0) return 1;
+    }
+    return 0;
+}
+
 int cmd_generate(const CliArgs& args, core::FlowConfig cfg) {
     const auto m = load_model_arg(args);
     const std::string dir = args.get("rtl-out", "./matador_rtl");
@@ -483,9 +528,11 @@ int cmd_simulate(const CliArgs& args, const core::FlowConfig& cfg) {
     sc.vcd_path = args.get("vcd");
     const auto r = simulator.run(inputs, sc);
 
+    const auto golden =
+        infer::BatchEngine(m).predict(inputs.data(), inputs.size());
     bool ok = r.predictions.size() == inputs.size();
     for (std::size_t i = 0; ok && i < inputs.size(); ++i)
-        ok = r.predictions[i] == m.predict(inputs[i]);
+        ok = r.predictions[i] == golden[i];
     std::printf("streamed %zu datapoints: predictions %s golden model\n", n,
                 ok ? "match" : "MISMATCH");
     std::printf("latency %zu cycles (formula %zu), II %.1f (formula %zu)\n",
@@ -802,6 +849,7 @@ int main(int argc, char** argv) {
         const CliArgs args = parse_args(argc, argv, cfg);
         if (args.command == "flow") return cmd_flow(args, cfg);
         if (args.command == "train") return cmd_train(args, cfg);
+        if (args.command == "eval") return cmd_eval(args, cfg);
         if (args.command == "generate") return cmd_generate(args, cfg);
         if (args.command == "verify") return cmd_verify(args, cfg);
         if (args.command == "simulate") return cmd_simulate(args, cfg);
