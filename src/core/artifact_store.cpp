@@ -355,6 +355,12 @@ GeneratedArtifact ArtifactStore::get_or_compute_generated(
     return get_or_compute(generate_, "generate", key, fn, served, warn);
 }
 
+LintArtifact ArtifactStore::get_or_compute_lint(
+    std::uint64_t key, const std::function<LintArtifact()>& fn,
+    ArtifactTier* served, const WarnFn& warn) {
+    return get_or_compute(lint_, "lint", key, fn, served, warn);
+}
+
 // ---------------------------------------------------------------------------
 // Disk tier: trained models
 // ---------------------------------------------------------------------------
@@ -571,6 +577,50 @@ void ArtifactStore::save_disk(const char* stage_name, std::uint64_t key,
 }
 
 // ---------------------------------------------------------------------------
+// Disk tier: lint reports
+// ---------------------------------------------------------------------------
+
+std::optional<LintArtifact> ArtifactStore::load_disk(const char* stage_name,
+                                                     std::uint64_t key,
+                                                     const WarnFn& warn,
+                                                     LintArtifact*) const {
+    const fs::path entry = fs::path(dir_) / stage_name / key_hex(key);
+    const auto manifest = read_manifest(entry / kManifestName, stage_name, key, warn);
+    if (!manifest) return std::nullopt;
+
+    LintArtifact a;
+    try {
+        a.report = lint::lint_report_from_json(
+            util::Json::parse(util::read_file(entry / "report.json")));
+    } catch (const std::exception& e) {
+        warn_at(warn, "artifact store: unusable lint report in " +
+                          entry.string() + " (" + e.what() + "); recomputing");
+        return std::nullopt;
+    }
+    return a;
+}
+
+void ArtifactStore::save_disk(const char* stage_name, std::uint64_t key,
+                              const LintArtifact& a, const WarnFn& warn) const {
+    const fs::path entry = fs::path(dir_) / stage_name / key_hex(key);
+    write_entry(
+        entry,
+        [&](const fs::path& tmp) {
+            std::ofstream rj(tmp / "report.json", std::ios::binary);
+            rj << lint::lint_report_to_json(a.report).dump(2) << "\n";
+            if (!rj) throw std::runtime_error("report write failed");
+            std::ofstream out(tmp / kManifestName);
+            out << "MATADOR-ARTIFACT v" << kManifestVersion << "\n";
+            out << "stage " << stage_name << "\n";
+            out << "key " << key_hex(key) << "\n";
+            out << "findings " << a.report.findings.size() << "\n";
+            out << "end\n";
+            if (!out) throw std::runtime_error("manifest write failed");
+        },
+        warn);
+}
+
+// ---------------------------------------------------------------------------
 // Stats and maintenance
 // ---------------------------------------------------------------------------
 
@@ -603,6 +653,7 @@ ArtifactStore::Stats ArtifactStore::stats() const {
     };
     s.train = tier(train_, "train");
     s.generate = tier(generate_, "generate");
+    s.lint = tier(lint_, "lint");
     return s;
 }
 
@@ -621,12 +672,19 @@ void ArtifactStore::clear_memory() {
     generate_.memory_hits = 0;
     generate_.disk_hits = 0;
     generate_.misses = 0;
+    {
+        std::lock_guard<std::mutex> lock(lint_.mu);
+        lint_.slots.clear();
+    }
+    lint_.memory_hits = 0;
+    lint_.disk_hits = 0;
+    lint_.misses = 0;
 }
 
 std::vector<ArtifactStore::DiskEntry> ArtifactStore::list_disk() const {
     std::vector<DiskEntry> entries;
     if (!persistent()) return entries;
-    for (const char* stage : {"train", "generate"}) {
+    for (const char* stage : {"train", "generate", "lint"}) {
         const fs::path stage_dir = fs::path(dir_) / stage;
         std::error_code ec;
         std::vector<DiskEntry> stage_entries;
@@ -660,6 +718,7 @@ std::uintmax_t ArtifactStore::clear_disk() {
         std::error_code ec;
         fs::remove_all(fs::path(dir_) / "train", ec);
         fs::remove_all(fs::path(dir_) / "generate", ec);
+        fs::remove_all(fs::path(dir_) / "lint", ec);
     }
     return bytes;
 }

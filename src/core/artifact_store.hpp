@@ -10,7 +10,9 @@
 //   generate -> backend_config_hash (model content hash + bus_width +
 //               strash): the GeneratedArtifact (HCB AIGs + LUT mapping) -
 //               clock and device do NOT enter the key, so clock/device-only
-//               sweep points skip HCB construction and mapping entirely.
+//               sweep points skip HCB construction and mapping entirely,
+//   lint     -> backend_config_hash again: the LintArtifact (static-analysis
+//               report over the generated design), persisted as JSON.
 //
 // Each stage slot is backed by two tiers:
 //
@@ -43,6 +45,7 @@
 
 #include "core/flow.hpp"
 #include "data/dataset.hpp"
+#include "lint/lint.hpp"
 #include "model/trained_model.hpp"
 #include "rtl/hcb_builder.hpp"
 #include "train/fit.hpp"
@@ -105,6 +108,14 @@ struct TrainedArtifact {
     train::FitReport fit;
 };
 
+/// The lint rung's artifact: the full static-analysis report of the
+/// generated design.  Keyed by the same backend hash as the generate
+/// stage - lint depends on exactly the inputs that shape the netlists
+/// (model content, bus_width, strash) and on nothing else.
+struct LintArtifact {
+    lint::LintReport report;
+};
+
 /// The generate stage's expensive artifact set: the HCB AIG netlists and
 /// their LUT-mapping summary.  Module emission and timing are cheap and
 /// are re-derived per pipeline run (they also depend on the clock, which
@@ -134,11 +145,12 @@ public:
     struct Stats {
         TierStats train;
         TierStats generate;
+        TierStats lint;
     };
 
     /// One on-disk entry (for `matador cache ls` / stats).
     struct DiskEntry {
-        std::string stage;    ///< "train" | "generate"
+        std::string stage;    ///< "train" | "generate" | "lint"
         std::string key_hex;  ///< 16-char entry directory name
         std::uintmax_t bytes = 0;
         std::size_t files = 0;
@@ -163,6 +175,10 @@ public:
 
     GeneratedArtifact get_or_compute_generated(
         std::uint64_t key, const std::function<GeneratedArtifact()>& fn,
+        ArtifactTier* served = nullptr, const WarnFn& warn = {});
+
+    LintArtifact get_or_compute_lint(
+        std::uint64_t key, const std::function<LintArtifact()>& fn,
         ArtifactTier* served = nullptr, const WarnFn& warn = {});
 
     Stats stats() const;
@@ -204,16 +220,22 @@ private:
     std::optional<GeneratedArtifact> load_disk(const char* stage_name,
                                                std::uint64_t key, const WarnFn& warn,
                                                GeneratedArtifact*) const;
+    std::optional<LintArtifact> load_disk(const char* stage_name,
+                                          std::uint64_t key, const WarnFn& warn,
+                                          LintArtifact*) const;
     void save_disk(const char* stage_name, std::uint64_t key,
                    const TrainedArtifact& a, const WarnFn& warn) const;
     void save_disk(const char* stage_name, std::uint64_t key,
                    const GeneratedArtifact& a, const WarnFn& warn) const;
+    void save_disk(const char* stage_name, std::uint64_t key,
+                   const LintArtifact& a, const WarnFn& warn) const;
 
     std::size_t count_disk_entries(const char* stage_name) const;
 
     std::string dir_;
     StageSlots<TrainedArtifact> train_;
     StageSlots<GeneratedArtifact> generate_;
+    StageSlots<LintArtifact> lint_;
 };
 
 }  // namespace matador::core

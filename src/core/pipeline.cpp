@@ -361,6 +361,45 @@ public:
         }
         const auto& m = *ctx.trained;
 
+        // Level 0 of the ladder: static analysis over the generated
+        // netlists.  Pure structure - no vectors - so it runs (and fails)
+        // before any simulation effort is spent.  Cached under the same
+        // backend key as the netlists it analyzes.
+        const auto lint_fn = [&]() -> LintArtifact {
+            LintArtifact a;
+            a.report = lint::lint_design(*ctx.design, &m);
+            return a;
+        };
+        ArtifactTier lint_tier = ArtifactTier::kNone;
+        LintArtifact lint_artifact;
+        if (ctx.store) {
+            const auto key = backend_config_hash(ctx.cfg, m.content_hash());
+            lint_artifact = ctx.store->get_or_compute_lint(
+                key, lint_fn, &lint_tier,
+                [&](const std::string& msg) { ctx.warn(kind(), msg); });
+        } else {
+            lint_artifact = lint_fn();
+        }
+        ctx.lint_report = std::move(lint_artifact.report);
+        ctx.record(kind()).detail = "lint: " + ctx.lint_report->summary();
+        if (lint_tier != ArtifactTier::kNone)
+            ctx.note(kind(), std::string("lint report served from artifact "
+                                         "store (") +
+                                 tier_name(lint_tier) + " tier)");
+        if (ctx.lint_report->errors() > 0) {
+            for (const auto& f : ctx.lint_report->findings)
+                if (f.severity == lint::Severity::kError)
+                    ctx.error(kind(),
+                              "lint [" + f.check + "] " + f.where +
+                                  (f.object.empty() ? "" : " / " + f.object) +
+                                  ": " + f.message);
+            return StageStatus::kFailed;
+        }
+        if (ctx.lint_report->warnings() > 0)
+            ctx.warn(kind(),
+                     "lint: " + std::to_string(ctx.lint_report->warnings()) +
+                         " warning(s); run `matador lint` for details");
+
         // Equivalence ladder (the auto-debug flow).
         bool ladder_skipped = false;
         rtl::VerificationReport rep;

@@ -131,6 +131,9 @@ public:
     std::vector<std::string> rtl_files;
 
     // -- verify -----------------------------------------------------------
+    /// Level-0 static analysis of the generated design (lint rung); filled
+    /// before the simulation ladder runs.
+    std::optional<lint::LintReport> lint_report;
     std::optional<rtl::VerificationReport> verification;
     bool system_verified = false;
     std::size_t measured_latency_cycles = 0;

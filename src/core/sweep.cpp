@@ -566,6 +566,7 @@ util::Json store_stats_to_json(const ArtifactStore::Stats& s) {
     Json j = Json::object();
     j.set("train", tier_stats_to_json(s.train));
     j.set("generate", tier_stats_to_json(s.generate));
+    j.set("lint", tier_stats_to_json(s.lint));
     return j;
 }
 
@@ -573,6 +574,8 @@ ArtifactStore::Stats store_stats_from_json(const util::Json& j) {
     ArtifactStore::Stats s;
     s.train = tier_stats_from_json(j.at("train"));
     s.generate = tier_stats_from_json(j.at("generate"));
+    // Tolerant read: pre-lint documents (older shards) lack the key.
+    if (j.contains("lint")) s.lint = tier_stats_from_json(j.at("lint"));
     return s;
 }
 

@@ -78,6 +78,7 @@ MergeReport merge_sweep(const std::string& cache_dir) {
             add_tier(report.result.store_stats.train, shard.store_stats.train);
             add_tier(report.result.store_stats.generate,
                      shard.store_stats.generate);
+            add_tier(report.result.store_stats.lint, shard.store_stats.lint);
             max_threads_sum += shard.threads_used;
             max_wall = std::max(max_wall, shard.wall_seconds);
             report.shards.push_back(std::move(shard));
@@ -95,6 +96,8 @@ MergeReport merge_sweep(const std::string& cache_dir) {
             ++report.result.store_stats.train.disk_entries;
         else if (entry.stage == "generate")
             ++report.result.store_stats.generate.disk_entries;
+        else if (entry.stage == "lint")
+            ++report.result.store_stats.lint.disk_entries;
     }
     return report;
 }

@@ -1,0 +1,64 @@
+#include "lint/aig_lint.hpp"
+
+#include <algorithm>
+
+namespace matador::lint {
+
+void lint_aig(const logic::Aig& aig, const std::string& where,
+              std::vector<Finding>& findings, AigLintStats* stats) {
+    // Reachability from the POs.
+    std::vector<bool> reach(aig.num_nodes(), false);
+    std::vector<std::uint32_t> stack;
+    for (std::size_t i = 0; i < aig.num_pos(); ++i)
+        stack.push_back(logic::lit_node(aig.po(i)));
+    while (!stack.empty()) {
+        const std::uint32_t n = stack.back();
+        stack.pop_back();
+        if (n == 0 || reach[n]) continue;
+        reach[n] = true;
+        if (aig.is_and(n)) {
+            stack.push_back(logic::lit_node(aig.node_fanin0(n)));
+            stack.push_back(logic::lit_node(aig.node_fanin1(n)));
+        }
+    }
+
+    std::size_t dead = 0, unused_pis = 0;
+    for (std::uint32_t n = 1; n < aig.num_nodes(); ++n) {
+        if (aig.is_and(n) && !reach[n]) ++dead;
+        if (aig.is_pi(n) && !reach[n]) ++unused_pis;
+    }
+    if (dead > 0)
+        // Strash rewrites strand intermediate cones; a synthesis tool sweeps
+        // them.  Only worth a note unless the whole graph is dead.
+        findings.push_back({check::kAigDeadNode,
+                            dead == aig.num_ands() && dead > 0
+                                ? Severity::kWarning
+                                : Severity::kInfo,
+                            where, std::to_string(dead) + " node(s)",
+                            "AND node(s) unreachable from any output"});
+
+    for (std::size_t i = 0; i < aig.num_pos(); ++i) {
+        const logic::Lit po = aig.po(i);
+        if (po == logic::kConst0 || po == logic::kConst1)
+            findings.push_back({check::kAigConstOutput, Severity::kWarning,
+                                where, "po " + std::to_string(i),
+                                std::string("output is constant ") +
+                                    (po == logic::kConst1 ? "1" : "0")});
+    }
+
+    if (stats) {
+        stats->aigs += 1;
+        stats->pis += aig.num_pis();
+        stats->pos += aig.num_pos();
+        stats->ands += aig.num_ands();
+        stats->dead_ands += dead;
+        stats->unused_pis += unused_pis;
+        stats->max_depth = std::max<std::size_t>(stats->max_depth, aig.depth());
+        const auto fanouts = aig.fanout_counts();
+        const auto max_it = std::max_element(fanouts.begin(), fanouts.end());
+        if (max_it != fanouts.end())
+            stats->max_fanout = std::max<std::size_t>(stats->max_fanout, *max_it);
+    }
+}
+
+}  // namespace matador::lint

@@ -1,0 +1,35 @@
+// Structural lint of an And-Inverter Graph.
+//
+// Checks: dead AND nodes (allocated but unreachable from any PO - expected
+// under strash where cone rewrites strand intermediates, so severity is
+// info), constant POs (a clause that folded to 0/1 at build time), and
+// unused PIs.  Also collects the structural stats (depth, max fanout,
+// literal counts) the report exposes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/finding.hpp"
+#include "logic/aig.hpp"
+
+namespace matador::lint {
+
+/// Structural counts aggregated over the analyzed AIGs.
+struct AigLintStats {
+    std::size_t aigs = 0;
+    std::size_t pis = 0;
+    std::size_t pos = 0;
+    std::size_t ands = 0;
+    std::size_t dead_ands = 0;
+    std::size_t unused_pis = 0;
+    std::size_t max_depth = 0;
+    std::size_t max_fanout = 0;
+};
+
+/// Lint one AIG.  `where` labels the findings ("hcb 3 aig").
+void lint_aig(const logic::Aig& aig, const std::string& where,
+              std::vector<Finding>& findings, AigLintStats* stats = nullptr);
+
+}  // namespace matador::lint

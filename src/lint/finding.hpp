@@ -1,0 +1,55 @@
+// Lint finding model: stable check ids, severities, source locations.
+//
+// Check ids are part of the tool's contract (tests, CI gates, and JSON
+// consumers match on them) - never rename one, only add.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace matador::lint {
+
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+const char* severity_name(Severity s);
+std::optional<Severity> severity_from_name(const std::string& name);
+
+/// The check catalog.  Each lint rule reports under exactly one id.
+namespace check {
+// RTL module (AST) level.
+inline constexpr const char* kUnknownNet = "unknown-net";
+inline constexpr const char* kUnknownModule = "unknown-module";
+inline constexpr const char* kBitRange = "bit-out-of-range";
+inline constexpr const char* kUndriven = "net-undriven";
+inline constexpr const char* kMultiDriven = "net-multidriven";
+inline constexpr const char* kCombCycle = "comb-cycle";
+inline constexpr const char* kWidthMismatch = "width-mismatch";
+inline constexpr const char* kUnused = "net-unused";
+inline constexpr const char* kDeadLogic = "dead-logic";
+inline constexpr const char* kConstLogic = "const-logic";
+// AIG level.
+inline constexpr const char* kAigDeadNode = "aig-dead-node";
+inline constexpr const char* kAigConstOutput = "aig-const-output";
+// Mapped LUT network level.
+inline constexpr const char* kLutBadInput = "lut-bad-input";
+inline constexpr const char* kLutDead = "lut-dead";
+inline constexpr const char* kLutConst = "lut-const";
+inline constexpr const char* kLutDuplicate = "lut-duplicate";
+// Ternary 0/1/X pass.
+inline constexpr const char* kXSensitive = "x-sensitive";
+// Standalone-file lint.
+inline constexpr const char* kParseError = "parse-error";
+}  // namespace check
+
+/// One diagnostic: which rule fired, how bad, where, and why.
+struct Finding {
+    std::string check;     ///< stable check id (check::k*)
+    Severity severity = Severity::kWarning;
+    std::string where;     ///< container ("module matador_top", "hcb 3 aig")
+    std::string object;    ///< offending object (net/node/output name)
+    std::string message;   ///< human explanation
+
+    bool operator==(const Finding&) const = default;
+};
+
+}  // namespace matador::lint

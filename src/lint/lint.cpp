@@ -1,0 +1,297 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lint/ternary.hpp"
+#include "logic/lut_mapper.hpp"
+
+namespace matador::lint {
+
+const char* severity_name(Severity s) {
+    switch (s) {
+        case Severity::kInfo: return "info";
+        case Severity::kWarning: return "warning";
+        case Severity::kError: return "error";
+    }
+    return "?";
+}
+
+std::optional<Severity> severity_from_name(const std::string& name) {
+    if (name == "info") return Severity::kInfo;
+    if (name == "warning") return Severity::kWarning;
+    if (name == "error") return Severity::kError;
+    return std::nullopt;
+}
+
+std::size_t LintReport::count(Severity s) const {
+    return std::size_t(std::count_if(
+        findings.begin(), findings.end(),
+        [s](const Finding& f) { return f.severity == s; }));
+}
+
+bool LintReport::clean(Severity fail_on) const {
+    return std::none_of(findings.begin(), findings.end(), [&](const Finding& f) {
+        return int(f.severity) >= int(fail_on);
+    });
+}
+
+std::string LintReport::summary() const {
+    const auto part = [](std::size_t n, const char* noun) {
+        return std::to_string(n) + " " + noun + (n == 1 ? "" : "s");
+    };
+    return part(errors(), "error") + ", " + part(warnings(), "warning") +
+           ", " + std::to_string(count(Severity::kInfo)) + " info";
+}
+
+namespace {
+
+/// Care mask of one HCB output: the packet bits its clause includes plus
+/// its own chain input.  Everything else is a don't-care the output must
+/// provably ignore.
+std::vector<bool> hcb_output_care(const rtl::HcbNetlist& hcb, std::size_t out,
+                                  const model::TrainedModel& m) {
+    const auto& spec = hcb.spec;
+    std::vector<bool> care(hcb.aig.num_pis(), false);
+    const std::uint32_t cid = spec.active_clauses[out];
+    const auto& clause = m.clause(cid / m.clauses_per_class(),
+                                  cid % m.clauses_per_class());
+    for (std::size_t f = spec.lo; f < spec.hi; ++f)
+        if (clause.include_pos.get(f) || clause.include_neg.get(f))
+            care[f - spec.lo] = true;
+    if (spec.has_chain_input[out]) {
+        // Chain PIs follow the packet bits, one per chained active clause
+        // in order.
+        std::size_t chain_pi = spec.hi - spec.lo;
+        for (std::size_t i = 0; i < out; ++i)
+            if (spec.has_chain_input[i]) ++chain_pi;
+        if (chain_pi < care.size()) care[chain_pi] = true;
+    }
+    return care;
+}
+
+void lint_hcb_x_sensitivity(const rtl::HcbNetlist& hcb, std::size_t index,
+                            const model::TrainedModel& m,
+                            const LintOptions& options, LintReport& report) {
+    const std::string where = "hcb " + std::to_string(index) + " aig";
+    for (std::size_t out = 0; out < hcb.aig.num_pos(); ++out) {
+        const auto care = hcb_output_care(hcb, out, m);
+        const auto r = check_x_insensitive(hcb.aig, out, care,
+                                           options.ternary_rounds,
+                                           options.seed + index * 1315423911u);
+        report.stats.x_outputs_checked += 1;
+        report.stats.x_lanes_simulated += r.lanes_checked;
+        if (r.proved_structural) report.stats.x_proved_structural += 1;
+        if (r.proved_exhaustive) report.stats.x_proved_exhaustive += 1;
+        const std::string object =
+            "po " + std::to_string(out) + " (clause " +
+            std::to_string(hcb.spec.active_clauses[out]) + ")";
+        if (r.failed()) {
+            report.findings.push_back(
+                {check::kXSensitive, Severity::kError, where, object,
+                 "output observed a don't-care input in " +
+                     std::to_string(r.x_lanes) + " of " +
+                     std::to_string(r.lanes_checked) + " ternary lanes"});
+        } else if (!r.proved()) {
+            // Structural leak but no X surfaced: either a false alarm of
+            // the pessimistic abstraction or an unexercised path - worth a
+            // warning, not a failure.
+            report.findings.push_back(
+                {check::kXSensitive, Severity::kWarning, where, object,
+                 "cone reaches a don't-care input; " +
+                     std::to_string(r.lanes_checked) +
+                     " sampled ternary lanes stayed definite but the check "
+                     "is not a proof"});
+        }
+    }
+}
+
+}  // namespace
+
+LintReport lint_design(const rtl::RtlDesign& design,
+                       const model::TrainedModel* m,
+                       const LintOptions& options) {
+    LintReport report;
+
+    // Module scope: every module of the design, so instance connections
+    // resolve to real port declarations.
+    std::vector<const rtl::Module*> scope;
+    for (const auto& mod : design.hcb_comb) scope.push_back(&mod);
+    for (const auto& mod : design.hcb_seq) scope.push_back(&mod);
+    scope.push_back(&design.class_sum);
+    scope.push_back(&design.argmax);
+    scope.push_back(&design.controller);
+    scope.push_back(&design.top);
+
+    for (const rtl::Module* mod : scope)
+        lint_module(*mod, scope, report.findings, &report.stats.modules);
+
+    for (std::size_t i = 0; i < design.hcbs.size(); ++i) {
+        const auto& hcb = design.hcbs[i];
+        lint_aig(hcb.aig, "hcb " + std::to_string(i) + " aig",
+                 report.findings, &report.stats.aig);
+        if (options.map_luts && hcb.aig.strash_enabled()) {
+            const auto mapped = logic::map_to_luts(hcb.aig);
+            lint_lut_network(mapped.network,
+                             "hcb " + std::to_string(i) + " luts",
+                             report.findings, &report.stats.luts);
+        }
+        if (options.check_x_sensitivity && m)
+            lint_hcb_x_sensitivity(hcb, i, *m, options, report);
+    }
+    return report;
+}
+
+// -- serialization -----------------------------------------------------------
+
+namespace {
+constexpr const char* kFormat = "matador-lint-report";
+constexpr int kVersion = 1;
+
+util::Json num(std::size_t v) { return util::Json(double(v)); }
+std::size_t as_size(const util::Json& j) { return std::size_t(j.as_double()); }
+}  // namespace
+
+util::Json lint_report_to_json(const LintReport& r) {
+    util::Json j = util::Json::object();
+    j.set("format", kFormat);
+    j.set("version", double(kVersion));
+    util::Json findings = util::Json::array();
+    for (const auto& f : r.findings) {
+        util::Json fj = util::Json::object();
+        fj.set("check", f.check);
+        fj.set("severity", severity_name(f.severity));
+        fj.set("where", f.where);
+        fj.set("object", f.object);
+        fj.set("message", f.message);
+        findings.push_back(std::move(fj));
+    }
+    j.set("findings", std::move(findings));
+
+    util::Json stats = util::Json::object();
+    util::Json modules = util::Json::object();
+    modules.set("modules", num(r.stats.modules.modules));
+    modules.set("ports", num(r.stats.modules.ports));
+    modules.set("nets", num(r.stats.modules.nets));
+    modules.set("assigns", num(r.stats.modules.assigns));
+    modules.set("always_blocks", num(r.stats.modules.always_blocks));
+    modules.set("instances", num(r.stats.modules.instances));
+    stats.set("modules", std::move(modules));
+
+    util::Json aig = util::Json::object();
+    aig.set("aigs", num(r.stats.aig.aigs));
+    aig.set("pis", num(r.stats.aig.pis));
+    aig.set("pos", num(r.stats.aig.pos));
+    aig.set("ands", num(r.stats.aig.ands));
+    aig.set("dead_ands", num(r.stats.aig.dead_ands));
+    aig.set("unused_pis", num(r.stats.aig.unused_pis));
+    aig.set("max_depth", num(r.stats.aig.max_depth));
+    aig.set("max_fanout", num(r.stats.aig.max_fanout));
+    stats.set("aig", std::move(aig));
+
+    util::Json luts = util::Json::object();
+    luts.set("networks", num(r.stats.luts.networks));
+    luts.set("luts", num(r.stats.luts.luts));
+    luts.set("dead_luts", num(r.stats.luts.dead_luts));
+    luts.set("const_luts", num(r.stats.luts.const_luts));
+    luts.set("duplicate_luts", num(r.stats.luts.duplicate_luts));
+    luts.set("max_depth", num(r.stats.luts.max_depth));
+    luts.set("max_fanout", num(r.stats.luts.max_fanout));
+    stats.set("luts", std::move(luts));
+
+    util::Json ternary = util::Json::object();
+    ternary.set("outputs_checked", num(r.stats.x_outputs_checked));
+    ternary.set("proved_structural", num(r.stats.x_proved_structural));
+    ternary.set("proved_exhaustive", num(r.stats.x_proved_exhaustive));
+    ternary.set("lanes_simulated", num(r.stats.x_lanes_simulated));
+    stats.set("ternary", std::move(ternary));
+
+    j.set("stats", std::move(stats));
+    return j;
+}
+
+LintReport lint_report_from_json(const util::Json& j) {
+    if (!j.is_object() || !j.contains("format") ||
+        j.at("format").as_string() != kFormat)
+        throw std::runtime_error("lint report: unrecognized format");
+    if (int(j.at("version").as_double()) != kVersion)
+        throw std::runtime_error("lint report: unsupported version " +
+                                 std::to_string(int(j.at("version").as_double())));
+    LintReport r;
+    for (const auto& fj : j.at("findings").as_array()) {
+        Finding f;
+        f.check = fj.at("check").as_string();
+        const auto sev = severity_from_name(fj.at("severity").as_string());
+        if (!sev)
+            throw std::runtime_error("lint report: unknown severity '" +
+                                     fj.at("severity").as_string() + "'");
+        f.severity = *sev;
+        f.where = fj.at("where").as_string();
+        f.object = fj.at("object").as_string();
+        f.message = fj.at("message").as_string();
+        r.findings.push_back(std::move(f));
+    }
+    const auto& stats = j.at("stats");
+    const auto& modules = stats.at("modules");
+    r.stats.modules.modules = as_size(modules.at("modules"));
+    r.stats.modules.ports = as_size(modules.at("ports"));
+    r.stats.modules.nets = as_size(modules.at("nets"));
+    r.stats.modules.assigns = as_size(modules.at("assigns"));
+    r.stats.modules.always_blocks = as_size(modules.at("always_blocks"));
+    r.stats.modules.instances = as_size(modules.at("instances"));
+    const auto& aig = stats.at("aig");
+    r.stats.aig.aigs = as_size(aig.at("aigs"));
+    r.stats.aig.pis = as_size(aig.at("pis"));
+    r.stats.aig.pos = as_size(aig.at("pos"));
+    r.stats.aig.ands = as_size(aig.at("ands"));
+    r.stats.aig.dead_ands = as_size(aig.at("dead_ands"));
+    r.stats.aig.unused_pis = as_size(aig.at("unused_pis"));
+    r.stats.aig.max_depth = as_size(aig.at("max_depth"));
+    r.stats.aig.max_fanout = as_size(aig.at("max_fanout"));
+    const auto& luts = stats.at("luts");
+    r.stats.luts.networks = as_size(luts.at("networks"));
+    r.stats.luts.luts = as_size(luts.at("luts"));
+    r.stats.luts.dead_luts = as_size(luts.at("dead_luts"));
+    r.stats.luts.const_luts = as_size(luts.at("const_luts"));
+    r.stats.luts.duplicate_luts = as_size(luts.at("duplicate_luts"));
+    r.stats.luts.max_depth = as_size(luts.at("max_depth"));
+    r.stats.luts.max_fanout = as_size(luts.at("max_fanout"));
+    const auto& ternary = stats.at("ternary");
+    r.stats.x_outputs_checked = as_size(ternary.at("outputs_checked"));
+    r.stats.x_proved_structural = as_size(ternary.at("proved_structural"));
+    r.stats.x_proved_exhaustive = as_size(ternary.at("proved_exhaustive"));
+    r.stats.x_lanes_simulated = as_size(ternary.at("lanes_simulated"));
+    return r;
+}
+
+std::string format_lint_report(const LintReport& r) {
+    std::string out;
+    for (const auto& f : r.findings) {
+        out += severity_name(f.severity);
+        out += " [" + f.check + "] " + f.where;
+        if (!f.object.empty()) out += " / " + f.object;
+        out += ": " + f.message + "\n";
+    }
+    const auto& s = r.stats;
+    out += "analyzed: " + std::to_string(s.modules.modules) + " modules (" +
+           std::to_string(s.modules.nets) + " nets, " +
+           std::to_string(s.modules.assigns) + " assigns, " +
+           std::to_string(s.modules.instances) + " instances), " +
+           std::to_string(s.aig.aigs) + " AIGs (" +
+           std::to_string(s.aig.ands) + " ANDs, depth " +
+           std::to_string(s.aig.max_depth) + ", max fanout " +
+           std::to_string(s.aig.max_fanout) + "), " +
+           std::to_string(s.luts.networks) + " LUT networks (" +
+           std::to_string(s.luts.luts) + " LUTs, depth " +
+           std::to_string(s.luts.max_depth) + ")\n";
+    if (s.x_outputs_checked > 0)
+        out += "ternary: " + std::to_string(s.x_outputs_checked) +
+               " outputs checked, " +
+               std::to_string(s.x_proved_structural) + " proved structurally, " +
+               std::to_string(s.x_proved_exhaustive) + " proved exhaustively, " +
+               std::to_string(s.x_lanes_simulated) + " lanes simulated\n";
+    out += "lint: " + r.summary() + "\n";
+    return out;
+}
+
+}  // namespace matador::lint

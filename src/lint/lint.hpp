@@ -1,0 +1,97 @@
+// Netlist static analysis: the level-0 rung of the verify ladder.
+//
+// The random-simulation ladder (verification.hpp levels 1-2 and the
+// system-level streaming check) can only refute what its sampled vectors
+// exercise.  The lint pass makes *structural* guarantees before any vector
+// runs: no combinational cycles, no undriven or multiply-driven nets, no
+// width mismatches, no dead or constant logic, and - via ternary 0/1/X
+// simulation (ternary.hpp) - no HCB output that can observe a feature bit
+// its clause never included.
+//
+// Findings carry a stable check id (check::k*), a severity, and a source
+// location, aggregate into a LintReport with structural stats, and
+// serialize through util::Json.  The pipeline runs lint_design between
+// generate and verify, caches the report in the ArtifactStore under the
+// same backend hash as the netlists, and fails the verify stage on any
+// error-severity finding; `matador lint` exposes the same pass on the
+// command line with a configurable --fail-on threshold.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lint/aig_lint.hpp"
+#include "lint/lut_lint.hpp"
+#include "lint/module_lint.hpp"
+#include "model/trained_model.hpp"
+#include "rtl/generators.hpp"
+#include "util/json.hpp"
+
+namespace matador::lint {
+
+/// Aggregated structural statistics over everything a lint run analyzed.
+struct LintStats {
+    ModuleLintStats modules;
+    AigLintStats aig;
+    LutLintStats luts;
+    /// Ternary X-insensitivity pass (HCB outputs).
+    std::size_t x_outputs_checked = 0;
+    std::size_t x_proved_structural = 0;
+    std::size_t x_proved_exhaustive = 0;
+    std::size_t x_lanes_simulated = 0;
+};
+
+/// A full lint run: findings plus the stats of what was analyzed.
+struct LintReport {
+    std::vector<Finding> findings;
+    LintStats stats;
+
+    std::size_t count(Severity s) const;
+    std::size_t errors() const { return count(Severity::kError); }
+    std::size_t warnings() const { return count(Severity::kWarning); }
+    /// True when no finding is at or above `fail_on`.
+    bool clean(Severity fail_on = Severity::kError) const;
+    /// One-line summary ("2 errors, 1 warning, 3 info") for stage records.
+    std::string summary() const;
+};
+
+/// Knobs of a lint run.
+struct LintOptions {
+    /// Random 64-lane ternary sweeps per HCB output when the cared cube is
+    /// too large to exhaust (see check_x_insensitive).
+    std::size_t ternary_rounds = 2;
+    std::uint64_t seed = 0x11d5;
+    /// Run the ternary X-insensitivity pass (needs the trained model for
+    /// the per-clause care masks).
+    bool check_x_sensitivity = true;
+    /// Map each HCB AIG to LUTs and lint the mapped network.  Matches the
+    /// generate stage: mapping is skipped for DON'T_TOUCH (strash = false)
+    /// designs, where every AND instantiates as its own LUT.
+    bool map_luts = true;
+};
+
+/// Lint a complete generated design: every RTL module (AST level), every
+/// HCB AIG, the mapped LUT networks, and - when `m` is given - the ternary
+/// X-insensitivity proof of every HCB output against its clause's include
+/// mask.  Deterministic for a given design/options.
+LintReport lint_design(const rtl::RtlDesign& design,
+                       const model::TrainedModel* m,
+                       const LintOptions& options = {});
+
+// -- serialization / formatting ---------------------------------------------
+
+/// JSON form: {"format": "matador-lint-report", "version": 1, findings: [
+/// {check, severity, where, object, message}], stats: {...}}.  Exact
+/// round-trip through lint_report_from_json.
+util::Json lint_report_to_json(const LintReport& r);
+/// Strict parse; throws std::runtime_error on malformed or future-version
+/// documents.
+LintReport lint_report_from_json(const util::Json& j);
+
+/// Human-readable report: one "severity [check] where: message" line per
+/// finding plus the stats block and the summary line.
+std::string format_lint_report(const LintReport& r);
+
+}  // namespace matador::lint

@@ -1,0 +1,99 @@
+#include "lint/lut_lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace matador::lint {
+
+void lint_lut_network(const logic::LutNetwork& net, const std::string& where,
+                      std::vector<Finding>& findings, LutLintStats* stats) {
+    const std::size_t total_nodes = 1 + net.num_pis() + net.num_luts();
+
+    // Topological-order contract: a LUT may only read the constant, PIs,
+    // or earlier LUTs.
+    for (std::size_t i = 0; i < net.num_luts(); ++i) {
+        const auto& lut = net.lut(i);
+        const std::uint32_t id = net.lut_id(i);
+        for (const std::uint32_t in : lut.inputs)
+            if (in >= id)
+                findings.push_back(
+                    {check::kLutBadInput, Severity::kError, where,
+                     "lut " + std::to_string(i),
+                     "input node " + std::to_string(in) +
+                         " is not earlier in topological order (id " +
+                         std::to_string(id) + ")"});
+    }
+
+    // Reachability from the outputs.
+    std::vector<bool> reach(total_nodes, false);
+    std::vector<std::uint32_t> stack;
+    for (std::size_t i = 0; i < net.num_outputs(); ++i)
+        stack.push_back(net.output(i) >> 1);
+    while (!stack.empty()) {
+        const std::uint32_t id = stack.back();
+        stack.pop_back();
+        if (id >= total_nodes || reach[id]) continue;
+        reach[id] = true;
+        if (net.is_lut(id))
+            for (const std::uint32_t in : net.lut(id - net.num_pis() - 1).inputs)
+                if (in < id) stack.push_back(in);
+    }
+
+    std::vector<std::uint32_t> fanout(total_nodes, 0);
+    std::size_t dead = 0, consts = 0, dups = 0;
+    std::map<std::pair<std::vector<std::uint32_t>, std::uint64_t>, std::size_t>
+        shape_seen;
+    for (std::size_t i = 0; i < net.num_luts(); ++i) {
+        const auto& lut = net.lut(i);
+        if (!reach[net.lut_id(i)]) {
+            ++dead;
+            findings.push_back({check::kLutDead, Severity::kWarning, where,
+                                "lut " + std::to_string(i),
+                                "unreachable from any output"});
+            continue;
+        }
+        for (const std::uint32_t in : lut.inputs)
+            if (in < total_nodes) ++fanout[in];
+        const std::size_t k = lut.inputs.size();
+        if (k > 0 && k <= 6) {
+            const std::uint64_t mask =
+                k == 6 ? ~std::uint64_t(0)
+                       : (std::uint64_t(1) << (std::uint64_t(1) << k)) - 1;
+            const std::uint64_t t = lut.truth & mask;
+            if (t == 0 || t == mask) {
+                ++consts;
+                findings.push_back({check::kLutConst, Severity::kWarning, where,
+                                    "lut " + std::to_string(i),
+                                    std::string("truth table is constant ") +
+                                        (t == 0 ? "0" : "1")});
+            }
+        }
+        const auto [it, fresh] =
+            shape_seen.emplace(std::make_pair(lut.inputs, lut.truth), i);
+        if (!fresh) {
+            ++dups;
+            // Structural duplicates are the signature of the DON'T_TOUCH
+            // flow (sharing disabled on purpose) - informational only.
+            findings.push_back({check::kLutDuplicate, Severity::kInfo, where,
+                                "lut " + std::to_string(i),
+                                "identical to lut " +
+                                    std::to_string(it->second) +
+                                    " (same inputs and truth table)"});
+        }
+    }
+
+    if (stats) {
+        stats->networks += 1;
+        stats->luts += net.num_luts();
+        stats->dead_luts += dead;
+        stats->const_luts += consts;
+        stats->duplicate_luts += dups;
+        stats->max_depth = std::max<std::size_t>(stats->max_depth, net.depth());
+        const auto max_it = std::max_element(fanout.begin(), fanout.end());
+        if (max_it != fanout.end())
+            stats->max_fanout = std::max<std::size_t>(stats->max_fanout, *max_it);
+    }
+}
+
+}  // namespace matador::lint

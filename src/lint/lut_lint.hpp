@@ -1,0 +1,35 @@
+// Structural lint of a mapped LUT network.
+//
+// Checks: malformed LUT inputs (forward or self references break the
+// topological-order contract - error), LUTs unreachable from any output,
+// LUTs whose truth table is constant over their input count, and duplicate
+// LUTs (same inputs, same truth - expected under DON'T_TOUCH mapping where
+// sharing is disabled, so severity is info).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/finding.hpp"
+#include "logic/lut_network.hpp"
+
+namespace matador::lint {
+
+/// Structural counts aggregated over the analyzed LUT networks.
+struct LutLintStats {
+    std::size_t networks = 0;
+    std::size_t luts = 0;
+    std::size_t dead_luts = 0;
+    std::size_t const_luts = 0;
+    std::size_t duplicate_luts = 0;
+    std::size_t max_depth = 0;
+    std::size_t max_fanout = 0;
+};
+
+/// Lint one mapped network.  `where` labels the findings ("hcb 3 luts").
+void lint_lut_network(const logic::LutNetwork& net, const std::string& where,
+                      std::vector<Finding>& findings,
+                      LutLintStats* stats = nullptr);
+
+}  // namespace matador::lint

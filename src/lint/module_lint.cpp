@@ -1,0 +1,822 @@
+#include "lint/module_lint.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace matador::lint {
+
+namespace {
+
+using rtl::Expr;
+using rtl::ExprP;
+using rtl::Module;
+using rtl::Stmt;
+
+/// Everything the checks need to know about one declared signal.
+struct NetInfo {
+    int width = 1;
+    bool is_reg = false;
+    bool is_input = false;
+    bool is_output = false;
+    /// Continuous drivers per bit (assign lhs + instance output pins).
+    std::vector<std::uint8_t> cont_drivers;
+    bool always_driven = false;  ///< assigned inside an always block
+    /// Connected to an instance of a module outside the lint scope; its
+    /// drive direction is unknowable, so undriven/unused stay quiet.
+    bool ext_connected = false;
+    bool read = false;       ///< referenced by any rhs / condition / pin
+    bool live_seed = false;  ///< read by an output, register, or instance
+    bool live = false;       ///< reaches a live seed through assigns
+};
+
+class ModuleAnalyzer {
+public:
+    ModuleAnalyzer(const Module& mod, const std::vector<const Module*>& scope,
+                   std::vector<Finding>& findings)
+        : mod_(mod), scope_(scope), findings_(findings),
+          where_("module " + mod.name) {}
+
+    void run(ModuleLintStats* stats) {
+        declare_signals();
+        collect_assigns();
+        collect_always_blocks();
+        collect_instances();
+        check_drivers();
+        check_cycles();
+        check_liveness();
+        check_constants();
+        if (stats) {
+            stats->modules += 1;
+            stats->ports += mod_.ports.size();
+            stats->nets += mod_.nets.size();
+            stats->assigns += mod_.assigns.size();
+            stats->always_blocks += mod_.always_blocks.size();
+            stats->instances += mod_.instances.size();
+        }
+    }
+
+private:
+    void add(const char* chk, Severity sev, std::string object,
+             std::string message) {
+        findings_.push_back(
+            {chk, sev, where_, std::move(object), std::move(message)});
+    }
+
+    // -- symbol table -------------------------------------------------------
+
+    void declare_signals() {
+        for (const auto& p : mod_.ports) {
+            NetInfo info;
+            info.width = p.width;
+            info.is_reg = p.is_reg;
+            info.is_input = p.dir == rtl::PortDir::kInput;
+            info.is_output = p.dir == rtl::PortDir::kOutput;
+            info.cont_drivers.assign(std::size_t(std::max(p.width, 1)), 0);
+            nets_.emplace(p.name, std::move(info));
+        }
+        for (const auto& n : mod_.nets) {
+            if (nets_.count(n.name)) continue;  // port declaration wins
+            NetInfo info;
+            info.width = n.width;
+            info.is_reg = n.is_reg;
+            info.cont_drivers.assign(std::size_t(std::max(n.width, 1)), 0);
+            nets_.emplace(n.name, std::move(info));
+        }
+    }
+
+    NetInfo* lookup(const std::string& name) {
+        const auto it = nets_.find(name);
+        if (it != nets_.end()) return &it->second;
+        if (unknown_reported_.insert(name).second)
+            add(check::kUnknownNet, Severity::kError, name,
+                "referenced but never declared");
+        return nullptr;
+    }
+
+    // -- expression walks ---------------------------------------------------
+
+    /// Check an Index/Slice select against the declaration width.
+    void check_bounds(const std::string& name, int msb, int lsb) {
+        NetInfo* info = lookup(name);
+        if (!info) return;
+        if (lsb < 0 || msb < lsb || msb >= info->width)
+            add(check::kBitRange, Severity::kError, name,
+                "select [" + std::to_string(msb) +
+                    (msb == lsb ? "" : ":" + std::to_string(lsb)) +
+                    "] outside [" + std::to_string(info->width - 1) + ":0]");
+    }
+
+    /// Mark every net referenced by `e` as read (and optionally as a
+    /// liveness seed), with bit-select bounds checking.
+    void mark_read(const ExprP& e, bool live_seed = false) {
+        if (!e) return;
+        std::visit(
+            [&](const auto& node) {
+                using T = std::decay_t<decltype(node)>;
+                if constexpr (std::is_same_v<T, Expr::Ref>) {
+                    touch_read(node.name, live_seed);
+                } else if constexpr (std::is_same_v<T, Expr::Index>) {
+                    touch_read(node.name, live_seed);
+                    check_bounds(node.name, node.index, node.index);
+                } else if constexpr (std::is_same_v<T, Expr::Slice>) {
+                    touch_read(node.name, live_seed);
+                    check_bounds(node.name, node.msb, node.lsb);
+                } else if constexpr (std::is_same_v<T, Expr::Const>) {
+                    // nothing to do
+                } else if constexpr (std::is_same_v<T, Expr::Unary>) {
+                    mark_read(node.a, live_seed);
+                } else if constexpr (std::is_same_v<T, Expr::Binary>) {
+                    mark_read(node.a, live_seed);
+                    mark_read(node.b, live_seed);
+                } else if constexpr (std::is_same_v<T, Expr::Ternary>) {
+                    mark_read(node.cond, live_seed);
+                    mark_read(node.then_e, live_seed);
+                    mark_read(node.else_e, live_seed);
+                } else if constexpr (std::is_same_v<T, Expr::Concat>) {
+                    for (const auto& part : node.parts)
+                        mark_read(part, live_seed);
+                } else if constexpr (std::is_same_v<T, Expr::Signed>) {
+                    mark_read(node.a, live_seed);
+                }
+            },
+            e->node);
+    }
+
+    void touch_read(const std::string& name, bool live_seed) {
+        if (NetInfo* info = lookup(name)) {
+            info->read = true;
+            if (live_seed) info->live_seed = true;
+        }
+    }
+
+    /// Decompose an assignment target into (name, msb, lsb) bit ranges.
+    /// Anything that is not a legal lvalue shape is ignored (the writer
+    /// never emits one).
+    void for_each_lvalue(const ExprP& e,
+                         const std::function<void(const std::string&, int, int)>& fn) {
+        if (!e) return;
+        if (const auto* r = std::get_if<Expr::Ref>(&e->node)) {
+            if (NetInfo* info = lookup(r->name)) fn(r->name, info->width - 1, 0);
+        } else if (const auto* i = std::get_if<Expr::Index>(&e->node)) {
+            check_bounds(i->name, i->index, i->index);
+            if (nets_.count(i->name)) fn(i->name, i->index, i->index);
+        } else if (const auto* s = std::get_if<Expr::Slice>(&e->node)) {
+            check_bounds(s->name, s->msb, s->lsb);
+            if (nets_.count(s->name)) fn(s->name, s->msb, s->lsb);
+        } else if (const auto* c = std::get_if<Expr::Concat>(&e->node)) {
+            for (const auto& part : c->parts) for_each_lvalue(part, fn);
+        }
+    }
+
+    /// Add one continuous driver to every bit of an lvalue (clamped to the
+    /// declared range; out-of-range bits were already reported).
+    void drive_lvalue(const ExprP& e) {
+        for_each_lvalue(e, [&](const std::string& name, int msb, int lsb) {
+            NetInfo& info = nets_.at(name);
+            const int hi = std::min(msb, info.width - 1);
+            for (int b = std::max(lsb, 0); b <= hi; ++b)
+                if (info.cont_drivers[std::size_t(b)] < 0xff)
+                    info.cont_drivers[std::size_t(b)]++;
+        });
+    }
+
+    /// Width of an lvalue in bits (known shapes only).
+    std::optional<int> lvalue_width(const ExprP& e) {
+        int total = 0;
+        bool known = true;
+        for_each_lvalue(e, [&](const std::string& name, int msb, int lsb) {
+            (void)name;
+            if (msb < lsb) known = false;
+            total += msb - lsb + 1;
+        });
+        if (!known || total == 0) return std::nullopt;
+        return total;
+    }
+
+    /// Natural width of an expression, flagging definite operand-width
+    /// conflicts on the way.  nullopt = context-determined / unknown
+    /// (unsized constants, arithmetic), which never flags.
+    std::optional<int> infer_width(const ExprP& e) {
+        if (!e) return std::nullopt;
+        using rtl::BinaryOp;
+        using rtl::UnaryOp;
+        if (const auto* r = std::get_if<Expr::Ref>(&e->node)) {
+            const auto it = nets_.find(r->name);
+            return it == nets_.end() ? std::nullopt
+                                     : std::optional<int>(it->second.width);
+        }
+        if (std::get_if<Expr::Index>(&e->node)) return 1;
+        if (const auto* s = std::get_if<Expr::Slice>(&e->node))
+            return s->msb >= s->lsb ? std::optional<int>(s->msb - s->lsb + 1)
+                                    : std::nullopt;
+        if (const auto* c = std::get_if<Expr::Const>(&e->node))
+            return c->width > 0 ? std::optional<int>(c->width) : std::nullopt;
+        if (const auto* u = std::get_if<Expr::Unary>(&e->node)) {
+            const auto w = infer_width(u->a);
+            if (u->op == UnaryOp::kReduceAnd || u->op == UnaryOp::kReduceOr)
+                return 1;
+            return w;  // kNot / kMinus preserve operand width
+        }
+        if (const auto* b = std::get_if<Expr::Binary>(&e->node)) {
+            const auto wa = infer_width(b->a);
+            const auto wb = infer_width(b->b);
+            switch (b->op) {
+                case BinaryOp::kAnd:
+                case BinaryOp::kOr:
+                case BinaryOp::kXor:
+                    if (wa && wb && *wa != *wb)
+                        add(check::kWidthMismatch, Severity::kWarning, "",
+                            "bitwise operands differ in width: " +
+                                std::to_string(*wa) + " vs " +
+                                std::to_string(*wb));
+                    if (wa && wb) return std::max(*wa, *wb);
+                    return std::nullopt;
+                case BinaryOp::kEq:
+                case BinaryOp::kNe:
+                case BinaryOp::kLt:
+                case BinaryOp::kLe:
+                case BinaryOp::kGt:
+                case BinaryOp::kGe:
+                    return 1;
+                case BinaryOp::kShl:
+                case BinaryOp::kShr:
+                    return wa;
+                case BinaryOp::kAdd:
+                case BinaryOp::kSub:
+                    // Context-determined (carry / borrow); never flag.
+                    return std::nullopt;
+            }
+            return std::nullopt;
+        }
+        if (const auto* t = std::get_if<Expr::Ternary>(&e->node)) {
+            const auto wt = infer_width(t->then_e);
+            const auto we = infer_width(t->else_e);
+            infer_width(t->cond);
+            if (wt && we && *wt != *we)
+                add(check::kWidthMismatch, Severity::kWarning, "",
+                    "ternary branches differ in width: " + std::to_string(*wt) +
+                        " vs " + std::to_string(*we));
+            if (wt && we) return std::max(*wt, *we);
+            return std::nullopt;
+        }
+        if (const auto* c = std::get_if<Expr::Concat>(&e->node)) {
+            int total = 0;
+            for (const auto& part : c->parts) {
+                const auto w = infer_width(part);
+                if (!w) return std::nullopt;
+                total += *w;
+            }
+            return total;
+        }
+        if (const auto* s = std::get_if<Expr::Signed>(&e->node))
+            return infer_width(s->a);
+        return std::nullopt;
+    }
+
+    // -- collection passes --------------------------------------------------
+
+    void collect_assigns() {
+        for (const auto& a : mod_.assigns) {
+            drive_lvalue(a.lhs);
+            mark_read(a.rhs);
+            const auto lw = lvalue_width(a.lhs);
+            const auto rw = infer_width(a.rhs);
+            if (lw && rw && *lw != *rw)
+                add(check::kWidthMismatch, Severity::kWarning,
+                    lvalue_name(a.lhs),
+                    "assign width mismatch: lhs " + std::to_string(*lw) +
+                        " bits, rhs " + std::to_string(*rw) + " bits");
+        }
+    }
+
+    void collect_always_blocks() {
+        for (const auto& ab : mod_.always_blocks) {
+            touch_read(ab.clock, true);
+            for (const auto& s : ab.body) walk_stmt(s);
+        }
+    }
+
+    void walk_stmt(const Stmt& s) {
+        std::visit(
+            [&](const auto& node) {
+                using T = std::decay_t<decltype(node)>;
+                if constexpr (std::is_same_v<T, rtl::NonBlocking> ||
+                              std::is_same_v<T, rtl::Blocking>) {
+                    for_each_lvalue(node.lhs,
+                                    [&](const std::string& name, int, int) {
+                                        nets_.at(name).always_driven = true;
+                                    });
+                    // Everything a register consumes is live state.
+                    mark_read(node.rhs, true);
+                } else if constexpr (std::is_same_v<T, rtl::IfStmt>) {
+                    mark_read(node.cond, true);
+                    for (const auto& b : node.then_body) walk_stmt(b);
+                    for (const auto& b : node.else_body) walk_stmt(b);
+                } else if constexpr (std::is_same_v<T, rtl::CaseStmt>) {
+                    mark_read(node.subject, true);
+                    for (const auto& item : node.items) {
+                        if (item.label) mark_read(item.label, true);
+                        for (const auto& b : item.body) walk_stmt(b);
+                    }
+                }
+            },
+            s.node);
+    }
+
+    const Module* find_module(const std::string& name) const {
+        for (const Module* m : scope_)
+            if (m && m->name == name) return m;
+        return nullptr;
+    }
+
+    void collect_instances() {
+        for (const auto& inst : mod_.instances) {
+            const Module* target = find_module(inst.module_name);
+            if (!target) {
+                add(check::kUnknownModule, Severity::kInfo, inst.instance_name,
+                    "instance of '" + inst.module_name +
+                        "' outside the lint scope; connections unchecked");
+                for (const auto& [port, conn] : inst.connections) {
+                    (void)port;
+                    mark_read(conn, true);
+                    for_each_lvalue(conn, [&](const std::string& n, int, int) {
+                        nets_.at(n).ext_connected = true;
+                    });
+                }
+                continue;
+            }
+            for (const auto& [port_name, conn] : inst.connections) {
+                const auto port = std::find_if(
+                    target->ports.begin(), target->ports.end(),
+                    [&](const rtl::Port& p) { return p.name == port_name; });
+                if (port == target->ports.end()) {
+                    add(check::kUnknownModule, Severity::kError,
+                        inst.instance_name,
+                        "connection to nonexistent port '" + port_name +
+                            "' of module '" + target->name + "'");
+                    mark_read(conn, true);
+                    continue;
+                }
+                if (port->dir == rtl::PortDir::kInput) {
+                    mark_read(conn, true);
+                } else {
+                    // The instance drives this net; reading it elsewhere is
+                    // what makes it live.
+                    drive_lvalue(conn);
+                    for_each_lvalue(conn, [&](const std::string& n, int, int) {
+                        nets_.at(n).ext_connected = true;
+                    });
+                }
+                const auto cw = port->dir == rtl::PortDir::kInput
+                                    ? infer_width(conn)
+                                    : lvalue_width(conn);
+                if (cw && *cw != port->width)
+                    add(check::kWidthMismatch, Severity::kWarning,
+                        inst.instance_name + "." + port_name,
+                        "port is " + std::to_string(port->width) +
+                            " bits, connection is " + std::to_string(*cw));
+            }
+        }
+    }
+
+    // -- checks -------------------------------------------------------------
+
+    void check_drivers() {
+        for (const auto& [name, info] : nets_) {
+            const bool cont = std::any_of(info.cont_drivers.begin(),
+                                          info.cont_drivers.end(),
+                                          [](std::uint8_t c) { return c > 0; });
+            const int multi_bit = [&] {
+                for (std::size_t b = 0; b < info.cont_drivers.size(); ++b)
+                    if (info.cont_drivers[b] > 1) return int(b);
+                return -1;
+            }();
+            if (multi_bit >= 0)
+                add(check::kMultiDriven, Severity::kError, name,
+                    "bit " + std::to_string(multi_bit) +
+                        " has multiple continuous drivers");
+            else if (cont && info.always_driven)
+                add(check::kMultiDriven, Severity::kError, name,
+                    "driven by both a continuous assign and an always block");
+            if (info.read && !info.is_input && !cont && !info.always_driven &&
+                !info.ext_connected)
+                add(check::kUndriven, Severity::kError, name,
+                    "read but never driven");
+            if (!info.read && !info.is_output && !info.ext_connected) {
+                if (info.is_input)
+                    add(check::kUnused, Severity::kInfo, name,
+                        "input port never read");
+                else if (cont || info.always_driven)
+                    add(check::kUnused, Severity::kWarning, name,
+                        "driven but never read");
+                else
+                    add(check::kUnused, Severity::kInfo, name,
+                        "declared but never used");
+            }
+        }
+    }
+
+    /// Tarjan SCC over the net-level combinational signal graph.
+    void check_cycles() {
+        // Node ids for every declared net.
+        std::map<std::string, int> id;
+        std::vector<const std::string*> names;
+        for (const auto& [name, info] : nets_) {
+            (void)info;
+            id.emplace(name, int(names.size()));
+            names.push_back(&name);
+        }
+        std::vector<std::vector<int>> edges(names.size());
+        std::vector<bool> self_loop(names.size(), false);
+        const auto connect = [&](const std::set<std::string>& from,
+                                 const std::set<std::string>& to) {
+            for (const auto& f : from) {
+                const auto fi = id.find(f);
+                if (fi == id.end()) continue;
+                for (const auto& t : to) {
+                    const auto ti = id.find(t);
+                    if (ti == id.end()) continue;
+                    edges[std::size_t(fi->second)].push_back(ti->second);
+                    if (fi->second == ti->second)
+                        self_loop[std::size_t(fi->second)] = true;
+                }
+            }
+        };
+        for (const auto& a : mod_.assigns)
+            connect(expr_nets(a.rhs), expr_nets(a.lhs));
+        for (const auto& inst : mod_.instances) {
+            const Module* target = find_module(inst.module_name);
+            // Only purely combinational instances propagate same-cycle.
+            if (!target || !target->always_blocks.empty()) continue;
+            std::set<std::string> ins, outs;
+            for (const auto& [port_name, conn] : inst.connections) {
+                const auto port = std::find_if(
+                    target->ports.begin(), target->ports.end(),
+                    [&](const rtl::Port& p) { return p.name == port_name; });
+                if (port == target->ports.end()) continue;
+                const auto nets = expr_nets(conn);
+                auto& side = port->dir == rtl::PortDir::kInput ? ins : outs;
+                side.insert(nets.begin(), nets.end());
+            }
+            connect(ins, outs);
+        }
+
+        // Iterative Tarjan.
+        const int n = int(names.size());
+        std::vector<int> index(std::size_t(n), -1), low(std::size_t(n), 0);
+        std::vector<bool> on_stack(std::size_t(n), false);
+        std::vector<int> stack;
+        int next_index = 0;
+        struct Frame {
+            int v;
+            std::size_t edge;
+        };
+        for (int root = 0; root < n; ++root) {
+            if (index[std::size_t(root)] != -1) continue;
+            std::vector<Frame> call{{root, 0}};
+            index[std::size_t(root)] = low[std::size_t(root)] = next_index++;
+            stack.push_back(root);
+            on_stack[std::size_t(root)] = true;
+            while (!call.empty()) {
+                Frame& f = call.back();
+                const auto& vs = edges[std::size_t(f.v)];
+                if (f.edge < vs.size()) {
+                    const int w = vs[f.edge++];
+                    if (index[std::size_t(w)] == -1) {
+                        index[std::size_t(w)] = low[std::size_t(w)] =
+                            next_index++;
+                        stack.push_back(w);
+                        on_stack[std::size_t(w)] = true;
+                        call.push_back({w, 0});
+                    } else if (on_stack[std::size_t(w)]) {
+                        low[std::size_t(f.v)] =
+                            std::min(low[std::size_t(f.v)], index[std::size_t(w)]);
+                    }
+                    continue;
+                }
+                // All edges done: pop an SCC if v is a root.
+                if (low[std::size_t(f.v)] == index[std::size_t(f.v)]) {
+                    std::vector<int> scc;
+                    int w;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        on_stack[std::size_t(w)] = false;
+                        scc.push_back(w);
+                    } while (w != f.v);
+                    if (scc.size() > 1 ||
+                        (scc.size() == 1 && self_loop[std::size_t(scc[0])]))
+                        report_cycle(scc, names);
+                }
+                const int v = f.v;
+                call.pop_back();
+                if (!call.empty())
+                    low[std::size_t(call.back().v)] = std::min(
+                        low[std::size_t(call.back().v)], low[std::size_t(v)]);
+            }
+        }
+    }
+
+    void report_cycle(const std::vector<int>& scc,
+                      const std::vector<const std::string*>& names) {
+        std::vector<std::string> members;
+        for (int v : scc) members.push_back(*names[std::size_t(v)]);
+        std::sort(members.begin(), members.end());
+        std::string list;
+        const std::size_t shown = std::min<std::size_t>(members.size(), 8);
+        for (std::size_t i = 0; i < shown; ++i)
+            list += (i ? " -> " : "") + members[i];
+        if (members.size() > shown)
+            list += " -> ... (" + std::to_string(members.size()) + " nets)";
+        add(check::kCombCycle, Severity::kError, members.front(),
+            "combinational cycle through " + list);
+    }
+
+    std::set<std::string> expr_nets(const ExprP& e) const {
+        std::set<std::string> out;
+        collect_nets(e, out);
+        return out;
+    }
+
+    void collect_nets(const ExprP& e, std::set<std::string>& out) const {
+        if (!e) return;
+        std::visit(
+            [&](const auto& node) {
+                using T = std::decay_t<decltype(node)>;
+                if constexpr (std::is_same_v<T, Expr::Ref>) {
+                    out.insert(node.name);
+                } else if constexpr (std::is_same_v<T, Expr::Index>) {
+                    out.insert(node.name);
+                } else if constexpr (std::is_same_v<T, Expr::Slice>) {
+                    out.insert(node.name);
+                } else if constexpr (std::is_same_v<T, Expr::Unary>) {
+                    collect_nets(node.a, out);
+                } else if constexpr (std::is_same_v<T, Expr::Binary>) {
+                    collect_nets(node.a, out);
+                    collect_nets(node.b, out);
+                } else if constexpr (std::is_same_v<T, Expr::Ternary>) {
+                    collect_nets(node.cond, out);
+                    collect_nets(node.then_e, out);
+                    collect_nets(node.else_e, out);
+                } else if constexpr (std::is_same_v<T, Expr::Concat>) {
+                    for (const auto& part : node.parts)
+                        collect_nets(part, out);
+                } else if constexpr (std::is_same_v<T, Expr::Signed>) {
+                    collect_nets(node.a, out);
+                }
+            },
+            e->node);
+    }
+
+    /// Dead logic: back-propagate liveness from outputs / registers /
+    /// instances through the continuous assigns.
+    void check_liveness() {
+        for (auto& [name, info] : nets_) {
+            (void)name;
+            info.live = info.live_seed || info.is_output || info.ext_connected;
+        }
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const auto& a : mod_.assigns) {
+                bool lhs_live = false;
+                for (const auto& t : expr_nets(a.lhs))
+                    if (nets_.count(t) && nets_.at(t).live) lhs_live = true;
+                if (!lhs_live) continue;
+                for (const auto& s : expr_nets(a.rhs)) {
+                    const auto it = nets_.find(s);
+                    if (it != nets_.end() && !it->second.live) {
+                        it->second.live = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        for (const auto& [name, info] : nets_) {
+            const bool cont = std::any_of(info.cont_drivers.begin(),
+                                          info.cont_drivers.end(),
+                                          [](std::uint8_t c) { return c > 0; });
+            // "Driven but never read" is already kUnused; dead-logic is the
+            // transitive form - read, but only by other dead logic.
+            if (cont && !info.always_driven && info.read && !info.live)
+                add(check::kDeadLogic, Severity::kWarning, name,
+                    "never reaches an output, register, or instance");
+        }
+    }
+
+    /// Constant propagation over the continuous assigns; flags nets that
+    /// fold to a constant without being written as one.
+    void check_constants() {
+        // Known bit values per net (LSB first).
+        std::map<std::string, std::vector<std::optional<bool>>> known;
+        for (const auto& [name, info] : nets_)
+            known.emplace(name, std::vector<std::optional<bool>>(
+                                    std::size_t(std::max(info.width, 1))));
+        bool changed = true;
+        std::size_t rounds = 0;
+        while (changed && rounds++ < mod_.assigns.size() + 2) {
+            changed = false;
+            for (const auto& a : mod_.assigns) {
+                const auto bits = eval_const(a.rhs, known);
+                if (!bits) continue;
+                changed = assign_known(a.lhs, *bits, known) || changed;
+            }
+        }
+        for (const auto& a : mod_.assigns) {
+            if (std::get_if<Expr::Const>(&a.rhs->node))
+                continue;  // written as a constant on purpose
+            const auto bits = eval_const(a.rhs, known);
+            if (!bits) continue;
+            std::string value;
+            for (auto it = bits->rbegin(); it != bits->rend(); ++it)
+                value += *it ? '1' : '0';
+            add(check::kConstLogic, Severity::kWarning, lvalue_name(a.lhs),
+                "always evaluates to " + std::to_string(bits->size()) + "'b" +
+                    value);
+        }
+    }
+
+    /// Record folded bits into the lvalue's known-bit table.  Returns true
+    /// when any bit became newly known.
+    bool assign_known(const ExprP& lhs, const std::vector<bool>& bits,
+                      std::map<std::string, std::vector<std::optional<bool>>>&
+                          known) {
+        // Only single-target lvalues participate (concat targets are rare
+        // and not worth the bookkeeping).
+        std::string name;
+        int lo = 0, hi = -1;
+        if (const auto* r = std::get_if<Expr::Ref>(&lhs->node)) {
+            name = r->name;
+            const auto it = nets_.find(name);
+            if (it == nets_.end()) return false;
+            hi = it->second.width - 1;
+        } else if (const auto* i = std::get_if<Expr::Index>(&lhs->node)) {
+            name = i->name;
+            lo = hi = i->index;
+        } else if (const auto* s = std::get_if<Expr::Slice>(&lhs->node)) {
+            name = s->name;
+            lo = s->lsb;
+            hi = s->msb;
+        } else {
+            return false;
+        }
+        const auto it = known.find(name);
+        if (it == known.end()) return false;
+        bool changed = false;
+        for (int b = lo; b <= hi && b - lo < int(bits.size()); ++b) {
+            if (b < 0 || b >= int(it->second.size())) continue;
+            auto& slot = it->second[std::size_t(b)];
+            const bool v = bits[std::size_t(b - lo)];
+            if (!slot || *slot != v) {
+                // Conflicting folds (multi-driver nets) stay unknown.
+                if (slot && *slot != v) return false;
+                slot = v;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    /// Fold an expression to definite bits (LSB first); nullopt when any
+    /// leaf is unknown or the operator is outside the supported set.
+    std::optional<std::vector<bool>> eval_const(
+        const ExprP& e,
+        const std::map<std::string, std::vector<std::optional<bool>>>& known) {
+        if (!e) return std::nullopt;
+        using rtl::BinaryOp;
+        using rtl::UnaryOp;
+        using Bits = std::vector<bool>;
+        if (const auto* c = std::get_if<Expr::Const>(&e->node)) {
+            if (c->width <= 0 || c->width > 64) return std::nullopt;
+            Bits bits(std::size_t(c->width));
+            for (int b = 0; b < c->width; ++b)
+                bits[std::size_t(b)] = (c->value >> b) & 1;
+            return bits;
+        }
+        const auto net_bits = [&](const std::string& name, int lo,
+                                  int hi) -> std::optional<Bits> {
+            const auto it = known.find(name);
+            if (it == known.end()) return std::nullopt;
+            // Registers and inputs never fold.
+            const auto ni = nets_.find(name);
+            if (ni == nets_.end() || ni->second.always_driven ||
+                ni->second.is_input || ni->second.ext_connected)
+                return std::nullopt;
+            if (lo < 0 || hi >= int(it->second.size()) || hi < lo)
+                return std::nullopt;
+            Bits bits;
+            for (int b = lo; b <= hi; ++b) {
+                const auto& slot = it->second[std::size_t(b)];
+                if (!slot) return std::nullopt;
+                bits.push_back(*slot);
+            }
+            return bits;
+        };
+        if (const auto* r = std::get_if<Expr::Ref>(&e->node)) {
+            const auto it = nets_.find(r->name);
+            if (it == nets_.end()) return std::nullopt;
+            return net_bits(r->name, 0, it->second.width - 1);
+        }
+        if (const auto* i = std::get_if<Expr::Index>(&e->node))
+            return net_bits(i->name, i->index, i->index);
+        if (const auto* s = std::get_if<Expr::Slice>(&e->node))
+            return net_bits(s->name, s->lsb, s->msb);
+        if (const auto* u = std::get_if<Expr::Unary>(&e->node)) {
+            auto a = eval_const(u->a, known);
+            if (!a) return std::nullopt;
+            switch (u->op) {
+                case UnaryOp::kNot:
+                    for (std::size_t b = 0; b < a->size(); ++b)
+                        (*a)[b] = !(*a)[b];
+                    return a;
+                case UnaryOp::kReduceAnd:
+                    return Bits{std::all_of(a->begin(), a->end(),
+                                            [](bool v) { return v; })};
+                case UnaryOp::kReduceOr:
+                    return Bits{std::any_of(a->begin(), a->end(),
+                                            [](bool v) { return v; })};
+                case UnaryOp::kMinus:
+                    return std::nullopt;
+            }
+            return std::nullopt;
+        }
+        if (const auto* b = std::get_if<Expr::Binary>(&e->node)) {
+            const auto a = eval_const(b->a, known);
+            const auto c = eval_const(b->b, known);
+            if (!a || !c || a->size() != c->size()) return std::nullopt;
+            Bits bits(a->size());
+            switch (b->op) {
+                case BinaryOp::kAnd:
+                    for (std::size_t i = 0; i < bits.size(); ++i)
+                        bits[i] = (*a)[i] && (*c)[i];
+                    return bits;
+                case BinaryOp::kOr:
+                    for (std::size_t i = 0; i < bits.size(); ++i)
+                        bits[i] = (*a)[i] || (*c)[i];
+                    return bits;
+                case BinaryOp::kXor:
+                    for (std::size_t i = 0; i < bits.size(); ++i)
+                        bits[i] = (*a)[i] != (*c)[i];
+                    return bits;
+                case BinaryOp::kEq:
+                    return Bits{*a == *c};
+                case BinaryOp::kNe:
+                    return Bits{*a != *c};
+                default:
+                    return std::nullopt;
+            }
+        }
+        if (const auto* t = std::get_if<Expr::Ternary>(&e->node)) {
+            const auto cond = eval_const(t->cond, known);
+            if (!cond) return std::nullopt;
+            const bool taken = std::any_of(cond->begin(), cond->end(),
+                                           [](bool v) { return v; });
+            return eval_const(taken ? t->then_e : t->else_e, known);
+        }
+        if (const auto* c = std::get_if<Expr::Concat>(&e->node)) {
+            // Verilog concat: parts[0] is the MSB group.
+            Bits bits;
+            for (auto it = c->parts.rbegin(); it != c->parts.rend(); ++it) {
+                const auto part = eval_const(*it, known);
+                if (!part) return std::nullopt;
+                bits.insert(bits.end(), part->begin(), part->end());
+            }
+            return bits;
+        }
+        return std::nullopt;  // Signed / arithmetic: out of scope
+    }
+
+    /// Display name of an assignment target.
+    std::string lvalue_name(const ExprP& e) const {
+        if (!e) return "?";
+        if (const auto* r = std::get_if<Expr::Ref>(&e->node)) return r->name;
+        if (const auto* i = std::get_if<Expr::Index>(&e->node))
+            return i->name + "[" + std::to_string(i->index) + "]";
+        if (const auto* s = std::get_if<Expr::Slice>(&e->node))
+            return s->name + "[" + std::to_string(s->msb) + ":" +
+                   std::to_string(s->lsb) + "]";
+        if (std::get_if<Expr::Concat>(&e->node)) return "{...}";
+        return "?";
+    }
+
+    const Module& mod_;
+    const std::vector<const Module*>& scope_;
+    std::vector<Finding>& findings_;
+    std::string where_;
+    std::map<std::string, NetInfo> nets_;
+    std::set<std::string> unknown_reported_;
+};
+
+}  // namespace
+
+void lint_module(const Module& mod, const std::vector<const Module*>& scope,
+                 std::vector<Finding>& findings, ModuleLintStats* stats) {
+    ModuleAnalyzer(mod, scope, findings).run(stats);
+}
+
+}  // namespace matador::lint

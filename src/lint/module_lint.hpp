@@ -1,0 +1,41 @@
+// AST-level lint of generated Verilog modules.
+//
+// Works on the rtl::Module AST (not text), so it sees exactly what the
+// writer will emit: port/net declarations, continuous assigns, always
+// blocks, and instances.  Checks: undriven and multiply-driven nets
+// (per-bit driver counting), unused nets, out-of-range bit selects,
+// port/assignment width mismatches, combinational cycles (Tarjan SCC over
+// the signal graph, crossing into instances of purely combinational
+// modules), dead logic (driven nets whose cone never reaches an output,
+// register, or instance), and constant logic (nets that fold to a constant
+// under constant propagation without being declared as one).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/finding.hpp"
+#include "rtl/verilog_ast.hpp"
+
+namespace matador::lint {
+
+/// Structural counts over the analyzed modules.
+struct ModuleLintStats {
+    std::size_t modules = 0;
+    std::size_t ports = 0;
+    std::size_t nets = 0;
+    std::size_t assigns = 0;
+    std::size_t always_blocks = 0;
+    std::size_t instances = 0;
+};
+
+/// Lint one module.  `scope` supplies the sibling module definitions of
+/// the design so instance connections can be checked against real port
+/// directions and widths (an instance of a module outside `scope` is
+/// reported under check::kUnknownModule and treated conservatively).
+void lint_module(const rtl::Module& mod,
+                 const std::vector<const rtl::Module*>& scope,
+                 std::vector<Finding>& findings,
+                 ModuleLintStats* stats = nullptr);
+
+}  // namespace matador::lint

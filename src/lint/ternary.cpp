@@ -1,0 +1,159 @@
+#include "lint/ternary.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace matador::lint {
+
+namespace {
+
+TernaryWord lit_value(const std::vector<TernaryWord>& nodes, logic::Lit l) {
+    const TernaryWord v = nodes[logic::lit_node(l)];
+    return logic::lit_complement(l) ? ternary_not(v) : v;
+}
+
+}  // namespace
+
+std::vector<TernaryWord> ternary_simulate(
+    const logic::Aig& aig, const std::vector<TernaryWord>& pi_values) {
+    if (pi_values.size() != aig.num_pis())
+        throw std::invalid_argument("ternary_simulate: PI count mismatch");
+    std::vector<TernaryWord> nodes(aig.num_nodes());
+    nodes[0] = ternary_const(0);
+    for (std::size_t i = 0; i < aig.num_pis(); ++i)
+        nodes[logic::lit_node(aig.pi(i))] = pi_values[i];
+    for (std::uint32_t n = 1; n < aig.num_nodes(); ++n) {
+        if (!aig.is_and(n)) continue;
+        nodes[n] = ternary_and(lit_value(nodes, aig.node_fanin0(n)),
+                               lit_value(nodes, aig.node_fanin1(n)));
+    }
+    std::vector<TernaryWord> pos;
+    pos.reserve(aig.num_pos());
+    for (std::size_t i = 0; i < aig.num_pos(); ++i)
+        pos.push_back(lit_value(nodes, aig.po(i)));
+    return pos;
+}
+
+std::vector<TernaryWord> ternary_evaluate(
+    const logic::LutNetwork& net, const std::vector<TernaryWord>& pi_values) {
+    if (pi_values.size() != net.num_pis())
+        throw std::invalid_argument("ternary_evaluate: PI count mismatch");
+    // Node id space: 0 = const0, 1..num_pis = PIs, then LUTs.
+    std::vector<TernaryWord> nodes(1 + net.num_pis() + net.num_luts());
+    nodes[0] = ternary_const(0);
+    for (std::size_t i = 0; i < net.num_pis(); ++i)
+        nodes[net.pi_id(i)] = pi_values[i];
+    for (std::size_t i = 0; i < net.num_luts(); ++i) {
+        const auto& lut = net.lut(i);
+        // A lane's output can be 0 (1) when some completion of its X inputs
+        // selects a 0 (1) truth bit; definite iff only one side is
+        // reachable.  2^k completions, k <= 6.
+        std::uint64_t can0 = 0, can1 = 0;
+        const std::size_t k = lut.inputs.size();
+        for (std::uint64_t c = 0; c < (std::uint64_t(1) << k); ++c) {
+            std::uint64_t match = ~std::uint64_t(0);
+            for (std::size_t j = 0; j < k; ++j) {
+                const TernaryWord in = nodes[lut.inputs[j]];
+                const std::uint64_t want_one = (c >> j) & 1
+                                                   ? in.value
+                                                   : ~in.value & ~in.unknown;
+                match &= in.unknown | want_one;
+            }
+            if ((lut.truth >> c) & 1)
+                can1 |= match;
+            else
+                can0 |= match;
+        }
+        nodes[net.lut_id(i)] = {can1 & ~can0, can0 & can1};
+    }
+    std::vector<TernaryWord> out;
+    out.reserve(net.num_outputs());
+    for (std::size_t i = 0; i < net.num_outputs(); ++i) {
+        const std::uint32_t lit = net.output(i);
+        const TernaryWord v = nodes[lit >> 1];
+        out.push_back(lit & 1 ? ternary_not(v) : v);
+    }
+    return out;
+}
+
+std::vector<bool> po_support(const logic::Aig& aig, std::size_t po) {
+    std::vector<bool> support(aig.num_pis(), false);
+    std::vector<bool> seen(aig.num_nodes(), false);
+    std::vector<std::uint32_t> stack{logic::lit_node(aig.po(po))};
+    while (!stack.empty()) {
+        const std::uint32_t n = stack.back();
+        stack.pop_back();
+        if (n == 0 || seen[n]) continue;
+        seen[n] = true;
+        if (aig.is_pi(n)) {
+            support[aig.pi_index(n)] = true;
+        } else {
+            stack.push_back(logic::lit_node(aig.node_fanin0(n)));
+            stack.push_back(logic::lit_node(aig.node_fanin1(n)));
+        }
+    }
+    return support;
+}
+
+XCheckResult check_x_insensitive(const logic::Aig& aig, std::size_t po,
+                                 const std::vector<bool>& care,
+                                 std::size_t random_rounds, std::uint64_t seed) {
+    if (care.size() != aig.num_pis())
+        throw std::invalid_argument("check_x_insensitive: care mask size");
+    XCheckResult r;
+
+    const auto support = po_support(aig, po);
+    r.proved_structural = true;
+    for (std::size_t i = 0; i < care.size(); ++i)
+        if (support[i] && !care[i]) r.proved_structural = false;
+
+    std::vector<std::size_t> cared;
+    for (std::size_t i = 0; i < care.size(); ++i)
+        if (care[i]) cared.push_back(i);
+
+    // Exhaustive when the cared cube is small (<= 4096 assignments = 64
+    // sweeps); random 64-lane sweeps otherwise.
+    const bool exhaustive = cared.size() <= 12;
+    util::Xoshiro256ss rng(seed);
+    const std::size_t sweeps =
+        exhaustive
+            ? ((std::size_t(1) << cared.size()) + 63) / 64
+            : random_rounds;
+    std::vector<TernaryWord> pis(aig.num_pis(), ternary_x());
+    bool x_seen = false;
+    for (std::size_t s = 0; s < sweeps; ++s) {
+        std::uint64_t valid = ~std::uint64_t(0);
+        for (std::size_t j = 0; j < cared.size(); ++j) {
+            std::uint64_t pattern;
+            if (exhaustive) {
+                if (j < 6) {
+                    // Lanes enumerate the low 6 cared bits.
+                    static constexpr std::uint64_t kLanePatterns[6] = {
+                        0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull,
+                        0xf0f0f0f0f0f0f0f0ull, 0xff00ff00ff00ff00ull,
+                        0xffff0000ffff0000ull, 0xffffffff00000000ull};
+                    pattern = kLanePatterns[j];
+                } else {
+                    // Sweeps enumerate the rest.
+                    pattern = (s >> (j - 6)) & 1 ? ~std::uint64_t(0) : 0;
+                }
+            } else {
+                pattern = rng();
+            }
+            pis[cared[j]] = ternary_const(pattern);
+        }
+        if (exhaustive && cared.size() < 6)
+            valid = (std::uint64_t(1) << (std::uint64_t(1) << cared.size())) - 1;
+        const auto out = ternary_simulate(aig, pis);
+        const std::uint64_t x = out[po].unknown & valid;
+        r.lanes_checked += std::popcount(valid);
+        r.x_lanes += std::popcount(x);
+        x_seen = x_seen || x != 0;
+    }
+    r.proved_exhaustive = exhaustive && !x_seen;
+    return r;
+}
+
+}  // namespace matador::lint

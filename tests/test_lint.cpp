@@ -1,0 +1,522 @@
+// Tests for the lint pass (the level-0 rung of the verify ladder).
+//
+// Three angles: (1) a fuzz corpus of generated designs must lint clean -
+// the CI gate depends on it; (2) mutation tests - each seeded defect class
+// must be caught by its named check id, so the catalog stays honest; (3)
+// the ternary 0/1/X engine's semantics, the X-insensitivity proofs, JSON
+// round-tripping, and the lint artifact's disk tier.
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/artifact_store.hpp"
+#include "lint/ternary.hpp"
+#include "logic/aig.hpp"
+#include "logic/lut_network.hpp"
+#include "model/architecture.hpp"
+#include "model/trained_model.hpp"
+#include "rtl/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using namespace matador;
+using lint::check_x_insensitive;
+using lint::Finding;
+using lint::LintReport;
+using lint::Severity;
+using lint::TernaryWord;
+using lint::ternary_const;
+using lint::ternary_x;
+using logic::Aig;
+using logic::LutNetwork;
+using logic::MappedLut;
+using rtl::PortDir;
+
+model::TrainedModel random_model(std::size_t features, std::size_t classes,
+                                 std::size_t cpc, double density,
+                                 std::uint64_t seed) {
+    model::TrainedModel m(features, classes, cpc);
+    util::Xoshiro256ss rng(seed);
+    for (std::size_t c = 0; c < classes; ++c)
+        for (std::size_t j = 0; j < cpc; ++j)
+            for (std::size_t f = 0; f < features; ++f) {
+                const double r = rng.uniform();
+                if (r < density)
+                    m.clause(c, j).include_pos.set(f);
+                else if (r < 2 * density)
+                    m.clause(c, j).include_neg.set(f);
+            }
+    return m;
+}
+
+rtl::RtlDesign generate(const model::TrainedModel& m, bool strash,
+                        std::size_t bus_width = 8) {
+    model::ArchOptions opts;
+    opts.bus_width = bus_width;
+    return rtl::generate_rtl(m, model::derive_architecture(m, opts), strash);
+}
+
+bool has_check(const std::vector<Finding>& findings, const char* check) {
+    for (const auto& f : findings)
+        if (f.check == check) return true;
+    return false;
+}
+
+std::string render(const std::vector<Finding>& findings) {
+    std::string out;
+    for (const auto& f : findings)
+        out += std::string(severity_name(f.severity)) + " [" + f.check + "] " +
+               f.where + " / " + f.object + ": " + f.message + "\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz corpus: generated designs lint clean
+// ---------------------------------------------------------------------------
+
+class LintFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LintFuzz, GeneratedDesignsLintClean) {
+    const std::uint64_t seed = GetParam();
+    util::Xoshiro256ss rng(seed);
+    const std::size_t features = 12 + rng.below(40);
+    const std::size_t classes = 2 + rng.below(3);
+    const std::size_t cpc = 3 + rng.below(6);
+    const double density = 0.05 + rng.uniform() * 0.1;
+    const auto m = random_model(features, classes, cpc, density, seed * 7 + 1);
+
+    for (const bool strash : {true, false}) {
+        const auto design = generate(m, strash);
+        const auto report = lint::lint_design(design, &m);
+        EXPECT_TRUE(report.clean(Severity::kWarning))
+            << "seed " << seed << " strash " << strash << "\n"
+            << lint::format_lint_report(report);
+        EXPECT_GT(report.stats.x_outputs_checked, 0u);
+        EXPECT_EQ(report.stats.x_outputs_checked,
+                  report.stats.x_proved_structural);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, LintFuzz,
+                         ::testing::Values(1, 2, 3, 11, 29));
+
+// ---------------------------------------------------------------------------
+// Mutation tests: each defect class trips its named check
+// ---------------------------------------------------------------------------
+
+/// 1-bit a, b in; y out; body filled per test.
+rtl::Module skeleton() {
+    rtl::Module m;
+    m.name = "mut";
+    m.ports = {{"a", 1, PortDir::kInput, false},
+               {"b", 1, PortDir::kInput, false},
+               {"y", 1, PortDir::kOutput, false}};
+    return m;
+}
+
+std::vector<Finding> lint_one(const rtl::Module& m) {
+    std::vector<Finding> findings;
+    lint::lint_module(m, {&m}, findings);
+    return findings;
+}
+
+TEST(ModuleLintMutation, CleanModuleHasNoFindings) {
+    auto m = skeleton();
+    m.assigns.push_back({rtl::ref("y"), rtl::vand(rtl::ref("a"), rtl::ref("b"))});
+    const auto findings = lint_one(m);
+    EXPECT_TRUE(findings.empty()) << render(findings);
+}
+
+TEST(ModuleLintMutation, CombinationalCycle) {
+    auto m = skeleton();
+    m.nets = {{"w1", 1, false, false, ""}, {"w2", 1, false, false, ""}};
+    m.assigns.push_back({rtl::ref("w1"), rtl::vand(rtl::ref("w2"), rtl::ref("a"))});
+    m.assigns.push_back({rtl::ref("w2"), rtl::ref("w1")});
+    m.assigns.push_back({rtl::ref("y"), rtl::ref("w1")});
+    EXPECT_TRUE(has_check(lint_one(m), lint::check::kCombCycle));
+}
+
+TEST(ModuleLintMutation, SelfLoopIsACycle) {
+    auto m = skeleton();
+    m.nets = {{"w", 1, false, false, ""}};
+    m.assigns.push_back({rtl::ref("w"), rtl::vand(rtl::ref("w"), rtl::ref("a"))});
+    m.assigns.push_back({rtl::ref("y"), rtl::ref("w")});
+    EXPECT_TRUE(has_check(lint_one(m), lint::check::kCombCycle));
+}
+
+TEST(ModuleLintMutation, RegisterBreaksTheCycle) {
+    auto m = skeleton();
+    m.ports.insert(m.ports.begin(), {"clk", 1, PortDir::kInput, false});
+    m.nets = {{"r", 1, true, false, ""}, {"w", 1, false, false, ""}};
+    rtl::AlwaysFF ff;
+    ff.body.push_back(rtl::nb(rtl::ref("r"), rtl::ref("w")));
+    m.always_blocks.push_back(std::move(ff));
+    m.assigns.push_back({rtl::ref("w"), rtl::vand(rtl::ref("r"), rtl::ref("a"))});
+    m.assigns.push_back({rtl::ref("y"), rtl::ref("w")});
+    EXPECT_FALSE(has_check(lint_one(m), lint::check::kCombCycle));
+}
+
+TEST(ModuleLintMutation, UndrivenNet) {
+    auto m = skeleton();
+    m.nets = {{"w", 1, false, false, ""}};
+    m.assigns.push_back({rtl::ref("y"), rtl::vand(rtl::ref("a"), rtl::ref("w"))});
+    EXPECT_TRUE(has_check(lint_one(m), lint::check::kUndriven));
+}
+
+TEST(ModuleLintMutation, MultiplyDrivenNet) {
+    auto m = skeleton();
+    m.assigns.push_back({rtl::ref("y"), rtl::ref("a")});
+    m.assigns.push_back({rtl::ref("y"), rtl::ref("b")});
+    EXPECT_TRUE(has_check(lint_one(m), lint::check::kMultiDriven));
+}
+
+TEST(ModuleLintMutation, WidthMismatch) {
+    rtl::Module m;
+    m.name = "mut";
+    m.ports = {{"a", 4, PortDir::kInput, false},
+               {"b", 2, PortDir::kInput, false},
+               {"y", 4, PortDir::kOutput, false}};
+    m.assigns.push_back({rtl::ref("y"), rtl::vand(rtl::ref("a"), rtl::ref("b"))});
+    EXPECT_TRUE(has_check(lint_one(m), lint::check::kWidthMismatch));
+}
+
+TEST(ModuleLintMutation, UnusedNet) {
+    auto m = skeleton();
+    m.nets = {{"u", 1, false, false, ""}};
+    m.assigns.push_back({rtl::ref("u"), rtl::ref("a")});
+    m.assigns.push_back({rtl::ref("y"), rtl::ref("b")});
+    EXPECT_TRUE(has_check(lint_one(m), lint::check::kUnused));
+}
+
+TEST(ModuleLintMutation, DeadLogicChain) {
+    auto m = skeleton();
+    m.nets = {{"d1", 1, false, false, ""}, {"d2", 1, false, false, ""}};
+    // d1 is read, but only by d2, which never reaches the output.
+    m.assigns.push_back({rtl::ref("d1"), rtl::ref("a")});
+    m.assigns.push_back({rtl::ref("d2"), rtl::ref("d1")});
+    m.assigns.push_back({rtl::ref("y"), rtl::ref("b")});
+    const auto findings = lint_one(m);
+    EXPECT_TRUE(has_check(findings, lint::check::kDeadLogic)) << render(findings);
+    EXPECT_TRUE(has_check(findings, lint::check::kUnused)) << render(findings);
+}
+
+TEST(ModuleLintMutation, ConstantLogic) {
+    auto m = skeleton();
+    m.nets = {{"c", 1, false, false, ""}};
+    m.assigns.push_back({rtl::ref("c"), rtl::vnot(rtl::bconst(1, 0))});
+    m.assigns.push_back({rtl::ref("y"), rtl::vand(rtl::ref("c"), rtl::ref("a"))});
+    EXPECT_TRUE(has_check(lint_one(m), lint::check::kConstLogic));
+}
+
+TEST(ModuleLintMutation, BitSelectOutOfRange) {
+    rtl::Module m;
+    m.name = "mut";
+    m.ports = {{"a", 4, PortDir::kInput, false},
+               {"y", 1, PortDir::kOutput, false}};
+    m.assigns.push_back({rtl::ref("y"), rtl::idx("a", 6)});
+    EXPECT_TRUE(has_check(lint_one(m), lint::check::kBitRange));
+}
+
+TEST(ModuleLintMutation, UnknownNet) {
+    auto m = skeleton();
+    m.assigns.push_back({rtl::ref("y"), rtl::ref("ghost")});
+    EXPECT_TRUE(has_check(lint_one(m), lint::check::kUnknownNet));
+}
+
+TEST(ModuleLintMutation, InstanceOfUnknownModuleIsInfo) {
+    auto m = skeleton();
+    m.assigns.push_back({rtl::ref("y"), rtl::ref("a")});
+    m.instances.push_back({"mystery", "u0", {{"p", rtl::ref("b")}}});
+    std::vector<Finding> findings;
+    lint::lint_module(m, {&m}, findings);
+    bool found = false;
+    for (const auto& f : findings)
+        if (f.check == lint::check::kUnknownModule) {
+            found = true;
+            EXPECT_EQ(f.severity, Severity::kInfo);
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(ModuleLintMutation, InstanceWithNonexistentPort) {
+    rtl::Module child;
+    child.name = "leaf";
+    child.ports = {{"i", 1, PortDir::kInput, false},
+                   {"o", 1, PortDir::kOutput, false}};
+    child.assigns.push_back({rtl::ref("o"), rtl::ref("i")});
+
+    auto parent = skeleton();
+    parent.assigns.push_back({rtl::ref("y"), rtl::ref("a")});
+    parent.instances.push_back({"leaf", "u0", {{"bogus", rtl::ref("b")}}});
+    std::vector<Finding> findings;
+    lint::lint_module(parent, {&parent, &child}, findings);
+    bool found = false;
+    for (const auto& f : findings)
+        if (f.check == lint::check::kUnknownModule &&
+            f.severity == Severity::kError)
+            found = true;
+    EXPECT_TRUE(found) << render(findings);
+}
+
+// ---------------------------------------------------------------------------
+// AIG and LUT mutations
+// ---------------------------------------------------------------------------
+
+TEST(AigLintMutation, DeadNodeAndConstOutput) {
+    Aig aig;
+    const auto a = aig.create_pi();
+    const auto b = aig.create_pi();
+    aig.create_and(a, b);  // never reaches a PO
+    aig.add_po(a);
+    aig.add_po(logic::kConst1);
+    std::vector<Finding> findings;
+    lint::lint_aig(aig, "t", findings);
+    EXPECT_TRUE(has_check(findings, lint::check::kAigDeadNode)) << render(findings);
+    EXPECT_TRUE(has_check(findings, lint::check::kAigConstOutput)) << render(findings);
+}
+
+TEST(LutLintMutation, CleanNetworkHasNoFindings) {
+    LutNetwork net(2);
+    net.add_lut({{net.pi_id(0), net.pi_id(1)}, 0b1000});
+    net.add_output(2 * net.lut_id(0));
+    std::vector<Finding> findings;
+    lint::lint_lut_network(net, "t", findings);
+    EXPECT_TRUE(findings.empty()) << render(findings);
+}
+
+TEST(LutLintMutation, ConstAndDeadLuts) {
+    LutNetwork net(2);
+    net.add_lut({{net.pi_id(0), net.pi_id(1)}, 0});       // constant 0
+    net.add_lut({{net.pi_id(0), net.pi_id(1)}, 0b1110});  // dead (no output)
+    net.add_output(2 * net.lut_id(0));
+    std::vector<Finding> findings;
+    lint::lint_lut_network(net, "t", findings);
+    EXPECT_TRUE(has_check(findings, lint::check::kLutConst)) << render(findings);
+    EXPECT_TRUE(has_check(findings, lint::check::kLutDead)) << render(findings);
+}
+
+TEST(LutLintMutation, DuplicateLuts) {
+    LutNetwork net(2);
+    const auto l0 = net.add_lut({{net.pi_id(0), net.pi_id(1)}, 0b1000});
+    const auto l1 = net.add_lut({{net.pi_id(0), net.pi_id(1)}, 0b1000});
+    net.add_lut({{l0, l1}, 0b1110});
+    net.add_output(2 * net.lut_id(2));
+    std::vector<Finding> findings;
+    lint::lint_lut_network(net, "t", findings);
+    EXPECT_TRUE(has_check(findings, lint::check::kLutDuplicate)) << render(findings);
+}
+
+// ---------------------------------------------------------------------------
+// Ternary engine
+// ---------------------------------------------------------------------------
+
+TEST(Ternary, AndMasksXWithDefiniteZero) {
+    const TernaryWord x = ternary_x();
+    const TernaryWord zero = ternary_const(0);
+    const TernaryWord ones = ternary_const(~std::uint64_t(0));
+    EXPECT_EQ(ternary_and(x, zero), zero);           // 0 & X = 0
+    EXPECT_EQ(ternary_and(x, ones), x);              // 1 & X = X
+    EXPECT_EQ(ternary_and(x, x), x);                 // X & X = X
+    EXPECT_EQ(ternary_and(ones, ones), ones);        // 1 & 1 = 1
+    EXPECT_EQ(ternary_not(x), x);                    // ~X = X
+    EXPECT_EQ(ternary_not(zero), ones);              // ~0 = 1
+}
+
+TEST(Ternary, SimulateAigMasksThroughAnds) {
+    Aig aig;
+    const auto a = aig.create_pi();
+    const auto b = aig.create_pi();
+    aig.add_po(aig.create_and(a, b));
+    // b = definite 0 on even lanes, 1 on odd; a = all X.  The AND is
+    // definite 0 wherever b is 0, X wherever b is 1.
+    const std::uint64_t odd = 0xaaaaaaaaaaaaaaaaull;
+    const auto pos = lint::ternary_simulate(aig, {ternary_x(), ternary_const(odd)});
+    ASSERT_EQ(pos.size(), 1u);
+    EXPECT_EQ(pos[0].unknown, odd);
+    EXPECT_EQ(pos[0].value, 0u);
+}
+
+TEST(Ternary, LutEvaluationMasksThroughTruthTable) {
+    // out = input0, input1 ignored by the table: a per-gate abstraction
+    // would report X when input1 is X, full-table completion stays definite.
+    LutNetwork net(2);
+    net.add_lut({{net.pi_id(0), net.pi_id(1)}, 0b1010});
+    net.add_output(2 * net.lut_id(0));
+    const std::uint64_t pat = 0x0123456789abcdefull;
+    const auto out = lint::ternary_evaluate(net, {ternary_const(pat), ternary_x()});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].unknown, 0u);
+    EXPECT_EQ(out[0].value, pat);
+}
+
+TEST(Ternary, PoSupport) {
+    Aig aig;
+    const auto a = aig.create_pi();
+    aig.create_pi();  // b: declared but outside the cone
+    const auto c = aig.create_pi();
+    aig.add_po(aig.create_and(a, c));
+    const auto support = lint::po_support(aig, 0);
+    ASSERT_EQ(support.size(), 3u);
+    EXPECT_TRUE(support[0]);
+    EXPECT_FALSE(support[1]);
+    EXPECT_TRUE(support[2]);
+}
+
+TEST(Ternary, XCheckProvesStructuralInsensitivity) {
+    Aig aig;
+    const auto a = aig.create_pi();
+    const auto b = aig.create_pi();
+    aig.create_pi();  // c: the don't-care, not in the cone
+    aig.add_po(aig.create_and(a, b));
+    const auto r = check_x_insensitive(aig, 0, {true, true, false}, 2, 99);
+    EXPECT_TRUE(r.proved_structural);
+    EXPECT_TRUE(r.proved());
+    EXPECT_FALSE(r.failed());
+}
+
+TEST(Ternary, XCheckDetectsObservableDontCare) {
+    Aig aig;
+    const auto a = aig.create_pi();
+    const auto c = aig.create_pi();
+    aig.add_po(aig.create_and(a, c));
+    // c is declared don't-care but drives the output whenever a = 1.
+    const auto r = check_x_insensitive(aig, 0, {true, false}, 2, 99);
+    EXPECT_TRUE(r.failed());
+    EXPECT_GT(r.x_lanes, 0u);
+    EXPECT_FALSE(r.proved());
+}
+
+TEST(Ternary, XCheckProvesExhaustivelyWhenDontCareIsMasked) {
+    // po = b & (c & ~b): c is in the cone, but for every value of b the
+    // X from c is killed by a definite 0 - exhaustive sweep proves it,
+    // the structural check cannot.
+    Aig aig;
+    const auto b = aig.create_pi();
+    const auto c = aig.create_pi();
+    const auto n1 = aig.create_and(c, logic::lit_not(b));
+    aig.add_po(aig.create_and(b, n1));
+    const auto r = check_x_insensitive(aig, 0, {true, false}, 2, 99);
+    EXPECT_FALSE(r.proved_structural);
+    EXPECT_TRUE(r.proved_exhaustive);
+    EXPECT_FALSE(r.failed());
+    EXPECT_GT(r.lanes_checked, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// X-sensitivity through lint_design: a care-mask violation is caught
+// ---------------------------------------------------------------------------
+
+TEST(LintDesign, CareMaskViolationFiresXSensitive) {
+    const auto m = random_model(24, 2, 4, 0.12, 5);
+    const auto design = generate(m, /*strash=*/true);
+
+    // Claim some included feature is a don't-care: the netlist (built from
+    // the real model) still reads it, so its HCB output must fail the
+    // X-insensitivity proof.
+    model::TrainedModel lying = m;
+    bool cleared = false;
+    for (std::size_t c = 0; c < m.num_classes() && !cleared; ++c)
+        for (std::size_t j = 0; j < m.clauses_per_class() && !cleared; ++j)
+            for (std::size_t f = 0; f < m.num_features() && !cleared; ++f)
+                if (lying.clause(c, j).include_pos.get(f)) {
+                    lying.clause(c, j).include_pos.clear(f);
+                    cleared = true;
+                }
+    ASSERT_TRUE(cleared) << "random model has no included feature";
+
+    const auto honest = lint::lint_design(design, &m);
+    EXPECT_FALSE(has_check(honest.findings, lint::check::kXSensitive));
+    const auto report = lint::lint_design(design, &lying);
+    EXPECT_TRUE(has_check(report.findings, lint::check::kXSensitive))
+        << lint::format_lint_report(report);
+    EXPECT_GT(report.errors() + report.warnings(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Report plumbing: severities, JSON, formatting, artifact cache
+// ---------------------------------------------------------------------------
+
+TEST(LintReportTest, SeverityNamesRoundTrip) {
+    for (const auto s : {Severity::kInfo, Severity::kWarning, Severity::kError})
+        EXPECT_EQ(lint::severity_from_name(lint::severity_name(s)), s);
+    EXPECT_FALSE(lint::severity_from_name("fatal").has_value());
+}
+
+TEST(LintReportTest, CleanThresholds) {
+    LintReport r;
+    r.findings.push_back({lint::check::kUnused, Severity::kWarning, "m", "w", ""});
+    r.findings.push_back({lint::check::kLutDuplicate, Severity::kInfo, "m", "l", ""});
+    EXPECT_EQ(r.count(Severity::kWarning), 1u);
+    EXPECT_EQ(r.errors(), 0u);
+    EXPECT_TRUE(r.clean(Severity::kError));
+    EXPECT_FALSE(r.clean(Severity::kWarning));
+    EXPECT_FALSE(r.clean(Severity::kInfo));
+    EXPECT_EQ(r.summary(), "0 errors, 1 warning, 1 info");
+}
+
+TEST(LintReportTest, JsonRoundTrip) {
+    const auto m = random_model(20, 2, 4, 0.1, 17);
+    auto report = lint::lint_design(generate(m, true), &m);
+    // Make sure at least one finding crosses the wire too.
+    report.findings.push_back(
+        {lint::check::kUnused, Severity::kWarning, "module x", "n", "test"});
+    const auto j = lint::lint_report_to_json(report);
+    const auto back = lint::lint_report_from_json(
+        util::Json::parse(j.dump(2)));
+    EXPECT_EQ(back.findings, report.findings);
+    EXPECT_EQ(back.stats.modules.nets, report.stats.modules.nets);
+    EXPECT_EQ(back.stats.aig.ands, report.stats.aig.ands);
+    EXPECT_EQ(back.stats.luts.luts, report.stats.luts.luts);
+    EXPECT_EQ(back.stats.x_outputs_checked, report.stats.x_outputs_checked);
+    EXPECT_EQ(back.stats.x_lanes_simulated, report.stats.x_lanes_simulated);
+}
+
+TEST(LintReportTest, JsonRejectsFutureVersions) {
+    auto j = lint::lint_report_to_json(LintReport{});
+    j.set("version", util::Json(2.0));
+    EXPECT_THROW(lint::lint_report_from_json(j), std::runtime_error);
+}
+
+TEST(LintArtifactTest, ReportPersistsThroughTheDiskTier) {
+    const auto dir = fs::temp_directory_path() / "matador-lint-cache-test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const auto m = random_model(18, 2, 4, 0.1, 23);
+    const auto fresh = [&] {
+        return core::LintArtifact{lint::lint_design(generate(m, true), &m)};
+    };
+    const std::uint64_t key = 0x1234abcd5678ef01ull;
+
+    core::ArtifactTier tier = core::ArtifactTier::kMemory;
+    core::ArtifactStore store(dir.string());
+    const auto first = store.get_or_compute_lint(key, fresh, &tier);
+    EXPECT_EQ(tier, core::ArtifactTier::kNone);
+    store.get_or_compute_lint(key, fresh, &tier);
+    EXPECT_EQ(tier, core::ArtifactTier::kMemory);
+    EXPECT_EQ(store.stats().lint.misses, 1u);
+    EXPECT_EQ(store.stats().lint.memory_hits, 1u);
+
+    // A new store instance ("process restart") rehydrates from disk.
+    core::ArtifactStore again(dir.string());
+    const auto second = again.get_or_compute_lint(key, fresh, &tier);
+    EXPECT_EQ(tier, core::ArtifactTier::kDisk);
+    EXPECT_EQ(second.report.findings, first.report.findings);
+    EXPECT_EQ(second.report.summary(), first.report.summary());
+    EXPECT_EQ(second.report.stats.x_outputs_checked,
+              first.report.stats.x_outputs_checked);
+
+    bool saw_lint_entry = false;
+    for (const auto& entry : again.list_disk())
+        if (entry.stage == "lint") saw_lint_entry = true;
+    EXPECT_TRUE(saw_lint_entry);
+
+    fs::remove_all(dir);
+}
+
+}  // namespace

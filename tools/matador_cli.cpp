@@ -7,6 +7,7 @@
 //   matador eval      --model m.tm --dataset <spec> [--check]   batched scoring
 //   matador generate  --model m.tm --rtl-out dir [options]
 //   matador verify    --model m.tm [options]
+//   matador lint      --model m.tm | <files.v...>  [--json] [--fail-on sev]
 //   matador simulate  --model m.tm [--vcd out.vcd] [--trace] [options]
 //   matador sweep     --dataset <spec> --sweep key=v1,v2,... [--jobs n]
 //                     [--shards n | --shard-id i --shards n] [--out r.json]
@@ -61,8 +62,11 @@
 #include "rtl/generators.hpp"
 #include "rtl/pynq_driver_gen.hpp"
 #include "rtl/testbench_gen.hpp"
+#include "lint/lint.hpp"
 #include "rtl/verification.hpp"
+#include "rtl/verilog_parser.hpp"
 #include "sim/accelerator_sim.hpp"
+#include "util/fsio.hpp"
 #include "util/string_utils.hpp"
 
 namespace {
@@ -71,7 +75,7 @@ using namespace matador;
 
 [[noreturn]] void usage(int code) {
     std::puts(
-        "usage: matador <flow|train|eval|generate|verify|simulate|sweep|"
+        "usage: matador <flow|train|eval|generate|verify|lint|simulate|sweep|"
         "sweep-merge|sweep-status|cache|stages|datasets> [options]\n"
         "\n"
         "common options:\n"
@@ -87,6 +91,9 @@ using namespace matador;
         "  --timing                flow: print the per-stage timing table\n"
         "  --check                 eval: also run the scalar reference path\n"
         "                          and fail on any prediction mismatch\n"
+        "  --fail-on <sev>         lint: exit nonzero at this severity or\n"
+        "                          above (info|warning|error; default error)\n"
+        "  --json                  lint: emit the report as JSON\n"
         "  --vcd <file>            simulate: dump ILA-probe waveforms\n"
         "  --trace                 simulate: print the cycle trace\n"
         "  --datapoints <n>        simulate: streamed datapoints (default 16)\n"
@@ -122,6 +129,7 @@ struct CliArgs {
     std::string command;
     std::map<std::string, std::string> options;
     std::vector<std::string> sweep_axes;  ///< raw "key=v1,v2,..." specs
+    std::vector<std::string> files;       ///< lint: positional .v paths
     bool flag(const std::string& name) const { return options.count(name) > 0; }
     std::string get(const std::string& name, const std::string& def = "") const {
         const auto it = options.find(name);
@@ -151,6 +159,7 @@ const std::vector<CommandSpec>& command_specs() {
           "check", "config"}},
         {"generate", {"model", "rtl-out", "config"}},
         {"verify", {"model", "config"}},
+        {"lint", {"model", "fail-on", "json", "config"}},
         {"simulate", {"model", "vcd", "trace", "datapoints", "config"}},
         {"sweep",
          {"dataset", "examples", "data-seed", "train-fraction", "sweep",
@@ -173,7 +182,7 @@ const CommandSpec* find_command(const std::string& name) {
 /// Options that take no value.
 bool is_boolean_flag(const std::string& name) {
     return name == "trace" || name == "timing" || name == "history" ||
-           name == "check";
+           name == "check" || name == "json";
 }
 
 std::size_t parse_count_option(const std::string& name, const std::string& v) {
@@ -243,6 +252,11 @@ CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
     for (int i = first_option; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0) {
+            // 'matador lint a.v b.v' lints standalone Verilog files.
+            if (args.command == "lint") {
+                args.files.push_back(std::move(arg));
+                continue;
+            }
             std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
             usage(1);
         }
@@ -506,6 +520,57 @@ int cmd_verify(const CliArgs& args, core::FlowConfig cfg) {
     if (!rep.first_failure.empty())
         std::printf("first failure: %s\n", rep.first_failure.c_str());
     return ctx.ok() ? 0 : 1;
+}
+
+int cmd_lint(const CliArgs& args, const core::FlowConfig& cfg) {
+    lint::Severity fail_on = lint::Severity::kError;
+    if (!args.get("fail-on").empty()) {
+        const auto sev = lint::severity_from_name(args.get("fail-on"));
+        if (!sev) {
+            std::fprintf(stderr,
+                         "bad --fail-on: %s (want info|warning|error)\n",
+                         args.get("fail-on").c_str());
+            usage(1);
+        }
+        fail_on = *sev;
+    }
+
+    lint::LintReport report;
+    if (!args.files.empty()) {
+        // Standalone structural Verilog files: parse back into AIGs and run
+        // the netlist-level checks.  A file outside the structural subset
+        // (or unreadable) is itself a finding, not a crash.
+        for (const auto& path : args.files) {
+            try {
+                const auto parsed = rtl::parse_structural_verilog(
+                    util::read_file(path), /*strash=*/false);
+                lint::lint_aig(parsed.aig, path + " (" + parsed.name + ")",
+                               report.findings, &report.stats.aig);
+            } catch (const std::exception& e) {
+                report.findings.push_back({lint::check::kParseError,
+                                           lint::Severity::kError, path, "",
+                                           e.what()});
+            }
+        }
+    } else {
+        // Full-design lint: regenerate the netlists from the model (served
+        // from the artifact store when cached) and run every check.
+        const auto m = load_model_arg(args);
+        const core::Pipeline pipeline(cfg);
+        const core::CompileContext ctx = pipeline.run_with_model(
+            m, nullptr, {core::StageKind::kTrain, core::StageKind::kGenerate});
+        if (!ctx.design) {
+            std::fputs(core::format_diagnostics(ctx).c_str(), stderr);
+            return 1;
+        }
+        report = lint::lint_design(*ctx.design, &m);
+    }
+
+    if (args.flag("json"))
+        std::printf("%s\n", lint::lint_report_to_json(report).dump(2).c_str());
+    else
+        std::fputs(lint::format_lint_report(report).c_str(), stdout);
+    return report.clean(fail_on) ? 0 : 1;
 }
 
 int cmd_simulate(const CliArgs& args, const core::FlowConfig& cfg) {
@@ -798,12 +863,15 @@ int cmd_cache(const CliArgs& args, const core::FlowConfig& cfg) {
     }
 
     // stats
-    std::size_t train_n = 0, gen_n = 0;
-    std::uintmax_t train_b = 0, gen_b = 0;
+    std::size_t train_n = 0, gen_n = 0, lint_n = 0;
+    std::uintmax_t train_b = 0, gen_b = 0, lint_b = 0;
     for (const auto& e : entries) {
         if (e.stage == "train") {
             train_n++;
             train_b += e.bytes;
+        } else if (e.stage == "lint") {
+            lint_n++;
+            lint_b += e.bytes;
         } else {
             gen_n++;
             gen_b += e.bytes;
@@ -814,6 +882,8 @@ int cmd_cache(const CliArgs& args, const core::FlowConfig& cfg) {
                 std::uintmax_t(train_b));
     std::printf("  generate: %zu entries, %ju bytes\n", gen_n,
                 std::uintmax_t(gen_b));
+    std::printf("  lint:     %zu entries, %ju bytes\n", lint_n,
+                std::uintmax_t(lint_b));
     return 0;
 }
 
@@ -852,6 +922,7 @@ int main(int argc, char** argv) {
         if (args.command == "eval") return cmd_eval(args, cfg);
         if (args.command == "generate") return cmd_generate(args, cfg);
         if (args.command == "verify") return cmd_verify(args, cfg);
+        if (args.command == "lint") return cmd_lint(args, cfg);
         if (args.command == "simulate") return cmd_simulate(args, cfg);
         if (args.command == "sweep") return cmd_sweep(args, cfg);
         if (args.command == "sweep-merge") return cmd_sweep_merge(args, cfg);

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Run clang-tidy over src/ and tools/ with the checks in .clang-tidy.
+#
+# Degrades gracefully: exits 0 with a notice when clang-tidy or the
+# compilation database is missing, so local builds without the tool and
+# the advisory CI step never hard-fail.
+#
+# usage: tools/run_clang_tidy.sh [build_dir]   (default: build)
+set -eu
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_clang_tidy: clang-tidy not installed; skipping" >&2
+    exit 0
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "run_clang_tidy: no $BUILD_DIR/compile_commands.json (configure" \
+         "with cmake first); skipping" >&2
+    exit 0
+fi
+
+STATUS=0
+for f in $(find src tools -name '*.cpp' | sort); do
+    clang-tidy -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+done
+exit $STATUS
