@@ -1,0 +1,170 @@
+#include "dist/gc.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "dist/work_queue.hpp"
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+
+namespace fs = std::filesystem;
+
+namespace matador::dist {
+
+namespace {
+
+double age_seconds(const fs::path& p) {
+    std::error_code ec;
+    const auto mtime = fs::last_write_time(p, ec);
+    if (ec) return 0.0;  // vanished: treat as brand new (won't be collected)
+    return std::chrono::duration<double>(fs::file_time_type::clock::now() -
+                                         mtime)
+        .count();
+}
+
+/// Queue completeness without constructing a WorkQueue (gc must not need
+/// the grid or datasets): done + failed markers vs. grid.json's size.
+/// nullopt when there is no readable queue.
+std::optional<bool> queue_complete(const fs::path& queue) {
+    std::error_code ec;
+    if (!fs::exists(queue / "grid.json", ec)) return std::nullopt;
+    std::size_t total = 0;
+    try {
+        const util::Json grid =
+            util::Json::parse(util::read_file((queue / "grid.json").string()));
+        total = grid.at("configs").size();
+    } catch (const std::exception&) {
+        return std::nullopt;  // unreadable epoch: leave it alone
+    }
+    const auto count = [&](const char* sub) {
+        std::size_t n = 0;
+        std::error_code iter_ec;
+        for (const auto& entry : fs::directory_iterator(queue / sub, iter_ec)) {
+            const auto index =
+                parse_queue_index(entry.path().filename().string());
+            if (index && *index < total) ++n;
+        }
+        return n;
+    };
+    return count("done") + count("failed") >= total;
+}
+
+}  // namespace
+
+GcReport collect_garbage(const std::string& cache_dir,
+                         const GcOptions& options) {
+    if (cache_dir.empty())
+        throw std::invalid_argument("collect_garbage: cache_dir must be set");
+    GcReport report;
+    const fs::path root(cache_dir);
+    const auto remove_path = [&](const fs::path& p, auto remover) {
+        report.removed.push_back(p.string());
+        if (!options.dry_run) {
+            std::error_code ec;
+            remover(p, ec);  // a race with another cleaner is not an error
+        }
+    };
+    const auto remove_all = [](const fs::path& p, std::error_code& ec) {
+        fs::remove_all(p, ec);
+    };
+    const auto remove_one = [](const fs::path& p, std::error_code& ec) {
+        fs::remove(p, ec);
+    };
+
+    // -- orphaned init temps: a shard died before its atomic publish ------
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(root, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("queue.tmp.", 0) != 0) continue;
+        if (age_seconds(entry.path()) <= options.debris_age_seconds) continue;
+        remove_path(entry.path(), remove_all);
+        ++report.tmp_dirs_removed;
+    }
+
+    // -- the queue itself --------------------------------------------------
+    const fs::path queue = root / "queue";
+    const std::optional<bool> complete = queue_complete(queue);
+    if (complete.has_value()) {
+        if (*complete && options.max_age_seconds > 0 &&
+            age_seconds(queue / "grid.json") > options.max_age_seconds) {
+            // A finished epoch nobody has touched within the age bound; its
+            // merge window has long passed.
+            remove_path(queue, remove_all);
+            report.queue_removed = true;
+        } else {
+            // Keep the queue, but sweep committed-but-uncleaned leases
+            // (crash between done marker and lease removal).
+            std::error_code lease_ec;
+            for (const auto& entry :
+                 fs::directory_iterator(queue / "leases", lease_ec)) {
+                const auto index =
+                    parse_queue_index(entry.path().filename().string());
+                if (!index) continue;
+                char done_name[40];
+                std::snprintf(done_name, sizeof done_name, "%08zu.done",
+                              *index);
+                if (!fs::exists(queue / "done" / done_name)) continue;
+                if (age_seconds(entry.path()) <= options.debris_age_seconds)
+                    continue;
+                remove_path(entry.path(), remove_one);
+                ++report.stale_leases_removed;
+            }
+        }
+    }
+
+    // -- result manifests --------------------------------------------------
+    // Never shrink results/ under a live (incomplete) sweep: its merge
+    // still expects every manifest to be (or become) present.
+    if (complete.has_value() && !*complete && !report.queue_removed) {
+        report.results_skipped_live_sweep = true;
+        return report;
+    }
+
+    struct Manifest {
+        double age = 0.0;
+        std::uintmax_t bytes = 0;
+        fs::path path;
+    };
+    std::vector<Manifest> manifests;
+    std::uintmax_t total_bytes = 0;
+    std::error_code results_ec;
+    for (const auto& entry :
+         fs::directory_iterator(results_dir(cache_dir), results_ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("point_", 0) != 0 ||
+            entry.path().extension() != ".json")
+            continue;
+        Manifest m;
+        m.path = entry.path();
+        m.age = age_seconds(entry.path());
+        std::error_code size_ec;
+        m.bytes = fs::file_size(entry.path(), size_ec);
+        if (size_ec) continue;
+        total_bytes += m.bytes;
+        manifests.push_back(std::move(m));
+    }
+    std::sort(manifests.begin(), manifests.end(),
+              [](const Manifest& a, const Manifest& b) {
+                  return a.age > b.age;  // oldest first
+              });
+
+    for (const Manifest& m : manifests) {
+        const bool too_old =
+            options.max_age_seconds > 0 && m.age > options.max_age_seconds;
+        const bool over_budget =
+            options.max_total_bytes > 0 && total_bytes > options.max_total_bytes;
+        if (!too_old && !over_budget) continue;
+        remove_path(m.path, remove_one);
+        ++report.manifests_removed;
+        report.bytes_freed += m.bytes;
+        total_bytes -= m.bytes;
+    }
+    return report;
+}
+
+}  // namespace matador::dist

@@ -1,0 +1,63 @@
+// Cache garbage collection: bounded cleanup of sweep debris.
+//
+// A long-lived shared cache_dir accumulates three kinds of litter:
+//
+//   * queue.tmp.<owner>/   half-built queue trees left by shards that died
+//                          mid-init (the atomic-rename publish never ran),
+//   * queue/leases/...     leases whose point already has a done marker
+//                          (the owner crashed between commit and cleanup),
+//                          and whole queue/ trees of long-finished epochs,
+//   * results/point_*.json per-point manifests of old sweeps.
+//
+// collect_garbage removes them under explicit bounds: an age bound (only
+// things older than max_age_seconds go) and a size bound for the results
+// directory (oldest manifests go first until the total is under
+// max_total_bytes).  Safety first: the results directory is never touched
+// while an *incomplete* queue exists - a live sweep's merge step still
+// needs every manifest - and a finished queue tree is only removed when an
+// age bound says it is genuinely old, because sweep-merge reads
+// queue/grid.json.  dry_run reports what would go without deleting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace matador::dist {
+
+struct GcOptions {
+    /// Only remove things whose mtime is older than this; 0 disables all
+    /// age-gated collection (orphaned init temps and done-marker leases
+    /// are still swept - they are unambiguous debris at any age).
+    double max_age_seconds = 0.0;
+    /// Shrink results/ to at most this many bytes, oldest manifests first;
+    /// 0 = no size bound.
+    std::uintmax_t max_total_bytes = 0;
+    /// Report what would be removed without removing anything.
+    bool dry_run = false;
+    /// Debris (queue.tmp.*, committed-but-uncleaned leases) must be at
+    /// least this old, so gc never races a shard that is mid-init or
+    /// mid-complete.  Exposed for tests.
+    double debris_age_seconds = 60.0;
+};
+
+struct GcReport {
+    std::size_t manifests_removed = 0;   ///< results/point_*.json
+    std::uintmax_t bytes_freed = 0;      ///< of those manifests
+    std::size_t tmp_dirs_removed = 0;    ///< orphaned queue.tmp.*
+    std::size_t stale_leases_removed = 0;///< leases with a done marker
+    bool queue_removed = false;          ///< a finished, aged-out queue/
+    /// True when an incomplete queue blocked results collection (a sweep
+    /// is - or may be - live).
+    bool results_skipped_live_sweep = false;
+    std::vector<std::string> removed;    ///< paths, removal order
+};
+
+/// Collect garbage under `cache_dir` per `options`.  Never throws on
+/// individual filesystem races (another process may be cleaning too);
+/// throws std::invalid_argument only for an empty cache_dir.
+GcReport collect_garbage(const std::string& cache_dir,
+                         const GcOptions& options = {});
+
+}  // namespace matador::dist

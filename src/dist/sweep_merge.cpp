@@ -1,6 +1,7 @@
 #include "dist/sweep_merge.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <stdexcept>
 
@@ -59,7 +60,14 @@ MergeReport merge_sweep(const std::string& cache_dir) {
         } catch (const std::exception& e) {
             why = e.what();
         }
-        // Keep the slot well-formed for partial-result consumers.
+        // Keep the slot well-formed for partial-result consumers.  A failed
+        // marker overrides the generic diagnosis: the queue gave the point
+        // up deliberately, it is not still on its way.
+        char failed_name[40];
+        std::snprintf(failed_name, sizeof failed_name, "%08zu.failed", i);
+        if (fs::exists(fs::path(cache_dir) / "queue" / "failed" / failed_name))
+            why = "retry budget exhausted (queue/failed/); the point "
+                  "repeatedly outlived its lease";
         point.index = i;
         point.cfg = core::flow_config_from_text(grid.config_texts[i]);
         point.ok = false;

@@ -40,6 +40,16 @@ SweepStatus read_sweep_status(const std::string& cache_dir,
     s.todo = count_indexed("todo");
     s.done = count_indexed("done");
 
+    {
+        std::error_code failed_ec;
+        for (const auto& entry :
+             fs::directory_iterator(queue / "failed", failed_ec)) {
+            const auto index = parse_queue_index(entry.path().filename().string());
+            if (index && *index < s.total) s.failed.push_back(*index);
+        }
+        std::sort(s.failed.begin(), s.failed.end());
+    }
+
     const auto now = fs::file_time_type::clock::now();
     std::error_code ec;
     for (const auto& entry : fs::directory_iterator(queue / "leases", ec)) {
@@ -84,10 +94,23 @@ std::string format_sweep_status(const SweepStatus& s) {
     std::ostringstream out;
     char line[160];
     std::snprintf(line, sizeof line,
-                  "sweep: %zu points  todo=%zu leased=%zu done=%zu (%.0f%%)\n",
-                  s.total, s.todo, s.leased, s.done,
+                  "sweep: %zu points  todo=%zu leased=%zu done=%zu failed=%zu "
+                  "(%.0f%%)\n",
+                  s.total, s.todo, s.leased, s.done, s.failed.size(),
                   s.total ? 100.0 * double(s.done) / double(s.total) : 0.0);
     out << line;
+
+    if (!s.failed.empty()) {
+        out << "failed (retry budget exhausted):\n";
+        for (const std::size_t index : s.failed) {
+            std::snprintf(line, sizeof line,
+                          "  point %zu  gave up after repeated lease "
+                          "expiries; fix the config or machine and re-queue "
+                          "with a fresh sweep epoch\n",
+                          index);
+            out << line;
+        }
+    }
 
     if (!s.leases.empty()) {
         out << "leases:\n";
@@ -121,9 +144,12 @@ std::string format_sweep_status(const SweepStatus& s) {
         }
     }
 
-    if (s.complete())
+    if (s.all_done())
         out << "sweep complete; merge with: matador sweep-merge --cache-dir "
                "<cache_dir>\n";
+    else if (s.complete())
+        out << "sweep terminated with failures; sweep-merge will report the "
+               "failed points as missing\n";
     return out.str();
 }
 

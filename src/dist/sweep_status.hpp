@@ -36,6 +36,8 @@ struct SweepStatus {
     std::size_t done = 0;    ///< completed points
     double lease_timeout_seconds = 0.0;  ///< staleness threshold applied
     std::vector<LeaseStatus> leases;     ///< index order
+    /// Points whose retry budget ran out (queue/failed/), index order.
+    std::vector<std::size_t> failed;
     /// Per-shard reports from queue/stats/ (both finished shards and the
     /// in-progress snapshots the heartbeat thread publishes), owner order.
     std::vector<ShardReport> shards;
@@ -45,7 +47,10 @@ struct SweepStatus {
         for (const auto& l : leases) n += l.stale;
         return n;
     }
-    bool complete() const { return done >= total; }
+    /// Terminal: every point is either done or declared failed.
+    bool complete() const { return done + failed.size() >= total; }
+    /// Fully successful: every point completed.
+    bool all_done() const { return done >= total; }
 };
 
 /// Read the queue under `cache_dir`.  Throws std::runtime_error when there

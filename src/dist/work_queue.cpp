@@ -175,6 +175,8 @@ void WorkQueue::init_or_verify() {
         fs::create_directories(tmp / "todo");
         fs::create_directories(tmp / "leases");
         fs::create_directories(tmp / "done");
+        fs::create_directories(tmp / "attempts");
+        fs::create_directories(tmp / "failed");
         fs::create_directories(tmp / "stats");
         {
             std::ofstream out(tmp / "grid.json");
@@ -275,16 +277,69 @@ std::optional<std::size_t> WorkQueue::claim_stolen() {
     }
     std::sort(candidates.begin(), candidates.end());
     for (const auto& [index, path] : candidates) {
+        // Budget check before the steal: a point that already burned its
+        // retries is declared failed instead of re-run.  The declaration
+        // reuses the claim primitive - rename the expired lease into
+        // failed/ - so exactly one contender makes the call; the losers'
+        // renames fail and they move on.
+        if (options_.max_retries > 0 &&
+            retry_count(index) >= options_.max_retries) {
+            std::error_code fail_ec;
+            fs::create_directories(queue / "failed", fail_ec);
+            fs::rename(path,
+                       queue / "failed" / (index_name(index) + ".failed"),
+                       fail_ec);
+            continue;
+        }
         std::error_code rename_ec;
         fs::rename(path, lease_path(index), rename_ec);
         if (rename_ec) continue;  // another thief won, or the owner finished
         touch_lease(index);
+        bump_retry(index);
         std::lock_guard<std::mutex> lock(mu_);
         held_.insert(index);
         ++stolen_;
         return index;
     }
     return std::nullopt;
+}
+
+std::size_t WorkQueue::retry_count(std::size_t index) const {
+    const fs::path counter =
+        fs::path(queue_dir()) / "attempts" / index_name(index);
+    try {
+        return std::stoul(read_file(counter.string()));
+    } catch (...) {  // absent or unparsable: never stolen
+        return 0;
+    }
+}
+
+void WorkQueue::bump_retry(std::size_t index) const {
+    // Only the thief whose lease rename won calls this, and a second steal
+    // of the same index needs that fresh lease to expire first, so writers
+    // are serialized per index; read-modify-write is safe here.  The
+    // directory may be absent in a queue created before retry budgets.
+    const fs::path dir = fs::path(queue_dir()) / "attempts";
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    write_file_atomic((dir / index_name(index)).string(),
+                      std::to_string(retry_count(index) + 1) + "\n");
+}
+
+std::size_t WorkQueue::failed_count() const {
+    return failed_indices().size();
+}
+
+std::vector<std::size_t> WorkQueue::failed_indices() const {
+    std::vector<std::size_t> out;
+    std::error_code ec;
+    for (const auto& entry :
+         fs::directory_iterator(fs::path(queue_dir()) / "failed", ec)) {
+        const auto index = parse_queue_index(entry.path().filename().string());
+        if (index && *index < grid_.size()) out.push_back(*index);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 std::optional<std::size_t> WorkQueue::claim() {

@@ -10,13 +10,24 @@
 //   leases/<idx>.<owner>.lease claimed by <owner>; mtime refreshed by
 //                              heartbeats while the point runs
 //   done/<idx>.done            completed (its result manifest is written)
+//   attempts/<idx>             steal counter: how often the point had to be
+//                              re-claimed from a dead shard's lease
+//   failed/<idx>.failed        retry budget exhausted; the point is given
+//                              up rather than re-run forever
 //   stats/<owner>.json         per-shard report, summed by the merge step
 //
 // Claiming is an atomic rename(todo/... -> leases/...): exactly one
 // contender wins, the loser's rename fails with ENOENT and it moves on.
 // A lease whose mtime is older than the timeout belongs to a presumed-dead
 // shard and may be stolen (renamed to the thief's lease name), so a killed
-// shard's points are re-run, not lost.  In the rare race where a slow but
+// shard's points are re-run, not lost.  Unbounded re-running is its own
+// failure mode, though: a point that reliably kills its shard (OOM, a bad
+// config tripping a kernel bug) would be stolen and crash shards forever.
+// With max_retries set, every successful steal bumps the point's attempts
+// counter, and an expired lease whose budget is spent is renamed into
+// failed/ instead of stolen - the same atomic-rename claim, so exactly one
+// shard declares the failure.  Failed points count toward drained() (the
+// sweep terminates) and are surfaced by sweep-status and sweep-merge.  In the rare race where a slow but
 // living shard is robbed, both executions produce the same deterministic
 // result and both manifest writes are atomic temp+rename - nothing is
 // corrupted or duplicated in the merged output, which is keyed by index.
@@ -70,6 +81,10 @@ struct WorkQueueOptions {
     double lease_timeout_seconds = 60.0;
     /// Disable stealing (a shard then only drains unclaimed indices).
     bool steal = true;
+    /// How many times a point may be re-claimed from an expired lease
+    /// before it is declared failed instead of re-run.  0 = unlimited
+    /// (the pre-budget behavior).
+    std::size_t max_retries = 0;
 };
 
 class WorkQueue {
@@ -105,7 +120,17 @@ public:
     void heartbeat();
 
     std::size_t done_count() const;
-    bool drained() const { return done_count() >= grid_.size(); }
+    /// Points whose retry budget ran out (see WorkQueueOptions.max_retries).
+    std::size_t failed_count() const;
+    /// The failed indices, ascending.
+    std::vector<std::size_t> failed_indices() const;
+    /// Steal count recorded for an index (0 = never re-claimed).
+    std::size_t retry_count(std::size_t index) const;
+    /// Every point reached a terminal state - completed or failed.  Shards
+    /// stop polling here; without failed points this is "all done".
+    bool drained() const {
+        return done_count() + failed_count() >= grid_.size();
+    }
 
     /// Indices claimed by this handle via an expired-lease steal.
     /// Thread-safe: the shard heartbeat reads this while workers claim.
@@ -129,6 +154,7 @@ private:
     std::optional<std::size_t> claim_from_todo();
     std::optional<std::size_t> claim_stolen();
     void touch_lease(std::size_t index) const;
+    void bump_retry(std::size_t index) const;
 
     std::string cache_dir_;
     GridManifest grid_;

@@ -1,0 +1,214 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "serve/error.hpp"
+
+namespace matador::serve {
+
+namespace {
+
+constexpr std::size_t kLanes = infer::BatchEngine::kLanes;
+
+}  // namespace
+
+Batcher::Batcher(train::WorkerPool& pool, BatcherOptions options,
+                 ServeMetrics* metrics)
+    : pool_(pool), options_(options), metrics_(metrics) {
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Batcher::~Batcher() { stop(); }
+
+std::future<Reply> Batcher::submit(std::shared_ptr<const ServableModel> model,
+                                   util::BitVector x,
+                                   std::optional<std::uint32_t> label) {
+    if (!model)
+        throw ServeError(ErrorCode::kBadRequest, "submit: null model handle");
+    if (x.size() != model->model.num_features()) {
+        if (metrics_) metrics_->record_error(model->hash_hex);
+        check_feature_width(model->model.num_features(), x.size(), "request");
+    }
+
+    Request req;
+    req.model = std::move(model);
+    req.x = std::move(x);
+    req.label = label;
+    req.enqueued = Clock::now();
+    std::future<Reply> future = req.promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_)
+            throw ServeError(ErrorCode::kShuttingDown,
+                             "server is shutting down");
+        if (queue_.size() >= options_.max_queue_depth) {
+            if (metrics_) metrics_->record_shed(req.model->hash_hex);
+            throw ServeError(ErrorCode::kOverloaded,
+                             "queue full (" +
+                                 std::to_string(options_.max_queue_depth) +
+                                 " pending); retry with backoff");
+        }
+        queue_.push_back(std::move(req));
+    }
+    work_cv_.notify_one();
+    return future;
+}
+
+std::vector<Batcher::Block> Batcher::collect_ready_locked(
+    bool force, std::optional<Clock::time_point>* next_deadline) {
+    // Group the queue by servable, preserving per-model FIFO order.  The
+    // queue is at most max_queue_depth long, so the linear scan is cheap.
+    std::vector<Block> groups;
+    for (Request& req : queue_) {
+        Block* group = nullptr;
+        for (Block& g : groups)
+            if (g.model == req.model) group = &g;
+        if (!group) {
+            groups.push_back(Block{req.model, {}});
+            group = &groups.back();
+        }
+        group->requests.push_back(std::move(req));
+    }
+    queue_.clear();
+
+    const auto delay = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(options_.max_batch_delay_ms));
+    const Clock::time_point now = Clock::now();
+
+    std::vector<Block> ready;
+    for (Block& g : groups) {
+        // Full 64-lane chunks are always ready; the partial tail waits
+        // until its oldest member exceeds the latency budget.
+        std::size_t begin = 0;
+        while (g.requests.size() - begin >= kLanes) {
+            Block b;
+            b.model = g.model;
+            b.requests.assign(std::make_move_iterator(g.requests.begin() + begin),
+                              std::make_move_iterator(g.requests.begin() + begin + kLanes));
+            ready.push_back(std::move(b));
+            begin += kLanes;
+        }
+        if (begin == g.requests.size()) continue;
+        const Clock::time_point flush_at = g.requests[begin].enqueued + delay;
+        if (force || flush_at <= now) {
+            Block b;
+            b.model = g.model;
+            b.requests.assign(std::make_move_iterator(g.requests.begin() + begin),
+                              std::make_move_iterator(g.requests.end()));
+            ready.push_back(std::move(b));
+        } else {
+            // Put the unready tail back, keeping arrival order.
+            for (std::size_t i = begin; i < g.requests.size(); ++i)
+                queue_.push_back(std::move(g.requests[i]));
+            if (next_deadline && (!next_deadline->has_value() ||
+                                  flush_at < **next_deadline))
+                *next_deadline = flush_at;
+        }
+    }
+    return ready;
+}
+
+void Batcher::execute_block(Block& block) const {
+    const std::size_t n = block.requests.size();
+    std::vector<util::BitVector> xs;
+    xs.reserve(n);
+    for (Request& req : block.requests) xs.push_back(std::move(req.x));
+
+    const std::vector<std::uint32_t> preds =
+        block.model->engine.predict(xs.data(), n);
+
+    if (metrics_) metrics_->record_batch(block.model->hash_hex, n);
+    const Clock::time_point done = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+        Request& req = block.requests[i];
+        Reply reply;
+        reply.prediction = preds[i];
+        reply.model_hash = block.model->hash_hex;
+        reply.latency_us =
+            std::chrono::duration<double, std::micro>(done - req.enqueued)
+                .count();
+        if (metrics_) {
+            std::optional<bool> correct;
+            if (req.label) correct = preds[i] == *req.label;
+            metrics_->record_response(reply.model_hash, reply.latency_us,
+                                      correct);
+        }
+        req.promise.set_value(std::move(reply));
+    }
+}
+
+void Batcher::run_blocks(std::vector<Block>& blocks) {
+    if (blocks.size() == 1 || pool_.size() == 1) {
+        for (Block& b : blocks) execute_block(b);
+        return;
+    }
+    pool_.run([&](unsigned worker) {
+        const auto [begin, end] =
+            train::worker_slice(blocks.size(), worker, pool_.size());
+        for (std::size_t i = begin; i < end; ++i) execute_block(blocks[i]);
+    });
+}
+
+void Batcher::dispatcher_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        work_cv_.wait(lock, [&] {
+            return stop_ || flush_requested_ || !queue_.empty();
+        });
+        if (queue_.empty()) {
+            if (stop_) return;
+            flush_requested_ = false;
+            idle_cv_.notify_all();
+            continue;
+        }
+
+        const bool force = stop_ || flush_requested_;
+        std::optional<Clock::time_point> deadline;
+        std::vector<Block> ready = collect_ready_locked(force, &deadline);
+        if (ready.empty()) {
+            // Nothing full yet: sleep until the oldest partial block's
+            // latency budget runs out (or new work / stop arrives).
+            work_cv_.wait_until(lock, *deadline, [&] {
+                return stop_ || flush_requested_ ||
+                       queue_.size() >= kLanes;
+            });
+            continue;
+        }
+
+        std::size_t count = 0;
+        for (const Block& b : ready) count += b.requests.size();
+        in_flight_ += count;
+        lock.unlock();
+        run_blocks(ready);
+        lock.lock();
+        in_flight_ -= count;
+        if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+}
+
+void Batcher::flush() {
+    std::unique_lock<std::mutex> lock(mu_);
+    flush_requested_ = true;
+    work_cv_.notify_all();
+    idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+    flush_requested_ = false;
+}
+
+void Batcher::stop() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_ && !dispatcher_.joinable()) return;
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::size_t Batcher::queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+}  // namespace matador::serve

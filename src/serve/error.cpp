@@ -1,0 +1,27 @@
+#include "serve/error.hpp"
+
+namespace matador::serve {
+
+const char* error_code_name(ErrorCode code) {
+    switch (code) {
+        case ErrorCode::kOverloaded: return "overloaded";
+        case ErrorCode::kUnknownModel: return "unknown-model";
+        case ErrorCode::kFeatureMismatch: return "feature-mismatch";
+        case ErrorCode::kBadRequest: return "bad-request";
+        case ErrorCode::kShuttingDown: return "shutting-down";
+    }
+    return "unknown";
+}
+
+void check_feature_width(std::size_t model_features, std::size_t data_features,
+                         const std::string& what) {
+    if (model_features == data_features) return;
+    throw ServeError(ErrorCode::kFeatureMismatch,
+                     "model expects " + std::to_string(model_features) +
+                         " features but " + what + " has " +
+                         std::to_string(data_features) +
+                         " booleanized bits; retrain the model on this "
+                         "dataset or pick the matching booleanization");
+}
+
+}  // namespace matador::serve

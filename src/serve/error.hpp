@@ -1,0 +1,49 @@
+// Typed errors for the serving layer.
+//
+// A serving daemon must never answer a bad request with a crash or an
+// untyped what() string the client cannot dispatch on: overload shedding,
+// unknown model names, and feature-width mismatches are *protocol* outcomes,
+// not process failures.  ServeError carries a machine-readable code that the
+// NDJSON responder maps straight into the "error" field of a response, and
+// that offline consumers (`matador eval` refusing a dataset whose
+// booleanized width does not match the model) reuse for the same clear
+// failure instead of an out-of-bounds read inside the scalar kernels.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace matador::serve {
+
+enum class ErrorCode {
+    kOverloaded,       ///< admission control shed the request (queue full)
+    kUnknownModel,     ///< no registered model matches the alias / hash
+    kFeatureMismatch,  ///< request width != model's feature count
+    kBadRequest,       ///< malformed protocol line / missing field
+    kShuttingDown,     ///< submitted after the batcher began draining
+};
+
+/// Stable wire name of a code ("overloaded", "unknown-model", ...).
+const char* error_code_name(ErrorCode code);
+
+class ServeError : public std::runtime_error {
+public:
+    ServeError(ErrorCode code, const std::string& what)
+        : std::runtime_error(what), code_(code) {}
+
+    ErrorCode code() const { return code_; }
+    const char* code_name() const { return error_code_name(code_); }
+
+private:
+    ErrorCode code_;
+};
+
+/// Throw kFeatureMismatch when a model of `model_features` cannot score
+/// `data_features`-bit examples.  `what` names the offending input (a
+/// dataset spec, "request", ...) so the message reads as a diagnosis, not
+/// a stack trace.
+void check_feature_width(std::size_t model_features, std::size_t data_features,
+                         const std::string& what);
+
+}  // namespace matador::serve

@@ -1,0 +1,148 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+
+namespace matador::serve {
+
+namespace {
+
+constexpr std::size_t kOutcomeWindow = 1024;  ///< rolling-accuracy window
+
+}  // namespace
+
+LatencyRing::LatencyRing(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity), 0.0) {}
+
+void LatencyRing::record(double us) {
+    ring_[next_] = us;
+    next_ = (next_ + 1) % ring_.size();
+    count_ = std::min(count_ + 1, ring_.size());
+}
+
+LatencyRing::Quantiles LatencyRing::quantiles() const {
+    Quantiles q;
+    q.samples = count_;
+    if (count_ == 0) return q;
+    std::vector<double> sorted(ring_.begin(), ring_.begin() + count_);
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank: the smallest sample >= the requested fraction of mass.
+    const auto rank = [&](double p) {
+        const std::size_t r = std::size_t(p * double(count_ - 1) + 0.5);
+        return sorted[std::min(r, count_ - 1)];
+    };
+    q.p50_us = rank(0.50);
+    q.p95_us = rank(0.95);
+    q.p99_us = rank(0.99);
+    return q;
+}
+
+ServeMetrics::ServeMetrics() = default;
+
+ServeMetrics::PerModel& ServeMetrics::slot_locked(const std::string& hash_hex) {
+    auto it = per_model_.find(hash_hex);
+    if (it == per_model_.end()) {
+        it = per_model_.try_emplace(hash_hex).first;
+        it->second.outcomes.assign(kOutcomeWindow, 0);
+    }
+    return it->second;
+}
+
+void ServeMetrics::record_response(const std::string& hash_hex,
+                                   double latency_us,
+                                   std::optional<bool> correct) {
+    std::lock_guard<std::mutex> lock(mu_);
+    PerModel& m = slot_locked(hash_hex);
+    ++m.requests;
+    m.latency.record(latency_us);
+    if (correct) {
+        ++m.labeled;
+        m.correct += *correct;
+        m.outcomes[m.outcome_next] = *correct;
+        m.outcome_next = (m.outcome_next + 1) % m.outcomes.size();
+        m.outcome_count = std::min(m.outcome_count + 1, m.outcomes.size());
+    }
+}
+
+void ServeMetrics::record_batch(const std::string& hash_hex,
+                                std::size_t lanes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    PerModel& m = slot_locked(hash_hex);
+    ++m.batches;
+    m.lanes += lanes;
+}
+
+void ServeMetrics::record_error(const std::string& hash_hex) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++slot_locked(hash_hex).errors;
+}
+
+void ServeMetrics::record_shed(const std::string& hash_hex) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (hash_hex.empty())
+        ++shed_unattributed_;
+    else
+        ++slot_locked(hash_hex).shed;
+}
+
+ServeMetrics::Snapshot ServeMetrics::snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Snapshot s;
+    s.uptime_seconds = uptime_.seconds();
+    s.total_shed = shed_unattributed_;
+    for (const auto& [hash, m] : per_model_) {
+        ModelMetrics out;
+        out.hash_hex = hash;
+        out.requests = m.requests;
+        out.errors = m.errors;
+        out.shed = m.shed;
+        out.batches = m.batches;
+        out.lanes = m.lanes;
+        out.labeled = m.labeled;
+        out.correct = m.correct;
+        out.latency = m.latency.quantiles();
+        out.rolling_window = m.outcome_count;
+        if (m.outcome_count > 0) {
+            std::size_t ok = 0;
+            for (std::size_t i = 0; i < m.outcome_count; ++i)
+                ok += m.outcomes[i];
+            out.rolling_accuracy = double(ok) / double(m.outcome_count);
+        }
+        s.total_requests += m.requests;
+        s.total_shed += m.shed;
+        s.models.push_back(std::move(out));
+    }
+    return s;
+}
+
+util::Json ServeMetrics::snapshot_json() const {
+    const Snapshot s = snapshot();
+    util::Json j = util::Json::object();
+    j.set("format", "matador-serve-status");
+    j.set("version", double(kStatusVersion));
+    j.set("uptime_seconds", s.uptime_seconds);
+    j.set("total_requests", double(s.total_requests));
+    j.set("total_shed", double(s.total_shed));
+    util::Json models = util::Json::array();
+    for (const auto& m : s.models) {
+        util::Json e = util::Json::object();
+        e.set("hash", m.hash_hex);
+        e.set("requests", double(m.requests));
+        e.set("errors", double(m.errors));
+        e.set("shed", double(m.shed));
+        e.set("batches", double(m.batches));
+        e.set("batch_occupancy", m.batch_occupancy());
+        e.set("p50_us", m.latency.p50_us);
+        e.set("p95_us", m.latency.p95_us);
+        e.set("p99_us", m.latency.p99_us);
+        e.set("latency_samples", double(m.latency.samples));
+        e.set("labeled", double(m.labeled));
+        e.set("correct", double(m.correct));
+        e.set("rolling_accuracy", m.rolling_accuracy);
+        e.set("rolling_window", double(m.rolling_window));
+        models.push_back(std::move(e));
+    }
+    j.set("models", std::move(models));
+    return j;
+}
+
+}  // namespace matador::serve

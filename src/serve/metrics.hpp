@@ -1,0 +1,120 @@
+// Live serving telemetry, per model and global.
+//
+// Counters are written on the hot path (one record_response per request,
+// one record_batch per dispatched block), so everything is O(1) amortized
+// under one mutex: latency quantiles come from a fixed ring of recent
+// samples (sorted only at snapshot time), rolling accuracy from a fixed
+// ring of labeled outcomes, batch occupancy from two integers.  snapshot()
+// renders the whole view as a versioned JSON document - the `serve-status`
+// wire format - without stopping the traffic it describes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+
+namespace matador::serve {
+
+/// Fixed-capacity ring of the most recent latency samples; quantiles are
+/// computed over whatever the ring currently holds.
+class LatencyRing {
+public:
+    explicit LatencyRing(std::size_t capacity = 4096);
+
+    void record(double us);
+    std::size_t samples() const { return count_; }
+
+    struct Quantiles {
+        double p50_us = 0.0;
+        double p95_us = 0.0;
+        double p99_us = 0.0;
+        std::size_t samples = 0;
+    };
+    /// Nearest-rank quantiles over the ring (zeros when empty).
+    Quantiles quantiles() const;
+
+private:
+    std::vector<double> ring_;
+    std::size_t next_ = 0;
+    std::size_t count_ = 0;  ///< min(total recorded, capacity)
+};
+
+/// One model's live counters (a snapshot copy, not the live object).
+struct ModelMetrics {
+    std::string hash_hex;
+    std::size_t requests = 0;   ///< completed predictions
+    std::size_t errors = 0;     ///< typed failures attributed to this model
+    std::size_t shed = 0;       ///< admission-control rejections
+    std::size_t batches = 0;    ///< dispatched blocks
+    std::size_t lanes = 0;      ///< sum of occupied lanes over all blocks
+    std::size_t labeled = 0;    ///< requests that carried a label
+    std::size_t correct = 0;    ///< ... where the prediction matched it
+    LatencyRing::Quantiles latency;
+    double rolling_accuracy = 0.0;  ///< over the recent labeled window
+    std::size_t rolling_window = 0; ///< labeled outcomes in that window
+
+    /// Mean occupied lanes per 64-lane block (0 when no batch ran).
+    double batch_occupancy() const {
+        return batches == 0 ? 0.0 : double(lanes) / double(batches);
+    }
+};
+
+class ServeMetrics {
+public:
+    ServeMetrics();
+
+    /// One completed prediction: end-to-end latency (queue wait + compute)
+    /// and, when the request carried a label, whether it was correct.
+    void record_response(const std::string& hash_hex, double latency_us,
+                         std::optional<bool> correct);
+    /// One dispatched block and how many of its 64 lanes carried requests.
+    void record_batch(const std::string& hash_hex, std::size_t lanes);
+    /// One typed failure (feature mismatch, ...) attributed to a model.
+    void record_error(const std::string& hash_hex);
+    /// One admission-control rejection.  `hash_hex` may be empty when the
+    /// request was shed before its model resolved.
+    void record_shed(const std::string& hash_hex);
+
+    struct Snapshot {
+        double uptime_seconds = 0.0;
+        std::size_t total_requests = 0;
+        std::size_t total_shed = 0;
+        std::vector<ModelMetrics> models;  ///< hash order
+    };
+    Snapshot snapshot() const;
+
+    /// The versioned `serve-status` document.
+    static constexpr unsigned kStatusVersion = 1;
+    util::Json snapshot_json() const;
+
+private:
+    struct PerModel {
+        std::size_t requests = 0;
+        std::size_t errors = 0;
+        std::size_t shed = 0;
+        std::size_t batches = 0;
+        std::size_t lanes = 0;
+        std::size_t labeled = 0;
+        std::size_t correct = 0;
+        LatencyRing latency;
+        /// Ring of recent labeled outcomes (1 = correct).
+        std::vector<std::uint8_t> outcomes;
+        std::size_t outcome_next = 0;
+        std::size_t outcome_count = 0;
+    };
+    PerModel& slot_locked(const std::string& hash_hex);
+
+    mutable std::mutex mu_;
+    std::map<std::string, PerModel> per_model_;
+    std::size_t shed_unattributed_ = 0;
+    util::Stopwatch uptime_;
+};
+
+}  // namespace matador::serve

@@ -1,0 +1,145 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "core/artifact_store.hpp"
+#include "serve/error.hpp"
+
+namespace fs = std::filesystem;
+
+namespace matador::serve {
+
+ServableModel::ServableModel(model::TrainedModel m, std::string from)
+    : model(std::move(m)),
+      engine(model),
+      content_hash(model.content_hash()),
+      hash_hex(core::key_hex(content_hash)),
+      source(std::move(from)) {}
+
+ModelRegistry::ModelRegistry(std::string cache_dir)
+    : cache_dir_(std::move(cache_dir)) {}
+
+std::shared_ptr<const ServableModel> ModelRegistry::add(model::TrainedModel m,
+                                                        std::string source) {
+    // Compile outside the lock: BatchEngine construction is the expensive
+    // part and must not block concurrent resolve() calls.
+    auto servable =
+        std::make_shared<const ServableModel>(std::move(m), std::move(source));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = models_.try_emplace(servable->hash_hex, servable);
+    return inserted ? servable : it->second;  // same hash: identical model
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::load_file(
+    const std::string& path) {
+    return add(model::TrainedModel::load_file(path), path);
+}
+
+std::size_t ModelRegistry::scan_store(
+    const std::function<void(const std::string&)>& warn) {
+    if (cache_dir_.empty()) return 0;
+    const fs::path train_dir = fs::path(cache_dir_) / "train";
+    std::vector<fs::path> entries;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(train_dir, ec)) {
+        const fs::path model_path = entry.path() / "model.tm";
+        if (fs::exists(model_path, ec)) entries.push_back(model_path);
+    }
+    std::sort(entries.begin(), entries.end());  // deterministic scan order
+
+    std::size_t added = 0;
+    for (const auto& path : entries) {
+        try {
+            const std::size_t before = size();
+            add(model::TrainedModel::load_file(path.string()), path.string());
+            added += size() > before;
+        } catch (const std::exception& e) {
+            if (warn)
+                warn("skipping " + path.string() + ": " + e.what());
+        }
+    }
+    return added;
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::find_hash_locked(
+    const std::string& hex_or_prefix) const {
+    if (hex_or_prefix.empty()) return nullptr;
+    const auto exact = models_.find(hex_or_prefix);
+    if (exact != models_.end()) return exact->second;
+    // Unique-prefix match (map order makes the scan a contiguous range).
+    std::shared_ptr<const ServableModel> found;
+    for (auto it = models_.lower_bound(hex_or_prefix);
+         it != models_.end() && it->first.rfind(hex_or_prefix, 0) == 0; ++it) {
+        if (found) return nullptr;  // ambiguous
+        found = it->second;
+    }
+    return found;
+}
+
+void ModelRegistry::set_alias(const std::string& alias,
+                              const std::string& target) {
+    const auto servable = resolve(target);
+    std::lock_guard<std::mutex> lock(mu_);
+    aliases_[alias] = servable->hash_hex;
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::resolve(
+    const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto alias = aliases_.find(name);
+    const std::string& key = alias == aliases_.end() ? name : alias->second;
+    if (auto servable = find_hash_locked(key)) return servable;
+
+    std::string known;
+    for (const auto& [hash, servable] : models_) {
+        if (!known.empty()) known += ", ";
+        known += hash;
+    }
+    for (const auto& [a, hash] : aliases_) known += ", " + a + "->" + hash;
+    throw ServeError(ErrorCode::kUnknownModel,
+                     "no model matches '" + name + "'" +
+                         (known.empty() ? " (registry is empty)"
+                                        : " (known: " + known + ")"));
+}
+
+bool ModelRegistry::remove(const std::string& name) {
+    std::shared_ptr<const ServableModel> servable;
+    try {
+        servable = resolve(name);
+    } catch (const ServeError&) {
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    models_.erase(servable->hash_hex);
+    for (auto it = aliases_.begin(); it != aliases_.end();)
+        it = it->second == servable->hash_hex ? aliases_.erase(it)
+                                              : std::next(it);
+    return true;
+}
+
+std::vector<ModelRegistry::Entry> ModelRegistry::list() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Entry> out;
+    out.reserve(models_.size());
+    for (const auto& [hash, servable] : models_) {
+        Entry e;
+        e.hash_hex = hash;
+        e.source = servable->source;
+        e.num_features = servable->model.num_features();
+        e.num_classes = servable->model.num_classes();
+        e.live_clauses = servable->engine.live_clauses();
+        for (const auto& [alias, target] : aliases_)
+            if (target == hash) e.aliases.push_back(alias);
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+std::size_t ModelRegistry::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return models_.size();
+}
+
+}  // namespace matador::serve

@@ -1,0 +1,111 @@
+// ModelRegistry: the serving daemon's hot-loadable model catalogue.
+//
+// Every registered model is held as an immutable ServableModel - the
+// TrainedModel plus its pre-compiled infer::BatchEngine - behind a
+// shared_ptr, keyed by the model's 64-bit content hash (the same hash the
+// artifact store keys backend artifacts with).  Aliases ("default", a
+// sweep candidate's nickname) map names onto hashes and can be re-pointed
+// atomically: resolve() hands out a shared_ptr snapshot, so requests that
+// are already in flight keep scoring against the engine they started with
+// while new requests see the swapped target.  The old engine is freed when
+// its last in-flight batch drops the reference - a lock-free drain, no
+// request is ever dropped by a swap.
+//
+// Models come from three places:
+//   * add()        - an in-memory TrainedModel (tests, train-then-serve),
+//   * load_file()  - a .tm file on disk,
+//   * the PR-2 ArtifactStore: scan_store() walks the train tier
+//     (<cache_dir>/train/<key16>/model.tm) once, indexing every cached
+//     model by content hash, so `load <hash>` hot-loads any model a sweep
+//     ever trained without retraining or re-pathing anything.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "infer/engine.hpp"
+#include "model/trained_model.hpp"
+
+namespace matador::serve {
+
+/// An immutable, ready-to-score model: shared by the registry, in-flight
+/// batches, and metrics attribution.
+struct ServableModel {
+    model::TrainedModel model;
+    infer::BatchEngine engine;
+    std::uint64_t content_hash = 0;
+    std::string hash_hex;  ///< 16-char lower-case form (wire / display)
+    std::string source;    ///< file path, store entry, or "(memory)"
+
+    ServableModel(model::TrainedModel m, std::string from);
+};
+
+class ModelRegistry {
+public:
+    /// `cache_dir` empty => no artifact store to scan (add/load_file only).
+    explicit ModelRegistry(std::string cache_dir = "");
+
+    /// Register an in-memory model; returns the (possibly pre-existing)
+    /// servable for its content hash.  Compilation happens outside the
+    /// registry lock, so serving never stalls behind a load.
+    std::shared_ptr<const ServableModel> add(model::TrainedModel m,
+                                             std::string source = "(memory)");
+
+    /// Load and register a .tm file.  Throws std::runtime_error on a
+    /// missing/corrupt file (TrainedModel::load_file's diagnosis).
+    std::shared_ptr<const ServableModel> load_file(const std::string& path);
+
+    /// Walk the artifact store's train tier and register every readable
+    /// model.  Unreadable entries are skipped and reported through `warn`.
+    /// Returns the number of models the scan added.
+    std::size_t scan_store(
+        const std::function<void(const std::string&)>& warn = {});
+
+    /// Point `alias` at the model matching `target` (alias, full hash, or
+    /// unique hash prefix).  Atomic: concurrent resolve() sees either the
+    /// old or the new target, never a gap.  Throws ServeError
+    /// (kUnknownModel) when nothing matches.
+    void set_alias(const std::string& alias, const std::string& target);
+
+    /// Resolve an alias, a full 16-hex-char hash, or a unique hash prefix
+    /// to its servable.  The returned shared_ptr is the caller's handoff:
+    /// it stays valid across swaps and unloads.  Throws ServeError
+    /// (kUnknownModel) with the candidate list on no / ambiguous match.
+    std::shared_ptr<const ServableModel> resolve(const std::string& name) const;
+
+    /// Drop a model (and any aliases pointing at it) from the catalogue.
+    /// In-flight holders keep their reference; returns false when `name`
+    /// resolves to nothing.
+    bool remove(const std::string& name);
+
+    struct Entry {
+        std::string hash_hex;
+        std::string source;
+        std::vector<std::string> aliases;
+        std::size_t num_features = 0;
+        std::size_t num_classes = 0;
+        std::size_t live_clauses = 0;
+    };
+    /// Catalogue snapshot, hash order; aliases listed on their target.
+    std::vector<Entry> list() const;
+
+    std::size_t size() const;
+    const std::string& cache_dir() const { return cache_dir_; }
+
+private:
+    /// Hash-keyed lookup without alias indirection; nullptr when absent.
+    std::shared_ptr<const ServableModel> find_hash_locked(
+        const std::string& hex_or_prefix) const;
+
+    std::string cache_dir_;
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<const ServableModel>> models_;
+    std::map<std::string, std::string> aliases_;  ///< alias -> hash_hex
+};
+
+}  // namespace matador::serve

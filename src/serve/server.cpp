@@ -1,0 +1,224 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <exception>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "serve/error.hpp"
+#include "util/bitvector.hpp"
+#include "util/fsio.hpp"
+
+namespace matador::serve {
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      pool_(train::WorkerPool::resolve(options_.threads)),
+      registry_(options_.cache_dir),
+      batcher_(pool_, options_.batch, &metrics_) {
+    if (!options_.status_file.empty())
+        status_thread_ = std::thread([this] { status_loop(); });
+}
+
+Server::~Server() {
+    batcher_.stop();
+    {
+        std::lock_guard<std::mutex> lock(status_mu_);
+        status_stop_ = true;
+    }
+    status_cv_.notify_all();
+    if (status_thread_.joinable()) status_thread_.join();
+}
+
+util::Json Server::error_response(const util::Json& id,
+                                  const std::string& code,
+                                  const std::string& detail) {
+    util::Json r = util::Json::object();
+    r.set("ok", false);
+    if (!id.is_null()) r.set("id", id);
+    r.set("error", code);
+    r.set("detail", detail);
+    return r;
+}
+
+util::Json Server::handle_control(const util::Json& request,
+                                  const std::string& op) {
+    util::Json r = util::Json::object();
+    r.set("ok", true);
+    if (request.contains("id")) r.set("id", request.at("id"));
+    r.set("op", op);
+
+    if (op == "load") {
+        std::shared_ptr<const ServableModel> servable;
+        if (request.contains("path")) {
+            servable = registry_.load_file(request.at("path").as_string());
+        } else if (request.contains("hash")) {
+            // Hot-load from the artifact store: index whatever the train
+            // tier holds, then resolve the requested hash against it.
+            registry_.scan_store();
+            servable = registry_.resolve(request.at("hash").as_string());
+        } else {
+            throw ServeError(ErrorCode::kBadRequest,
+                             "load needs \"path\" or \"hash\"");
+        }
+        if (request.contains("alias"))
+            registry_.set_alias(request.at("alias").as_string(),
+                                servable->hash_hex);
+        r.set("model", servable->hash_hex);
+    } else if (op == "swap") {
+        const std::string alias = request.contains("alias")
+                                      ? request.at("alias").as_string()
+                                      : "default";
+        registry_.set_alias(alias, request.at("target").as_string());
+        r.set("alias", alias);
+        r.set("model", registry_.resolve(alias)->hash_hex);
+    } else if (op == "models") {
+        util::Json models = util::Json::array();
+        for (const auto& entry : registry_.list()) {
+            util::Json e = util::Json::object();
+            e.set("hash", entry.hash_hex);
+            e.set("source", entry.source);
+            util::Json aliases = util::Json::array();
+            for (const auto& a : entry.aliases) aliases.push_back(a);
+            e.set("aliases", std::move(aliases));
+            e.set("features", double(entry.num_features));
+            e.set("classes", double(entry.num_classes));
+            e.set("live_clauses", double(entry.live_clauses));
+            models.push_back(std::move(e));
+        }
+        r.set("models", std::move(models));
+    } else if (op == "status") {
+        r.set("status", metrics_.snapshot_json());
+    } else if (op == "shutdown") {
+        shutdown_requested_.store(true);
+    } else {
+        throw ServeError(ErrorCode::kBadRequest, "unknown op '" + op + "'");
+    }
+    return r;
+}
+
+Server::Pending Server::process_line(const std::string& line) {
+    Pending pending;
+    util::Json request;
+    try {
+        request = util::Json::parse(line);
+        if (!request.is_object())
+            throw ServeError(ErrorCode::kBadRequest,
+                             "request must be a JSON object");
+    } catch (const std::exception& e) {
+        pending.immediate =
+            error_response(util::Json(), error_code_name(ErrorCode::kBadRequest),
+                           e.what());
+        return pending;
+    }
+
+    if (request.contains("id")) pending.id = request.at("id");
+    try {
+        const std::string op =
+            request.contains("op") ? request.at("op").as_string() : "predict";
+        if (op != "predict") {
+            pending.immediate = handle_control(request, op);
+            return pending;
+        }
+
+        const std::string name = request.contains("model")
+                                     ? request.at("model").as_string()
+                                     : "default";
+        util::BitVector x =
+            util::BitVector::from_string(request.at("x").as_string());
+        std::optional<std::uint32_t> label;
+        if (request.contains("label"))
+            label = std::uint32_t(request.at("label").as_double());
+
+        pending.future =
+            batcher_.submit(registry_.resolve(name), std::move(x), label);
+        pending.is_future = true;
+    } catch (const ServeError& e) {
+        pending.immediate =
+            error_response(pending.id, e.code_name(), e.what());
+    } catch (const std::exception& e) {
+        pending.immediate = error_response(
+            pending.id, error_code_name(ErrorCode::kBadRequest), e.what());
+    }
+    return pending;
+}
+
+void Server::emit(std::ostream& out, Pending& pending) {
+    if (pending.is_future) {
+        const Reply reply = pending.future.get();
+        util::Json r = util::Json::object();
+        r.set("ok", true);
+        if (!pending.id.is_null()) r.set("id", pending.id);
+        r.set("prediction", double(reply.prediction));
+        r.set("model", reply.model_hash);
+        r.set("lat_us", reply.latency_us);
+        out << r.dump() << '\n';
+    } else {
+        out << pending.immediate.dump() << '\n';
+    }
+}
+
+int Server::run(std::istream& in, std::ostream& out) {
+    if (!registry_.cache_dir().empty())
+        registry_.scan_store();
+
+    std::deque<Pending> window;
+    const auto drain_ready = [&] {
+        while (!window.empty() &&
+               (!window.front().is_future ||
+                window.front().future.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready)) {
+            emit(out, window.front());
+            window.pop_front();
+        }
+    };
+
+    std::string line;
+    while (!shutdown_requested_.load() && std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        window.push_back(process_line(line));
+        drain_ready();
+        // The window bounds how far replies may trail requests: block on
+        // the oldest one rather than queueing without limit.
+        while (window.size() >= options_.max_inflight) {
+            emit(out, window.front());
+            window.pop_front();
+        }
+    }
+
+    // EOF or shutdown: force out any partial batch, answer everything that
+    // was accepted, and leave a final status snapshot behind.
+    batcher_.flush();
+    while (!window.empty()) {
+        emit(out, window.front());
+        window.pop_front();
+    }
+    out.flush();
+    if (!options_.status_file.empty()) write_status_file();
+    return 0;
+}
+
+void Server::write_status_file() const {
+    try {
+        util::write_file_atomic(options_.status_file,
+                                metrics_.snapshot_json().dump(2) + "\n");
+    } catch (const std::exception&) {
+        // Status reporting must never take down serving.
+    }
+}
+
+void Server::status_loop() {
+    std::unique_lock<std::mutex> lock(status_mu_);
+    const auto interval = std::chrono::duration<double>(
+        options_.status_interval_s > 0 ? options_.status_interval_s : 1.0);
+    while (!status_stop_) {
+        status_cv_.wait_for(lock, interval, [&] { return status_stop_; });
+        if (status_stop_) break;
+        lock.unlock();
+        write_status_file();
+        lock.lock();
+    }
+}
+
+}  // namespace matador::serve

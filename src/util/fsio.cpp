@@ -36,7 +36,9 @@ namespace {
 void write_file_atomic(const std::string& path, const std::string& content) {
     const fs::path target(path);
     const fs::path parent = target.parent_path();
-    fs::create_directories(parent);
+    // A bare filename has no parent to create (create_directories("")
+    // throws EINVAL).
+    if (!parent.empty()) fs::create_directories(parent);
     // The temp name carries the pid so concurrent writers of one path
     // (e.g. a stolen sweep point finished by both shards) never collide;
     // the final rename is atomic and last-writer-wins.

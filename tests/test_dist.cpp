@@ -17,9 +17,11 @@
 
 #include "core/sweep.hpp"
 #include "data/synthetic.hpp"
+#include "dist/gc.hpp"
 #include "dist/sweep_merge.hpp"
 #include "dist/sweep_status.hpp"
 #include "dist/work_queue.hpp"
+#include "util/fsio.hpp"
 
 namespace fs = std::filesystem;
 
@@ -29,6 +31,7 @@ using namespace matador;
 using core::FlowConfig;
 using dist::GridManifest;
 using dist::WorkQueue;
+using dist::WorkQueueOptions;
 
 FlowConfig small_config() {
     FlowConfig cfg;
@@ -508,6 +511,181 @@ TEST(SweepMerge, ReportsMissingPointsInsteadOfInventingThem) {
     EXPECT_THROW(dist::merge_sweep(empty_dir), std::runtime_error);
     fs::remove_all(dir);
     fs::remove_all(empty_dir);
+}
+
+TEST(RetryBudget, ExhaustedPointLandsInFailedState) {
+    const auto split = small_split();
+    const auto grid = small_grid();
+    const auto dir = fresh_cache_dir("retry_budget");
+    const auto manifest = GridManifest::from_grid(grid, split.train, split.test);
+
+    WorkQueueOptions options;
+    options.lease_timeout_seconds = 30.0;
+    options.max_retries = 2;
+
+    // A "crashy" point: claim it, let the lease expire, steal it, repeat.
+    WorkQueue dead(dir, manifest, "dead", options);
+    const auto victim = dead.claim();
+    ASSERT_TRUE(victim.has_value());
+
+    // Finish every other point so only the victim remains in play.
+    WorkQueue helper(dir, manifest, "helper", options);
+    while (const auto got = helper.claim()) helper.complete(*got);
+
+    // A handle never steals a lease it already holds (nor its own owner
+    // name), so each re-claim needs a fresh thief - exactly the real
+    // topology, where the re-runner is a different shard process.
+    std::string lease = dead.lease_path(*victim);
+    for (std::size_t retry = 1; retry <= options.max_retries; ++retry) {
+        age_lease(lease, 1e4);
+        WorkQueue thief(dir, manifest, "thief" + std::to_string(retry),
+                        options);
+        const auto got = thief.claim();
+        ASSERT_TRUE(got.has_value()) << "retry " << retry << " not claimable";
+        EXPECT_EQ(*got, *victim);
+        EXPECT_EQ(thief.retry_count(*victim), retry);
+        lease = thief.lease_path(*victim);
+    }
+
+    // Budget spent: the next expiry fails the point instead of re-running.
+    age_lease(lease, 1e4);
+    WorkQueue judge(dir, manifest, "judge", options);
+    EXPECT_FALSE(judge.claim().has_value());
+    EXPECT_EQ(judge.failed_count(), 1u);
+    ASSERT_EQ(judge.failed_indices().size(), 1u);
+    EXPECT_EQ(judge.failed_indices()[0], *victim);
+    EXPECT_FALSE(fs::exists(lease));
+
+    // Terminal states add up: done + failed drain the queue.
+    EXPECT_TRUE(judge.drained());
+
+    // sweep-status surfaces the failure...
+    const auto status = dist::read_sweep_status(dir, 30.0);
+    ASSERT_EQ(status.failed.size(), 1u);
+    EXPECT_EQ(status.failed[0], *victim);
+    EXPECT_TRUE(status.complete());
+    EXPECT_FALSE(status.all_done());
+    EXPECT_NE(dist::format_sweep_status(status).find("retry budget"),
+              std::string::npos);
+
+    // ... and sweep-merge explains the hole instead of waiting forever.
+    const auto merged = dist::merge_sweep(dir);
+    EXPECT_FALSE(merged.complete());
+    bool explained = false;
+    for (const auto& why : merged.missing_reasons)
+        explained = explained ||
+                    (why.find(std::to_string(*victim)) != std::string::npos &&
+                     why.find("retry budget exhausted") != std::string::npos);
+    EXPECT_TRUE(explained) << "merge did not name the failed point";
+    fs::remove_all(dir);
+}
+
+TEST(RetryBudget, ZeroMeansUnlimitedSteals) {
+    const auto split = small_split();
+    const auto grid = small_grid();
+    const auto dir = fresh_cache_dir("retry_unlimited");
+    const auto manifest = GridManifest::from_grid(grid, split.train, split.test);
+
+    WorkQueueOptions options;
+    options.lease_timeout_seconds = 30.0;  // max_retries stays 0
+    WorkQueue dead(dir, manifest, "dead", options);
+    const auto victim = dead.claim();
+    ASSERT_TRUE(victim.has_value());
+    WorkQueue helper(dir, manifest, "helper", options);
+    while (const auto got = helper.claim()) helper.complete(*got);
+
+    std::string lease = dead.lease_path(*victim);
+    for (std::size_t retry = 1; retry <= 5; ++retry) {
+        age_lease(lease, 1e4);
+        WorkQueue thief(dir, manifest, "thief" + std::to_string(retry),
+                        options);
+        const auto got = thief.claim();
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, *victim);
+        EXPECT_EQ(thief.retry_count(*victim), retry);
+        lease = thief.lease_path(*victim);
+    }
+    WorkQueue judge(dir, manifest, "judge", options);
+    EXPECT_EQ(judge.failed_count(), 0u);
+    fs::remove_all(dir);
+}
+
+TEST(CacheGc, CollectsDebrisAndBoundsResults) {
+    const auto split = small_split();
+    const auto grid = small_grid();
+    const auto dir = fresh_cache_dir("gc");
+    const auto manifest = GridManifest::from_grid(grid, split.train, split.test);
+
+    // A live (incomplete) queue guards results/ from collection.
+    WorkQueue queue(dir, manifest, "gc-owner");
+    fs::create_directories(dist::results_dir(dir));
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        util::write_file_atomic(dist::point_manifest_path(dir, i),
+                                std::string(600, 'x'));
+    // Orphaned init temp, old enough to be unambiguous debris.
+    fs::create_directories(fs::path(dir) / "queue.tmp.ghost" / "todo");
+    age_lease((fs::path(dir) / "queue.tmp.ghost").string(), 1e4);
+
+    dist::GcOptions gc;
+    gc.max_age_seconds = 3600.0;
+    gc.max_total_bytes = 1;  // everything in results/ is over budget
+    gc.dry_run = true;
+    auto report = dist::collect_garbage(dir, gc);
+    EXPECT_EQ(report.tmp_dirs_removed, 1u);
+    EXPECT_TRUE(report.results_skipped_live_sweep)
+        << "results of a live sweep must not be collected";
+    EXPECT_EQ(report.manifests_removed, 0u);
+    // Dry run: the ghost dir is still there.
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "queue.tmp.ghost"));
+
+    // Finish the sweep; now results are collectable, oldest first.
+    while (const auto index = queue.claim()) queue.complete(*index);
+    EXPECT_TRUE(queue.drained());
+    age_lease(dist::point_manifest_path(dir, 0), 5e4);  // point 0 is oldest
+
+    gc.dry_run = false;
+    gc.max_age_seconds = 0.0;  // size bound only
+    gc.max_total_bytes = 600 * (grid.size() - 1);
+    report = dist::collect_garbage(dir, gc);
+    EXPECT_EQ(report.tmp_dirs_removed, 1u);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "queue.tmp.ghost"));
+    EXPECT_EQ(report.manifests_removed, 1u);
+    EXPECT_EQ(report.bytes_freed, 600u);
+    EXPECT_FALSE(fs::exists(dist::point_manifest_path(dir, 0)))
+        << "oldest manifest should go first";
+    EXPECT_TRUE(fs::exists(dist::point_manifest_path(dir, 1)));
+
+    // Age-bound collection of an old finished queue.
+    gc.max_age_seconds = 3600.0;
+    age_lease((fs::path(dir) / "queue" / "grid.json").string(), 1e5);
+    report = dist::collect_garbage(dir, gc);
+    EXPECT_TRUE(report.queue_removed);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "queue"));
+    fs::remove_all(dir);
+}
+
+TEST(CacheGc, RemovesCommittedButUncleanedLeases) {
+    const auto split = small_split();
+    const auto grid = small_grid();
+    const auto dir = fresh_cache_dir("gc_leases");
+    const auto manifest = GridManifest::from_grid(grid, split.train, split.test);
+
+    WorkQueue queue(dir, manifest, "crashy");
+    const auto index = queue.claim();
+    ASSERT_TRUE(index.has_value());
+    // Simulate a crash between the done marker and the lease cleanup.
+    util::write_file_atomic((fs::path(dir) / "queue" / "done" /
+                             (std::string("0000000") +
+                              std::to_string(*index) + ".done"))
+                                .string(),
+                            "crashy\n");
+    age_lease(queue.lease_path(*index), 1e4);
+
+    dist::GcOptions gc;
+    const auto report = dist::collect_garbage(dir, gc);
+    EXPECT_EQ(report.stale_leases_removed, 1u);
+    EXPECT_FALSE(fs::exists(queue.lease_path(*index)));
+    fs::remove_all(dir);
 }
 
 }  // namespace

@@ -13,7 +13,9 @@
 //                     [--shards n | --shard-id i --shards n] [--out r.json]
 //   matador sweep-merge --cache-dir dir [--out r.json]   merge sharded sweep
 //   matador sweep-status <cache_dir>                    live sweep progress
-//   matador cache     <stats|ls|clear> --cache-dir dir  artifact store admin
+//   matador serve     [--model m.tm] [--cache-dir dir]  NDJSON scoring daemon
+//   matador serve-status <status.json> [--json]         daemon metrics view
+//   matador cache     <stats|ls|clear|gc> --cache-dir dir  store admin
 //   matador stages                                      list pipeline stages
 //   matador datasets                                    list dataset specs
 //
@@ -49,11 +51,14 @@
 #include "core/report.hpp"
 #include "core/sweep.hpp"
 #include "data/csv_loader.hpp"
+#include "dist/gc.hpp"
 #include "dist/shard_runner.hpp"
 #include "dist/sweep_merge.hpp"
 #include "dist/sweep_status.hpp"
 #include "dist/work_queue.hpp"
 #include "infer/engine.hpp"
+#include "serve/error.hpp"
+#include "serve/server.hpp"
 #include "train/fit.hpp"
 #include "train/worker_pool.hpp"
 #include "util/stopwatch.hpp"
@@ -76,7 +81,8 @@ using namespace matador;
 [[noreturn]] void usage(int code) {
     std::puts(
         "usage: matador <flow|train|eval|generate|verify|lint|simulate|sweep|"
-        "sweep-merge|sweep-status|cache|stages|datasets> [options]\n"
+        "sweep-merge|sweep-status|serve|serve-status|cache|stages|datasets> "
+        "[options]\n"
         "\n"
         "common options:\n"
         "  --dataset <spec>        dataset (see 'matador datasets')\n"
@@ -91,6 +97,10 @@ using namespace matador;
         "  --timing                flow: print the per-stage timing table\n"
         "  --check                 eval: also run the scalar reference path\n"
         "                          and fail on any prediction mismatch\n"
+        "  --predictions-out <f>   eval: write test-split predictions, one\n"
+        "                          per line (byte-comparable across runs)\n"
+        "  --dump-requests <f>     eval: write the test split as NDJSON\n"
+        "                          predict requests for 'matador serve'\n"
         "  --fail-on <sev>         lint: exit nonzero at this severity or\n"
         "                          above (info|warning|error; default error)\n"
         "  --json                  lint: emit the report as JSON\n"
@@ -106,6 +116,24 @@ using namespace matador;
         "                          machines sharing one --cache-dir)\n"
         "  --lease-timeout <sec>   sweep: steal a shard's claimed point after\n"
         "                          this many seconds without a heartbeat (60)\n"
+        "  --max-retries <n>       sweep: give a point up (queue/failed/)\n"
+        "                          after n steals instead of re-running it\n"
+        "                          forever (0 = unlimited)\n"
+        "  --alias <name>          serve: alias for the --model (default\n"
+        "                          'default')\n"
+        "  --status-file <file>    serve: periodically write the serve-status\n"
+        "                          JSON snapshot here\n"
+        "  --status-interval <s>   serve: snapshot period (default 1.0)\n"
+        "  --max-batch-delay-ms <ms>  serve: flush a partial 64-lane batch\n"
+        "                          after this wait (default 2.0)\n"
+        "  --max-queue-depth <n>   serve: shed requests beyond this backlog\n"
+        "                          with error 'overloaded' (default 1024)\n"
+        "  --max-inflight <n>      serve: in-order response window (256)\n"
+        "  --max-age-days <d>      cache gc: collect results/ manifests and\n"
+        "                          finished queues older than this\n"
+        "  --max-bytes <n>         cache gc: shrink results/ to this size,\n"
+        "                          oldest manifests first\n"
+        "  --dry-run               cache gc: report, do not delete\n"
         "  --out <file>            sweep/sweep-merge: write the full result\n"
         "                          as machine-readable JSON\n"
         "  --cache-dir <dir>       persistent artifact store (trained models +\n"
@@ -156,17 +184,23 @@ const std::vector<CommandSpec>& command_specs() {
           "config", "history"}},
         {"eval",
          {"model", "dataset", "examples", "data-seed", "train-fraction",
-          "check", "config"}},
+          "check", "predictions-out", "dump-requests", "config"}},
         {"generate", {"model", "rtl-out", "config"}},
         {"verify", {"model", "config"}},
         {"lint", {"model", "fail-on", "json", "config"}},
         {"simulate", {"model", "vcd", "trace", "datapoints", "config"}},
         {"sweep",
          {"dataset", "examples", "data-seed", "train-fraction", "sweep",
-          "jobs", "shards", "shard-id", "lease-timeout", "out", "config"}},
+          "jobs", "shards", "shard-id", "lease-timeout", "max-retries", "out",
+          "config"}},
         {"sweep-merge", {"out", "config"}},
         {"sweep-status", {"lease-timeout", "config"}},
-        {"cache", {"config"}},
+        {"serve",
+         {"model", "alias", "status-file", "status-interval",
+          "max-batch-delay-ms", "max-queue-depth", "max-inflight", "config"}},
+        {"serve-status", {"status-file", "json", "config"}},
+        {"cache",
+         {"max-age-days", "max-bytes", "dry-run", "config"}},
         {"stages", {}, false},
         {"datasets", {}, false},
     };
@@ -182,7 +216,7 @@ const CommandSpec* find_command(const std::string& name) {
 /// Options that take no value.
 bool is_boolean_flag(const std::string& name) {
     return name == "trace" || name == "timing" || name == "history" ||
-           name == "check" || name == "json";
+           name == "check" || name == "json" || name == "dry-run";
 }
 
 std::size_t parse_count_option(const std::string& name, const std::string& v) {
@@ -231,11 +265,11 @@ CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
                spec->cli_options.end();
     };
 
-    // 'matador cache <stats|ls|clear>' takes a positional action.
+    // 'matador cache <stats|ls|clear|gc>' takes a positional action.
     int first_option = 2;
     if (args.command == "cache") {
         if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
-            std::fprintf(stderr, "cache needs an action: stats|ls|clear\n");
+            std::fprintf(stderr, "cache needs an action: stats|ls|clear|gc\n");
             usage(1);
         }
         args.options["action"] = argv[2];
@@ -246,6 +280,12 @@ CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
     if (args.command == "sweep-status" && argc >= 3 &&
         std::string(argv[2]).rfind("--", 0) != 0) {
         cfg.cache_dir = argv[2];
+        first_option = 3;
+    }
+    // 'matador serve-status <status.json>': positional = --status-file.
+    if (args.command == "serve-status" && argc >= 3 &&
+        std::string(argv[2]).rfind("--", 0) != 0) {
+        args.options["status-file"] = argv[2];
         first_option = 3;
     }
 
@@ -423,6 +463,10 @@ int cmd_train(const CliArgs& args, const core::FlowConfig& cfg) {
 int cmd_eval(const CliArgs& args, const core::FlowConfig& cfg) {
     const auto m = load_model_arg(args);
     const auto ds = make_dataset(args);
+    // A model trained on a different booleanization would otherwise read
+    // out of bounds (scalar path) or abort mid-batch; diagnose it up front.
+    serve::check_feature_width(m.num_features(), ds.num_features,
+                               "dataset '" + ds.name + "'");
     const double frac = parse_fraction_option("train-fraction",
                                               args.get("train-fraction", "0.85"));
     // Same split as 'matador train', so the accuracy columns are directly
@@ -451,6 +495,127 @@ int cmd_eval(const CliArgs& args, const core::FlowConfig& cfg) {
         std::printf("check: %zu examples, %zu scalar/batched mismatches\n",
                     ds.size(), mismatches);
         if (mismatches != 0) return 1;
+    }
+
+    // Serving parity artefacts: the same test split as a golden prediction
+    // list and as the request stream that produces it.  Piping the request
+    // file through 'matador serve' must yield predictions byte-identical to
+    // the --predictions-out file.
+    if (!args.get("predictions-out").empty() ||
+        !args.get("dump-requests").empty()) {
+        const auto preds =
+            engine.predict(split.test.examples.data(), split.test.size());
+        if (!args.get("predictions-out").empty()) {
+            std::string text;
+            for (const auto p : preds) text += std::to_string(p) + "\n";
+            util::write_file_atomic(args.get("predictions-out"), text);
+            std::printf("%zu test-split predictions written to %s\n",
+                        preds.size(), args.get("predictions-out").c_str());
+        }
+        if (!args.get("dump-requests").empty()) {
+            std::string text;
+            for (std::size_t i = 0; i < split.test.size(); ++i) {
+                util::Json req = util::Json::object();
+                req.set("id", double(i));
+                req.set("x", split.test.examples[i].to_string());
+                req.set("label", double(split.test.labels[i]));
+                text += req.dump() + "\n";
+            }
+            util::write_file_atomic(args.get("dump-requests"), text);
+            std::printf("%zu serve requests written to %s\n",
+                        split.test.size(), args.get("dump-requests").c_str());
+        }
+    }
+    return 0;
+}
+
+int cmd_serve(const CliArgs& args, const core::FlowConfig& cfg) {
+    serve::ServerOptions options;
+    options.cache_dir = cfg.cache_dir;
+    options.threads = unsigned(cfg.train_threads);
+    options.batch.max_queue_depth =
+        parse_count_option("max-queue-depth", args.get("max-queue-depth", "1024"));
+    options.batch.max_batch_delay_ms = parse_fraction_option(
+        "max-batch-delay-ms", args.get("max-batch-delay-ms", "2"));
+    options.status_file = args.get("status-file");
+    options.status_interval_s = parse_fraction_option(
+        "status-interval", args.get("status-interval", "1"));
+    options.max_inflight = std::max<std::size_t>(
+        1, parse_count_option("max-inflight", args.get("max-inflight", "256")));
+    if (options.batch.max_queue_depth == 0) {
+        std::fprintf(stderr, "--max-queue-depth must be at least 1\n");
+        usage(1);
+    }
+
+    serve::Server server(options);
+    // stdout is the protocol channel; all human chatter goes to stderr.
+    if (!args.get("model").empty()) {
+        const auto servable = server.registry().load_file(args.get("model"));
+        server.registry().set_alias(args.get("alias", "default"),
+                                    servable->hash_hex);
+        std::fprintf(stderr, "matador serve: %s -> %s (%s)\n",
+                     args.get("alias", "default").c_str(),
+                     servable->hash_hex.c_str(), args.get("model").c_str());
+    }
+    if (!cfg.cache_dir.empty()) {
+        const auto added = server.registry().scan_store(
+            [](const std::string& w) {
+                std::fprintf(stderr, "matador serve: %s\n", w.c_str());
+            });
+        std::fprintf(stderr,
+                     "matador serve: %zu model(s) from the artifact store\n",
+                     added);
+    }
+    // A one-model registry serves that model as "default" without flags.
+    const auto entries = server.registry().list();
+    if (args.get("model").empty() && entries.size() == 1)
+        server.registry().set_alias("default", entries[0].hash_hex);
+    if (entries.empty())
+        std::fprintf(stderr,
+                     "matador serve: registry empty - load models with "
+                     "{\"op\":\"load\",...} requests\n");
+    std::fprintf(stderr, "matador serve: ready (%zu model(s))\n",
+                 entries.size());
+    return server.run(std::cin, std::cout);
+}
+
+int cmd_serve_status(const CliArgs& args) {
+    const std::string path = args.get("status-file");
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "serve-status needs the daemon's --status-file: "
+                     "'matador serve-status <status.json>'\n");
+        usage(1);
+    }
+    const auto doc = util::Json::parse(util::read_file(path));
+    if (!doc.contains("format") ||
+        doc.at("format").as_string() != "matador-serve-status")
+        throw std::runtime_error(path + " is not a matador-serve-status file");
+    if (args.flag("json")) {
+        std::printf("%s\n", doc.dump(2).c_str());
+        return 0;
+    }
+    std::printf("serve: up %.1f s, %zu request(s), %zu shed\n",
+                doc.at("uptime_seconds").as_double(),
+                std::size_t(doc.at("total_requests").as_double()),
+                std::size_t(doc.at("total_shed").as_double()));
+    for (const auto& m : doc.at("models").as_array()) {
+        std::printf(
+            "  %s: %zu req, %zu err, %zu shed | occupancy %.1f/64 over %zu "
+            "batch(es) | p50 %.0fus p95 %.0fus p99 %.0fus",
+            m.at("hash").as_string().c_str(),
+            std::size_t(m.at("requests").as_double()),
+            std::size_t(m.at("errors").as_double()),
+            std::size_t(m.at("shed").as_double()),
+            m.at("batch_occupancy").as_double(),
+            std::size_t(m.at("batches").as_double()),
+            m.at("p50_us").as_double(), m.at("p95_us").as_double(),
+            m.at("p99_us").as_double());
+        if (std::size_t(m.at("rolling_window").as_double()) > 0)
+            std::printf(" | acc %.2f%% (last %zu labeled)",
+                        100.0 * m.at("rolling_accuracy").as_double(),
+                        std::size_t(m.at("rolling_window").as_double()));
+        std::printf("\n");
     }
     return 0;
 }
@@ -728,6 +893,8 @@ int cmd_sweep(const CliArgs& args, const core::FlowConfig& cfg) {
         std::fprintf(stderr, "--lease-timeout must be positive\n");
         usage(1);
     }
+    options.queue.max_retries =
+        parse_count_option("max-retries", args.get("max-retries", "0"));
     const auto shards =
         unsigned(parse_count_option("shards", args.get("shards", "1")));
     if (shards == 0) {
@@ -829,8 +996,10 @@ int cmd_sweep_status(const CliArgs& args, const core::FlowConfig& cfg) {
 
 int cmd_cache(const CliArgs& args, const core::FlowConfig& cfg) {
     const std::string action = args.get("action");
-    if (action != "stats" && action != "ls" && action != "clear") {
-        std::fprintf(stderr, "unknown cache action: %s (want stats|ls|clear)\n",
+    if (action != "stats" && action != "ls" && action != "clear" &&
+        action != "gc") {
+        std::fprintf(stderr,
+                     "unknown cache action: %s (want stats|ls|clear|gc)\n",
                      action.c_str());
         usage(1);
     }
@@ -840,6 +1009,37 @@ int cmd_cache(const CliArgs& args, const core::FlowConfig& cfg) {
                      action.c_str());
         usage(1);
     }
+
+    if (action == "gc") {
+        dist::GcOptions gc;
+        if (!args.get("max-age-days").empty())
+            gc.max_age_seconds =
+                86400.0 *
+                parse_fraction_option("max-age-days", args.get("max-age-days"));
+        if (!args.get("max-bytes").empty())
+            gc.max_total_bytes =
+                parse_count_option("max-bytes", args.get("max-bytes"));
+        gc.dry_run = args.flag("dry-run");
+        const auto report = dist::collect_garbage(cfg.cache_dir, gc);
+        const char* verb = gc.dry_run ? "would remove" : "removed";
+        if (gc.dry_run)
+            for (const auto& path : report.removed)
+                std::printf("  %s %s\n", verb, path.c_str());
+        std::printf(
+            "cache gc: %s %zu manifest(s) (%ju bytes), %zu orphaned init "
+            "temp(s), %zu committed lease(s)%s\n",
+            verb, report.manifests_removed,
+            std::uintmax_t(report.bytes_freed), report.tmp_dirs_removed,
+            report.stale_leases_removed,
+            report.queue_removed ? ", and the finished sweep queue" : "");
+        if (report.results_skipped_live_sweep)
+            std::printf(
+                "cache gc: results/ untouched - the queue under %s is still "
+                "incomplete (live sweep)\n",
+                cfg.cache_dir.c_str());
+        return 0;
+    }
+
     core::ArtifactStore store(cfg.cache_dir);
 
     if (action == "clear") {
@@ -927,11 +1127,18 @@ int main(int argc, char** argv) {
         if (args.command == "sweep") return cmd_sweep(args, cfg);
         if (args.command == "sweep-merge") return cmd_sweep_merge(args, cfg);
         if (args.command == "sweep-status") return cmd_sweep_status(args, cfg);
+        if (args.command == "serve") return cmd_serve(args, cfg);
+        if (args.command == "serve-status") return cmd_serve_status(args);
         if (args.command == "cache") return cmd_cache(args, cfg);
         if (args.command == "stages") return cmd_stages();
         if (args.command == "datasets") return cmd_datasets();
         std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
         usage(1);
+    } catch (const serve::ServeError& e) {
+        // Typed serving errors (feature-mismatch, unknown-model, ...) keep
+        // their machine-readable tag on the CLI path too.
+        std::fprintf(stderr, "matador: [%s] %s\n", e.code_name(), e.what());
+        return 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "matador: %s\n", e.what());
         return 1;
