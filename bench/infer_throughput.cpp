@@ -19,11 +19,12 @@
 
 #include "data/synthetic.hpp"
 #include "infer/engine.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "tm/tsetlin_machine.hpp"
 #include "train/parallel_trainer.hpp"
 #include "train/worker_pool.hpp"
 #include "util/json.hpp"
-#include "util/stopwatch.hpp"
 
 using namespace matador;
 
@@ -36,7 +37,7 @@ double measure(std::size_t examples, Pass&& pass) {
     // One warm-up pass, then time whole passes.
     pass();
     std::size_t passes = 0;
-    util::Stopwatch watch;
+    obs::Timer watch;
     do {
         pass();
         ++passes;
@@ -128,6 +129,28 @@ int main(int argc, char** argv) {
                 equivalent ? "all modes bit-identical to the scalar path"
                            : "PREDICTION MISMATCH (bug)");
 
+    // Tracing-disabled overhead: predict() carries TRACE_SPAN sites (one
+    // per call, one per 64-lane block).  With tracing off each one is a
+    // relaxed atomic load and a branch; measure that cost directly and
+    // express it against the cost of actually scoring a block.  CI gates
+    // this at < 1%.
+    double disabled_span_ns;
+    {
+        constexpr std::size_t kSpans = 1 << 21;
+        obs::Timer watch;
+        for (std::size_t i = 0; i < kSpans; ++i) {
+            TRACE_SPAN("noop", "bench");
+        }
+        disabled_span_ns = watch.seconds() * 1e9 / double(kSpans);
+    }
+    const double block_ns = 64.0 * 1e9 / batch64_eps;
+    // Two disabled span sites amortized per block (predict + score-block).
+    const double overhead_pct = 100.0 * 2.0 * disabled_span_ns / block_ns;
+    std::printf(
+        "tracing disabled: %.1f ns/span site vs %.0f ns/block scored "
+        "-> %.4f%% overhead\n",
+        disabled_span_ns, block_ns, overhead_pct);
+
     if (!json_path.empty()) {
         util::Json j = util::Json::object();
         j.set("dataset", ds.name);
@@ -145,6 +168,7 @@ int main(int argc, char** argv) {
         j.set("speedup_batch64_vs_scalar", batch64_eps / scalar_eps);
         j.set("speedup_threaded_vs_scalar", threaded_eps / scalar_eps);
         j.set("equivalent", equivalent);
+        j.set("trace_disabled_overhead_pct", overhead_pct);
         std::ofstream out(json_path);
         out << j.dump(2) << "\n";
         std::printf("results written to %s\n", json_path.c_str());

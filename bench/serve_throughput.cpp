@@ -35,7 +35,7 @@
 #include "train/parallel_trainer.hpp"
 #include "train/worker_pool.hpp"
 #include "util/json.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/clock.hpp"
 
 using namespace matador;
 
@@ -75,7 +75,7 @@ LevelResult run_level(const std::shared_ptr<const serve::ServableModel>& model,
 
     std::vector<std::thread> threads;
     threads.reserve(clients);
-    util::Stopwatch watch;
+    obs::Timer watch;
     for (unsigned c = 0; c < clients; ++c) {
         threads.emplace_back([&, c] {
             // Stagger starting examples so concurrent lanes differ.

@@ -18,7 +18,7 @@
 #include "data/synthetic.hpp"
 #include "tm/tsetlin_machine.hpp"
 #include "train/parallel_trainer.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/clock.hpp"
 
 using namespace matador;
 
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
         opts.epochs = epochs;
         opts.threads = t;
         train::ParallelTrainer trainer(opts);
-        util::Stopwatch watch;
+        obs::Timer watch;
         trainer.fit(machine, ds);
         const double secs = watch.seconds();
         const double rate = double(epochs * ds.size()) / secs;

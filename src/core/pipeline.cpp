@@ -8,11 +8,12 @@
 
 #include "infer/engine.hpp"
 #include "logic/lut_mapper.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/accelerator_sim.hpp"
 #include "tm/tsetlin_machine.hpp"
 #include "train/parallel_trainer.hpp"
 #include "util/rng.hpp"
-#include "util/stopwatch.hpp"
 
 namespace matador::core {
 
@@ -155,6 +156,20 @@ double evaluate_model(const model::TrainedModel& m, const data::Dataset& ds) {
     return infer::BatchEngine(m).accuracy(ds);
 }
 
+/// Per-stage cache hit/miss counters (only meaningful when a store was in
+/// play; hits are further split by the tier that served them).
+void count_cache_lookup(StageKind kind, ArtifactTier tier) {
+    auto& registry = obs::MetricsRegistry::global();
+    if (tier == ArtifactTier::kNone)
+        registry.counter("pipeline_cache_misses", {{"stage", stage_name(kind)}})
+            .add();
+    else
+        registry
+            .counter("pipeline_cache_hits",
+                     {{"stage", stage_name(kind)}, {"tier", tier_name(tier)}})
+            .add();
+}
+
 class TrainStage final : public Stage {
 public:
     StageKind kind() const override { return StageKind::kTrain; }
@@ -215,6 +230,7 @@ public:
         ctx.test_accuracy = a.test_accuracy;
         ctx.train_report = a.fit;
         ctx.record(kind()).tier = tier;
+        if (ctx.store) count_cache_lookup(kind(), tier);
         {
             char detail[96];
             std::snprintf(detail, sizeof detail, "epochs=%zu/%zu stop=%s best=%zu",
@@ -316,6 +332,7 @@ public:
             artifact = generate_fn();
         }
         ctx.record(kind()).tier = tier;
+        if (ctx.store) count_cache_lookup(kind(), tier);
         if (tier != ArtifactTier::kNone)
             ctx.note(kind(), std::string("HCB netlists and LUT mapping served "
                                          "from artifact store (") +
@@ -342,6 +359,9 @@ public:
 
         if (!ctx.cfg.rtl_output_dir.empty()) {
             ctx.rtl_files = rtl::write_design(*ctx.design, ctx.cfg.rtl_output_dir);
+            obs::MetricsRegistry::global()
+                .counter("pipeline_artifacts_written", {{"kind", "rtl"}})
+                .add(ctx.rtl_files.size());
             ctx.note(kind(), "wrote " + std::to_string(ctx.rtl_files.size()) +
                                  " RTL files to " + ctx.cfg.rtl_output_dir);
         }
@@ -382,6 +402,22 @@ public:
         }
         ctx.lint_report = std::move(lint_artifact.report);
         ctx.record(kind()).detail = "lint: " + ctx.lint_report->summary();
+        if (ctx.store) count_cache_lookup(kind(), lint_tier);
+        {
+            const auto errors = ctx.lint_report->errors();
+            const auto warnings = ctx.lint_report->warnings();
+            auto& registry = obs::MetricsRegistry::global();
+            const auto count = [&](const char* sev, std::size_t n) {
+                if (n) registry
+                           .counter("pipeline_lint_findings",
+                                    {{"severity", sev}})
+                           .add(n);
+            };
+            count("error", errors);
+            count("warning", warnings);
+            count("info",
+                  ctx.lint_report->findings.size() - errors - warnings);
+        }
         if (lint_tier != ArtifactTier::kNone)
             ctx.note(kind(), std::string("lint report served from artifact "
                                          "store (") +
@@ -539,7 +575,9 @@ void Pipeline::run(CompileContext& ctx, StageRange range) const {
             continue;
         const Stage& stage = *stages_[stage_index(k)];
         StageRecord& rec = ctx.record(k);
-        util::Stopwatch watch;
+        // One measurement feeds both the report and the trace: the span's
+        // duration IS rec.seconds (same clock, same two reads).
+        obs::TimedSpan span(stage_name(k), "pipeline");
         StageStatus status;
         try {
             status = stage.run(ctx);
@@ -548,7 +586,13 @@ void Pipeline::run(CompileContext& ctx, StageRange range) const {
             status = StageStatus::kFailed;
         }
         rec.status = status;
-        rec.seconds = watch.seconds();
+        {
+            util::Json args = util::Json::object();
+            args.set("status", status_name(status));
+            if (rec.tier != ArtifactTier::kNone)
+                args.set("tier", tier_name(rec.tier));
+            rec.seconds = span.finish(std::move(args));
+        }
     }
 }
 

@@ -8,7 +8,8 @@
 #include <thread>
 
 #include "core/config_io.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 
 namespace matador::core {
 
@@ -19,6 +20,7 @@ SweepPoint run_sweep_point(std::size_t index, const FlowConfig& cfg,
     SweepPoint p;
     p.index = index;
     p.cfg = cfg;
+    obs::SpanGuard span("point " + std::to_string(index), "sweep");
     // An escaping exception in a worker thread would terminate the
     // process; fold it into the point's diagnostics instead.
     try {
@@ -55,7 +57,7 @@ SweepResult sweep(const data::Dataset& train, const data::Dataset& test,
     result.threads_used = threads;
     result.points.resize(grid.size());
 
-    util::Stopwatch watch;
+    obs::Timer watch;
     std::atomic<std::size_t> next{0};
     const auto worker = [&]() {
         for (std::size_t i = next.fetch_add(1); i < grid.size();

@@ -9,8 +9,10 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fsio.hpp"
-#include "util/stopwatch.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/wait.h>
@@ -78,7 +80,18 @@ ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
         core::stage_index(options.range.to))
         throw std::invalid_argument("run_shard: range.from is after range.to");
 
-    util::Stopwatch watch;
+    auto& recorder = obs::TraceRecorder::instance();
+    if (options.export_obs) {
+        // A forked shard inherits the parent's recorded events and metric
+        // values; start this process's timeline clean.  (Only call with the
+        // shard single-threaded, i.e. here, before workers start.)
+        recorder.reset();
+        obs::MetricsRegistry::global().reset();
+        recorder.set_process_name(owner);
+        recorder.enable();
+    }
+
+    obs::Timer watch;
     const GridManifest manifest = GridManifest::from_grid(grid, train, test);
     WorkQueue queue(cache_dir, manifest, owner, options.queue);
     const auto store = std::make_shared<core::ArtifactStore>(cache_dir);
@@ -114,11 +127,13 @@ ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
     std::condition_variable stop_cv;
     bool stop = false;
     std::thread heartbeat_thread([&] {
+        obs::set_thread_name("heartbeat");
         std::unique_lock<std::mutex> lock(stop_mu);
         while (!stop_cv.wait_for(lock,
                                  std::chrono::duration<double>(heartbeat),
                                  [&] { return stop; })) {
             queue.heartbeat();
+            TRACE_INSTANT("heartbeat", "shard");
             try {
                 queue.write_owner_stats(
                     shard_report_to_json(make_report(/*in_progress=*/true)));
@@ -138,6 +153,7 @@ ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
     const auto worker = [&] {
         while (!abort_workers.load()) {
             try {
+                const std::size_t stolen_before = queue.stolen_count();
                 const auto index = queue.claim();
                 if (!index) {
                     if (queue.drained()) return;
@@ -150,6 +166,13 @@ ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
                         std::chrono::duration<double>(options.poll_seconds));
                     continue;
                 }
+                if (recorder.enabled()) {
+                    util::Json claim_args = util::Json::object();
+                    claim_args.set("point", double(*index));
+                    claim_args.set("stolen",
+                                   queue.stolen_count() > stolen_before);
+                    recorder.instant("claim", "shard", std::move(claim_args));
+                }
                 const core::SweepPoint point = core::run_sweep_point(
                     *index, grid[*index], train, test, options.range, store);
                 util::write_file_atomic(
@@ -161,6 +184,9 @@ ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
                 queue.complete(*index);
                 run_count.fetch_add(1);
                 if (!point.ok) failed_count.fetch_add(1);
+                auto& registry = obs::MetricsRegistry::global();
+                registry.counter("shard_points_run").add();
+                if (!point.ok) registry.counter("shard_points_failed").add();
             } catch (const std::exception& e) {
                 std::lock_guard<std::mutex> lock(error_mu);
                 if (fatal_error.empty()) fatal_error = e.what();
@@ -191,6 +217,15 @@ ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
 
     const ShardReport report = make_report(/*in_progress=*/false);
     queue.write_owner_stats(shard_report_to_json(report));
+
+    if (options.export_obs) {
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("shard_points_stolen").add(report.points_stolen);
+        registry.gauge("shard_wall_seconds").set(report.wall_seconds);
+        queue.write_owner_file(".metrics.json",
+                               registry.to_json().dump(1) + "\n");
+        queue.write_owner_file(".trace.json", recorder.to_json().dump(1) + "\n");
+    }
     return report;
 }
 

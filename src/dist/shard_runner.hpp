@@ -33,6 +33,11 @@ struct ShardOptions {
     /// Idle wait between claim attempts while other shards still hold
     /// unexpired leases.
     double poll_seconds = 0.2;
+    /// Export this shard's observability data: reset + enable the process
+    /// trace recorder and the global metrics registry at shard start, and
+    /// drop `queue/stats/<owner>.trace.json` / `<owner>.metrics.json` at
+    /// the end for `sweep --trace-out` / `matador metrics` to stitch.
+    bool export_obs = false;
 };
 
 /// What one shard did; persisted as queue/stats/<owner>.json and summed by

@@ -406,13 +406,26 @@ void WorkQueue::write_owner_stats(const util::Json& stats) const {
         stats.dump(2) + "\n");
 }
 
+void WorkQueue::write_owner_file(const std::string& suffix,
+                                 const std::string& content) const {
+    write_file_atomic(
+        (fs::path(queue_dir()) / "stats" / (owner_ + suffix)).string(),
+        content);
+}
+
 std::vector<util::Json> WorkQueue::read_all_stats() const {
     std::vector<util::Json> out;
     std::vector<fs::path> files;
     std::error_code ec;
     for (const auto& entry :
-         fs::directory_iterator(fs::path(queue_dir()) / "stats", ec))
-        if (entry.path().extension() == ".json") files.push_back(entry.path());
+         fs::directory_iterator(fs::path(queue_dir()) / "stats", ec)) {
+        if (entry.path().extension() != ".json") continue;
+        // Shard obs drops ("<owner>.trace.json", "<owner>.metrics.json")
+        // share this directory but are not shard reports.
+        const std::string inner = fs::path(entry.path().stem()).extension().string();
+        if (inner == ".trace" || inner == ".metrics") continue;
+        files.push_back(entry.path());
+    }
     std::sort(files.begin(), files.end());
     for (const auto& path : files) {
         try {
@@ -420,6 +433,40 @@ std::vector<util::Json> WorkQueue::read_all_stats() const {
         } catch (const std::exception&) {
             // A corrupt or mid-write stats file only affects aggregate
             // counters, never merged points; skip it.
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shard observability drops
+// ---------------------------------------------------------------------------
+
+std::string shard_stats_dir(const std::string& cache_dir) {
+    return (fs::path(cache_dir) / "queue" / "stats").string();
+}
+
+std::vector<std::pair<std::string, util::Json>> read_shard_obs_files(
+    const std::string& cache_dir, const std::string& suffix) {
+    std::vector<std::pair<std::string, util::Json>> out;
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (const auto& entry :
+         fs::directory_iterator(shard_stats_dir(cache_dir), ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+                0)
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& path : files) {
+        const std::string name = path.filename().string();
+        const std::string owner = name.substr(0, name.size() - suffix.size());
+        try {
+            out.emplace_back(owner, Json::parse(read_file(path.string())));
+        } catch (const std::exception&) {
+            // Mid-write or corrupt obs files only thin the merged view.
         }
     }
     return out;

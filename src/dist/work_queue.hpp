@@ -45,6 +45,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/flow.hpp"
@@ -143,8 +144,14 @@ public:
 
     /// Write this shard's report under queue/stats/<owner>.json.
     void write_owner_stats(const util::Json& stats) const;
-    /// Read every shard report under queue/stats/.
+    /// Read every shard report under queue/stats/.  Skips the obs drops
+    /// (`<owner>.trace.json` / `<owner>.metrics.json`) that share the
+    /// directory.
     std::vector<util::Json> read_all_stats() const;
+    /// Write an arbitrary per-owner file under queue/stats/ (the shard's
+    /// trace / metrics exports): `stats/<owner><suffix>`.
+    void write_owner_file(const std::string& suffix,
+                          const std::string& content) const;
 
     /// This owner's lease path for an index (exposed for crash tests).
     std::string lease_path(std::size_t index) const;
@@ -176,6 +183,16 @@ std::optional<std::size_t> parse_queue_index(const std::string& filename);
 /// Owner component of a "<idx>.<owner>.lease" file name; empty for
 /// foreign files.
 std::string parse_lease_owner(const std::string& filename);
+
+// -- shard observability drops ----------------------------------------------
+
+/// <cache_dir>/queue/stats - where shards leave reports and obs exports.
+std::string shard_stats_dir(const std::string& cache_dir);
+
+/// Every `stats/*<suffix>` file (e.g. suffix ".trace.json"), parsed, as
+/// (owner, document) pairs in owner order.  Unparseable files are skipped.
+std::vector<std::pair<std::string, util::Json>> read_shard_obs_files(
+    const std::string& cache_dir, const std::string& suffix);
 
 // -- shared result-manifest paths -------------------------------------------
 

@@ -6,6 +6,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace matador::infer {
 
 namespace {
@@ -233,9 +236,16 @@ std::vector<std::uint32_t> BatchEngine::predict(const util::BitVector* xs,
                                                 train::WorkerPool* pool) const {
     std::vector<std::uint32_t> out(n);
     const std::size_t blocks = (n + kLanes - 1) / kLanes;
+    TRACE_SPAN("predict", "infer");
+    // Every block tests every live clause once; the kernel itself stays
+    // untouched (one sharded-atomic add per predict call, not per block).
+    obs::MetricsRegistry::global()
+        .counter("infer_clause_evals")
+        .add(std::uint64_t(live_clauses()) * blocks);
     const auto run_blocks = [&](std::size_t b0, std::size_t b1) {
         Scratch scratch = make_scratch();
         for (std::size_t b = b0; b < b1; ++b) {
+            TRACE_SPAN("score-block", "infer");
             const std::size_t first = b * kLanes;
             const std::size_t count = std::min(kLanes, n - first);
             build_rows(xs + first, count, scratch);
@@ -271,6 +281,10 @@ double BatchEngine::accuracy_literals(const std::uint64_t* literals,
                                       train::WorkerPool* pool) const {
     if (n == 0) return 0.0;
     const std::size_t blocks = (n + kLanes - 1) / kLanes;
+    TRACE_SPAN("accuracy-literals", "infer");
+    obs::MetricsRegistry::global()
+        .counter("infer_clause_evals")
+        .add(std::uint64_t(live_clauses()) * blocks);
     const auto count_blocks = [&](std::size_t b0, std::size_t b1) {
         Scratch scratch = make_scratch();
         std::uint32_t preds[kLanes];

@@ -1,0 +1,59 @@
+// The one monotonic clock every piece of telemetry shares.
+//
+// StageRecord wall-clocks, trace-span timestamps, serve latencies, and
+// shard heartbeats all read the same steady_clock through this header, so
+// a stage's reported seconds and its span's duration in the Perfetto view
+// are the same number - no drift between report and trace.  Timestamps
+// are nanoseconds since a per-process epoch (the first call in the
+// process); `wall_anchor_us` pins that epoch to the system clock once, so
+// traces from different processes (sweep shards) can be shifted onto one
+// timeline at merge time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace matador::obs {
+
+namespace detail {
+inline std::chrono::steady_clock::time_point process_epoch() {
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+}  // namespace detail
+
+/// Monotonic nanoseconds since the process epoch.
+inline std::uint64_t now_ns() {
+    return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() -
+                             detail::process_epoch())
+                             .count());
+}
+
+/// System-clock microseconds captured once, at the process epoch.  Two
+/// processes' trace timelines are aligned by the difference of their
+/// anchors (coarse - the clocks are sampled independently - but plenty to
+/// lay shard tracks side by side).
+std::uint64_t wall_anchor_us();
+
+/// Drop-in replacement for the old util::Stopwatch, on the trace clock.
+class Timer {
+public:
+    Timer() : start_(now_ns()) {}
+
+    void restart() { start_ = now_ns(); }
+
+    /// Elapsed seconds since construction / restart.
+    double seconds() const { return double(now_ns() - start_) * 1e-9; }
+
+    /// Elapsed milliseconds.
+    double millis() const { return seconds() * 1e3; }
+
+    /// The raw start timestamp (ns since the process epoch).
+    std::uint64_t start_ns() const { return start_; }
+
+private:
+    std::uint64_t start_;
+};
+
+}  // namespace matador::obs

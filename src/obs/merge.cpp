@@ -1,0 +1,308 @@
+#include "obs/merge.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace matador::obs {
+
+namespace {
+
+using util::Json;
+
+void check_format(const Json& doc, const char* expected, const char* what) {
+    const Json* other = &doc;
+    if (expected == std::string("matador-trace")) {
+        if (!doc.contains("otherData"))
+            throw std::runtime_error(std::string(what) +
+                                     ": not a matador trace document");
+        other = &doc.at("otherData");
+    }
+    if (!other->contains("format") ||
+        other->at("format").as_string() != expected)
+        throw std::runtime_error(std::string(what) + ": expected a " +
+                                 expected + " document");
+}
+
+}  // namespace
+
+Json merge_traces(const std::vector<Json>& traces,
+                  const std::vector<std::string>& names) {
+    // Align on the earliest wall anchor so every other timeline shifts
+    // forward by its real start offset.
+    double min_anchor = 0.0;
+    bool have_anchor = false;
+    for (const Json& t : traces) {
+        check_format(t, "matador-trace", "merge_traces");
+        const double anchor = t.at("otherData").at("wall_anchor_us").as_double();
+        if (!have_anchor || anchor < min_anchor) {
+            min_anchor = anchor;
+            have_anchor = true;
+        }
+    }
+
+    Json events = Json::array();
+    double dropped = 0.0;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        const Json& t = traces[i];
+        const Json& other = t.at("otherData");
+        const double shift = other.at("wall_anchor_us").as_double() - min_anchor;
+        const double pid = double(i + 1);
+        const std::string name = i < names.size() && !names[i].empty()
+                                     ? names[i]
+                                     : other.at("process_name").as_string();
+        dropped += other.at("events_dropped").as_double();
+
+        for (const Json& ev : t.at("traceEvents").as_array()) {
+            Json out = Json::object();
+            for (const auto& [key, value] : ev.as_object()) {
+                if (key == "pid")
+                    out.set("pid", pid);
+                else if (key == "ts")
+                    out.set("ts", value.as_double() + shift);
+                else if (key == "args" && ev.at("ph").as_string() == "M" &&
+                         ev.at("name").as_string() == "process_name") {
+                    Json args = Json::object();
+                    args.set("name", name);
+                    out.set("args", std::move(args));
+                } else {
+                    out.set(key, value);
+                }
+            }
+            events.push_back(std::move(out));
+        }
+    }
+
+    Json root = Json::object();
+    root.set("traceEvents", std::move(events));
+    root.set("displayTimeUnit", "ms");
+    Json other = Json::object();
+    other.set("format", "matador-trace");
+    other.set("version", double(TraceRecorder::kTraceJsonVersion));
+    other.set("process_name", "matador-merged");
+    other.set("wall_anchor_us", min_anchor);
+    other.set("events_dropped", dropped);
+    other.set("merged_from", double(traces.size()));
+    root.set("otherData", std::move(other));
+    return root;
+}
+
+namespace {
+
+struct MergedHistogram {
+    Json name;
+    Json labels;
+    double count = 0.0;
+    double sum = 0.0;
+    std::vector<double> samples;
+};
+
+std::string entry_key(const Json& e) {
+    Labels labels;
+    for (const auto& [k, v] : e.at("labels").as_object())
+        labels.emplace_back(k, v.as_string());
+    return series_name(e.at("name").as_string(), labels);
+}
+
+}  // namespace
+
+Json merge_metrics(const std::vector<Json>& docs) {
+    // Insertion-ordered accumulation keyed by rendered series name.
+    std::vector<std::string> counter_order, gauge_order, histogram_order;
+    std::map<std::string, std::pair<Json, double>> counters;  // entry, sum
+    std::map<std::string, std::pair<Json, double>> gauges;    // entry, max
+    std::map<std::string, MergedHistogram> histograms;
+
+    for (const Json& doc : docs) {
+        check_format(doc, "matador-metrics", "merge_metrics");
+        for (const Json& e : doc.at("counters").as_array()) {
+            const std::string key = entry_key(e);
+            auto it = counters.find(key);
+            if (it == counters.end()) {
+                counter_order.push_back(key);
+                it = counters.emplace(key, std::make_pair(e, 0.0)).first;
+            }
+            it->second.second += e.at("value").as_double();
+        }
+        for (const Json& e : doc.at("gauges").as_array()) {
+            const std::string key = entry_key(e);
+            auto it = gauges.find(key);
+            if (it == gauges.end()) {
+                gauge_order.push_back(key);
+                it = gauges.emplace(key, std::make_pair(e, 0.0)).first;
+            }
+            it->second.second =
+                std::max(it->second.second, e.at("value").as_double());
+        }
+        for (const Json& e : doc.at("histograms").as_array()) {
+            const std::string key = entry_key(e);
+            auto it = histograms.find(key);
+            if (it == histograms.end()) {
+                histogram_order.push_back(key);
+                MergedHistogram h;
+                h.name = e.at("name");
+                h.labels = e.at("labels");
+                it = histograms.emplace(key, std::move(h)).first;
+            }
+            it->second.count += e.at("count").as_double();
+            it->second.sum += e.at("sum").as_double();
+            for (const Json& s : e.at("samples").as_array())
+                it->second.samples.push_back(s.as_double());
+        }
+    }
+
+    Json root = Json::object();
+    root.set("format", "matador-metrics");
+    root.set("version", double(MetricsRegistry::kMetricsJsonVersion));
+
+    Json counters_out = Json::array();
+    for (const auto& key : counter_order) {
+        const auto& [entry, sum] = counters.at(key);
+        Json e = Json::object();
+        e.set("name", entry.at("name"));
+        e.set("labels", entry.at("labels"));
+        e.set("value", sum);
+        counters_out.push_back(std::move(e));
+    }
+    root.set("counters", std::move(counters_out));
+
+    Json gauges_out = Json::array();
+    for (const auto& key : gauge_order) {
+        const auto& [entry, max_v] = gauges.at(key);
+        Json e = Json::object();
+        e.set("name", entry.at("name"));
+        e.set("labels", entry.at("labels"));
+        e.set("value", max_v);
+        gauges_out.push_back(std::move(e));
+    }
+    root.set("gauges", std::move(gauges_out));
+
+    Json histograms_out = Json::array();
+    for (const auto& key : histogram_order) {
+        MergedHistogram& h = histograms.at(key);
+        Json e = Json::object();
+        e.set("name", h.name);
+        e.set("labels", h.labels);
+        e.set("count", h.count);
+        e.set("sum", h.sum);
+        // Exact nearest-rank quantiles over the union of ring samples
+        // (each shard kept its most recent 4096; the union is what the
+        // whole sweep observed, ring truncation aside).
+        std::sort(h.samples.begin(), h.samples.end());
+        const std::size_t n = h.samples.size();
+        const auto rank = [&](double p) {
+            if (n == 0) return 0.0;
+            const std::size_t r = std::size_t(p * double(n - 1) + 0.5);
+            return h.samples[std::min(r, n - 1)];
+        };
+        e.set("p50", rank(0.50));
+        e.set("p95", rank(0.95));
+        e.set("p99", rank(0.99));
+        Json samples = Json::array();
+        for (const double v : h.samples) samples.push_back(v);
+        e.set("samples", std::move(samples));
+        histograms_out.push_back(std::move(e));
+    }
+    root.set("histograms", std::move(histograms_out));
+    return root;
+}
+
+std::string format_metrics_text(const util::Json& doc) {
+    check_format(doc, "matador-metrics", "format_metrics_text");
+    std::string out;
+    char line[256];
+
+    const auto label_suffix = [](const Json& e) {
+        std::string s;
+        for (const auto& [k, v] : e.at("labels").as_object())
+            s += (s.empty() ? "" : " ") + k + "=" + v.as_string();
+        return s.empty() ? s : " {" + s + "}";
+    };
+
+    const auto& counters = doc.at("counters").as_array();
+    const auto& gauges = doc.at("gauges").as_array();
+    const auto& histograms = doc.at("histograms").as_array();
+
+    if (!counters.empty()) out += "counters:\n";
+    for (const Json& e : counters) {
+        std::snprintf(line, sizeof line, "  %-40s %14.0f\n",
+                      (e.at("name").as_string() + label_suffix(e)).c_str(),
+                      e.at("value").as_double());
+        out += line;
+    }
+    if (!gauges.empty()) out += "gauges:\n";
+    for (const Json& e : gauges) {
+        std::snprintf(line, sizeof line, "  %-40s %14.3f\n",
+                      (e.at("name").as_string() + label_suffix(e)).c_str(),
+                      e.at("value").as_double());
+        out += line;
+    }
+    if (!histograms.empty()) out += "histograms:\n";
+    for (const Json& e : histograms) {
+        std::snprintf(line, sizeof line,
+                      "  %-40s n=%-8.0f p50=%-10.1f p95=%-10.1f p99=%.1f\n",
+                      (e.at("name").as_string() + label_suffix(e)).c_str(),
+                      e.at("count").as_double(), e.at("p50").as_double(),
+                      e.at("p95").as_double(), e.at("p99").as_double());
+        out += line;
+    }
+    if (out.empty()) out = "no metrics recorded\n";
+    return out;
+}
+
+std::string format_metrics_prometheus(const util::Json& doc) {
+    check_format(doc, "matador-metrics", "format_metrics_prometheus");
+    std::string out;
+    const auto number = [](double v) { return Json(v).dump(); };
+
+    const auto entry_labels = [](const Json& e) {
+        Labels labels;
+        for (const auto& [k, v] : e.at("labels").as_object())
+            labels.emplace_back(k, v.as_string());
+        return labels;
+    };
+    std::string last_type_for;
+    const auto type_line = [&](const std::string& name, const char* type) {
+        if (name == last_type_for) return;
+        out += "# TYPE " + name + " " + type + "\n";
+        last_type_for = name;
+    };
+
+    for (const Json& e : doc.at("counters").as_array()) {
+        const std::string name = e.at("name").as_string();
+        type_line(name, "counter");
+        out += series_name(name, entry_labels(e)) + " " +
+               number(e.at("value").as_double()) + "\n";
+    }
+    for (const Json& e : doc.at("gauges").as_array()) {
+        const std::string name = e.at("name").as_string();
+        type_line(name, "gauge");
+        out += series_name(name, entry_labels(e)) + " " +
+               number(e.at("value").as_double()) + "\n";
+    }
+    for (const Json& e : doc.at("histograms").as_array()) {
+        const std::string name = e.at("name").as_string();
+        const Labels labels = entry_labels(e);
+        type_line(name, "summary");
+        const auto quantile_series = [&](const char* p, const char* field) {
+            Labels with = labels;
+            with.emplace_back("quantile", p);
+            out += series_name(name, with) + " " +
+                   number(e.at(field).as_double()) + "\n";
+        };
+        quantile_series("0.5", "p50");
+        quantile_series("0.95", "p95");
+        quantile_series("0.99", "p99");
+        out += series_name(name + "_sum", labels) + " " +
+               number(e.at("sum").as_double()) + "\n";
+        out += series_name(name + "_count", labels) + " " +
+               number(e.at("count").as_double()) + "\n";
+    }
+    return out;
+}
+
+}  // namespace matador::obs

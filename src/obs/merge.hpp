@@ -1,0 +1,46 @@
+// Cross-process stitching of trace and metrics documents.
+//
+// A distributed sweep produces one trace.json / metrics.json per shard
+// process (dropped under <cache_dir>/queue/stats/).  These helpers fold
+// them back into single documents:
+//
+//   * merge_traces - one Chrome trace with each input as its own process
+//     track group (pid 1..N, named after its source), timelines aligned
+//     via each file's wall_anchor_us so shard spans interleave in real
+//     time.  The result loads in Perfetto as one multi-track view of the
+//     whole sweep.
+//   * merge_metrics - counters summed, gauges max'd, histograms merged by
+//     concatenating their raw ring samples and recomputing the exact
+//     nearest-rank quantiles over the union.
+//
+// Both accept any document the corresponding to_json() produced (version
+// checked) and return the same format, so merges compose.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace matador::obs {
+
+/// Stitch Chrome trace documents into one multi-process timeline.
+/// `names[i]` labels input i's track group; when `names` is empty (or
+/// short) the input's own process_name is used.  Throws on a document
+/// that is not a matador trace.
+util::Json merge_traces(const std::vector<util::Json>& traces,
+                        const std::vector<std::string>& names = {});
+
+/// Sum matador-metrics documents (see header comment for the per-type
+/// rule).  Throws on a document of the wrong format.
+util::Json merge_metrics(const std::vector<util::Json>& docs);
+
+/// Human-readable rendering of a matador-metrics document (the
+/// `matador metrics` table view).
+std::string format_metrics_text(const util::Json& doc);
+
+/// Prometheus text-exposition rendering of a matador-metrics document
+/// (same output shape as MetricsRegistry::to_prometheus).
+std::string format_metrics_prometheus(const util::Json& doc);
+
+}  // namespace matador::obs

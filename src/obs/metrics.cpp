@@ -1,0 +1,222 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace matador::obs {
+
+std::string series_name(const std::string& name, const Labels& labels) {
+    if (labels.empty()) return name;
+    std::string out = name + "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i) out += ",";
+        out += labels[i].first + "=\"" + labels[i].second + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+std::atomic<std::uint64_t>& Counter::shard() {
+    // Each thread sticks to one shard for its lifetime; 16 shards cover
+    // any realistic worker-pool width without false sharing.
+    static std::atomic<unsigned> next_slot{0};
+    thread_local const unsigned slot =
+        next_slot.fetch_add(1, std::memory_order_relaxed) % 16;
+    return shards_[slot].v;
+}
+
+Histogram::Histogram(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity)) {
+    for (auto& s : ring_) s.store(0.0, std::memory_order_relaxed);
+}
+
+void Histogram::record(double v) {
+    const std::uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    ring_[i % ring_.size()].store(v, std::memory_order_relaxed);
+    // CAS add keeps `sum` exact without requiring atomic<double>::fetch_add.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+std::size_t Histogram::samples() const {
+    return std::size_t(
+        std::min<std::uint64_t>(count(), ring_.size()));
+}
+
+std::vector<double> Histogram::ring_samples() const {
+    const std::size_t n = samples();
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = ring_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+Histogram::Quantiles Histogram::quantiles() const {
+    Quantiles q;
+    std::vector<double> sorted = ring_samples();
+    q.samples = sorted.size();
+    if (sorted.empty()) return q;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    const auto rank = [&](double p) {
+        const std::size_t r = std::size_t(p * double(n - 1) + 0.5);
+        return sorted[std::min(r, n - 1)];
+    };
+    q.p50 = rank(0.50);
+    q.p95 = rank(0.95);
+    q.p99 = rank(0.99);
+    return q;
+}
+
+void Histogram::reset() {
+    next_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    for (auto& s : ring_) s.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& series = counters_[series_name(name, labels)];
+    if (!series.metric) {
+        series.name = name;
+        series.labels = labels;
+        series.metric = std::make_unique<Counter>();
+    }
+    return *series.metric;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& series = gauges_[series_name(name, labels)];
+    if (!series.metric) {
+        series.name = name;
+        series.labels = labels;
+        series.metric = std::make_unique<Gauge>();
+    }
+    return *series.metric;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& series = histograms_[series_name(name, labels)];
+    if (!series.metric) {
+        series.name = name;
+        series.labels = labels;
+        series.metric = std::make_unique<Histogram>(capacity);
+    }
+    return *series.metric;
+}
+
+void MetricsRegistry::reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, s] : counters_) s.metric->reset();
+    for (auto& [key, s] : gauges_) s.metric->reset();
+    for (auto& [key, s] : histograms_) s.metric->reset();
+}
+
+namespace {
+
+util::Json labels_json(const Labels& labels) {
+    util::Json j = util::Json::object();
+    for (const auto& [k, v] : labels) j.set(k, v);
+    return j;
+}
+
+}  // namespace
+
+util::Json MetricsRegistry::to_json() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    util::Json root = util::Json::object();
+    root.set("format", "matador-metrics");
+    root.set("version", double(kMetricsJsonVersion));
+
+    util::Json counters = util::Json::array();
+    for (const auto& [key, s] : counters_) {
+        util::Json e = util::Json::object();
+        e.set("name", s.name);
+        e.set("labels", labels_json(s.labels));
+        e.set("value", double(s.metric->value()));
+        counters.push_back(std::move(e));
+    }
+    root.set("counters", std::move(counters));
+
+    util::Json gauges = util::Json::array();
+    for (const auto& [key, s] : gauges_) {
+        util::Json e = util::Json::object();
+        e.set("name", s.name);
+        e.set("labels", labels_json(s.labels));
+        e.set("value", s.metric->value());
+        gauges.push_back(std::move(e));
+    }
+    root.set("gauges", std::move(gauges));
+
+    util::Json histograms = util::Json::array();
+    for (const auto& [key, s] : histograms_) {
+        util::Json e = util::Json::object();
+        e.set("name", s.name);
+        e.set("labels", labels_json(s.labels));
+        e.set("count", double(s.metric->count()));
+        e.set("sum", s.metric->sum());
+        const auto q = s.metric->quantiles();
+        e.set("p50", q.p50);
+        e.set("p95", q.p95);
+        e.set("p99", q.p99);
+        util::Json samples = util::Json::array();
+        for (const double v : s.metric->ring_samples())
+            samples.push_back(v);
+        e.set("samples", std::move(samples));
+        histograms.push_back(std::move(e));
+    }
+    root.set("histograms", std::move(histograms));
+    return root;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    const auto number = [](double v) { return util::Json(v).dump(); };
+
+    std::string last_type_for;
+    const auto type_line = [&](const std::string& name, const char* type) {
+        if (name == last_type_for) return;
+        out += "# TYPE " + name + " " + type + "\n";
+        last_type_for = name;
+    };
+
+    for (const auto& [key, s] : counters_) {
+        type_line(s.name, "counter");
+        out += key + " " + number(double(s.metric->value())) + "\n";
+    }
+    for (const auto& [key, s] : gauges_) {
+        type_line(s.name, "gauge");
+        out += key + " " + number(s.metric->value()) + "\n";
+    }
+    for (const auto& [key, s] : histograms_) {
+        type_line(s.name, "summary");
+        const auto q = s.metric->quantiles();
+        const auto quantile_series = [&](const char* p, double v) {
+            Labels with = s.labels;
+            with.emplace_back("quantile", p);
+            out += series_name(s.name, with) + " " + number(v) + "\n";
+        };
+        quantile_series("0.5", q.p50);
+        quantile_series("0.95", q.p95);
+        quantile_series("0.99", q.p99);
+        out += series_name(s.name + "_sum", s.labels) + " " +
+               number(s.metric->sum()) + "\n";
+        out += series_name(s.name + "_count", s.labels) + " " +
+               number(double(s.metric->count())) + "\n";
+    }
+    return out;
+}
+
+}  // namespace matador::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "serve/error.hpp"
 
 namespace matador::serve {
@@ -44,13 +45,28 @@ std::future<Reply> Batcher::submit(std::shared_ptr<const ServableModel> model,
             throw ServeError(ErrorCode::kShuttingDown,
                              "server is shutting down");
         if (queue_.size() >= options_.max_queue_depth) {
-            if (metrics_) metrics_->record_shed(req.model->hash_hex);
+            const std::size_t depth = queue_.size();
+            if (metrics_)
+                metrics_->record_shed(req.model->hash_hex, "queue-full", depth);
+            // A shed is a point on the timeline with its full context: why,
+            // how deep the queue was, and which model took the hit.
+            if (obs::TraceRecorder::instance().enabled()) {
+                util::Json shed_args = util::Json::object();
+                shed_args.set("reason", "queue-full");
+                shed_args.set("queue_depth", double(depth));
+                shed_args.set("model", req.model->hash_hex);
+                obs::TraceRecorder::instance().instant("shed", "serve",
+                                                       std::move(shed_args));
+            }
             throw ServeError(ErrorCode::kOverloaded,
                              "queue full (" +
                                  std::to_string(options_.max_queue_depth) +
                                  " pending); retry with backoff");
         }
         queue_.push_back(std::move(req));
+        TRACE_INSTANT("enqueue", "serve");
+        TRACE_COUNTER("serve queue depth", queue_.size());
+        if (metrics_) metrics_->set_queue_depth(queue_.size());
     }
     work_cv_.notify_one();
     return future;
@@ -112,6 +128,14 @@ std::vector<Batcher::Block> Batcher::collect_ready_locked(
 
 void Batcher::execute_block(Block& block) const {
     const std::size_t n = block.requests.size();
+    obs::SpanGuard span("batch", "serve");
+    if (obs::TraceRecorder::instance().enabled()) {
+        util::Json args = util::Json::object();
+        args.set("model", block.model->hash_hex);
+        args.set("lanes", double(n));
+        args.set("occupancy", double(n) / double(kLanes));
+        span.set_args(std::move(args));
+    }
     std::vector<util::BitVector> xs;
     xs.reserve(n);
     for (Request& req : block.requests) xs.push_back(std::move(req.x));
@@ -152,6 +176,7 @@ void Batcher::run_blocks(std::vector<Block>& blocks) {
 }
 
 void Batcher::dispatcher_loop() {
+    obs::set_thread_name("serve-dispatcher");
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
         work_cv_.wait(lock, [&] {
@@ -180,6 +205,8 @@ void Batcher::dispatcher_loop() {
         std::size_t count = 0;
         for (const Block& b : ready) count += b.requests.size();
         in_flight_ += count;
+        TRACE_COUNTER("serve queue depth", queue_.size());
+        if (metrics_) metrics_->set_queue_depth(queue_.size());
         lock.unlock();
         run_blocks(ready);
         lock.lock();

@@ -1,6 +1,9 @@
 #include "serve/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.hpp"
 
 namespace matador::serve {
 
@@ -36,13 +39,24 @@ LatencyRing::Quantiles LatencyRing::quantiles() const {
     return q;
 }
 
-ServeMetrics::ServeMetrics() = default;
+ServeMetrics::ServeMetrics()
+    : queue_depth_(registry_.gauge("serve_queue_depth")) {}
 
 ServeMetrics::PerModel& ServeMetrics::slot_locked(const std::string& hash_hex) {
     auto it = per_model_.find(hash_hex);
     if (it == per_model_.end()) {
         it = per_model_.try_emplace(hash_hex).first;
-        it->second.outcomes.assign(kOutcomeWindow, 0);
+        PerModel& m = it->second;
+        const obs::Labels labels{{"model", hash_hex}};
+        m.requests = &registry_.counter("serve_requests", labels);
+        m.errors = &registry_.counter("serve_errors", labels);
+        m.shed = &registry_.counter("serve_shed", labels);
+        m.batches = &registry_.counter("serve_batches", labels);
+        m.lanes = &registry_.counter("serve_lanes", labels);
+        m.labeled = &registry_.counter("serve_labeled", labels);
+        m.correct = &registry_.counter("serve_correct", labels);
+        m.latency = &registry_.histogram("serve_latency_us", labels);
+        m.outcomes.assign(kOutcomeWindow, 0);
     }
     return it->second;
 }
@@ -52,11 +66,11 @@ void ServeMetrics::record_response(const std::string& hash_hex,
                                    std::optional<bool> correct) {
     std::lock_guard<std::mutex> lock(mu_);
     PerModel& m = slot_locked(hash_hex);
-    ++m.requests;
-    m.latency.record(latency_us);
+    m.requests->add();
+    m.latency->record(latency_us);
     if (correct) {
-        ++m.labeled;
-        m.correct += *correct;
+        m.labeled->add();
+        m.correct->add(*correct);
         m.outcomes[m.outcome_next] = *correct;
         m.outcome_next = (m.outcome_next + 1) % m.outcomes.size();
         m.outcome_count = std::min(m.outcome_count + 1, m.outcomes.size());
@@ -67,21 +81,35 @@ void ServeMetrics::record_batch(const std::string& hash_hex,
                                 std::size_t lanes) {
     std::lock_guard<std::mutex> lock(mu_);
     PerModel& m = slot_locked(hash_hex);
-    ++m.batches;
-    m.lanes += lanes;
+    m.batches->add();
+    m.lanes->add(lanes);
 }
 
 void ServeMetrics::record_error(const std::string& hash_hex) {
     std::lock_guard<std::mutex> lock(mu_);
-    ++slot_locked(hash_hex).errors;
+    slot_locked(hash_hex).errors->add();
 }
 
-void ServeMetrics::record_shed(const std::string& hash_hex) {
+void ServeMetrics::record_shed(const std::string& hash_hex,
+                               const std::string& reason,
+                               std::size_t queue_depth) {
     std::lock_guard<std::mutex> lock(mu_);
     if (hash_hex.empty())
         ++shed_unattributed_;
     else
-        ++slot_locked(hash_hex).shed;
+        slot_locked(hash_hex).shed->add();
+    auto it = shed_reasons_.find(reason);
+    if (it == shed_reasons_.end())
+        it = shed_reasons_
+                 .emplace(reason, &registry_.counter("serve_shed_total",
+                                                     {{"reason", reason}}))
+                 .first;
+    it->second->add();
+    queue_depth_.set(double(queue_depth));
+}
+
+void ServeMetrics::set_queue_depth(std::size_t depth) {
+    queue_depth_.set(double(depth));
 }
 
 ServeMetrics::Snapshot ServeMetrics::snapshot() const {
@@ -89,17 +117,26 @@ ServeMetrics::Snapshot ServeMetrics::snapshot() const {
     Snapshot s;
     s.uptime_seconds = uptime_.seconds();
     s.total_shed = shed_unattributed_;
+    s.queue_depth = std::size_t(queue_depth_.value());
+    s.spans_dropped =
+        std::size_t(obs::TraceRecorder::instance().dropped_total());
+    for (const auto& [reason, counter] : shed_reasons_)
+        s.shed_reasons.emplace_back(reason, std::size_t(counter->value()));
     for (const auto& [hash, m] : per_model_) {
         ModelMetrics out;
         out.hash_hex = hash;
-        out.requests = m.requests;
-        out.errors = m.errors;
-        out.shed = m.shed;
-        out.batches = m.batches;
-        out.lanes = m.lanes;
-        out.labeled = m.labeled;
-        out.correct = m.correct;
-        out.latency = m.latency.quantiles();
+        out.requests = std::size_t(m.requests->value());
+        out.errors = std::size_t(m.errors->value());
+        out.shed = std::size_t(m.shed->value());
+        out.batches = std::size_t(m.batches->value());
+        out.lanes = std::size_t(m.lanes->value());
+        out.labeled = std::size_t(m.labeled->value());
+        out.correct = std::size_t(m.correct->value());
+        const obs::Histogram::Quantiles q = m.latency->quantiles();
+        out.latency.p50_us = q.p50;
+        out.latency.p95_us = q.p95;
+        out.latency.p99_us = q.p99;
+        out.latency.samples = q.samples;
         out.rolling_window = m.outcome_count;
         if (m.outcome_count > 0) {
             std::size_t ok = 0;
@@ -107,8 +144,8 @@ ServeMetrics::Snapshot ServeMetrics::snapshot() const {
                 ok += m.outcomes[i];
             out.rolling_accuracy = double(ok) / double(m.outcome_count);
         }
-        s.total_requests += m.requests;
-        s.total_shed += m.shed;
+        s.total_requests += out.requests;
+        s.total_shed += out.shed;
         s.models.push_back(std::move(out));
     }
     return s;
@@ -122,6 +159,14 @@ util::Json ServeMetrics::snapshot_json() const {
     j.set("uptime_seconds", s.uptime_seconds);
     j.set("total_requests", double(s.total_requests));
     j.set("total_shed", double(s.total_shed));
+    j.set("queue_depth", double(s.queue_depth));
+    j.set("spans_dropped", double(s.spans_dropped));
+    if (!s.shed_reasons.empty()) {
+        util::Json reasons = util::Json::object();
+        for (const auto& [reason, count] : s.shed_reasons)
+            reasons.set(reason, double(count));
+        j.set("shed_reasons", std::move(reasons));
+    }
     util::Json models = util::Json::array();
     for (const auto& m : s.models) {
         util::Json e = util::Json::object();
@@ -143,6 +188,61 @@ util::Json ServeMetrics::snapshot_json() const {
     }
     j.set("models", std::move(models));
     return j;
+}
+
+std::string format_status_text(const util::Json& doc) {
+    std::string out;
+    char line[512];
+    std::snprintf(line, sizeof line,
+                  "serve: up %.1f s, %zu request(s), %zu shed",
+                  doc.at("uptime_seconds").as_double(),
+                  std::size_t(doc.at("total_requests").as_double()),
+                  std::size_t(doc.at("total_shed").as_double()));
+    out += line;
+    // v2 fields: absent from v1 files, so probe before reading.
+    if (doc.contains("queue_depth")) {
+        std::snprintf(line, sizeof line, ", queue %zu",
+                      std::size_t(doc.at("queue_depth").as_double()));
+        out += line;
+    }
+    if (doc.contains("spans_dropped") &&
+        doc.at("spans_dropped").as_double() > 0) {
+        std::snprintf(line, sizeof line, ", %zu span(s) dropped",
+                      std::size_t(doc.at("spans_dropped").as_double()));
+        out += line;
+    }
+    out += '\n';
+    if (doc.contains("shed_reasons")) {
+        for (const auto& [reason, count] : doc.at("shed_reasons").as_object()) {
+            std::snprintf(line, sizeof line, "  shed[%s]: %zu\n",
+                          reason.c_str(), std::size_t(count.as_double()));
+            out += line;
+        }
+    }
+    for (const auto& m : doc.at("models").as_array()) {
+        std::snprintf(
+            line, sizeof line,
+            "  %s: %zu req, %zu err, %zu shed | occupancy %.1f/64 over %zu "
+            "batch(es) | p50 %.0fus p95 %.0fus p99 %.0fus",
+            m.at("hash").as_string().c_str(),
+            std::size_t(m.at("requests").as_double()),
+            std::size_t(m.at("errors").as_double()),
+            std::size_t(m.at("shed").as_double()),
+            m.at("batch_occupancy").as_double(),
+            std::size_t(m.at("batches").as_double()),
+            m.at("p50_us").as_double(), m.at("p95_us").as_double(),
+            m.at("p99_us").as_double());
+        out += line;
+        if (std::size_t(m.at("rolling_window").as_double()) > 0) {
+            std::snprintf(line, sizeof line,
+                          " | acc %.2f%% (last %zu labeled)",
+                          100.0 * m.at("rolling_accuracy").as_double(),
+                          std::size_t(m.at("rolling_window").as_double()));
+            out += line;
+        }
+        out += '\n';
+    }
+    return out;
 }
 
 }  // namespace matador::serve

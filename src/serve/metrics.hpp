@@ -1,12 +1,21 @@
 // Live serving telemetry, per model and global.
 //
 // Counters are written on the hot path (one record_response per request,
-// one record_batch per dispatched block), so everything is O(1) amortized
-// under one mutex: latency quantiles come from a fixed ring of recent
-// samples (sorted only at snapshot time), rolling accuracy from a fixed
-// ring of labeled outcomes, batch occupancy from two integers.  snapshot()
-// renders the whole view as a versioned JSON document - the `serve-status`
-// wire format - without stopping the traffic it describes.
+// one record_batch per dispatched block).  All numeric series live in a
+// private obs::MetricsRegistry - serve_requests{model=...},
+// serve_latency_us histograms, the serve_queue_depth gauge - so the same
+// data exports as serve-status JSON, registry JSON, or Prometheus text
+// without a second set of counters.  Only the rolling-accuracy outcome
+// ring (not a registry primitive) stays local, under one mutex that also
+// orders per-model registration.  snapshot() renders the whole view as a
+// versioned JSON document - the `serve-status` wire format - without
+// stopping the traffic it describes.
+//
+// Wire-format history:
+//   v1  requests/shed/batches/latency quantiles/rolling accuracy
+//   v2  + queue_depth, spans_dropped, per-reason shed counts
+// format_status_text() reads both (a v2 reader on a v1 file just omits
+// the fields the file predates).
 #pragma once
 
 #include <cstddef>
@@ -17,13 +26,19 @@
 #include <string>
 #include <vector>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
-#include "util/stopwatch.hpp"
 
 namespace matador::serve {
 
 /// Fixed-capacity ring of the most recent latency samples; quantiles are
 /// computed over whatever the ring currently holds.
+///
+/// This is the pre-obs implementation, kept as the reference the
+/// obs::Histogram percentile test bit-matches against (same capacity,
+/// same nearest-rank formula).  Live serving records into the registry
+/// histograms instead.
 class LatencyRing {
 public:
     explicit LatencyRing(std::size_t capacity = 4096);
@@ -79,31 +94,43 @@ public:
     /// One typed failure (feature mismatch, ...) attributed to a model.
     void record_error(const std::string& hash_hex);
     /// One admission-control rejection.  `hash_hex` may be empty when the
-    /// request was shed before its model resolved.
-    void record_shed(const std::string& hash_hex);
+    /// request was shed before its model resolved; `reason` and
+    /// `queue_depth` carry the overload context the v2 status exposes.
+    void record_shed(const std::string& hash_hex,
+                     const std::string& reason = "queue-full",
+                     std::size_t queue_depth = 0);
+    /// Pending-queue depth right now (a gauge: last write wins).
+    void set_queue_depth(std::size_t depth);
 
     struct Snapshot {
         double uptime_seconds = 0.0;
         std::size_t total_requests = 0;
         std::size_t total_shed = 0;
+        std::size_t queue_depth = 0;
+        std::size_t spans_dropped = 0;  ///< trace events lost to full buffers
+        std::vector<std::pair<std::string, std::size_t>> shed_reasons;
         std::vector<ModelMetrics> models;  ///< hash order
     };
     Snapshot snapshot() const;
 
     /// The versioned `serve-status` document.
-    static constexpr unsigned kStatusVersion = 1;
+    static constexpr unsigned kStatusVersion = 2;
     util::Json snapshot_json() const;
+
+    /// The registry holding every serve series (latency histograms, shed
+    /// reasons, queue depth); exportable as metrics JSON / Prometheus.
+    const obs::MetricsRegistry& registry() const { return registry_; }
 
 private:
     struct PerModel {
-        std::size_t requests = 0;
-        std::size_t errors = 0;
-        std::size_t shed = 0;
-        std::size_t batches = 0;
-        std::size_t lanes = 0;
-        std::size_t labeled = 0;
-        std::size_t correct = 0;
-        LatencyRing latency;
+        obs::Counter* requests = nullptr;
+        obs::Counter* errors = nullptr;
+        obs::Counter* shed = nullptr;
+        obs::Counter* batches = nullptr;
+        obs::Counter* lanes = nullptr;
+        obs::Counter* labeled = nullptr;
+        obs::Counter* correct = nullptr;
+        obs::Histogram* latency = nullptr;
         /// Ring of recent labeled outcomes (1 = correct).
         std::vector<std::uint8_t> outcomes;
         std::size_t outcome_next = 0;
@@ -112,9 +139,19 @@ private:
     PerModel& slot_locked(const std::string& hash_hex);
 
     mutable std::mutex mu_;
+    /// Private registry: a process may run several servers (tests do) and
+    /// each owns its own serve series; the process-global registry keeps
+    /// pipeline/infer metrics.
+    obs::MetricsRegistry registry_;
+    obs::Gauge& queue_depth_;  ///< serve_queue_depth, resolved once
     std::map<std::string, PerModel> per_model_;
+    std::map<std::string, obs::Counter*> shed_reasons_;
     std::size_t shed_unattributed_ = 0;
-    util::Stopwatch uptime_;
+    obs::Timer uptime_;
 };
+
+/// Render a serve-status document (any version >= 1) as the terminal view
+/// `matador serve-status` prints.  Fields a v1 file predates are omitted.
+std::string format_status_text(const util::Json& doc);
 
 }  // namespace matador::serve

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "serve/error.hpp"
 #include "util/bitvector.hpp"
 #include "util/fsio.hpp"
@@ -209,6 +210,7 @@ void Server::write_status_file() const {
 }
 
 void Server::status_loop() {
+    obs::set_thread_name("serve-status");
     std::unique_lock<std::mutex> lock(status_mu_);
     const auto interval = std::chrono::duration<double>(
         options_.status_interval_s > 0 ? options_.status_interval_s : 1.0);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "infer/engine.hpp"
+#include "obs/trace.hpp"
 
 namespace matador::train {
 
@@ -92,6 +93,7 @@ FitReport ParallelTrainer::fit(tm::TsetlinMachine& machine,
         // then score both sets 64 examples per pass, block-sliced over the
         // worker pool.  Predictions (and hence the accuracy history) are
         // bit-identical to the scalar predict_literals loop this replaces.
+        TRACE_SPAN("eval-point", "train");
         const infer::BatchEngine engine(machine);
         EpochMetrics m;
         m.epoch = epoch_1based;
@@ -112,6 +114,12 @@ FitReport ParallelTrainer::fit(tm::TsetlinMachine& machine,
 
     bool stopped_early = false;
     for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+        obs::SpanGuard epoch_span("epoch", "train");
+        if (obs::TraceRecorder::instance().enabled()) {
+            util::Json args = util::Json::object();
+            args.set("epoch", double(epoch + 1));
+            epoch_span.set_args(std::move(args));
+        }
         // Keyed Fisher-Yates shuffle: same permutation at any thread count.
         order.resize(n);
         std::iota(order.begin(), order.end(), 0);

@@ -1,6 +1,9 @@
 #include "train/worker_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace matador::train {
 
@@ -26,6 +29,7 @@ unsigned WorkerPool::resolve(unsigned requested) {
 }
 
 void WorkerPool::worker_loop(unsigned index) {
+    obs::set_thread_name("worker-" + std::to_string(index));
     std::uint64_t seen = 0;
     for (;;) {
         const std::function<void(unsigned)>* job = nullptr;
@@ -37,6 +41,7 @@ void WorkerPool::worker_loop(unsigned index) {
             job = job_;
         }
         try {
+            TRACE_SPAN("task", "pool");
             (*job)(index);
         } catch (...) {
             std::lock_guard<std::mutex> lock(mu_);
@@ -62,6 +67,7 @@ void WorkerPool::run(const std::function<void(unsigned)>& fn) {
 
     // The calling thread is worker 0.
     try {
+        TRACE_SPAN("task", "pool");
         fn(0);
     } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);

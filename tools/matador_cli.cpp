@@ -15,6 +15,7 @@
 //   matador sweep-status <cache_dir>                    live sweep progress
 //   matador serve     [--model m.tm] [--cache-dir dir]  NDJSON scoring daemon
 //   matador serve-status <status.json> [--json]         daemon metrics view
+//   matador metrics   <cache_dir|metrics.json> [--json] merged metrics view
 //   matador cache     <stats|ls|clear|gc> --cache-dir dir  store admin
 //   matador stages                                      list pipeline stages
 //   matador datasets                                    list dataset specs
@@ -40,6 +41,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -57,11 +59,13 @@
 #include "dist/sweep_status.hpp"
 #include "dist/work_queue.hpp"
 #include "infer/engine.hpp"
+#include "obs/merge.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/error.hpp"
 #include "serve/server.hpp"
 #include "train/fit.hpp"
 #include "train/worker_pool.hpp"
-#include "util/stopwatch.hpp"
 #include "data/synthetic.hpp"
 #include "model/architecture.hpp"
 #include "rtl/generators.hpp"
@@ -81,8 +85,8 @@ using namespace matador;
 [[noreturn]] void usage(int code) {
     std::puts(
         "usage: matador <flow|train|eval|generate|verify|lint|simulate|sweep|"
-        "sweep-merge|sweep-status|serve|serve-status|cache|stages|datasets> "
-        "[options]\n"
+        "sweep-merge|sweep-status|serve|serve-status|metrics|cache|stages|"
+        "datasets> [options]\n"
         "\n"
         "common options:\n"
         "  --dataset <spec>        dataset (see 'matador datasets')\n"
@@ -136,6 +140,12 @@ using namespace matador;
         "  --dry-run               cache gc: report, do not delete\n"
         "  --out <file>            sweep/sweep-merge: write the full result\n"
         "                          as machine-readable JSON\n"
+        "  --trace-out <file>      record a Chrome trace-event timeline of\n"
+        "                          this run (open in ui.perfetto.dev); a\n"
+        "                          sharded sweep stitches every shard's\n"
+        "                          timeline into the one file\n"
+        "  --prometheus            metrics: Prometheus text instead of the\n"
+        "                          table view\n"
         "  --cache-dir <dir>       persistent artifact store (trained models +\n"
         "                          generated RTL survive restarts)\n"
         "  --train-threads <n>     trainer worker threads (0 = all cores; the\n"
@@ -178,13 +188,13 @@ const std::vector<CommandSpec>& command_specs() {
     static const std::vector<CommandSpec> specs = {
         {"flow",
          {"dataset", "examples", "data-seed", "train-fraction", "model-out",
-          "rtl-out", "config", "stop-after", "timing"}},
+          "rtl-out", "config", "stop-after", "timing", "trace-out"}},
         {"train",
          {"dataset", "examples", "data-seed", "train-fraction", "model-out",
-          "config", "history"}},
+          "config", "history", "trace-out"}},
         {"eval",
          {"model", "dataset", "examples", "data-seed", "train-fraction",
-          "check", "predictions-out", "dump-requests", "config"}},
+          "check", "predictions-out", "dump-requests", "config", "trace-out"}},
         {"generate", {"model", "rtl-out", "config"}},
         {"verify", {"model", "config"}},
         {"lint", {"model", "fail-on", "json", "config"}},
@@ -192,13 +202,15 @@ const std::vector<CommandSpec>& command_specs() {
         {"sweep",
          {"dataset", "examples", "data-seed", "train-fraction", "sweep",
           "jobs", "shards", "shard-id", "lease-timeout", "max-retries", "out",
-          "config"}},
-        {"sweep-merge", {"out", "config"}},
+          "config", "trace-out"}},
+        {"sweep-merge", {"out", "config", "trace-out"}},
         {"sweep-status", {"lease-timeout", "config"}},
         {"serve",
          {"model", "alias", "status-file", "status-interval",
-          "max-batch-delay-ms", "max-queue-depth", "max-inflight", "config"}},
+          "max-batch-delay-ms", "max-queue-depth", "max-inflight", "config",
+          "trace-out"}},
         {"serve-status", {"status-file", "json", "config"}},
+        {"metrics", {"metrics-file", "json", "prometheus", "config"}},
         {"cache",
          {"max-age-days", "max-bytes", "dry-run", "config"}},
         {"stages", {}, false},
@@ -216,7 +228,8 @@ const CommandSpec* find_command(const std::string& name) {
 /// Options that take no value.
 bool is_boolean_flag(const std::string& name) {
     return name == "trace" || name == "timing" || name == "history" ||
-           name == "check" || name == "json" || name == "dry-run";
+           name == "check" || name == "json" || name == "dry-run" ||
+           name == "prometheus";
 }
 
 std::size_t parse_count_option(const std::string& name, const std::string& v) {
@@ -286,6 +299,16 @@ CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
     if (args.command == "serve-status" && argc >= 3 &&
         std::string(argv[2]).rfind("--", 0) != 0) {
         args.options["status-file"] = argv[2];
+        first_option = 3;
+    }
+    // 'matador metrics <cache_dir|metrics.json>': a directory merges the
+    // sharded sweep's per-shard drops, a file is shown as-is.
+    if (args.command == "metrics" && argc >= 3 &&
+        std::string(argv[2]).rfind("--", 0) != 0) {
+        if (std::filesystem::is_directory(argv[2]))
+            cfg.cache_dir = argv[2];
+        else
+            args.options["metrics-file"] = argv[2];
         first_option = 3;
     }
 
@@ -379,6 +402,51 @@ model::TrainedModel load_model_arg(const CliArgs& args) {
         usage(1);
     }
     return model::TrainedModel::load_file(path);
+}
+
+/// --trace-out plumbing: arm the process recorder before the command runs,
+/// write the timeline when it finishes (including on error exits).  A
+/// command that assembles its own merged trace calls dismiss() first.
+class TraceOutput {
+public:
+    explicit TraceOutput(const CliArgs& args) : path_(args.get("trace-out")) {
+        if (!path_.empty()) obs::TraceRecorder::instance().enable();
+    }
+    ~TraceOutput() {
+        if (path_.empty()) return;
+        try {
+            obs::TraceRecorder::instance().write_file(path_);
+            std::fprintf(stderr, "trace written to %s\n", path_.c_str());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "cannot write trace %s: %s\n", path_.c_str(),
+                         e.what());
+        }
+    }
+    bool active() const { return !path_.empty(); }
+    const std::string& path() const { return path_; }
+    void dismiss() { path_.clear(); }
+
+private:
+    std::string path_;
+};
+
+/// Stitch the queue's per-shard trace drops (plus this process's own
+/// timeline) into trace.path() and report how many tracks went in.
+void write_merged_shard_trace(TraceOutput& trace, const std::string& cache_dir) {
+    auto shard_traces = dist::read_shard_obs_files(cache_dir, ".trace.json");
+    std::vector<util::Json> docs;
+    std::vector<std::string> names;
+    for (auto& [owner, doc] : shard_traces) {
+        names.push_back(owner);
+        docs.push_back(std::move(doc));
+    }
+    docs.push_back(obs::TraceRecorder::instance().to_json());
+    names.push_back("coordinator");
+    util::write_file_atomic(trace.path(),
+                            obs::merge_traces(docs, names).dump(1) + "\n");
+    std::fprintf(stderr, "trace written to %s (%zu shard track(s))\n",
+                 trace.path().c_str(), shard_traces.size());
+    trace.dismiss();
 }
 
 int cmd_flow(const CliArgs& args, core::FlowConfig cfg) {
@@ -476,10 +544,10 @@ int cmd_eval(const CliArgs& args, const core::FlowConfig& cfg) {
     const infer::BatchEngine engine(m);
     train::WorkerPool pool(
         train::WorkerPool::resolve(unsigned(cfg.train_threads)));
-    util::Stopwatch watch;
+    obs::TimedSpan watch("eval", "cli");
     const double train_acc = engine.accuracy(split.train, &pool);
     const double test_acc = engine.accuracy(split.test, &pool);
-    const double secs = watch.seconds();
+    const double secs = watch.finish();
     std::printf("eval: %.2f%% train / %.2f%% test accuracy (batched 64-wide, "
                 "%zu+%zu examples, %zu live clauses, %.3f s)\n",
                 100.0 * train_acc, 100.0 * test_acc, split.train.size(),
@@ -595,28 +663,45 @@ int cmd_serve_status(const CliArgs& args) {
         std::printf("%s\n", doc.dump(2).c_str());
         return 0;
     }
-    std::printf("serve: up %.1f s, %zu request(s), %zu shed\n",
-                doc.at("uptime_seconds").as_double(),
-                std::size_t(doc.at("total_requests").as_double()),
-                std::size_t(doc.at("total_shed").as_double()));
-    for (const auto& m : doc.at("models").as_array()) {
-        std::printf(
-            "  %s: %zu req, %zu err, %zu shed | occupancy %.1f/64 over %zu "
-            "batch(es) | p50 %.0fus p95 %.0fus p99 %.0fus",
-            m.at("hash").as_string().c_str(),
-            std::size_t(m.at("requests").as_double()),
-            std::size_t(m.at("errors").as_double()),
-            std::size_t(m.at("shed").as_double()),
-            m.at("batch_occupancy").as_double(),
-            std::size_t(m.at("batches").as_double()),
-            m.at("p50_us").as_double(), m.at("p95_us").as_double(),
-            m.at("p99_us").as_double());
-        if (std::size_t(m.at("rolling_window").as_double()) > 0)
-            std::printf(" | acc %.2f%% (last %zu labeled)",
-                        100.0 * m.at("rolling_accuracy").as_double(),
-                        std::size_t(m.at("rolling_window").as_double()));
-        std::printf("\n");
+    // The formatter lives in the serve lib so its version back-compat
+    // (v1 files have no queue_depth / spans_dropped) is unit-tested.
+    std::fputs(serve::format_status_text(doc).c_str(), stdout);
+    return 0;
+}
+
+int cmd_metrics(const CliArgs& args, const core::FlowConfig& cfg) {
+    util::Json doc;
+    if (!args.get("metrics-file").empty()) {
+        doc = util::Json::parse(util::read_file(args.get("metrics-file")));
+    } else if (!cfg.cache_dir.empty()) {
+        // Merge every shard's metrics drop from the sweep queue.
+        auto shard_docs =
+            dist::read_shard_obs_files(cfg.cache_dir, ".metrics.json");
+        if (shard_docs.empty()) {
+            std::fprintf(stderr,
+                         "no metrics under %s/queue/stats - run the sweep "
+                         "with --trace-out to export them\n",
+                         cfg.cache_dir.c_str());
+            return 1;
+        }
+        std::vector<util::Json> docs;
+        for (auto& [owner, d] : shard_docs) docs.push_back(std::move(d));
+        doc = obs::merge_metrics(docs);
+        // stderr: keep --json / --prometheus output clean for piping.
+        std::fprintf(stderr, "%zu shard metrics file(s) merged\n",
+                     shard_docs.size());
+    } else {
+        std::fprintf(stderr,
+                     "metrics needs a target: 'matador metrics "
+                     "<cache_dir|metrics.json>'\n");
+        usage(1);
     }
+    if (args.flag("json"))
+        std::printf("%s\n", doc.dump(2).c_str());
+    else if (args.flag("prometheus"))
+        std::fputs(obs::format_metrics_prometheus(doc).c_str(), stdout);
+    else
+        std::fputs(obs::format_metrics_text(doc).c_str(), stdout);
     return 0;
 }
 
@@ -825,7 +910,8 @@ void print_shard_lines(const std::vector<dist::ShardReport>& shards) {
                     s.points_failed, s.wall_seconds);
 }
 
-int cmd_sweep(const CliArgs& args, const core::FlowConfig& cfg) {
+int cmd_sweep(const CliArgs& args, const core::FlowConfig& cfg,
+              TraceOutput& trace) {
     if (args.sweep_axes.empty()) {
         std::fprintf(stderr,
                      "sweep needs at least one --sweep key=v1,v2,... axis\n");
@@ -895,6 +981,9 @@ int cmd_sweep(const CliArgs& args, const core::FlowConfig& cfg) {
     }
     options.queue.max_retries =
         parse_count_option("max-retries", args.get("max-retries", "0"));
+    // With --trace-out every shard drops its timeline + metrics under
+    // queue/stats/ for the coordinator (or sweep-merge) to stitch.
+    options.export_obs = trace.active();
     const auto shards =
         unsigned(parse_count_option("shards", args.get("shards", "1")));
     if (shards == 0) {
@@ -937,6 +1026,7 @@ int cmd_sweep(const CliArgs& args, const core::FlowConfig& cfg) {
         if (codes[i] >= 2)
             std::fprintf(stderr, "shard %zu exited with code %d\n", i, codes[i]);
     const auto merged = dist::merge_sweep(cfg.cache_dir);
+    if (trace.active()) write_merged_shard_trace(trace, cfg.cache_dir);
     if (!merged.complete()) {
         std::fprintf(stderr, "sweep incomplete: %zu of %zu points missing\n",
                      merged.missing.size(), merged.expected);
@@ -951,13 +1041,15 @@ int cmd_sweep(const CliArgs& args, const core::FlowConfig& cfg) {
     return all_ok ? 0 : 1;
 }
 
-int cmd_sweep_merge(const CliArgs& args, const core::FlowConfig& cfg) {
+int cmd_sweep_merge(const CliArgs& args, const core::FlowConfig& cfg,
+                    TraceOutput& trace) {
     if (cfg.cache_dir.empty()) {
         std::fprintf(stderr,
                      "sweep-merge needs --cache-dir (or cache_dir in --config)\n");
         usage(1);
     }
     const auto merged = dist::merge_sweep(cfg.cache_dir);
+    if (trace.active()) write_merged_shard_trace(trace, cfg.cache_dir);
     if (!merged.complete()) {
         std::fprintf(stderr, "sweep incomplete: %zu of %zu points missing\n",
                      merged.missing.size(), merged.expected);
@@ -1117,6 +1209,9 @@ int main(int argc, char** argv) {
     try {
         core::FlowConfig cfg;
         const CliArgs args = parse_args(argc, argv, cfg);
+        // Arms tracing when --trace-out was given; its destructor writes
+        // the timeline after the command returns (error exits included).
+        TraceOutput trace(args);
         if (args.command == "flow") return cmd_flow(args, cfg);
         if (args.command == "train") return cmd_train(args, cfg);
         if (args.command == "eval") return cmd_eval(args, cfg);
@@ -1124,11 +1219,13 @@ int main(int argc, char** argv) {
         if (args.command == "verify") return cmd_verify(args, cfg);
         if (args.command == "lint") return cmd_lint(args, cfg);
         if (args.command == "simulate") return cmd_simulate(args, cfg);
-        if (args.command == "sweep") return cmd_sweep(args, cfg);
-        if (args.command == "sweep-merge") return cmd_sweep_merge(args, cfg);
+        if (args.command == "sweep") return cmd_sweep(args, cfg, trace);
+        if (args.command == "sweep-merge")
+            return cmd_sweep_merge(args, cfg, trace);
         if (args.command == "sweep-status") return cmd_sweep_status(args, cfg);
         if (args.command == "serve") return cmd_serve(args, cfg);
         if (args.command == "serve-status") return cmd_serve_status(args);
+        if (args.command == "metrics") return cmd_metrics(args, cfg);
         if (args.command == "cache") return cmd_cache(args, cfg);
         if (args.command == "stages") return cmd_stages();
         if (args.command == "datasets") return cmd_datasets();
