@@ -47,6 +47,24 @@ std::uint64_t backend_config_hash(const FlowConfig& cfg, std::uint64_t model_has
     return h.digest();
 }
 
+std::uint64_t lint_cache_key(const FlowConfig& cfg, std::uint64_t model_hash) {
+    Fnv1a h;
+    h.u64(backend_config_hash(cfg, model_hash));
+    // A verdict is produced by a checker: fold its version in so lint code
+    // changes invalidate cached reports instead of silently resurfacing.
+    h.u64(lint::kLintSubsystemVersion);
+    return h.digest();
+}
+
+std::uint64_t proof_cache_key(const FlowConfig& cfg, std::uint64_t model_hash) {
+    Fnv1a h;
+    h.u64(backend_config_hash(cfg, model_hash));
+    h.u64(sat::kSatSubsystemVersion);
+    // The prove knobs that change what was actually proved.
+    h.u64(cfg.induction_k);
+    return h.digest();
+}
+
 std::uint64_t dataset_fingerprint(const data::Dataset& ds) {
     Fnv1a h;
     h.u64(ds.num_features);
@@ -361,6 +379,12 @@ LintArtifact ArtifactStore::get_or_compute_lint(
     return get_or_compute(lint_, "lint", key, fn, served, warn);
 }
 
+ProofArtifact ArtifactStore::get_or_compute_proof(
+    std::uint64_t key, const std::function<ProofArtifact()>& fn,
+    ArtifactTier* served, const WarnFn& warn) {
+    return get_or_compute(proof_, "proof", key, fn, served, warn);
+}
+
 // ---------------------------------------------------------------------------
 // Disk tier: trained models
 // ---------------------------------------------------------------------------
@@ -621,6 +645,50 @@ void ArtifactStore::save_disk(const char* stage_name, std::uint64_t key,
 }
 
 // ---------------------------------------------------------------------------
+// Disk tier: proof reports
+// ---------------------------------------------------------------------------
+
+std::optional<ProofArtifact> ArtifactStore::load_disk(const char* stage_name,
+                                                      std::uint64_t key,
+                                                      const WarnFn& warn,
+                                                      ProofArtifact*) const {
+    const fs::path entry = fs::path(dir_) / stage_name / key_hex(key);
+    const auto manifest = read_manifest(entry / kManifestName, stage_name, key, warn);
+    if (!manifest) return std::nullopt;
+
+    ProofArtifact a;
+    try {
+        a.report = sat::prove_report_from_json(
+            util::Json::parse(util::read_file(entry / "report.json")));
+    } catch (const std::exception& e) {
+        warn_at(warn, "artifact store: unusable proof report in " +
+                          entry.string() + " (" + e.what() + "); recomputing");
+        return std::nullopt;
+    }
+    return a;
+}
+
+void ArtifactStore::save_disk(const char* stage_name, std::uint64_t key,
+                              const ProofArtifact& a, const WarnFn& warn) const {
+    const fs::path entry = fs::path(dir_) / stage_name / key_hex(key);
+    write_entry(
+        entry,
+        [&](const fs::path& tmp) {
+            std::ofstream rj(tmp / "report.json", std::ios::binary);
+            rj << sat::prove_report_to_json(a.report).dump(2) << "\n";
+            if (!rj) throw std::runtime_error("report write failed");
+            std::ofstream out(tmp / kManifestName);
+            out << "MATADOR-ARTIFACT v" << kManifestVersion << "\n";
+            out << "stage " << stage_name << "\n";
+            out << "key " << key_hex(key) << "\n";
+            out << "equivalent " << (a.report.equivalent ? 1 : 0) << "\n";
+            out << "end\n";
+            if (!out) throw std::runtime_error("manifest write failed");
+        },
+        warn);
+}
+
+// ---------------------------------------------------------------------------
 // Stats and maintenance
 // ---------------------------------------------------------------------------
 
@@ -654,6 +722,7 @@ ArtifactStore::Stats ArtifactStore::stats() const {
     s.train = tier(train_, "train");
     s.generate = tier(generate_, "generate");
     s.lint = tier(lint_, "lint");
+    s.proof = tier(proof_, "proof");
     return s;
 }
 
@@ -679,12 +748,19 @@ void ArtifactStore::clear_memory() {
     lint_.memory_hits = 0;
     lint_.disk_hits = 0;
     lint_.misses = 0;
+    {
+        std::lock_guard<std::mutex> lock(proof_.mu);
+        proof_.slots.clear();
+    }
+    proof_.memory_hits = 0;
+    proof_.disk_hits = 0;
+    proof_.misses = 0;
 }
 
 std::vector<ArtifactStore::DiskEntry> ArtifactStore::list_disk() const {
     std::vector<DiskEntry> entries;
     if (!persistent()) return entries;
-    for (const char* stage : {"train", "generate", "lint"}) {
+    for (const char* stage : {"train", "generate", "lint", "proof"}) {
         const fs::path stage_dir = fs::path(dir_) / stage;
         std::error_code ec;
         std::vector<DiskEntry> stage_entries;
@@ -719,6 +795,7 @@ std::uintmax_t ArtifactStore::clear_disk() {
         fs::remove_all(fs::path(dir_) / "train", ec);
         fs::remove_all(fs::path(dir_) / "generate", ec);
         fs::remove_all(fs::path(dir_) / "lint", ec);
+        fs::remove_all(fs::path(dir_) / "proof", ec);
     }
     return bytes;
 }

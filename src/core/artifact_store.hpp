@@ -48,6 +48,7 @@
 #include "lint/lint.hpp"
 #include "model/trained_model.hpp"
 #include "rtl/hcb_builder.hpp"
+#include "sat/prove.hpp"
 #include "train/fit.hpp"
 
 namespace matador::core {
@@ -80,6 +81,16 @@ std::uint64_t frontend_config_hash(const FlowConfig& cfg);
 /// backend knob are deliberately excluded - HCB AIGs and LUT mapping do
 /// not depend on them.
 std::uint64_t backend_config_hash(const FlowConfig& cfg, std::uint64_t model_hash);
+
+/// Cache key of the lint rung: the backend hash folded with the lint
+/// subsystem's version.  A cached verdict is only as good as the checker
+/// that produced it - keying by the backend hash alone (the pre-PR-9 bug)
+/// kept serving stale verdicts across lint code changes.
+std::uint64_t lint_cache_key(const FlowConfig& cfg, std::uint64_t model_hash);
+
+/// Cache key of the proof tier: backend hash + SAT subsystem version +
+/// the prove knobs that shape the verdict (induction_k).
+std::uint64_t proof_cache_key(const FlowConfig& cfg, std::uint64_t model_hash);
 
 /// Stable content fingerprint of a dataset (shape, labels, feature bits).
 std::uint64_t dataset_fingerprint(const data::Dataset& ds);
@@ -116,6 +127,13 @@ struct LintArtifact {
     lint::LintReport report;
 };
 
+/// The proof tier's artifact: the full SAT equivalence report (per-output
+/// verdicts with self-checked traces, induction cases, solver stats),
+/// persisted as JSON.  Keyed by proof_cache_key.
+struct ProofArtifact {
+    sat::ProveReport report;
+};
+
 /// The generate stage's expensive artifact set: the HCB AIG netlists and
 /// their LUT-mapping summary.  Module emission and timing are cheap and
 /// are re-derived per pipeline run (they also depend on the clock, which
@@ -146,11 +164,12 @@ public:
         TierStats train;
         TierStats generate;
         TierStats lint;
+        TierStats proof;
     };
 
     /// One on-disk entry (for `matador cache ls` / stats).
     struct DiskEntry {
-        std::string stage;    ///< "train" | "generate" | "lint"
+        std::string stage;    ///< "train" | "generate" | "lint" | "proof"
         std::string key_hex;  ///< 16-char entry directory name
         std::uintmax_t bytes = 0;
         std::size_t files = 0;
@@ -179,6 +198,10 @@ public:
 
     LintArtifact get_or_compute_lint(
         std::uint64_t key, const std::function<LintArtifact()>& fn,
+        ArtifactTier* served = nullptr, const WarnFn& warn = {});
+
+    ProofArtifact get_or_compute_proof(
+        std::uint64_t key, const std::function<ProofArtifact()>& fn,
         ArtifactTier* served = nullptr, const WarnFn& warn = {});
 
     Stats stats() const;
@@ -223,12 +246,17 @@ private:
     std::optional<LintArtifact> load_disk(const char* stage_name,
                                           std::uint64_t key, const WarnFn& warn,
                                           LintArtifact*) const;
+    std::optional<ProofArtifact> load_disk(const char* stage_name,
+                                           std::uint64_t key, const WarnFn& warn,
+                                           ProofArtifact*) const;
     void save_disk(const char* stage_name, std::uint64_t key,
                    const TrainedArtifact& a, const WarnFn& warn) const;
     void save_disk(const char* stage_name, std::uint64_t key,
                    const GeneratedArtifact& a, const WarnFn& warn) const;
     void save_disk(const char* stage_name, std::uint64_t key,
                    const LintArtifact& a, const WarnFn& warn) const;
+    void save_disk(const char* stage_name, std::uint64_t key,
+                   const ProofArtifact& a, const WarnFn& warn) const;
 
     std::size_t count_disk_entries(const char* stage_name) const;
 
@@ -236,6 +264,7 @@ private:
     StageSlots<TrainedArtifact> train_;
     StageSlots<GeneratedArtifact> generate_;
     StageSlots<LintArtifact> lint_;
+    StageSlots<ProofArtifact> proof_;
 };
 
 }  // namespace matador::core

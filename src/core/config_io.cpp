@@ -112,6 +112,10 @@ bool apply_flow_option(FlowConfig& cfg, const std::string& key,
         cfg.rtl_output_dir = value;
     } else if (key == "skip_rtl_verification") {
         cfg.skip_rtl_verification = parse_bool(value, key);
+    } else if (key == "verify_sat") {
+        cfg.verify_sat = parse_bool(value, key);
+    } else if (key == "induction_k") {
+        cfg.induction_k = parse_size(value, key);
     } else if (key == "cache_dir") {
         cfg.cache_dir = value;
     } else {
@@ -179,6 +183,11 @@ void save_flow_config(const FlowConfig& cfg, std::ostream& out) {
         out << "rtl_output_dir = " << cfg.rtl_output_dir << "\n";
     out << "skip_rtl_verification = "
         << (cfg.skip_rtl_verification ? "true" : "false") << "\n";
+    // The SAT tier knobs are execution knobs too: defaults are omitted so
+    // config texts - and distributed grid hashes - stay identical with
+    // configs written before the prove tier existed.
+    if (cfg.verify_sat) out << "verify_sat = true\n";
+    if (cfg.induction_k != 1) out << "induction_k = " << cfg.induction_k << "\n";
     if (!cfg.cache_dir.empty()) out << "cache_dir = " << cfg.cache_dir << "\n";
 }
 

@@ -61,6 +61,11 @@ struct FlowConfig {
     std::size_t sim_datapoints = 32; ///< streaming datapoints for system check
     std::string rtl_output_dir;      ///< empty = keep the design in memory
     bool skip_rtl_verification = false;  ///< fast mode for large sweeps
+    /// Run the SAT equivalence tier (verify level 3): per-output
+    /// scalar-vs-netlist miter proofs plus k-induction over the chain.
+    bool verify_sat = false;
+    /// Induction depth of the SAT tier's sequential proof (>= 1).
+    std::size_t induction_k = 1;
     /// Root of the persistent artifact store's disk tier; empty = the
     /// memory tier only.  Never enters any config hash - it decides where
     /// artifacts live, not what they are.

@@ -393,7 +393,10 @@ public:
         ArtifactTier lint_tier = ArtifactTier::kNone;
         LintArtifact lint_artifact;
         if (ctx.store) {
-            const auto key = backend_config_hash(ctx.cfg, m.content_hash());
+            // lint_cache_key, not the raw backend hash: the key folds in the
+            // lint subsystem version, so checker changes invalidate cached
+            // verdicts instead of silently resurfacing stale ones.
+            const auto key = lint_cache_key(ctx.cfg, m.content_hash());
             lint_artifact = ctx.store->get_or_compute_lint(
                 key, lint_fn, &lint_tier,
                 [&](const std::string& msg) { ctx.warn(kind(), msg); });
@@ -481,13 +484,60 @@ public:
         ctx.measured_latency_cycles = sr.first_latency_cycles;
         ctx.measured_ii = sr.mean_initiation_interval;
 
+        // Levels 3-4 of the ladder (opt-in): SAT-proved scalar-vs-netlist
+        // equivalence per output slice plus k-induction over the chain.
+        // Cached under the proof key (backend hash + SAT subsystem version
+        // + induction depth) and fanned per output over the worker pool.
+        bool proof_ok = true;
+        if (ctx.cfg.verify_sat) {
+            const auto prove_fn = [&]() -> ProofArtifact {
+                ProofArtifact a;
+                sat::ProveOptions popt;
+                popt.induction_k = ctx.cfg.induction_k;
+                popt.threads = unsigned(ctx.cfg.train_threads);
+                a.report = sat::prove_design(ctx.design->hcbs, m, popt);
+                return a;
+            };
+            ArtifactTier proof_tier = ArtifactTier::kNone;
+            ProofArtifact proof_artifact;
+            if (ctx.store) {
+                const auto key = proof_cache_key(ctx.cfg, m.content_hash());
+                proof_artifact = ctx.store->get_or_compute_proof(
+                    key, prove_fn, &proof_tier,
+                    [&](const std::string& msg) { ctx.warn(kind(), msg); });
+            } else {
+                proof_artifact = prove_fn();
+            }
+            ctx.proof = std::move(proof_artifact.report);
+            if (ctx.store) count_cache_lookup(kind(), proof_tier);
+            if (proof_tier != ArtifactTier::kNone)
+                ctx.note(kind(),
+                         std::string("proof report served from artifact store (") +
+                             tier_name(proof_tier) + " tier)");
+            ctx.record(kind()).detail +=
+                "; prove: " + std::to_string(ctx.proof->outputs_proved) + "/" +
+                std::to_string(ctx.proof->outputs_total) + " unsat";
+            proof_ok = ctx.proof->equivalent;
+            if (!proof_ok)
+                ctx.error(kind(),
+                          "SAT equivalence tier failed (" +
+                              std::to_string(ctx.proof->outputs_failed) +
+                              " output(s) refuted, " +
+                              std::to_string(ctx.proof->outputs_unknown) +
+                              " unknown" +
+                              (ctx.proof->induction_k && !ctx.proof->induction_ok
+                                   ? ", induction failed"
+                                   : "") +
+                              "); run `matador prove` for details");
+        }
+
         if (!rep.ok()) {
             ctx.error(kind(), "equivalence ladder failed: " +
                                   (rep.first_failure.empty() ? "unknown failure"
                                                              : rep.first_failure));
         }
         if (!ok) ctx.error(kind(), "system-level streaming check failed");
-        if (!rep.ok() || !ok) return StageStatus::kFailed;
+        if (!rep.ok() || !ok || !proof_ok) return StageStatus::kFailed;
         if (ladder_skipped)
             ctx.note(kind(), "equivalence ladder skipped (fast sweep mode)");
         return StageStatus::kOk;

@@ -134,6 +134,9 @@ public:
     /// Level-0 static analysis of the generated design (lint rung); filled
     /// before the simulation ladder runs.
     std::optional<lint::LintReport> lint_report;
+    /// Level-3/4 SAT equivalence proof (per-output miters + k-induction);
+    /// only filled when cfg.verify_sat is set.
+    std::optional<sat::ProveReport> proof;
     std::optional<rtl::VerificationReport> verification;
     bool system_verified = false;
     std::size_t measured_latency_cycles = 0;

@@ -31,6 +31,11 @@
 
 namespace matador::lint {
 
+/// Version of the lint subsystem's semantics (checks + ternary pass).
+/// Folded into the lint cache key so checker changes invalidate cached
+/// verdicts; bump on any change that could alter a finding or stat.
+inline constexpr unsigned kLintSubsystemVersion = 1;
+
 /// Aggregated structural statistics over everything a lint run analyzed.
 struct LintStats {
     ModuleLintStats modules;

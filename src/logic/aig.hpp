@@ -55,6 +55,9 @@ public:
 
     /// Register a primary output; returns its index.
     std::size_t add_po(Lit l);
+    /// Rewire primary output `i` to a different literal (fault injection,
+    /// post-build patching).
+    void set_po(std::size_t i, Lit l) { pos_[i] = l; }
 
     // -- structure queries --------------------------------------------------
     std::size_t num_pis() const { return pis_.size(); }

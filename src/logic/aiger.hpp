@@ -1,0 +1,40 @@
+// AIGER import/export (ascii `aag` and binary `aig`, format of the AIGER
+// utilities / HWMCC).
+//
+// Export renumbers variables the canonical AIGER way - inputs first
+// (vars 1..I in PI order), then AND gates in node-creation (topological)
+// order - and writes each AND as lhs > rhs0 >= rhs1, so a file we wrote
+// re-imports to an identically numbered AIG and re-exports byte-for-byte.
+// That round-trip identity is what lets `matador prove --miter-out` hand a
+// miter to external checkers and `matador aig export|import` assert the
+// file was not mangled.
+//
+// Import accepts both formats (sniffed from the magic), tolerates symbol
+// tables and comments, and rejects latches (the miter flow is purely
+// combinational - the sequential chain is unrolled before export).
+// Imported AIGs are built without structural hashing so duplicated gates
+// in the file stay duplicated; constant folding still applies, so a file
+// containing foldable gates (constant or equal fanins) imports to the
+// smaller, equivalent AIG.
+#pragma once
+
+#include <string>
+
+#include "logic/aig.hpp"
+
+namespace matador::logic {
+
+/// Ascii AIGER document ("aag M I 0 O A" header).
+std::string write_aiger_ascii(const Aig& aig);
+/// Binary AIGER document ("aig" header, delta-varint AND encoding).
+std::string write_aiger_binary(const Aig& aig);
+/// Write by extension: ".aag" => ascii, anything else => binary.
+void write_aiger_file(const Aig& aig, const std::string& path);
+
+/// Parse an AIGER document (either format, sniffed from the magic).
+/// Throws std::runtime_error with a position on malformed input, future
+/// features (latches), or undefined literals.
+Aig read_aiger(const std::string& data);
+Aig read_aiger_file(const std::string& path);
+
+}  // namespace matador::logic

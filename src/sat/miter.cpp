@@ -1,0 +1,109 @@
+#include "sat/miter.hpp"
+
+#include <stdexcept>
+
+namespace matador::sat {
+
+std::vector<logic::Lit> append_cone(const logic::Aig& src, logic::Aig& dst,
+                                    const std::vector<logic::Lit>& pi_map) {
+    if (pi_map.size() != src.num_pis())
+        throw std::runtime_error("append_cone: pi_map size mismatch");
+    std::vector<logic::Lit> node_map(src.num_nodes(), logic::kConst0);
+    const auto map_lit = [&](logic::Lit l) {
+        return node_map[logic::lit_node(l)] ^ logic::Lit(logic::lit_complement(l));
+    };
+    for (std::uint32_t node = 1; node < src.num_nodes(); ++node) {
+        if (src.is_pi(node))
+            node_map[node] = pi_map[src.pi_index(node)];
+        else
+            node_map[node] =
+                dst.create_and(map_lit(src.node_fanin0(node)), map_lit(src.node_fanin1(node)));
+    }
+    std::vector<logic::Lit> pos;
+    pos.reserve(src.num_pos());
+    for (std::size_t o = 0; o < src.num_pos(); ++o) pos.push_back(map_lit(src.po(o)));
+    return pos;
+}
+
+logic::Lit encode_scalar_partial(logic::Aig& dst, const model::Clause& clause,
+                                 std::size_t lo, std::size_t hi,
+                                 const std::vector<logic::Lit>& packet_bits,
+                                 logic::Lit chain_in) {
+    std::vector<logic::Lit> terms;
+    for (std::size_t f = lo; f < hi; ++f) {
+        if (clause.include_pos.get(f)) terms.push_back(packet_bits[f - lo]);
+        if (clause.include_neg.get(f)) terms.push_back(logic::lit_not(packet_bits[f - lo]));
+    }
+    logic::Lit partial = dst.create_and_tree(std::move(terms));
+    return dst.create_and(partial, chain_in);
+}
+
+HcbMiter build_hcb_miter(const rtl::HcbNetlist& hcb, const model::TrainedModel& m) {
+    const auto& spec = hcb.spec;
+    HcbMiter miter;
+    miter.num_packet_bits = spec.hi - spec.lo;
+
+    // Shared PIs, in the netlist's PI order.
+    std::vector<logic::Lit> packet_bits(miter.num_packet_bits);
+    for (auto& l : packet_bits) l = miter.aig.create_pi();
+    std::vector<logic::Lit> chain_in(spec.active_clauses.size(), logic::kConst1);
+    for (std::size_t i = 0; i < spec.active_clauses.size(); ++i)
+        if (spec.has_chain_input[i]) chain_in[i] = miter.aig.create_pi();
+
+    std::vector<logic::Lit> pi_map = packet_bits;
+    for (std::size_t i = 0; i < spec.active_clauses.size(); ++i)
+        if (spec.has_chain_input[i]) pi_map.push_back(chain_in[i]);
+    miter.netlist_out = append_cone(hcb.aig, miter.aig, pi_map);
+
+    miter.cared.assign(miter.num_packet_bits, false);
+    const std::size_t cpc = m.clauses_per_class();
+    for (std::size_t i = 0; i < spec.active_clauses.size(); ++i) {
+        const std::uint32_t cid = spec.active_clauses[i];
+        const auto& clause = m.clause(cid / cpc, cid % cpc);
+        miter.scalar_out.push_back(encode_scalar_partial(
+            miter.aig, clause, spec.lo, spec.hi, packet_bits, chain_in[i]));
+        for (std::size_t f = spec.lo; f < spec.hi; ++f)
+            if (clause.include_pos.get(f) || clause.include_neg.get(f))
+                miter.cared[f - spec.lo] = true;
+    }
+
+    for (std::size_t i = 0; i < spec.active_clauses.size(); ++i)
+        miter.aig.add_po(miter.aig.create_xor(miter.netlist_out[i], miter.scalar_out[i]));
+    return miter;
+}
+
+DesignMiter build_design_miter(const std::vector<rtl::HcbNetlist>& hcbs,
+                               const model::TrainedModel& m) {
+    DesignMiter miter;
+    std::vector<logic::Lit> features(m.num_features());
+    for (auto& l : features) l = miter.aig.create_pi();
+
+    // Unroll the chain from reset: every live clause's state starts at 1.
+    std::vector<logic::Lit> state(m.total_clauses(), logic::kConst1);
+    std::vector<bool> live(m.total_clauses(), false);
+    for (const auto& hcb : hcbs) {
+        const auto& spec = hcb.spec;
+        std::vector<logic::Lit> pi_map(
+            features.begin() + long(spec.lo), features.begin() + long(spec.hi));
+        for (std::size_t i = 0; i < spec.active_clauses.size(); ++i)
+            if (spec.has_chain_input[i]) pi_map.push_back(state[spec.active_clauses[i]]);
+        const auto outs = append_cone(hcb.aig, miter.aig, pi_map);
+        for (std::size_t i = 0; i < spec.active_clauses.size(); ++i) {
+            state[spec.active_clauses[i]] = outs[i];
+            live[spec.active_clauses[i]] = true;
+        }
+    }
+
+    const std::size_t cpc = m.clauses_per_class();
+    for (std::uint32_t cid = 0; cid < m.total_clauses(); ++cid) {
+        if (!live[cid]) continue;
+        const auto& clause = m.clause(cid / cpc, cid % cpc);
+        const logic::Lit scalar = encode_scalar_partial(
+            miter.aig, clause, 0, m.num_features(), features, logic::kConst1);
+        miter.aig.add_po(miter.aig.create_xor(state[cid], scalar));
+        miter.live_clauses.push_back(cid);
+    }
+    return miter;
+}
+
+}  // namespace matador::sat

@@ -1,0 +1,77 @@
+// Miter construction: scalar TM semantics vs emitted HCB netlists.
+//
+// A miter ANDs nothing and proves everything: both sides are built over the
+// same primary inputs inside one AIG, each pair of corresponding outputs is
+// XORed, and a SAT query "some XOR is 1" asks for a witness that the
+// netlist disagrees with the model.  UNSAT (self-checked through the
+// solver's RUP trace) is a proof of equivalence.
+//
+// Two granularities:
+//  - build_hcb_miter: one HCB's combinational slice.  The netlist cone is
+//    copied verbatim; the scalar side re-encodes the partial-clause AND
+//    directly from the TrainedModel include masks (Clause::evaluate_partial
+//    semantics), gated by the chain input exactly like the hardware
+//    (ignored when the clause has no earlier includes).  Solved per output
+//    under the ternary rung's cared-cube assumptions.
+//  - build_design_miter: the whole sequential vote-accumulation chain
+//    unrolled from reset over the full feature vector, scalar side =
+//    Clause::evaluate.  This is the AIGER artifact `matador prove
+//    --miter-out` exports for external checkers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/aig.hpp"
+#include "model/clause_schedule.hpp"
+#include "model/trained_model.hpp"
+#include "rtl/hcb_builder.hpp"
+
+namespace matador::sat {
+
+/// Copy the PO cone of `src` into `dst`, substituting `pi_map[i]` (a dst
+/// literal) for src PI i.  Returns the dst literals of src's POs.  Constant
+/// folding / strash in dst apply to the copied logic.
+std::vector<logic::Lit> append_cone(const logic::Aig& src, logic::Aig& dst,
+                                    const std::vector<logic::Lit>& pi_map);
+
+/// Encode one clause's partial AND over feature range [lo, hi) into `dst`:
+/// AND of packet_bits[f - lo] (include_pos) and its negation (include_neg),
+/// further ANDed with `chain_in` (pass logic::kConst1 when the clause has
+/// no chain input - mirroring the hardware, which seeds fresh from 1'b1).
+logic::Lit encode_scalar_partial(logic::Aig& dst, const model::Clause& clause,
+                                 std::size_t lo, std::size_t hi,
+                                 const std::vector<logic::Lit>& packet_bits,
+                                 logic::Lit chain_in);
+
+/// Combinational miter for one HCB slice.
+struct HcbMiter {
+    /// PI order matches the HCB netlist: packet bits [0, hi-lo) first, then
+    /// one chain input per active clause with has_chain_input (shared by
+    /// both sides).  PO i = netlist output i XOR scalar output i, in
+    /// active_clauses order.
+    logic::Aig aig;
+    std::size_t num_packet_bits = 0;
+    std::vector<logic::Lit> netlist_out;  ///< copied netlist PO literals
+    std::vector<logic::Lit> scalar_out;   ///< re-encoded scalar PO literals
+    /// Per packet bit: true when some active clause includes the feature
+    /// (the ternary rung's care set; don't-care bits may be assumed 0 once
+    /// X-insensitivity is proved).
+    std::vector<bool> cared;
+};
+
+HcbMiter build_hcb_miter(const rtl::HcbNetlist& hcb, const model::TrainedModel& m);
+
+/// Whole-design sequential miter: the HCB chain unrolled from reset
+/// (chain state seeded all-1) against Clause::evaluate.
+struct DesignMiter {
+    /// PIs: feature bits 0..num_features-1 in order.  PO j = final netlist
+    /// chain value XOR scalar clause value for live_clauses[j].
+    logic::Aig aig;
+    std::vector<std::uint32_t> live_clauses;  ///< flat clause ids, PO order
+};
+
+DesignMiter build_design_miter(const std::vector<rtl::HcbNetlist>& hcbs,
+                               const model::TrainedModel& m);
+
+}  // namespace matador::sat

@@ -1,0 +1,511 @@
+#include "sat/prove.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "lint/ternary.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sat/miter.hpp"
+#include "train/worker_pool.hpp"
+
+namespace matador::sat {
+
+namespace {
+
+/// One per-output proof obligation.
+struct Obligation {
+    std::size_t hcb = 0;
+    std::size_t local = 0;
+    std::size_t global = 0;
+    std::uint32_t clause_id = 0;
+};
+
+/// Miter + CNF encoding of one HCB, shared by its output obligations.
+struct HcbContext {
+    HcbMiter miter;
+    AigCnf enc;
+};
+
+void record_metrics(const SolverStats& s, double seconds) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("sat_decisions").add(s.decisions);
+    reg.counter("sat_conflicts").add(s.conflicts);
+    reg.counter("sat_learned_clauses").add(s.learned_clauses);
+    reg.histogram("sat_proof_seconds").record(seconds);
+}
+
+OutputProof prove_output(const rtl::HcbNetlist& hcb, const HcbContext& ctx,
+                         const model::TrainedModel& m, const Obligation& ob,
+                         const ProveOptions& options) {
+    obs::TimedSpan span("prove-output", "sat");
+    OutputProof p;
+    p.hcb = ob.hcb;
+    p.local_output = ob.local;
+    p.output = ob.global;
+    p.clause_id = ob.clause_id;
+
+    const auto& spec = hcb.spec;
+    const std::size_t cpc = m.clauses_per_class();
+    const auto& clause = m.clause(ob.clause_id / cpc, ob.clause_id % cpc);
+
+    std::vector<Lit> assumptions;
+    assumptions.push_back(ctx.enc.po_lits[ob.local]);
+
+    if (options.use_cared_cube) {
+        // Per-output care set over the netlist PIs: the clause's own
+        // includes; chain inputs always cared.
+        std::vector<bool> care(hcb.aig.num_pis(), true);
+        bool any_dont_care = false;
+        for (std::size_t f = spec.lo; f < spec.hi; ++f) {
+            const bool cared = clause.include_pos.get(f) || clause.include_neg.get(f);
+            care[f - spec.lo] = cared;
+            any_dont_care = any_dont_care || !cared;
+        }
+        if (any_dont_care) {
+            // Pinning don't-care bits to 0 shrinks the witness space, so it
+            // is sound only when the netlist output provably cannot observe
+            // them - re-run the ternary rung's proof instead of trusting a
+            // cached verdict.
+            const auto check = lint::check_x_insensitive(
+                hcb.aig, ob.local, care, options.ternary_rounds, options.seed);
+            if (check.proved()) {
+                p.cared_cube = true;
+                for (std::size_t b = 0; b + spec.lo < spec.hi; ++b)
+                    if (!care[b]) assumptions.push_back(neg(ctx.enc.pi_lits[b]));
+            }
+        }
+    }
+
+    Solver solver(ctx.enc.cnf);
+    solver.set_max_conflicts(options.max_conflicts);
+    const SolveResult res = solver.solve(assumptions);
+    p.stats = solver.stats();
+
+    if (res == SolveResult::kUnsat) {
+        p.proof_checked = solver.verify_unsat();
+        p.result = p.proof_checked ? SolveResult::kUnsat : SolveResult::kUnknown;
+    } else if (res == SolveResult::kSat) {
+        p.result = SolveResult::kSat;
+        p.counterexample.reserve(ctx.enc.pi_lits.size());
+        for (const Lit l : ctx.enc.pi_lits)
+            p.counterexample.push_back(solver.model_lit(l));
+        // Re-simulate the witness outside the solver: the netlist PO and the
+        // scalar partial clause must actually disagree on it.
+        util::BitVector x(m.num_features());
+        for (std::size_t b = 0; b + spec.lo < spec.hi; ++b)
+            x.set(spec.lo + b, p.counterexample[b]);
+        std::vector<bool> chain_in(spec.active_clauses.size(), true);
+        std::size_t next_chain = spec.hi - spec.lo;
+        for (std::size_t i = 0; i < spec.active_clauses.size(); ++i)
+            if (spec.has_chain_input[i]) chain_in[i] = p.counterexample[next_chain++];
+        const auto po_vals = rtl::evaluate_hcb(hcb, x, chain_in);
+        const bool scalar = clause.evaluate_partial(x, spec.lo, spec.hi) &&
+                            (spec.has_chain_input[ob.local] ? chain_in[ob.local] : true);
+        p.counterexample_confirmed = po_vals[ob.local] != scalar;
+    } else {
+        p.result = SolveResult::kUnknown;
+    }
+
+    util::Json args = util::Json::object();
+    args.set("output", double(p.output));
+    args.set("result", solve_result_name(p.result));
+    args.set("conflicts", double(p.stats.conflicts));
+    p.seconds = span.finish(std::move(args));
+    record_metrics(p.stats, p.seconds);
+    return p;
+}
+
+// -- k-induction over the chain ---------------------------------------------
+
+/// Symbolically run stage `hcb` of the chain: netlist side by copying the
+/// HCB cone, scalar side by re-encoding the include masks, both gated by
+/// the chain state exactly when the hardware is (has_chain_input).
+void apply_stage(const rtl::HcbNetlist& hcb, const model::TrainedModel& m,
+                 logic::Aig& aig, const std::vector<logic::Lit>& packet_bits,
+                 std::vector<logic::Lit>& n_state, std::vector<logic::Lit>& c_state) {
+    const auto& spec = hcb.spec;
+    std::vector<logic::Lit> pi_map = packet_bits;
+    for (std::size_t i = 0; i < spec.active_clauses.size(); ++i)
+        if (spec.has_chain_input[i]) pi_map.push_back(n_state[spec.active_clauses[i]]);
+    const auto outs = append_cone(hcb.aig, aig, pi_map);
+
+    const std::size_t cpc = m.clauses_per_class();
+    for (std::size_t i = 0; i < spec.active_clauses.size(); ++i) {
+        const std::uint32_t cid = spec.active_clauses[i];
+        const logic::Lit chain =
+            spec.has_chain_input[i] ? c_state[cid] : logic::kConst1;
+        c_state[cid] = encode_scalar_partial(aig, m.clause(cid / cpc, cid % cpc),
+                                             spec.lo, spec.hi, packet_bits, chain);
+        n_state[cid] = outs[i];
+    }
+}
+
+logic::Lit or_reduce(logic::Aig& aig, const std::vector<logic::Lit>& lits) {
+    logic::Lit r = logic::kConst0;
+    for (const logic::Lit l : lits) r = aig.create_or(r, l);
+    return r;
+}
+
+/// OR over live clauses of (a_state XOR b_state).
+logic::Lit state_diff(logic::Aig& aig, const std::vector<std::uint32_t>& live,
+                      const std::vector<logic::Lit>& a, const std::vector<logic::Lit>& b) {
+    std::vector<logic::Lit> xors;
+    xors.reserve(live.size());
+    for (const auto cid : live) xors.push_back(aig.create_xor(a[cid], b[cid]));
+    return or_reduce(aig, xors);
+}
+
+InductionCase solve_case(const logic::Aig& aig,
+                         const std::vector<std::size_t>& assume_true,
+                         const std::vector<std::size_t>& assume_false,
+                         bool is_base, std::size_t index,
+                         const ProveOptions& options) {
+    obs::TimedSpan span(is_base ? "induction-base" : "induction-step", "sat");
+    InductionCase c;
+    c.is_base = is_base;
+    c.index = index;
+
+    const AigCnf enc = encode_aig(aig);
+    Solver solver(enc.cnf);
+    solver.set_max_conflicts(options.max_conflicts);
+    std::vector<Lit> assumptions;
+    for (const auto po : assume_true) assumptions.push_back(enc.po_lits[po]);
+    for (const auto po : assume_false) assumptions.push_back(neg(enc.po_lits[po]));
+    const SolveResult res = solver.solve(assumptions);
+    c.stats = solver.stats();
+    if (res == SolveResult::kUnsat) {
+        c.proof_checked = solver.verify_unsat();
+        c.result = c.proof_checked ? SolveResult::kUnsat : SolveResult::kUnknown;
+    } else {
+        c.result = res;
+    }
+    c.seconds = span.finish();
+    record_metrics(c.stats, c.seconds);
+    return c;
+}
+
+std::vector<logic::Lit> make_packet_pis(logic::Aig& aig, const rtl::HcbSpec& spec) {
+    std::vector<logic::Lit> bits(spec.hi - spec.lo);
+    for (auto& l : bits) l = aig.create_pi();
+    return bits;
+}
+
+/// Base case d: unroll stages 0..d from reset (both sides all-1) and prove
+/// the state vectors equal after stage d.
+InductionCase base_case(const std::vector<rtl::HcbNetlist>& hcbs,
+                        const model::TrainedModel& m,
+                        const std::vector<std::uint32_t>& live, std::size_t d,
+                        const ProveOptions& options) {
+    logic::Aig aig;
+    std::vector<logic::Lit> n_state(m.total_clauses(), logic::kConst1);
+    std::vector<logic::Lit> c_state(m.total_clauses(), logic::kConst1);
+    for (std::size_t s = 0; s <= d; ++s)
+        apply_stage(hcbs[s], m, aig, make_packet_pis(aig, hcbs[s].spec), n_state, c_state);
+    const auto po = aig.add_po(state_diff(aig, live, n_state, c_state));
+    return solve_case(aig, {po}, {}, /*is_base=*/true, d, options);
+}
+
+/// Step window t: free (shared) entry state at time t, transitions through
+/// stages t+1..t+k, equality assumed at times t..t+k-1, pairwise-distinct
+/// netlist state vectors along the window, equality proved at time t+k.
+InductionCase step_case(const std::vector<rtl::HcbNetlist>& hcbs,
+                        const model::TrainedModel& m,
+                        const std::vector<std::uint32_t>& live, std::size_t t,
+                        std::size_t k, const ProveOptions& options) {
+    logic::Aig aig;
+    std::vector<logic::Lit> n_state(m.total_clauses(), logic::kConst1);
+    std::vector<logic::Lit> c_state(m.total_clauses(), logic::kConst1);
+    for (const auto cid : live) {
+        const logic::Lit entry = aig.create_pi();
+        n_state[cid] = entry;  // equality at time t is built in: one PI
+        c_state[cid] = entry;
+    }
+    std::vector<std::vector<logic::Lit>> n_snapshots{n_state};
+    std::vector<std::size_t> assume_true, assume_false;
+    for (std::size_t off = 1; off <= k; ++off) {
+        const std::size_t s = t + off;
+        apply_stage(hcbs[s], m, aig, make_packet_pis(aig, hcbs[s].spec), n_state, c_state);
+        n_snapshots.push_back(n_state);
+        const auto po = aig.add_po(state_diff(aig, live, n_state, c_state));
+        if (off < k)
+            assume_false.push_back(po);  // induction hypothesis: sides equal
+        else
+            assume_true.push_back(po);  // goal: a disagreement at t+k
+    }
+    // Uniqueness: the netlist state vectors along the window are pairwise
+    // distinct (the simple-path strengthening of k-induction).
+    for (std::size_t i = 0; i < n_snapshots.size(); ++i)
+        for (std::size_t j = i + 1; j < n_snapshots.size(); ++j)
+            assume_true.push_back(
+                aig.add_po(state_diff(aig, live, n_snapshots[i], n_snapshots[j])));
+    return solve_case(aig, assume_true, assume_false, /*is_base=*/false, t, options);
+}
+
+}  // namespace
+
+ProveReport prove_design(const std::vector<rtl::HcbNetlist>& hcbs,
+                         const model::TrainedModel& m,
+                         const ProveOptions& options) {
+    obs::TimedSpan total("prove-design", "sat");
+    ProveReport rep;
+    rep.chain_stages = hcbs.size();
+
+    std::vector<Obligation> work;
+    std::size_t global = 0;
+    for (std::size_t h = 0; h < hcbs.size(); ++h) {
+        const auto& spec = hcbs[h].spec;
+        for (std::size_t i = 0; i < spec.active_clauses.size(); ++i, ++global)
+            if (options.output == kAllOutputs || options.output == global)
+                work.push_back({h, i, global, spec.active_clauses[i]});
+    }
+    if (options.output != kAllOutputs && work.empty())
+        throw std::out_of_range("prove: no such output (design has " +
+                                std::to_string(global) + " outputs)");
+    rep.outputs_total = work.size();
+
+    // Miter + CNF once per HCB; its outputs share the encoding.
+    std::vector<std::unique_ptr<HcbContext>> ctx(hcbs.size());
+    for (const auto& ob : work)
+        if (!ctx[ob.hcb]) {
+            auto c = std::make_unique<HcbContext>();
+            c->miter = build_hcb_miter(hcbs[ob.hcb], m);
+            c->enc = encode_aig(c->miter.aig);
+            ctx[ob.hcb] = std::move(c);
+        }
+
+    rep.outputs.resize(work.size());
+    train::WorkerPool pool(train::WorkerPool::resolve(options.threads));
+    pool.run([&](unsigned w) {
+        const auto [first, last] = train::worker_slice(work.size(), w, pool.size());
+        for (std::size_t i = first; i < last; ++i)
+            rep.outputs[i] =
+                prove_output(hcbs[work[i].hcb], *ctx[work[i].hcb], m, work[i], options);
+    });
+
+    for (const auto& p : rep.outputs) {
+        rep.totals += p.stats;
+        if (p.proved())
+            rep.outputs_proved++;
+        else if (p.result == SolveResult::kSat)
+            rep.outputs_failed++;
+        else
+            rep.outputs_unknown++;
+    }
+
+    // Sequential proof (only meaningful when proving the whole design).
+    const bool run_induction =
+        options.induction_k > 0 && options.output == kAllOutputs && !hcbs.empty();
+    if (run_induction) {
+        rep.induction_k = options.induction_k;
+        const std::size_t stages = hcbs.size();
+        const std::size_t k = options.induction_k;
+        rep.induction_complete = k >= stages;
+
+        std::vector<std::uint32_t> live;
+        {
+            std::vector<bool> seen(m.total_clauses(), false);
+            for (const auto& hcb : hcbs)
+                for (const auto cid : hcb.spec.active_clauses)
+                    if (!seen[cid]) {
+                        seen[cid] = true;
+                        live.push_back(cid);
+                    }
+            std::sort(live.begin(), live.end());
+        }
+
+        for (std::size_t d = 0; d < std::min(k, stages); ++d)
+            rep.induction.push_back(base_case(hcbs, m, live, d, options));
+        if (k < stages)
+            for (std::size_t t = 0; t + k <= stages - 1; ++t)
+                rep.induction.push_back(step_case(hcbs, m, live, t, k, options));
+
+        rep.induction_ok = true;
+        for (const auto& c : rep.induction) {
+            rep.totals += c.stats;
+            rep.induction_ok = rep.induction_ok && c.proved();
+        }
+    }
+
+    rep.equivalent = rep.outputs_total == rep.outputs_proved &&
+                     (!run_induction || rep.induction_ok);
+    rep.seconds = total.finish();
+    return rep;
+}
+
+// ---------------------------------------------------------------------------
+// serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kFormat = "matador-prove-report";
+constexpr unsigned kVersion = 1;
+
+util::Json stats_to_json(const SolverStats& s) {
+    auto j = util::Json::object();
+    j.set("decisions", double(s.decisions));
+    j.set("propagations", double(s.propagations));
+    j.set("conflicts", double(s.conflicts));
+    j.set("learned_clauses", double(s.learned_clauses));
+    j.set("learned_literals", double(s.learned_literals));
+    j.set("restarts", double(s.restarts));
+    return j;
+}
+
+SolverStats stats_from_json(const util::Json& j) {
+    SolverStats s;
+    s.decisions = std::uint64_t(j.at("decisions").as_double());
+    s.propagations = std::uint64_t(j.at("propagations").as_double());
+    s.conflicts = std::uint64_t(j.at("conflicts").as_double());
+    s.learned_clauses = std::uint64_t(j.at("learned_clauses").as_double());
+    s.learned_literals = std::uint64_t(j.at("learned_literals").as_double());
+    s.restarts = std::uint64_t(j.at("restarts").as_double());
+    return s;
+}
+
+SolveResult result_from_name(const std::string& name) {
+    if (name == "sat") return SolveResult::kSat;
+    if (name == "unsat") return SolveResult::kUnsat;
+    if (name == "unknown") return SolveResult::kUnknown;
+    throw std::runtime_error("prove report: bad result \"" + name + "\"");
+}
+
+}  // namespace
+
+util::Json prove_report_to_json(const ProveReport& r) {
+    auto j = util::Json::object();
+    j.set("format", kFormat);
+    j.set("version", double(kVersion));
+    j.set("equivalent", r.equivalent);
+    j.set("outputs_total", double(r.outputs_total));
+    j.set("outputs_proved", double(r.outputs_proved));
+    j.set("outputs_failed", double(r.outputs_failed));
+    j.set("outputs_unknown", double(r.outputs_unknown));
+    auto outs = util::Json::array();
+    for (const auto& p : r.outputs) {
+        auto o = util::Json::object();
+        o.set("hcb", double(p.hcb));
+        o.set("local_output", double(p.local_output));
+        o.set("output", double(p.output));
+        o.set("clause_id", double(p.clause_id));
+        o.set("result", solve_result_name(p.result));
+        o.set("proof_checked", p.proof_checked);
+        o.set("cared_cube", p.cared_cube);
+        auto cex = util::Json::array();
+        for (const bool b : p.counterexample) cex.push_back(double(b ? 1 : 0));
+        o.set("counterexample", std::move(cex));
+        o.set("counterexample_confirmed", p.counterexample_confirmed);
+        o.set("stats", stats_to_json(p.stats));
+        o.set("seconds", p.seconds);
+        outs.push_back(std::move(o));
+    }
+    j.set("outputs", std::move(outs));
+    j.set("induction_k", double(r.induction_k));
+    j.set("chain_stages", double(r.chain_stages));
+    j.set("induction_complete", r.induction_complete);
+    j.set("induction_ok", r.induction_ok);
+    auto cases = util::Json::array();
+    for (const auto& c : r.induction) {
+        auto o = util::Json::object();
+        o.set("is_base", c.is_base);
+        o.set("index", double(c.index));
+        o.set("result", solve_result_name(c.result));
+        o.set("proof_checked", c.proof_checked);
+        o.set("stats", stats_to_json(c.stats));
+        o.set("seconds", c.seconds);
+        cases.push_back(std::move(o));
+    }
+    j.set("induction", std::move(cases));
+    j.set("totals", stats_to_json(r.totals));
+    j.set("seconds", r.seconds);
+    return j;
+}
+
+ProveReport prove_report_from_json(const util::Json& j) {
+    if (!j.is_object() || !j.contains("format") || j.at("format").as_string() != kFormat)
+        throw std::runtime_error("not a matador-prove-report document");
+    if (unsigned(j.at("version").as_double()) > kVersion)
+        throw std::runtime_error("prove report: unsupported future version");
+    ProveReport r;
+    r.equivalent = j.at("equivalent").as_bool();
+    r.outputs_total = std::size_t(j.at("outputs_total").as_double());
+    r.outputs_proved = std::size_t(j.at("outputs_proved").as_double());
+    r.outputs_failed = std::size_t(j.at("outputs_failed").as_double());
+    r.outputs_unknown = std::size_t(j.at("outputs_unknown").as_double());
+    for (const auto& o : j.at("outputs").as_array()) {
+        OutputProof p;
+        p.hcb = std::size_t(o.at("hcb").as_double());
+        p.local_output = std::size_t(o.at("local_output").as_double());
+        p.output = std::size_t(o.at("output").as_double());
+        p.clause_id = std::uint32_t(o.at("clause_id").as_double());
+        p.result = result_from_name(o.at("result").as_string());
+        p.proof_checked = o.at("proof_checked").as_bool();
+        p.cared_cube = o.at("cared_cube").as_bool();
+        for (const auto& b : o.at("counterexample").as_array())
+            p.counterexample.push_back(b.as_double() != 0.0);
+        p.counterexample_confirmed = o.at("counterexample_confirmed").as_bool();
+        p.stats = stats_from_json(o.at("stats"));
+        p.seconds = o.at("seconds").as_double();
+        r.outputs.push_back(std::move(p));
+    }
+    r.induction_k = std::size_t(j.at("induction_k").as_double());
+    r.chain_stages = std::size_t(j.at("chain_stages").as_double());
+    r.induction_complete = j.at("induction_complete").as_bool();
+    r.induction_ok = j.at("induction_ok").as_bool();
+    for (const auto& o : j.at("induction").as_array()) {
+        InductionCase c;
+        c.is_base = o.at("is_base").as_bool();
+        c.index = std::size_t(o.at("index").as_double());
+        c.result = result_from_name(o.at("result").as_string());
+        c.proof_checked = o.at("proof_checked").as_bool();
+        c.stats = stats_from_json(o.at("stats"));
+        c.seconds = o.at("seconds").as_double();
+        r.induction.push_back(std::move(c));
+    }
+    r.totals = stats_from_json(j.at("totals"));
+    r.seconds = j.at("seconds").as_double();
+    return r;
+}
+
+std::string format_prove_report(const ProveReport& r) {
+    std::string out;
+    out += "prove: ";
+    out += r.equivalent ? "EQUIVALENT" : "NOT PROVED";
+    out += " (" + std::to_string(r.outputs_proved) + "/" +
+           std::to_string(r.outputs_total) + " outputs unsat";
+    if (r.outputs_failed) out += ", " + std::to_string(r.outputs_failed) + " failed";
+    if (r.outputs_unknown) out += ", " + std::to_string(r.outputs_unknown) + " unknown";
+    out += ")\n";
+    if (r.induction_k) {
+        out += "induction: k=" + std::to_string(r.induction_k) + " over " +
+               std::to_string(r.chain_stages) + " stage(s): ";
+        out += r.induction_ok ? "ok" : "FAILED";
+        if (r.induction_complete) out += " (complete: base cases cover every stage)";
+        out += "\n";
+    }
+    for (const auto& p : r.outputs) {
+        if (p.proved()) continue;
+        out += "  output " + std::to_string(p.output) + " (hcb " +
+               std::to_string(p.hcb) + ", clause " + std::to_string(p.clause_id) +
+               "): " + solve_result_name(p.result);
+        if (p.result == SolveResult::kSat) {
+            out += p.counterexample_confirmed ? " [confirmed] cex=" : " [UNCONFIRMED] cex=";
+            for (const bool b : p.counterexample) out += b ? '1' : '0';
+        }
+        out += "\n";
+    }
+    for (const auto& c : r.induction) {
+        if (c.proved()) continue;
+        out += std::string("  induction ") + (c.is_base ? "base " : "step ") +
+               std::to_string(c.index) + ": " + solve_result_name(c.result) + "\n";
+    }
+    out += "stats: " + std::to_string(r.totals.decisions) + " decisions, " +
+           std::to_string(r.totals.conflicts) + " conflicts, " +
+           std::to_string(r.totals.learned_clauses) + " learned clauses, " +
+           std::to_string(r.totals.restarts) + " restarts\n";
+    return out;
+}
+
+}  // namespace matador::sat

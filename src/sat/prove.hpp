@@ -1,0 +1,138 @@
+// The prove tier: SAT-backed equivalence of scalar TM semantics vs the
+// emitted HCB netlists (verify level 3), plus k-induction over the
+// sequential vote-accumulation chain (level 4).
+//
+// Per-output obligations are combinational miter slices (miter.hpp) solved
+// under the ternary rung's cared-cube assumptions - sound only when the
+// output is proved X-insensitive to the restricted bits, so the driver
+// re-runs lint::check_x_insensitive per output and falls back to the
+// unconstrained miter when the proof does not close.  Every UNSAT answer
+// must replay its RUP trace (Solver::verify_unsat) or it is demoted to
+// "unknown"; every SAT answer is re-simulated concretely before it is
+// reported as a counterexample.
+//
+// The sequential argument is k-induction with uniqueness constraints over
+// the chain, stage index as time: base cases unroll 0..k-1 from reset
+// (chain state all-1), and each step window t assumes netlist state ==
+// scalar state at times t..t+k-1 (free entry state, pairwise-distinct
+// state vectors) and proves equality at t+k.  Transitions are
+// stage-dependent, so every window is its own obligation; when k >= the
+// number of stages the base cases alone are a complete proof (plain BMC)
+// and the step cases vanish.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/trained_model.hpp"
+#include "rtl/hcb_builder.hpp"
+#include "sat/solver.hpp"
+#include "util/json.hpp"
+
+namespace matador::sat {
+
+/// Version of the SAT subsystem's semantics (encoder + solver + miter +
+/// induction).  Folded into proof cache keys so prover changes invalidate
+/// cached verdicts; bump on any change that could alter a verdict.
+inline constexpr unsigned kSatSubsystemVersion = 1;
+
+/// All outputs (the default for ProveOptions::output).
+inline constexpr std::size_t kAllOutputs = std::size_t(-1);
+
+struct ProveOptions {
+    /// Restrict to one global output index (hcb-major over each HCB's
+    /// active_clauses); kAllOutputs = prove every output.
+    std::size_t output = kAllOutputs;
+    /// Induction depth over the HCB chain; 0 skips the sequential proof.
+    std::size_t induction_k = 1;
+    /// Solve slices under cared-cube assumptions where X-insensitivity is
+    /// proved (don't-care packet bits pinned to 0).
+    bool use_cared_cube = true;
+    /// Conflict budget per obligation (0 = unlimited).
+    std::uint64_t max_conflicts = 0;
+    /// Worker threads for the per-output fan-out (0 = all hardware threads).
+    unsigned threads = 1;
+    /// Ternary re-check knobs (match lint::LintOptions defaults).
+    std::size_t ternary_rounds = 2;
+    std::uint64_t seed = 0x11d5;
+};
+
+/// Proof result for one combinational output slice.
+struct OutputProof {
+    std::size_t hcb = 0;          ///< HCB index
+    std::size_t local_output = 0; ///< PO index within the HCB
+    std::size_t output = 0;       ///< global output index
+    std::uint32_t clause_id = 0;  ///< flat clause id
+    SolveResult result = SolveResult::kUnknown;
+    /// UNSAT only: the RUP trace replayed to the empty clause.
+    bool proof_checked = false;
+    /// Don't-care cube assumptions were applied (X-insensitivity closed).
+    bool cared_cube = false;
+    /// SAT only: witness over the miter PIs (packet bits then chain
+    /// inputs, netlist PI order), re-simulated concretely.
+    std::vector<bool> counterexample;
+    /// SAT only: the witness reproduced the mismatch outside the solver.
+    bool counterexample_confirmed = false;
+    SolverStats stats;
+    double seconds = 0.0;
+
+    bool proved() const { return result == SolveResult::kUnsat && proof_checked; }
+};
+
+/// One induction obligation (base depth or step window).
+struct InductionCase {
+    bool is_base = false;
+    /// Base: unroll depth d (proves P(d) from reset).
+    /// Step: window start t (assumes P(t..t+k-1), proves P(t+k)).
+    std::size_t index = 0;
+    SolveResult result = SolveResult::kUnknown;
+    bool proof_checked = false;
+    SolverStats stats;
+    double seconds = 0.0;
+
+    bool proved() const { return result == SolveResult::kUnsat && proof_checked; }
+};
+
+struct ProveReport {
+    /// Every requested output slice proved UNSAT with a checked trace, and
+    /// (when run) the sequential induction closed.
+    bool equivalent = false;
+
+    std::size_t outputs_total = 0;
+    std::size_t outputs_proved = 0;
+    std::size_t outputs_failed = 0;   ///< SAT: real mismatches
+    std::size_t outputs_unknown = 0;  ///< budget exhausted / unverified trace
+    std::vector<OutputProof> outputs;
+
+    std::size_t induction_k = 0;   ///< 0 = sequential proof skipped
+    std::size_t chain_stages = 0;
+    /// Base cases covered every stage (k >= stages): the "induction" is a
+    /// complete bounded proof and no step cases were needed.
+    bool induction_complete = false;
+    bool induction_ok = false;
+    std::vector<InductionCase> induction;
+
+    SolverStats totals;
+    double seconds = 0.0;
+};
+
+/// Prove scalar-vs-netlist equivalence for the given HCB netlists.
+ProveReport prove_design(const std::vector<rtl::HcbNetlist>& hcbs,
+                         const model::TrainedModel& m,
+                         const ProveOptions& options = {});
+
+// -- serialization / formatting ---------------------------------------------
+
+/// JSON form: {"format": "matador-prove-report", "version": 1, ...}.
+/// Exact round-trip through prove_report_from_json (the proof cache's disk
+/// representation).
+util::Json prove_report_to_json(const ProveReport& r);
+/// Strict parse; throws std::runtime_error on malformed or future-version
+/// documents.
+ProveReport prove_report_from_json(const util::Json& j);
+
+/// Human-readable report for the CLI.
+std::string format_prove_report(const ProveReport& r);
+
+}  // namespace matador::sat

@@ -1,0 +1,155 @@
+// CDCL SAT solver core.
+//
+// A deliberately compact MiniSat-lineage solver: two-watched-literal
+// propagation, first-UIP conflict analysis with clause learning,
+// VSIDS-style activity decay with a heap-ordered decision queue, Luby
+// restarts, and solve-under-assumptions for the incremental miter queries
+// of the prove tier.
+//
+// Every UNSAT answer is self-checkable: the solver records its learned
+// clauses in derivation order, and verify_unsat() replays them as a
+// DRAT-style RUP trace - each learned clause's negation must unit-propagate
+// to a conflict over the original clauses plus the previously verified
+// prefix, and the final database (plus the assumption units) must propagate
+// to the empty clause.  A proof that fails to replay demotes the answer to
+// "unknown", so a solver bug can never silently certify equivalence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/cnf.hpp"
+
+namespace matador::sat {
+
+enum class SolveResult { kSat, kUnsat, kUnknown };
+
+const char* solve_result_name(SolveResult r);
+
+/// Search statistics, exported per proof obligation through src/obs/.
+struct SolverStats {
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t learned_clauses = 0;
+    std::uint64_t learned_literals = 0;
+    std::uint64_t restarts = 0;
+
+    SolverStats& operator+=(const SolverStats& o) {
+        decisions += o.decisions;
+        propagations += o.propagations;
+        conflicts += o.conflicts;
+        learned_clauses += o.learned_clauses;
+        learned_literals += o.learned_literals;
+        restarts += o.restarts;
+        return *this;
+    }
+};
+
+class Solver {
+public:
+    Solver() = default;
+    explicit Solver(const Cnf& cnf);
+
+    /// Grow the variable space to at least `n` variables.
+    void ensure_vars(Var n);
+    /// Add one problem clause.  An empty clause makes the formula trivially
+    /// UNSAT; unit clauses assert at the root level.
+    void add_clause(std::vector<Lit> c);
+
+    /// Conflict budget per solve() call (0 = unlimited); an exhausted
+    /// budget returns kUnknown.
+    void set_max_conflicts(std::uint64_t n) { max_conflicts_ = n; }
+
+    /// Solve under `assumptions` (may be empty).  Reusable: assumptions and
+    /// learned clauses from earlier calls persist, matching the incremental
+    /// interface the miter fan-out relies on.
+    SolveResult solve(const std::vector<Lit>& assumptions = {});
+
+    /// After kSat: the model value of `v`.
+    bool model_value(Var v) const { return model_[v]; }
+    /// After kSat: the model value of a literal.
+    bool model_lit(Lit l) const { return model_value(var_of(l)) != sign_of(l); }
+
+    /// After kUnsat: replay the recorded derivation as a RUP trace and
+    /// check that it ends in the empty clause.  True = the UNSAT answer is
+    /// certified by the trace, not just claimed.
+    bool verify_unsat() const;
+
+    /// Learned clauses of the last solve's derivation, in order (the trace
+    /// verify_unsat replays).
+    std::size_t trace_size() const { return learned_trace_.size(); }
+
+    const SolverStats& stats() const { return stats_; }
+    std::size_t num_vars() const { return Var(assign_.size()); }
+
+private:
+    static constexpr int kNoReason = -1;
+    enum : std::int8_t { kUndef = 0, kTrue = 1, kFalse = 2 };
+
+    struct Clause {
+        std::vector<Lit> lits;
+        bool learned = false;
+    };
+
+    std::int8_t value(Lit l) const {
+        const auto v = assign_[var_of(l)];
+        if (v == kUndef) return kUndef;
+        return (v == kTrue) != sign_of(l) ? kTrue : kFalse;
+    }
+
+    bool enqueue(Lit l, int reason);
+    int propagate();
+    void analyze(int confl, std::vector<Lit>& learnt, std::size_t& bt_level);
+    void backtrack(std::size_t level);
+    void new_decision_level() { trail_lim_.push_back(trail_.size()); }
+    std::size_t decision_level() const { return trail_lim_.size(); }
+    Lit pick_branch();
+    void watch_clause(int ci);
+
+    // -- VSIDS ---------------------------------------------------------------
+    void var_bump(Var v);
+    void var_decay() { var_inc_ /= kVarDecay; }
+    void heap_insert(Var v);
+    void heap_sift_up(std::size_t i);
+    void heap_sift_down(std::size_t i);
+    Var heap_pop();
+
+    static constexpr double kVarDecay = 0.95;
+    static constexpr double kRescaleLimit = 1e100;
+
+    std::vector<Clause> clauses_;
+    std::vector<std::vector<int>> watches_;  ///< per literal: clause indices
+    std::vector<std::int8_t> assign_;        ///< per var
+    std::vector<std::int8_t> phase_;         ///< per var: last polarity
+    std::vector<std::uint32_t> level_;       ///< per var
+    std::vector<int> reason_;                ///< per var: clause index / kNoReason
+    std::vector<Lit> trail_;
+    std::vector<std::size_t> trail_lim_;
+    std::size_t qhead_ = 0;
+    bool unsat_ = false;  ///< root-level contradiction already derived
+    /// The input itself contained the empty clause: UNSAT needs no trace.
+    bool empty_clause_ = false;
+
+    std::vector<double> activity_;
+    double var_inc_ = 1.0;
+    std::vector<Var> heap_;                 ///< max-activity binary heap
+    std::vector<std::size_t> heap_index_;   ///< per var: heap slot or npos
+
+    std::vector<bool> model_;
+    std::vector<bool> seen_;
+
+    std::uint64_t max_conflicts_ = 0;
+    SolverStats stats_;
+
+    /// Derivation trace of the last solve: learned clauses in order.
+    std::vector<std::vector<Lit>> learned_trace_;
+    std::vector<Lit> last_assumptions_;
+    /// Problem clauses (pre-learning), snapshotted for verify_unsat.
+    std::size_t num_problem_clauses_ = 0;
+};
+
+/// Check a model against a formula (all clauses satisfied).
+bool model_satisfies(const Cnf& cnf, const Solver& solver);
+
+}  // namespace matador::sat

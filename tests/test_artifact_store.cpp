@@ -114,6 +114,104 @@ TEST(ArtifactStoreKeys, BackendHashIgnoresClockDeviceAndFrontendKnobs) {
               core::backend_config_hash(base, model_hash + 1));
 }
 
+TEST(ArtifactStoreKeys, LintKeyFoldsInSubsystemVersion) {
+    // Regression: the cached lint rung used to be keyed by the raw backend
+    // hash alone, so lint code changes never invalidated old verdicts.  The
+    // lint key must differ from the backend hash (it folds in
+    // lint::kLintSubsystemVersion), so a store populated by the old scheme
+    // can never serve a stale report to the new one.
+    const FlowConfig cfg = small_config();
+    const std::uint64_t model_hash = 0x1234abcdu;
+    EXPECT_NE(core::lint_cache_key(cfg, model_hash),
+              core::backend_config_hash(cfg, model_hash));
+    // Still backend-sliced: same invariances as the backend hash.
+    FlowConfig variant = cfg;
+    variant.device = "other-part";
+    variant.epochs += 3;
+    EXPECT_EQ(core::lint_cache_key(cfg, model_hash),
+              core::lint_cache_key(variant, model_hash));
+    FlowConfig wider = cfg;
+    wider.arch.bus_width *= 2;
+    EXPECT_NE(core::lint_cache_key(cfg, model_hash),
+              core::lint_cache_key(wider, model_hash));
+}
+
+TEST(ArtifactStoreKeys, ProofKeyFoldsInVersionAndInductionDepth) {
+    const FlowConfig cfg = small_config();
+    const std::uint64_t model_hash = 0x1234abcdu;
+    EXPECT_NE(core::proof_cache_key(cfg, model_hash),
+              core::backend_config_hash(cfg, model_hash));
+    EXPECT_NE(core::proof_cache_key(cfg, model_hash),
+              core::lint_cache_key(cfg, model_hash));
+    // A different induction depth is a different proof.
+    FlowConfig deeper = cfg;
+    deeper.induction_k = 3;
+    EXPECT_NE(core::proof_cache_key(cfg, model_hash),
+              core::proof_cache_key(deeper, model_hash));
+    // verify_sat itself is not part of the key (it only gates execution).
+    FlowConfig gated = cfg;
+    gated.verify_sat = true;
+    EXPECT_EQ(core::proof_cache_key(cfg, model_hash),
+              core::proof_cache_key(gated, model_hash));
+}
+
+TEST(ArtifactStoreDisk, StaleRawKeyedLintEntryIsNotServed) {
+    // Simulate the pre-fix on-disk state: a lint report stored under the
+    // raw backend hash.  A store queried with the versioned key must miss
+    // it and recompute.
+    TempDir dir("stale-lint");
+    const FlowConfig cfg = small_config();
+    const std::uint64_t model_hash = 0x77u;
+    const auto old_key = core::backend_config_hash(cfg, model_hash);
+    const auto new_key = core::lint_cache_key(cfg, model_hash);
+    ASSERT_NE(old_key, new_key);
+
+    core::LintArtifact stale;
+    stale.report.findings.push_back(
+        {lint::check::kParseError, lint::Severity::kError, "old", "", "stale"});
+    {
+        ArtifactStore store(dir.str());
+        store.get_or_compute_lint(old_key, [&] { return stale; });
+    }
+    ArtifactStore store(dir.str());  // restart: disk tier only
+    int computed = 0;
+    const auto got = store.get_or_compute_lint(new_key, [&] {
+        ++computed;
+        return core::LintArtifact{};
+    });
+    EXPECT_EQ(computed, 1);
+    EXPECT_TRUE(got.report.findings.empty());
+}
+
+TEST(ArtifactStoreDisk, ProofArtifactSurvivesStoreRestart) {
+    TempDir dir("proof-disk");
+    core::ProofArtifact a;
+    a.report.equivalent = true;
+    a.report.outputs_total = 3;
+    a.report.outputs_proved = 3;
+    a.report.induction_k = 1;
+    a.report.induction_ok = true;
+    a.report.totals.conflicts = 17;
+    const std::uint64_t key = 0xfeedu;
+    {
+        ArtifactStore store(dir.str());
+        store.get_or_compute_proof(key, [&] { return a; });
+    }
+    ArtifactStore store(dir.str());
+    ArtifactTier tier = ArtifactTier::kNone;
+    const auto got = store.get_or_compute_proof(
+        key,
+        [&]() -> core::ProofArtifact {
+            ADD_FAILURE() << "proof recomputed despite disk entry";
+            return {};
+        },
+        &tier);
+    EXPECT_EQ(tier, ArtifactTier::kDisk);
+    EXPECT_TRUE(got.report.equivalent);
+    EXPECT_EQ(got.report.outputs_proved, 3u);
+    EXPECT_EQ(got.report.totals.conflicts, 17u);
+}
+
 TEST(ArtifactStoreKeys, KeyHexIsStable16CharLowerHex) {
     EXPECT_EQ(core::key_hex(0), "0000000000000000");
     EXPECT_EQ(core::key_hex(0xDEADBEEF12345678ull), "deadbeef12345678");

@@ -1,0 +1,404 @@
+// Tests for the SAT equivalence tier (src/sat/).
+//
+// Four angles: (1) the CDCL core on classic formulas - pigeonhole (UNSAT
+// with a replayable RUP trace), random 3-SAT near the phase transition
+// (every SAT model checked, every UNSAT trace verified), and the empty /
+// unit / assumption edge cases; (2) the Tseitin encoder against 64-way AIG
+// simulation on random networks; (3) miters - a clean design must prove
+// EQUIVALENT on every output, a netlist with one seeded PO inversion must
+// be refuted with a concretely confirmed counterexample; (4) the prove
+// report's JSON round-trip (the proof artifact's disk representation).
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "logic/aig_simulate.hpp"
+#include "model/architecture.hpp"
+#include "model/trained_model.hpp"
+#include "rtl/generators.hpp"
+#include "sat/cnf.hpp"
+#include "sat/miter.hpp"
+#include "sat/prove.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace matador;
+using sat::Cnf;
+using sat::Lit;
+using sat::mk_lit;
+using sat::SolveResult;
+using sat::Solver;
+using sat::Var;
+
+// ---------------------------------------------------------------------------
+// CDCL core: classic formulas
+// ---------------------------------------------------------------------------
+
+/// PHP(holes): holes+1 pigeons into `holes` holes.  UNSAT, and hard enough
+/// to force real conflict analysis (no polynomial resolution proof exists).
+Cnf pigeonhole(std::size_t holes) {
+    const std::size_t pigeons = holes + 1;
+    Cnf cnf;
+    std::vector<std::vector<Var>> in(pigeons);
+    for (std::size_t p = 0; p < pigeons; ++p)
+        for (std::size_t h = 0; h < holes; ++h) in[p].push_back(cnf.new_var());
+    // Every pigeon sits somewhere.
+    for (std::size_t p = 0; p < pigeons; ++p) {
+        std::vector<Lit> c;
+        for (std::size_t h = 0; h < holes; ++h) c.push_back(mk_lit(in[p][h], false));
+        cnf.add(c);
+    }
+    // No two pigeons share a hole.
+    for (std::size_t h = 0; h < holes; ++h)
+        for (std::size_t p = 0; p < pigeons; ++p)
+            for (std::size_t q = p + 1; q < pigeons; ++q)
+                cnf.binary(mk_lit(in[p][h], true), mk_lit(in[q][h], true));
+    return cnf;
+}
+
+TEST(SatSolver, PigeonholeUnsatWithCheckedTrace) {
+    for (std::size_t holes : {2, 3, 4, 5}) {
+        Solver s(pigeonhole(holes));
+        EXPECT_EQ(s.solve(), SolveResult::kUnsat) << "holes=" << holes;
+        EXPECT_TRUE(s.verify_unsat()) << "holes=" << holes;
+        if (holes >= 4) EXPECT_GT(s.stats().conflicts, 0u);
+    }
+}
+
+TEST(SatSolver, PigeonholeSatWhenPigeonsFit) {
+    // holes pigeons into holes holes is satisfiable; drop the last pigeon's
+    // clauses by building the formula directly.
+    const std::size_t holes = 4;
+    Cnf cnf;
+    std::vector<std::vector<Var>> in(holes);
+    for (auto& row : in)
+        for (std::size_t h = 0; h < holes; ++h) row.push_back(cnf.new_var());
+    for (auto& row : in) {
+        std::vector<Lit> c;
+        for (auto v : row) c.push_back(mk_lit(v, false));
+        cnf.add(c);
+    }
+    for (std::size_t h = 0; h < holes; ++h)
+        for (std::size_t p = 0; p < holes; ++p)
+            for (std::size_t q = p + 1; q < holes; ++q)
+                cnf.binary(mk_lit(in[p][h], true), mk_lit(in[q][h], true));
+    Solver s(cnf);
+    ASSERT_EQ(s.solve(), SolveResult::kSat);
+    EXPECT_TRUE(sat::model_satisfies(cnf, s));
+}
+
+TEST(SatSolver, Random3SatNearThreshold) {
+    // 30 variables at clause/variable ratio ~4.3: a mix of SAT and UNSAT
+    // instances.  Every answer must be certified - models re-checked
+    // against the formula, UNSAT traces replayed.
+    const std::size_t n = 30, m = 129;
+    std::size_t sat_seen = 0, unsat_seen = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        util::Xoshiro256ss rng(seed);
+        Cnf cnf;
+        for (std::size_t v = 0; v < n; ++v) cnf.new_var();
+        for (std::size_t c = 0; c < m; ++c) {
+            std::vector<Lit> lits;
+            while (lits.size() < 3) {
+                const Var v = Var(rng() % n);
+                const Lit l = mk_lit(v, rng() & 1);
+                if (std::find(lits.begin(), lits.end(), l) == lits.end() &&
+                    std::find(lits.begin(), lits.end(), sat::neg(l)) == lits.end())
+                    lits.push_back(l);
+            }
+            cnf.add(lits);
+        }
+        Solver s(cnf);
+        const auto r = s.solve();
+        if (r == SolveResult::kSat) {
+            ++sat_seen;
+            EXPECT_TRUE(sat::model_satisfies(cnf, s)) << "seed=" << seed;
+        } else {
+            ASSERT_EQ(r, SolveResult::kUnsat) << "seed=" << seed;
+            ++unsat_seen;
+            EXPECT_TRUE(s.verify_unsat()) << "seed=" << seed;
+        }
+    }
+    // Near the threshold both outcomes must actually occur.
+    EXPECT_GT(sat_seen, 0u);
+    EXPECT_GT(unsat_seen, 0u);
+}
+
+TEST(SatSolver, EmptyClauseIsUnsat) {
+    Solver s;
+    s.add_clause({});
+    EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+    EXPECT_TRUE(s.verify_unsat());
+}
+
+TEST(SatSolver, EmptyFormulaIsSat) {
+    Solver s;
+    EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolver, ConflictingUnitsAreUnsatAtRoot) {
+    Cnf cnf;
+    const Var x = cnf.new_var();
+    cnf.unit(mk_lit(x, false));
+    cnf.unit(mk_lit(x, true));
+    Solver s(cnf);
+    EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+    EXPECT_TRUE(s.verify_unsat());
+}
+
+TEST(SatSolver, TautologyAndDuplicateLiteralsAreHarmless) {
+    Cnf cnf;
+    const Var x = cnf.new_var(), y = cnf.new_var();
+    cnf.add({mk_lit(x, false), mk_lit(x, true)});             // tautology
+    cnf.add({mk_lit(y, false), mk_lit(y, false)});            // duplicate -> unit
+    cnf.add({mk_lit(x, false), mk_lit(y, true), mk_lit(y, true)});
+    Solver s(cnf);
+    ASSERT_EQ(s.solve(), SolveResult::kSat);
+    EXPECT_TRUE(s.model_value(y));
+    EXPECT_TRUE(s.model_value(x));  // forced once y is true
+}
+
+TEST(SatSolver, PureLiteralFormulaIsSat) {
+    // Every variable occurs in one polarity only: trivially satisfiable,
+    // and the all-true assignment of the pure literals must be found
+    // without any conflicts.
+    Cnf cnf;
+    std::vector<Var> v;
+    for (int i = 0; i < 6; ++i) v.push_back(cnf.new_var());
+    cnf.ternary(mk_lit(v[0], false), mk_lit(v[1], false), mk_lit(v[2], false));
+    cnf.ternary(mk_lit(v[1], false), mk_lit(v[3], true), mk_lit(v[4], true));
+    cnf.binary(mk_lit(v[4], true), mk_lit(v[5], false));
+    Solver s(cnf);
+    ASSERT_EQ(s.solve(), SolveResult::kSat);
+    EXPECT_TRUE(sat::model_satisfies(cnf, s));
+    EXPECT_EQ(s.stats().conflicts, 0u);
+}
+
+TEST(SatSolver, AssumptionsAreIncremental) {
+    Cnf cnf;
+    const Var x = cnf.new_var(), y = cnf.new_var();
+    cnf.binary(mk_lit(x, true), mk_lit(y, false));  // x -> y
+    Solver s(cnf);
+    // Contradictory assumptions: UNSAT under {x, !y}, but the formula
+    // itself stays satisfiable for later calls.
+    EXPECT_EQ(s.solve({mk_lit(x, false), mk_lit(y, true)}), SolveResult::kUnsat);
+    EXPECT_TRUE(s.verify_unsat());
+    ASSERT_EQ(s.solve({mk_lit(x, false)}), SolveResult::kSat);
+    EXPECT_TRUE(s.model_value(x));
+    EXPECT_TRUE(s.model_value(y));
+    EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+    Solver s(pigeonhole(7));
+    s.set_max_conflicts(3);
+    EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// Tseitin encoder vs 64-way AIG simulation
+// ---------------------------------------------------------------------------
+
+logic::Aig random_aig(std::size_t pis, std::size_t ands, std::size_t pos,
+                      std::uint64_t seed, bool strash) {
+    util::Xoshiro256ss rng(seed);
+    logic::Aig aig(strash);
+    std::vector<logic::Lit> lits{logic::kConst0, logic::kConst1};
+    for (std::size_t i = 0; i < pis; ++i) lits.push_back(aig.create_pi());
+    for (std::size_t i = 0; i < ands; ++i) {
+        const auto a = lits[rng() % lits.size()] ^ logic::Lit(rng() & 1);
+        const auto b = lits[rng() % lits.size()] ^ logic::Lit(rng() & 1);
+        lits.push_back(aig.create_and(a, b));
+    }
+    for (std::size_t i = 0; i < pos; ++i)
+        aig.add_po(lits[lits.size() - 1 - (rng() % (ands + 1))] ^
+                   logic::Lit(rng() & 1));
+    return aig;
+}
+
+TEST(SatCnf, EncoderMatchesSimulation) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const auto aig = random_aig(8, 24, 4, seed, /*strash=*/seed % 2 == 0);
+        const auto enc = sat::encode_aig(aig);
+        util::Xoshiro256ss rng(seed * 77);
+        for (int round = 0; round < 16; ++round) {
+            std::vector<bool> x(aig.num_pis());
+            std::vector<Lit> assume;
+            for (std::size_t i = 0; i < x.size(); ++i) {
+                x[i] = rng() & 1;
+                assume.push_back(x[i] ? enc.pi_lits[i] : sat::neg(enc.pi_lits[i]));
+            }
+            Solver s(enc.cnf);
+            ASSERT_EQ(s.solve(assume), SolveResult::kSat);
+            const auto want = logic::simulate_single(aig, x);
+            for (std::size_t j = 0; j < aig.num_pos(); ++j)
+                EXPECT_EQ(s.model_lit(enc.po_lits[j]), want[j])
+                    << "seed=" << seed << " round=" << round << " po=" << j;
+        }
+    }
+}
+
+TEST(SatCnf, ConstantOutputsFoldToUnits) {
+    // A PO tied to constant 1 and one tied to 0: no gate clauses needed,
+    // and the encoding pins them through the constant var's unit clause.
+    logic::Aig aig(/*strash=*/true);
+    aig.create_pi();
+    aig.add_po(logic::kConst1);
+    aig.add_po(logic::kConst0);
+    const auto enc = sat::encode_aig(aig);
+    EXPECT_EQ(enc.gates_encoded, 0u);
+    Solver s(enc.cnf);
+    ASSERT_EQ(s.solve(), SolveResult::kSat);
+    EXPECT_TRUE(s.model_lit(enc.po_lits[0]));
+    EXPECT_FALSE(s.model_lit(enc.po_lits[1]));
+    // Asking for the constant-0 PO to be true must be refutable.
+    Solver s2(enc.cnf);
+    EXPECT_EQ(s2.solve({enc.po_lits[1]}), SolveResult::kUnsat);
+    EXPECT_TRUE(s2.verify_unsat());
+}
+
+// ---------------------------------------------------------------------------
+// Miters and the prove driver
+// ---------------------------------------------------------------------------
+
+model::TrainedModel random_model(std::size_t features, std::size_t classes,
+                                 std::size_t cpc, double density,
+                                 std::uint64_t seed) {
+    model::TrainedModel m(features, classes, cpc);
+    util::Xoshiro256ss rng(seed);
+    for (std::size_t c = 0; c < classes; ++c)
+        for (std::size_t j = 0; j < cpc; ++j)
+            for (std::size_t f = 0; f < features; ++f) {
+                const double r = rng.uniform();
+                if (r < density)
+                    m.clause(c, j).include_pos.set(f);
+                else if (r < 2 * density)
+                    m.clause(c, j).include_neg.set(f);
+            }
+    return m;
+}
+
+rtl::RtlDesign generate(const model::TrainedModel& m, bool strash,
+                        std::size_t bus_width = 8) {
+    model::ArchOptions opts;
+    opts.bus_width = bus_width;
+    return rtl::generate_rtl(m, model::derive_architecture(m, opts), strash);
+}
+
+TEST(SatProve, CleanDesignProvesEquivalent) {
+    for (const bool strash : {true, false}) {
+        const auto m = random_model(16, 2, 4, 0.25, 42);
+        const auto design = generate(m, strash, /*bus_width=*/8);
+        sat::ProveOptions opt;
+        const auto rep = sat::prove_design(design.hcbs, m, opt);
+        EXPECT_TRUE(rep.equivalent) << "strash=" << strash;
+        EXPECT_GT(rep.outputs_total, 0u);
+        EXPECT_EQ(rep.outputs_proved, rep.outputs_total);
+        EXPECT_EQ(rep.outputs_failed, 0u);
+        EXPECT_TRUE(rep.induction_ok);
+        for (const auto& o : rep.outputs) EXPECT_TRUE(o.proved());
+    }
+}
+
+TEST(SatProve, MultiStageChainWithDeeperInduction) {
+    // bus_width 4 over 16 features -> a 4-stage chain: real step windows.
+    const auto m = random_model(16, 2, 4, 0.3, 7);
+    const auto design = generate(m, /*strash=*/true, /*bus_width=*/4);
+    sat::ProveOptions opt;
+    opt.induction_k = 2;
+    const auto rep = sat::prove_design(design.hcbs, m, opt);
+    EXPECT_TRUE(rep.equivalent);
+    EXPECT_GT(rep.chain_stages, 1u);
+    EXPECT_TRUE(rep.induction_ok);
+    EXPECT_FALSE(rep.induction.empty());
+    for (const auto& c : rep.induction) EXPECT_TRUE(c.proved());
+}
+
+TEST(SatProve, InjectedNetlistBugIsRefutedWithConfirmedWitness) {
+    const auto m = random_model(12, 2, 4, 0.3, 99);
+    auto design = generate(m, /*strash=*/true, /*bus_width=*/6);
+    // Seed the bug: invert one netlist output of the last HCB.
+    auto& aig = design.hcbs.back().aig;
+    ASSERT_GT(aig.num_pos(), 0u);
+    aig.set_po(0, logic::lit_not(aig.po(0)));
+
+    sat::ProveOptions opt;
+    const auto rep = sat::prove_design(design.hcbs, m, opt);
+    EXPECT_FALSE(rep.equivalent);
+    EXPECT_GE(rep.outputs_failed, 1u);
+    bool witnessed = false;
+    for (const auto& o : rep.outputs)
+        if (o.result == SolveResult::kSat) {
+            EXPECT_FALSE(o.counterexample.empty());
+            EXPECT_TRUE(o.counterexample_confirmed)
+                << "witness for output " << o.output
+                << " did not reproduce outside the solver";
+            witnessed = true;
+        }
+    EXPECT_TRUE(witnessed);
+}
+
+TEST(SatProve, SingleOutputSelection) {
+    const auto m = random_model(12, 2, 4, 0.3, 5);
+    const auto design = generate(m, true, 6);
+    sat::ProveOptions opt;
+    opt.output = 0;
+    const auto rep = sat::prove_design(design.hcbs, m, opt);
+    EXPECT_TRUE(rep.equivalent);
+    EXPECT_EQ(rep.outputs_total, 1u);
+    EXPECT_EQ(rep.induction_k, 0u);  // induction needs all outputs
+    EXPECT_THROW(
+        {
+            sat::ProveOptions bad;
+            bad.output = 100000;
+            sat::prove_design(design.hcbs, m, bad);
+        },
+        std::out_of_range);
+}
+
+TEST(SatProve, ReportJsonRoundTrip) {
+    const auto m = random_model(12, 2, 4, 0.3, 99);
+    auto design = generate(m, true, 6);
+    auto& aig = design.hcbs.back().aig;
+    aig.set_po(0, logic::lit_not(aig.po(0)));  // keep a counterexample in it
+    const auto rep = sat::prove_design(design.hcbs, m, {});
+    const auto j = sat::prove_report_to_json(rep);
+    const auto back = sat::prove_report_from_json(
+        util::Json::parse(j.dump(2)));
+    EXPECT_EQ(back.equivalent, rep.equivalent);
+    EXPECT_EQ(back.outputs_total, rep.outputs_total);
+    EXPECT_EQ(back.outputs_failed, rep.outputs_failed);
+    ASSERT_EQ(back.outputs.size(), rep.outputs.size());
+    for (std::size_t i = 0; i < rep.outputs.size(); ++i) {
+        EXPECT_EQ(back.outputs[i].result, rep.outputs[i].result);
+        EXPECT_EQ(back.outputs[i].counterexample, rep.outputs[i].counterexample);
+        EXPECT_EQ(back.outputs[i].stats.conflicts, rep.outputs[i].stats.conflicts);
+    }
+    ASSERT_EQ(back.induction.size(), rep.induction.size());
+    EXPECT_EQ(back.induction_ok, rep.induction_ok);
+    EXPECT_EQ(back.totals.decisions, rep.totals.decisions);
+    EXPECT_THROW(sat::prove_report_from_json(util::Json::object()),
+                 std::runtime_error);
+}
+
+TEST(SatProve, ParallelFanOutMatchesSerial) {
+    const auto m = random_model(16, 3, 4, 0.25, 11);
+    const auto design = generate(m, true, 8);
+    sat::ProveOptions serial;
+    serial.threads = 1;
+    sat::ProveOptions fan;
+    fan.threads = 4;
+    const auto a = sat::prove_design(design.hcbs, m, serial);
+    const auto b = sat::prove_design(design.hcbs, m, fan);
+    EXPECT_EQ(a.equivalent, b.equivalent);
+    EXPECT_EQ(a.outputs_proved, b.outputs_proved);
+    ASSERT_EQ(a.outputs.size(), b.outputs.size());
+    for (std::size_t i = 0; i < a.outputs.size(); ++i)
+        EXPECT_EQ(a.outputs[i].result, b.outputs[i].result) << "output " << i;
+}
+
+}  // namespace

@@ -7,6 +7,10 @@
 //   matador eval      --model m.tm --dataset <spec> [--check]   batched scoring
 //   matador generate  --model m.tm --rtl-out dir [options]
 //   matador verify    --model m.tm [options]
+//   matador prove     --model m.tm [--output n] [--induction k]
+//                     [--miter-out f.aag] [--inject-fault n]  SAT equivalence
+//   matador aig       export --model m.tm --out f.aag [--hcb n] | import
+//                     <f.aag|f.aig> [--out g.aag]             AIGER round-trip
 //   matador lint      --model m.tm | <files.v...>  [--json] [--fail-on sev]
 //   matador simulate  --model m.tm [--vcd out.vcd] [--trace] [options]
 //   matador sweep     --dataset <spec> --sweep key=v1,v2,... [--jobs n]
@@ -72,7 +76,10 @@
 #include "rtl/pynq_driver_gen.hpp"
 #include "rtl/testbench_gen.hpp"
 #include "lint/lint.hpp"
+#include "logic/aiger.hpp"
 #include "rtl/verification.hpp"
+#include "sat/miter.hpp"
+#include "sat/prove.hpp"
 #include "rtl/verilog_parser.hpp"
 #include "sim/accelerator_sim.hpp"
 #include "util/fsio.hpp"
@@ -84,9 +91,9 @@ using namespace matador;
 
 [[noreturn]] void usage(int code) {
     std::puts(
-        "usage: matador <flow|train|eval|generate|verify|lint|simulate|sweep|"
-        "sweep-merge|sweep-status|serve|serve-status|metrics|cache|stages|"
-        "datasets> [options]\n"
+        "usage: matador <flow|train|eval|generate|verify|prove|aig|lint|"
+        "simulate|sweep|sweep-merge|sweep-status|serve|serve-status|metrics|"
+        "cache|stages|datasets> [options]\n"
         "\n"
         "common options:\n"
         "  --dataset <spec>        dataset (see 'matador datasets')\n"
@@ -107,7 +114,17 @@ using namespace matador;
         "                          predict requests for 'matador serve'\n"
         "  --fail-on <sev>         lint: exit nonzero at this severity or\n"
         "                          above (info|warning|error; default error)\n"
-        "  --json                  lint: emit the report as JSON\n"
+        "  --json                  lint/prove: emit the report as JSON\n"
+        "  --output <n>            prove: only this output (hcb-major index;\n"
+        "                          default: all outputs + induction)\n"
+        "  --induction <k>         prove: induction depth over the clause\n"
+        "                          chain (default induction_k = 1)\n"
+        "  --miter-out <f>         prove: write the whole-design miter as\n"
+        "                          AIGER (.aag ascii, .aig binary)\n"
+        "  --inject-fault <n>      prove: invert netlist output n first (the\n"
+        "                          proof must then FAIL with a witness)\n"
+        "  --metrics-out <f>       prove: write solver metrics JSON here\n"
+        "  --hcb <n>               aig export: which HCB netlist (default 0)\n"
         "  --vcd <file>            simulate: dump ILA-probe waveforms\n"
         "  --trace                 simulate: print the cycle trace\n"
         "  --datapoints <n>        simulate: streamed datapoints (default 16)\n"
@@ -197,6 +214,10 @@ const std::vector<CommandSpec>& command_specs() {
           "check", "predictions-out", "dump-requests", "config", "trace-out"}},
         {"generate", {"model", "rtl-out", "config"}},
         {"verify", {"model", "config"}},
+        {"prove",
+         {"model", "output", "induction", "miter-out", "inject-fault",
+          "metrics-out", "json", "config"}},
+        {"aig", {"model", "out", "hcb", "config"}},
         {"lint", {"model", "fail-on", "json", "config"}},
         {"simulate", {"model", "vcd", "trace", "datapoints", "config"}},
         {"sweep",
@@ -288,6 +309,16 @@ CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
         args.options["action"] = argv[2];
         first_option = 3;
     }
+    // 'matador aig <export|import>' takes a positional action too; import
+    // then takes the AIGER file as a positional path.
+    if (args.command == "aig") {
+        if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+            std::fprintf(stderr, "aig needs an action: export|import\n");
+            usage(1);
+        }
+        args.options["action"] = argv[2];
+        first_option = 3;
+    }
     // 'matador sweep-status <cache_dir>' takes an optional positional dir
     // (equivalent to --cache-dir).
     if (args.command == "sweep-status" && argc >= 3 &&
@@ -315,8 +346,9 @@ CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
     for (int i = first_option; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0) {
-            // 'matador lint a.v b.v' lints standalone Verilog files.
-            if (args.command == "lint") {
+            // 'matador lint a.v b.v' lints standalone Verilog files;
+            // 'matador aig import f.aag' reads a standalone AIGER file.
+            if (args.command == "lint" || args.command == "aig") {
                 args.files.push_back(std::move(arg));
                 continue;
             }
@@ -772,6 +804,118 @@ int cmd_verify(const CliArgs& args, core::FlowConfig cfg) {
     return ctx.ok() ? 0 : 1;
 }
 
+int cmd_prove(const CliArgs& args, const core::FlowConfig& cfg) {
+    const auto m = load_model_arg(args);
+    const core::Pipeline pipeline(cfg);
+    const core::CompileContext ctx = pipeline.run_with_model(
+        m, nullptr, {core::StageKind::kTrain, core::StageKind::kGenerate});
+    if (!ctx.design) {
+        std::fputs(core::format_diagnostics(ctx).c_str(), stderr);
+        return 1;
+    }
+    // Copy the netlists: fault injection must not poison the (possibly
+    // cached, possibly shared) generate artifact.
+    std::vector<rtl::HcbNetlist> hcbs = ctx.design->hcbs;
+
+    if (!args.get("inject-fault").empty()) {
+        std::size_t n =
+            parse_count_option("inject-fault", args.get("inject-fault"));
+        const std::size_t asked = n;
+        bool injected = false;
+        for (auto& hcb : hcbs) {
+            if (n < hcb.aig.num_pos()) {
+                hcb.aig.set_po(n, logic::lit_not(hcb.aig.po(n)));
+                injected = true;
+                break;
+            }
+            n -= hcb.aig.num_pos();
+        }
+        if (!injected)
+            throw std::runtime_error("--inject-fault " + std::to_string(asked) +
+                                     ": design has no such output");
+        std::printf("injected fault: netlist output %zu inverted\n", asked);
+    }
+
+    if (!args.get("miter-out").empty()) {
+        const auto miter = sat::build_design_miter(hcbs, m);
+        logic::write_aiger_file(miter.aig, args.get("miter-out"));
+        std::printf("miter written to %s (%zu inputs, %zu ands, %zu outputs)\n",
+                    args.get("miter-out").c_str(), miter.aig.num_pis(),
+                    miter.aig.num_ands(), miter.aig.num_pos());
+    }
+
+    sat::ProveOptions opt;
+    opt.induction_k = cfg.induction_k;
+    opt.threads = unsigned(cfg.train_threads);
+    if (!args.get("output").empty())
+        opt.output = parse_count_option("output", args.get("output"));
+    if (!args.get("induction").empty())
+        opt.induction_k = parse_count_option("induction", args.get("induction"));
+    const auto report = sat::prove_design(hcbs, m, opt);
+
+    if (args.flag("json"))
+        std::printf("%s\n", sat::prove_report_to_json(report).dump(2).c_str());
+    else
+        std::fputs(sat::format_prove_report(report).c_str(), stdout);
+
+    if (!args.get("metrics-out").empty()) {
+        util::write_file_atomic(
+            args.get("metrics-out"),
+            obs::MetricsRegistry::global().to_json().dump(2) + "\n");
+        std::printf("solver metrics written to %s\n",
+                    args.get("metrics-out").c_str());
+    }
+    return report.equivalent ? 0 : 1;
+}
+
+int cmd_aig(const CliArgs& args, const core::FlowConfig& cfg) {
+    const std::string action = args.get("action");
+    if (action == "export") {
+        const std::string out = args.get("out");
+        if (out.empty()) {
+            std::fprintf(stderr, "aig export needs --out <file.aag|file.aig>\n");
+            usage(1);
+        }
+        const auto m = load_model_arg(args);
+        const core::Pipeline pipeline(cfg);
+        const core::CompileContext ctx = pipeline.run_with_model(
+            m, nullptr, {core::StageKind::kTrain, core::StageKind::kGenerate});
+        if (!ctx.design) {
+            std::fputs(core::format_diagnostics(ctx).c_str(), stderr);
+            return 1;
+        }
+        const auto n = parse_count_option("hcb", args.get("hcb", "0"));
+        if (n >= ctx.design->hcbs.size())
+            throw std::runtime_error(
+                "--hcb " + std::to_string(n) + ": design has only " +
+                std::to_string(ctx.design->hcbs.size()) + " HCB(s)");
+        const auto& aig = ctx.design->hcbs[n].aig;
+        logic::write_aiger_file(aig, out);
+        std::printf("hcb %zu written to %s (%zu inputs, %zu ands, %zu outputs)\n",
+                    n, out.c_str(), aig.num_pis(), aig.num_ands(),
+                    aig.num_pos());
+        return 0;
+    }
+    if (action == "import") {
+        if (args.files.empty()) {
+            std::fprintf(stderr, "aig import needs a <file.aag|file.aig>\n");
+            usage(1);
+        }
+        const auto aig = logic::read_aiger_file(args.files[0]);
+        std::printf("%s: %zu inputs, %zu ands, %zu outputs\n",
+                    args.files[0].c_str(), aig.num_pis(), aig.num_ands(),
+                    aig.num_pos());
+        if (!args.get("out").empty()) {
+            logic::write_aiger_file(aig, args.get("out"));
+            std::printf("rewritten to %s\n", args.get("out").c_str());
+        }
+        return 0;
+    }
+    std::fprintf(stderr, "unknown aig action: %s (want export|import)\n",
+                 action.c_str());
+    usage(1);
+}
+
 int cmd_lint(const CliArgs& args, const core::FlowConfig& cfg) {
     lint::Severity fail_on = lint::Severity::kError;
     if (!args.get("fail-on").empty()) {
@@ -1155,8 +1299,8 @@ int cmd_cache(const CliArgs& args, const core::FlowConfig& cfg) {
     }
 
     // stats
-    std::size_t train_n = 0, gen_n = 0, lint_n = 0;
-    std::uintmax_t train_b = 0, gen_b = 0, lint_b = 0;
+    std::size_t train_n = 0, gen_n = 0, lint_n = 0, proof_n = 0;
+    std::uintmax_t train_b = 0, gen_b = 0, lint_b = 0, proof_b = 0;
     for (const auto& e : entries) {
         if (e.stage == "train") {
             train_n++;
@@ -1164,6 +1308,9 @@ int cmd_cache(const CliArgs& args, const core::FlowConfig& cfg) {
         } else if (e.stage == "lint") {
             lint_n++;
             lint_b += e.bytes;
+        } else if (e.stage == "proof") {
+            proof_n++;
+            proof_b += e.bytes;
         } else {
             gen_n++;
             gen_b += e.bytes;
@@ -1176,6 +1323,8 @@ int cmd_cache(const CliArgs& args, const core::FlowConfig& cfg) {
                 std::uintmax_t(gen_b));
     std::printf("  lint:     %zu entries, %ju bytes\n", lint_n,
                 std::uintmax_t(lint_b));
+    std::printf("  proof:    %zu entries, %ju bytes\n", proof_n,
+                std::uintmax_t(proof_b));
     return 0;
 }
 
@@ -1217,6 +1366,8 @@ int main(int argc, char** argv) {
         if (args.command == "eval") return cmd_eval(args, cfg);
         if (args.command == "generate") return cmd_generate(args, cfg);
         if (args.command == "verify") return cmd_verify(args, cfg);
+        if (args.command == "prove") return cmd_prove(args, cfg);
+        if (args.command == "aig") return cmd_aig(args, cfg);
         if (args.command == "lint") return cmd_lint(args, cfg);
         if (args.command == "simulate") return cmd_simulate(args, cfg);
         if (args.command == "sweep") return cmd_sweep(args, cfg, trace);
