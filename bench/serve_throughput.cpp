@@ -17,6 +17,7 @@
 // Usage: bench_serve_throughput [examples_per_class] [seconds_per_level]
 //                               [out.json]
 //   defaults: 100 examples/class, 0.3 s/level, no JSON file
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -92,6 +93,15 @@ LevelResult run_level(const std::shared_ptr<const serve::ServableModel>& model,
                 } catch (const serve::ServeError& e) {
                     if (e.code() == serve::ErrorCode::kShuttingDown) break;
                     shed.fetch_add(1, std::memory_order_relaxed);
+                    // Honor the server's backoff hint: sleep out the
+                    // advertised drain time instead of hammering a full
+                    // queue (capped so a level change is never missed).
+                    const double hint_ms =
+                        std::min(e.retry_after_ms(), 50.0);
+                    if (hint_ms > 0.0)
+                        std::this_thread::sleep_for(
+                            std::chrono::duration<double, std::milli>(
+                                hint_ms));
                 }
                 i = (i + 1) % n;
             }

@@ -5,13 +5,17 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "rtl/generators.hpp"
 #include "rtl/verilog_parser.hpp"
 #include "rtl/verilog_writer.hpp"
+#include "util/crc32.hpp"
 #include "util/fsio.hpp"
 
 namespace fs = std::filesystem;
@@ -96,7 +100,12 @@ const char* tier_name(ArtifactTier t) {
 
 namespace {
 
-constexpr unsigned kManifestVersion = 1;
+// v1: key/value lines + "end" trailer.
+// v2: adds "crc <file> <hex>" lines — a CRC-32 over every payload file in
+//     the entry (model.tm, hcb_*.v, report.json), verified on load so
+//     silent payload corruption degrades to recompute + repair exactly
+//     like a corrupt manifest.  v1 entries (no crc lines) still load.
+constexpr unsigned kManifestVersion = 2;
 constexpr const char* kManifestName = "manifest.txt";
 
 void warn_at(const ArtifactStore::WarnFn& warn, const std::string& msg) {
@@ -196,6 +205,54 @@ std::optional<Manifest> read_manifest(const fs::path& path, const char* stage_na
     return m;
 }
 
+/// "crc <file> <hex>" manifest line for payload bytes already in memory.
+std::string crc_line(const std::string& file, const std::string& bytes) {
+    return "crc " + file + " " + util::crc32_hex(util::crc32(bytes)) + "\n";
+}
+
+/// Same, for a payload that was streamed to disk (e.g. model.tm).
+std::string crc_line_of_file(const fs::path& path) {
+    return crc_line(path.filename().string(), util::read_file(path.string()));
+}
+
+/// Verify every "crc" line of a manifest against the entry's payload
+/// bytes.  v1 manifests carry none and pass vacuously.  A mismatch (or an
+/// unreadable payload) warns, bumps artifact_crc_mismatch_total, and
+/// returns false so the caller recomputes — and the recompute's save
+/// repairs the entry on disk.
+bool verify_payload_crcs(const Manifest& m, const fs::path& entry,
+                         const ArtifactStore::WarnFn& warn) {
+    for (const auto& [key, value] : m.lines) {
+        if (key != "crc") continue;
+        const auto sp = value.find(' ');
+        if (sp == std::string::npos || sp == 0) {
+            warn_at(warn, "artifact store: corrupt crc line in " +
+                              entry.string() + "; recomputing");
+            return false;
+        }
+        const std::string file = value.substr(0, sp);
+        const std::string want = value.substr(sp + 1);
+        std::string bytes;
+        try {
+            bytes = util::read_file((entry / file).string());
+        } catch (const std::exception&) {
+            warn_at(warn, "artifact store: payload " + file + " missing from " +
+                              entry.string() + "; recomputing");
+            return false;
+        }
+        if (util::crc32_hex(util::crc32(bytes)) != want) {
+            obs::MetricsRegistry::global()
+                .counter("artifact_crc_mismatch_total")
+                .add(1);
+            warn_at(warn, "artifact store: payload CRC mismatch on " + file +
+                              " in " + entry.string() +
+                              "; recomputing and repairing");
+            return false;
+        }
+    }
+    return true;
+}
+
 /// Write `body` under the entry directory near-atomically: emit into a
 /// sibling per-process .tmp directory, then rename over.  An existing
 /// entry (e.g. one that failed its load-time validation and got
@@ -212,12 +269,40 @@ void write_entry(const fs::path& entry_dir,
     try {
         fs::create_directories(tmp);
         body(tmp);
-        std::error_code rec;
-        fs::rename(tmp, entry_dir, rec);
-        if (rec) {
-            // Destination exists (a stale or corrupt entry): replace it.
-            fs::remove_all(entry_dir);
-            fs::rename(tmp, entry_dir);
+        // Death here leaves only the .tmp staging dir: readers never see a
+        // half-written entry, and the debris is skipped by is_key_dir_name.
+        fault::FsHooks::instance().crash_point("store.publish.pre-rename");
+        // The publish rename retries transient failures under the shared
+        // backoff policy; a permanent error (or an exhausted budget) falls
+        // through to the warn below — the store degrades to uncached.
+        const fault::RetryPolicy policy = fault::retry_policy();
+        for (int attempt = 1;; ++attempt) {
+            int err = 0;
+            if (const auto a = fault::FsHooks::instance().check(
+                    fault::Op::kRename, entry_dir.string());
+                a.fire) {
+                err = a.err;
+            } else {
+                std::error_code rec;
+                fs::rename(tmp, entry_dir, rec);
+                if (rec) {
+                    // Destination exists (a stale or corrupt entry being
+                    // repaired): replace it.
+                    fs::remove_all(entry_dir, rec);
+                    fs::rename(tmp, entry_dir, rec);
+                    err = rec.value();
+                }
+            }
+            if (err == 0) break;
+            if (!fault::is_transient_errno(err) ||
+                attempt >= policy.max_attempts) {
+                errno = err;
+                throw util::FsError(
+                    "entry rename failed: " + std::string(strerror(err)), err);
+            }
+            obs::MetricsRegistry::global().counter("fs_retry_total").add(1);
+            fault::sleep_for_ms(fault::backoff_delay_ms(
+                policy, entry_dir.string(), attempt));
         }
     } catch (const std::exception& e) {
         fs::remove_all(tmp, ec);
@@ -396,6 +481,7 @@ std::optional<TrainedArtifact> ArtifactStore::load_disk(const char* stage_name,
     const fs::path entry = fs::path(dir_) / stage_name / key_hex(key);
     const auto manifest = read_manifest(entry / kManifestName, stage_name, key, warn);
     if (!manifest) return std::nullopt;
+    if (!verify_payload_crcs(*manifest, entry, warn)) return std::nullopt;
 
     TrainedArtifact a;
     const std::string* train_acc = manifest->find("train_accuracy");
@@ -448,6 +534,7 @@ void ArtifactStore::save_disk(const char* stage_name, std::uint64_t key,
                 out << " " << m.epoch << " " << fmt_double(m.train_accuracy)
                     << " " << fmt_double(m.eval_accuracy);
             out << "\n";
+            out << crc_line_of_file(tmp / "model.tm");
             out << "end\n";
             if (!out) throw std::runtime_error("manifest write failed");
         },
@@ -465,6 +552,7 @@ std::optional<GeneratedArtifact> ArtifactStore::load_disk(const char* stage_name
     const fs::path entry = fs::path(dir_) / stage_name / key_hex(key);
     const auto manifest = read_manifest(entry / kManifestName, stage_name, key, warn);
     if (!manifest) return std::nullopt;
+    if (!verify_payload_crcs(*manifest, entry, warn)) return std::nullopt;
 
     const auto corrupt = [&](const std::string& what) {
         warn_at(warn, "artifact store: " + what + " in " + entry.string() +
@@ -590,9 +678,11 @@ void ArtifactStore::save_disk(const char* stage_name, std::uint64_t key,
                 for (bool b : spec.has_chain_input) out << " " << (b ? 1 : 0);
                 out << "\n";
 
+                const std::string text = hcb_verilog((*a.hcbs)[k], k, a.strash);
                 std::ofstream v(tmp / hcb_file_name(k), std::ios::binary);
-                v << hcb_verilog((*a.hcbs)[k], k, a.strash);
+                v << text;
                 if (!v) throw std::runtime_error("RTL write failed");
+                out << crc_line(hcb_file_name(k), text);
             }
             out << "end\n";
             if (!out) throw std::runtime_error("manifest write failed");
@@ -611,6 +701,7 @@ std::optional<LintArtifact> ArtifactStore::load_disk(const char* stage_name,
     const fs::path entry = fs::path(dir_) / stage_name / key_hex(key);
     const auto manifest = read_manifest(entry / kManifestName, stage_name, key, warn);
     if (!manifest) return std::nullopt;
+    if (!verify_payload_crcs(*manifest, entry, warn)) return std::nullopt;
 
     LintArtifact a;
     try {
@@ -630,14 +721,17 @@ void ArtifactStore::save_disk(const char* stage_name, std::uint64_t key,
     write_entry(
         entry,
         [&](const fs::path& tmp) {
+            const std::string text =
+                lint::lint_report_to_json(a.report).dump(2) + "\n";
             std::ofstream rj(tmp / "report.json", std::ios::binary);
-            rj << lint::lint_report_to_json(a.report).dump(2) << "\n";
+            rj << text;
             if (!rj) throw std::runtime_error("report write failed");
             std::ofstream out(tmp / kManifestName);
             out << "MATADOR-ARTIFACT v" << kManifestVersion << "\n";
             out << "stage " << stage_name << "\n";
             out << "key " << key_hex(key) << "\n";
             out << "findings " << a.report.findings.size() << "\n";
+            out << crc_line("report.json", text);
             out << "end\n";
             if (!out) throw std::runtime_error("manifest write failed");
         },
@@ -655,6 +749,7 @@ std::optional<ProofArtifact> ArtifactStore::load_disk(const char* stage_name,
     const fs::path entry = fs::path(dir_) / stage_name / key_hex(key);
     const auto manifest = read_manifest(entry / kManifestName, stage_name, key, warn);
     if (!manifest) return std::nullopt;
+    if (!verify_payload_crcs(*manifest, entry, warn)) return std::nullopt;
 
     ProofArtifact a;
     try {
@@ -674,14 +769,17 @@ void ArtifactStore::save_disk(const char* stage_name, std::uint64_t key,
     write_entry(
         entry,
         [&](const fs::path& tmp) {
+            const std::string text =
+                sat::prove_report_to_json(a.report).dump(2) + "\n";
             std::ofstream rj(tmp / "report.json", std::ios::binary);
-            rj << sat::prove_report_to_json(a.report).dump(2) << "\n";
+            rj << text;
             if (!rj) throw std::runtime_error("report write failed");
             std::ofstream out(tmp / kManifestName);
             out << "MATADOR-ARTIFACT v" << kManifestVersion << "\n";
             out << "stage " << stage_name << "\n";
             out << "key " << key_hex(key) << "\n";
             out << "equivalent " << (a.report.equivalent ? 1 : 0) << "\n";
+            out << crc_line("report.json", text);
             out << "end\n";
             if (!out) throw std::runtime_error("manifest write failed");
         },

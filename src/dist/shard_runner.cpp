@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "fault/fault.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -92,8 +93,20 @@ ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
     }
 
     obs::Timer watch;
+    // Background heartbeat interval; also feeds the lease-timeout floor
+    // below, so it is resolved before the queue opens.
+    double heartbeat = options.heartbeat_seconds;
+    if (heartbeat <= 0.0)
+        heartbeat = std::max(0.05, options.queue.lease_timeout_seconds / 4.0);
+    // Floor the effective lease timeout at 2× the heartbeat interval: one
+    // missed beat plus clock skew/granularity must never make a LIVING
+    // shard's lease stealable (see work_queue.hpp's clock assumptions).
+    WorkQueueOptions queue_options = options.queue;
+    queue_options.lease_timeout_seconds =
+        std::max(queue_options.lease_timeout_seconds, 2.0 * heartbeat);
+
     const GridManifest manifest = GridManifest::from_grid(grid, train, test);
-    WorkQueue queue(cache_dir, manifest, owner, options.queue);
+    WorkQueue queue(cache_dir, manifest, owner, queue_options);
     const auto store = std::make_shared<core::ArtifactStore>(cache_dir);
 
     unsigned threads = options.threads;
@@ -120,9 +133,6 @@ ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
     // point computes (a single point can run far longer than the timeout),
     // and publish an in-progress stats snapshot so `matador sweep-status`
     // on any machine sees live per-shard progress.
-    double heartbeat = options.heartbeat_seconds;
-    if (heartbeat <= 0.0)
-        heartbeat = std::max(0.05, options.queue.lease_timeout_seconds / 4.0);
     std::mutex stop_mu;
     std::condition_variable stop_cv;
     bool stop = false;
@@ -181,6 +191,11 @@ ShardReport run_shard(const data::Dataset& train, const data::Dataset& test,
                                            queue.owner())
                             .dump(2) +
                         "\n");
+                // Death here leaves a published manifest but no done
+                // marker: the lease expires, a thief re-runs the point
+                // (cache-hot), and its atomic rewrite is bit-identical.
+                fault::FsHooks::instance().crash_point(
+                    "shard.result.pre-complete");
                 queue.complete(*index);
                 run_count.fetch_add(1);
                 if (!point.ok) failed_count.fetch_add(1);

@@ -13,6 +13,7 @@
 #include "core/artifact_store.hpp"
 #include "core/sweep.hpp"
 #include "data/dataset.hpp"
+#include "fault/fault.hpp"
 #include "util/fsio.hpp"
 
 namespace fs = std::filesystem;
@@ -194,6 +195,10 @@ void WorkQueue::init_or_verify() {
                                          std::to_string(i) + " under " +
                                          tmp.string());
         }
+        // Crash here and the half-built queue.tmp.<owner> tree is exactly
+        // the debris `matador cache gc` collects; no other shard ever
+        // reads it (only the published `queue/` name is looked up).
+        fault::FsHooks::instance().crash_point("queue.init.pre-publish");
         std::error_code ec;
         fs::rename(tmp, queue, ec);
         if (ec) fs::remove_all(tmp);  // lost the race (or the dir reappeared)
@@ -231,6 +236,9 @@ std::optional<std::size_t> WorkQueue::claim_from_todo() {
         std::error_code rename_ec;
         fs::rename(path, lease_path(index), rename_ec);
         if (rename_ec) continue;  // another shard won this index
+        // Death here leaves a lease stamped with the todo file's mtime
+        // (queue-init time): already expired, immediately stealable.
+        fault::FsHooks::instance().crash_point("queue.claim.post-rename");
         touch_lease(index);
         std::lock_guard<std::mutex> lock(mu_);
         held_.insert(index);
@@ -272,7 +280,12 @@ std::optional<std::size_t> WorkQueue::claim_stolen() {
             fs::remove(entry.path(), cleanup_ec);
             continue;
         }
-        if (lease_expired(entry.path(), options_.lease_timeout_seconds))
+        // Clamp to the mtime-granularity floor: common filesystems round
+        // stamps to whole seconds, so a sub-2s timeout would misread a
+        // just-written lease as ancient (see the header's clock notes).
+        if (lease_expired(entry.path(),
+                          std::max(options_.lease_timeout_seconds,
+                                   kMinLeaseTimeoutSeconds)))
             candidates.emplace_back(*index, entry.path());
     }
     std::sort(candidates.begin(), candidates.end());
@@ -294,6 +307,9 @@ std::optional<std::size_t> WorkQueue::claim_stolen() {
         std::error_code rename_ec;
         fs::rename(path, lease_path(index), rename_ec);
         if (rename_ec) continue;  // another thief won, or the owner finished
+        // Death here leaves the stolen lease carrying the victim's stale
+        // mtime: the next thief's expiry check reclaims it at once.
+        fault::FsHooks::instance().crash_point("queue.steal.post-rename");
         touch_lease(index);
         bump_retry(index);
         std::lock_guard<std::mutex> lock(mu_);
@@ -362,6 +378,9 @@ void WorkQueue::complete(std::size_t index) {
     // cleanup path in claim_stolen() removes.
     write_file_atomic(
         (queue / "done" / (index_name(index) + ".done")).string(), owner_ + "\n");
+    // Death here leaves a done marker plus a stale lease; claim_stolen()'s
+    // cleanup path removes the lease instead of re-running the point.
+    fault::FsHooks::instance().crash_point("queue.complete.pre-lease-drop");
     std::error_code ec;
     fs::remove(lease_path(index), ec);  // may already be stolen: ignore
     std::lock_guard<std::mutex> lock(mu_);

@@ -20,7 +20,23 @@
 // contender wins, the loser's rename fails with ENOENT and it moves on.
 // A lease whose mtime is older than the timeout belongs to a presumed-dead
 // shard and may be stolen (renamed to the thief's lease name), so a killed
-// shard's points are re-run, not lost.  Unbounded re-running is its own
+// shard's points are re-run, not lost.
+//
+// Clock assumptions of the mtime heartbeat (stated, not hoped):
+//   * Granularity - lease ages are computed from fs::last_write_time,
+//     which common filesystems round as coarsely as 1 s (ext4 with 128-byte
+//     inodes, FAT is 2 s).  Timeouts below ~2 s are therefore meaningless;
+//     the queue clamps the effective timeout to kMinLeaseTimeoutSeconds.
+//   * Skew - the age comparison happens on the *reading* shard but the
+//     stamp was written by the *owning* shard through a shared filesystem;
+//     on NFS-style mounts the two clocks can disagree.  The timeout must
+//     exceed (heartbeat interval + worst-case skew + granularity); the
+//     floor below budgets 1× heartbeat for skew+granularity combined.
+//   * Floor - the effective timeout is floored at 2× the heartbeat
+//     interval (see ShardOptions / run_shard): one missed beat plus a full
+//     skew budget must never make a *living* shard's lease stealable.  A
+//     just-heartbeated lease is thus never a steal candidate, regardless
+//     of how small a --lease-timeout the operator passes.  Unbounded re-running is its own
 // failure mode, though: a point that reliably kills its shard (OOM, a bad
 // config tripping a kernel bug) would be stolen and crash shards forever.
 // With max_retries set, every successful steal bumps the point's attempts
@@ -77,8 +93,15 @@ struct GridManifest {
     static GridManifest from_json(const util::Json& j);
 };
 
+/// Filesystem mtime granularity can be as coarse as ~2 s (see the clock
+/// assumptions above); timeouts below this are clamped.
+inline constexpr double kMinLeaseTimeoutSeconds = 2.0;
+
 struct WorkQueueOptions {
-    /// A lease older than this is presumed dead and may be stolen.
+    /// A lease older than this is presumed dead and may be stolen.  The
+    /// effective value is max(lease_timeout_seconds,
+    /// kMinLeaseTimeoutSeconds, 2 × heartbeat interval) — the floor is
+    /// applied by the queue (granularity) and by run_shard (heartbeat).
     double lease_timeout_seconds = 60.0;
     /// Disable stealing (a shard then only drains unclaimed indices).
     bool steal = true;

@@ -1,0 +1,81 @@
+// Seeded chaos driver: a sharded sweep run under kills, injected fs
+// faults, and payload corruption, checked bit-identical against a clean
+// single-process reference.  Backs `matador chaos <cache_dir>`.
+//
+// One run is four phases:
+//   1. reference  - single-process Pipeline::sweep into <cache_dir>'s
+//                   artifact store (also warms the cache the chaos pass
+//                   will recover from);
+//   2. corruption - `corrupt_artifacts` payload files in the store get one
+//                   bit flipped (seeded choice of file and bit);
+//   3. chaos pass - a fresh queue epoch run by `shards` forked shard
+//                   processes; the first `kill_shards` of them carry a
+//                   kill rule that SIGKILLs them at a seeded result-write
+//                   crash point, the rest arm `plan` (default: ENOSPC +
+//                   EIO on durable publishes); the parent drains whatever
+//                   the dead shards left;
+//   4. audit      - merge must be bit-identical to the reference, every
+//                   corrupted artifact must have been caught by CRC and
+//                   recomputed, and every transient injected fault must
+//                   have been absorbed by a retry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/dataset.hpp"
+#include "fault/fault.hpp"
+
+namespace matador::fault {
+
+struct ChaosOptions {
+    std::uint64_t seed = 1;
+    unsigned shards = 2;
+    unsigned kill_shards = 1;
+    unsigned corrupt_artifacts = 1;
+    /// Plan armed in the surviving shard children.  nullopt = the default
+    /// chaos plan (see default_chaos_plan).
+    std::optional<FaultPlan> plan;
+    double lease_timeout_seconds = 2.0;
+    unsigned threads_per_shard = 1;
+};
+
+struct ChaosReport {
+    bool ran = false;        // false when the platform has no fork()
+    bool identical = false;  // merged chaos result == clean reference
+    bool complete = false;   // merge had all points
+    std::size_t shards_killed = 0;
+    std::size_t artifacts_corrupted = 0;
+    /// Corrupted payloads whose bytes were restored (recompute + repair).
+    /// Repair implies CRC detection, and unlike the counter below it is
+    /// still observable when the detecting shard was the one killed.
+    std::size_t crc_repaired = 0;
+    std::uint64_t crc_detected = 0;     // artifact_crc_mismatch_total
+    std::uint64_t faults_injected = 0;  // fault_injected_total (survivors)
+    std::uint64_t transient_fired = 0;  // eio+enospc+torn fires (survivors)
+    std::uint64_t retries = 0;          // fs_retry_total (survivors)
+    std::string detail;                 // first mismatch / failure reason
+
+    /// The chaos gate: recovery proven end to end.
+    bool ok(const ChaosOptions& opts) const {
+        return ran && complete && identical &&
+               shards_killed == opts.kill_shards &&
+               crc_repaired >= artifacts_corrupted &&
+               retries >= transient_fired;
+    }
+};
+
+/// The plan surviving shards arm when ChaosOptions.plan is unset: one
+/// ENOSPC on a result-manifest write, one EIO on an fsync — both
+/// transient, both absorbed by the retry layer.
+FaultPlan default_chaos_plan(std::uint64_t seed);
+
+ChaosReport run_chaos(const data::Dataset& train, const data::Dataset& test,
+                      const std::vector<core::FlowConfig>& grid,
+                      const std::string& cache_dir,
+                      const ChaosOptions& options);
+
+}  // namespace matador::fault

@@ -1,0 +1,61 @@
+#include "fault/crash_harness.hpp"
+
+#include <cstdio>
+#include <exception>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define MATADOR_HAS_FORK 1
+#endif
+
+namespace matador::fault {
+
+bool crash_harness_supported() {
+#ifdef MATADOR_HAS_FORK
+    return true;
+#else
+    return false;
+#endif
+}
+
+CrashOutcome run_to_crash(const FaultPlan& plan,
+                          const std::function<void()>& body) {
+#ifndef MATADOR_HAS_FORK
+    (void)plan;
+    (void)body;
+    return {};
+#else
+    // Children inherit stdio buffers; drain them so a killed child cannot
+    // flush duplicated output (and an _exit'ing one flushes nothing).
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid < 0) return {};
+    if (pid == 0) {
+        int code = 0;
+        try {
+            FsHooks::instance().arm(plan);
+            body();
+            FsHooks::instance().disarm();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "crash harness body: %s\n", e.what());
+            code = 3;
+        }
+        std::fflush(nullptr);
+        _exit(code);
+    }
+    CrashOutcome outcome;
+    outcome.forked = true;
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (WIFSIGNALED(status)) {
+        outcome.killed = true;
+        outcome.exit_code = 128 + WTERMSIG(status);
+    } else {
+        outcome.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+    }
+    return outcome;
+#endif
+}
+
+}  // namespace matador::fault

@@ -1,0 +1,35 @@
+// Fork/kill crash-point harness.
+//
+// Runs a filesystem-mutating body (a store publish, queue init/claim/
+// steal, shard result write) in a forked child with a FaultPlan armed;
+// the plan's kill rules raise SIGKILL at the Nth named crash point, so
+// the child dies exactly where a real crash would — no destructors, no
+// flushes.  The parent reaps the child and reports what happened, and the
+// test then asserts the recovery invariants on the directory the child
+// left behind (no half-published entries, gc collects the debris, a
+// restarted run merges bit-identical).
+#pragma once
+
+#include <functional>
+
+#include "fault/fault.hpp"
+
+namespace matador::fault {
+
+struct CrashOutcome {
+    bool forked = false;  // false on platforms without fork()
+    bool killed = false;  // child died by signal (the expected outcome)
+    int exit_code = 0;    // when !killed: child's _exit status
+                          // (0 = body ran to completion, 3 = body threw)
+};
+
+/// True when the platform supports the fork/kill harness (POSIX).
+bool crash_harness_supported();
+
+/// Fork; the child arms `plan`, runs `body`, and _exit(0)s if no kill
+/// rule fires (3 if `body` throws).  The parent blocks until the child is
+/// reaped.  On platforms without fork() returns {forked=false}.
+CrashOutcome run_to_crash(const FaultPlan& plan,
+                          const std::function<void()>& body);
+
+}  // namespace matador::fault

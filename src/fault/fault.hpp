@@ -1,0 +1,185 @@
+// Deterministic fault injection for the durable-I/O paths.
+//
+// Every atomic publish in the repo (util::write_file_atomic, the
+// ArtifactStore disk tier, the work queue's markers, serve status files)
+// consults the process-wide fault::FsHooks seam before touching the
+// filesystem.  When no plan is armed the seam is a single relaxed atomic
+// load; when a FaultPlan is armed (programmatically or via the
+// MATADOR_FAULT_PLAN environment variable) it deterministically fires
+// typed faults:
+//
+//   eio / enospc  - the matched syscall (open/write/fsync/rename/dirfsync)
+//                   "fails": errno is set and the caller's genuine error
+//                   path runs, including transient-error retry.
+//   torn          - a crash mid-write is simulated: the temp file is left
+//                   behind holding a partial payload and the write reports
+//                   EIO.  Recovery is the retry republishing over it.
+//   bitflip       - the payload is silently corrupted by one bit before a
+//                   *successful* write, modelling media corruption.
+//                   Recovery is CRC detection on load + recompute/repair.
+//   kill          - raise(SIGKILL) at a named crash point
+//                   (e.g. "queue.init.pre-publish"); used by the fork/kill
+//                   crash harness to stop a child at its Nth fault point.
+//
+// Rules fire on match counts (`at`, `count`) or a seeded probability
+// (`prob`, drawn from a util::KeyedRng stream keyed by plan seed + rule
+// index + match ordinal), so the same plan + seed always reproduces the
+// identical fault sequence.  Every fire is counted through src/obs/ and
+// appended to an in-process log that tests assert against.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace matador::fault {
+
+/// The instrumented filesystem operations a rule can match.
+enum class Op : std::uint8_t {
+    kOpen,      // creating the temp file
+    kWrite,     // writing payload bytes
+    kFsync,     // fsync of the data fd
+    kRename,    // the atomic publish rename
+    kDirFsync,  // fsync of the parent directory after rename
+    kAny,       // rule wildcard: matches every op above
+};
+
+const char* op_name(Op op);
+
+/// Typed fault classes, one per recovery story (see header comment).
+enum class FaultClass : std::uint8_t {
+    kEIO,
+    kENOSPC,
+    kTornTmp,
+    kBitFlip,
+    kKill,
+};
+
+const char* fault_class_name(FaultClass cls);
+
+/// One schedule entry of a FaultPlan.  `op`/`path_substr` select the
+/// matching sites ("" matches every path); `point` selects a named crash
+/// point instead (kill rules only).  The rule fires on matches
+/// [at, at + count), or — when `prob` > 0 — on a per-match seeded coin
+/// flip instead of the window.
+struct FaultRule {
+    FaultClass cls = FaultClass::kEIO;
+    Op op = Op::kAny;
+    std::string path_substr;
+    std::string point;
+    std::uint64_t at = 1;     // 1-based ordinal of the first firing match
+    std::uint64_t count = 1;  // 0 = fire on every match from `at` on
+    double prob = 0.0;        // > 0: seeded Bernoulli instead of the window
+    // Runtime state (reset when the plan is armed).
+    std::uint64_t matches = 0;
+    std::uint64_t fires = 0;
+};
+
+/// A parsed fault schedule: {"seed": S, "rules": [{...}, ...]}.
+struct FaultPlan {
+    std::uint64_t seed = 0;
+    std::vector<FaultRule> rules;
+
+    /// Parse from JSON text.  Throws std::runtime_error on malformed or
+    /// unknown fields so a typo'd plan never silently injects nothing.
+    static FaultPlan parse(const std::string& json_text);
+    std::string to_json() const;
+
+    /// Read MATADOR_FAULT_PLAN: inline JSON when the value starts with
+    /// '{', otherwise a path to a plan file.  nullopt when unset/empty.
+    static std::optional<FaultPlan> from_env();
+};
+
+/// What an instrumented call site should do for one operation.
+struct FaultAction {
+    bool fire = false;
+    FaultClass cls = FaultClass::kEIO;
+    int err = 0;              // errno to simulate (eio/enospc/torn)
+    std::uint64_t flip_bit = 0;   // bitflip: payload bit index to invert
+    std::size_t torn_bytes = 0;   // torn: payload bytes that reach the tmp
+};
+
+/// Process-wide injection seam.  Disarmed cost is one relaxed atomic load
+/// per instrumented operation; armed paths take a mutex (durable I/O is
+/// never on the inference hot loop, so this is fine).
+class FsHooks {
+public:
+    static FsHooks& instance();
+
+    void arm(FaultPlan plan);
+    void disarm();
+    bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+    /// Arm from MATADOR_FAULT_PLAN when present.  Returns true if armed.
+    bool arm_from_env();
+
+    /// Consult the plan for one operation on `path`.  Returns the first
+    /// matching rule's action; {fire=false} when disarmed or no match.
+    FaultAction check(Op op, const std::string& path, std::size_t payload_size = 0);
+
+    /// Named crash point: when a kill rule matches, raise(SIGKILL) — the
+    /// process dies exactly here, as a real crash would.  No-op disarmed.
+    void crash_point(const char* name);
+
+    /// Total fires of one class since arm().
+    std::uint64_t fires(FaultClass cls) const;
+    /// Total fires of every class.
+    std::uint64_t total_fires() const;
+    /// Deterministic record of every fire, in order, e.g.
+    /// "eio write /path n=3".  Tests assert seed => identical log.
+    std::vector<std::string> fired_log() const;
+
+private:
+    FsHooks() = default;
+    std::atomic<bool> armed_{false};
+    mutable std::mutex mu_;
+    FaultPlan plan_;
+    std::uint64_t fires_by_class_[5] = {0, 0, 0, 0, 0};
+    std::vector<std::string> log_;
+};
+
+/// RAII arm/disarm for tests.
+class ScopedPlan {
+public:
+    explicit ScopedPlan(FaultPlan plan) { FsHooks::instance().arm(std::move(plan)); }
+    ~ScopedPlan() { FsHooks::instance().disarm(); }
+    ScopedPlan(const ScopedPlan&) = delete;
+    ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+// ---------------------------------------------------------------------------
+// Error classification + bounded retry
+// ---------------------------------------------------------------------------
+
+/// True for errno values worth retrying (EIO, ENOSPC, EAGAIN, EBUSY,
+/// EINTR, ENOMEM, EDQUOT, ETIMEDOUT, ESTALE); false for programming or
+/// permission errors (ENOENT, EACCES, EPERM, EROFS, EISDIR, ENOTDIR,
+/// EINVAL, ENAMETOOLONG, ...) where retrying can only waste the budget.
+bool is_transient_errno(int err);
+
+/// Bounded exponential backoff with deterministic jitter.  Delays are
+/// drawn from a util::KeyedRng stream keyed by (seed, key hash, attempt),
+/// so a given (policy, path, attempt) always sleeps the same span.
+struct RetryPolicy {
+    int max_attempts = 4;        // total tries, including the first
+    double base_delay_ms = 1.0;  // attempt k in [0, base * 2^k) + jitter
+    double max_delay_ms = 50.0;
+    std::uint64_t seed = 0x6d617461646f7221ull;  // "matador!"
+};
+
+/// The policy durable publishes retry under.  Mutable so tests can shrink
+/// delays; reads are cheap copies.
+RetryPolicy retry_policy();
+void set_retry_policy(const RetryPolicy& p);
+
+/// Deterministic delay for retry `attempt` (1-based: the delay before the
+/// second try is attempt=1) of the publish identified by `key`.
+double backoff_delay_ms(const RetryPolicy& policy, const std::string& key,
+                        int attempt);
+
+void sleep_for_ms(double ms);
+
+}  // namespace matador::fault

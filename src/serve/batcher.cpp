@@ -48,6 +48,17 @@ std::future<Reply> Batcher::submit(std::shared_ptr<const ServableModel> model,
             const std::size_t depth = queue_.size();
             if (metrics_)
                 metrics_->record_shed(req.model->hash_hex, "queue-full", depth);
+            // Backoff hint: the expected time to drain the current queue at
+            // the observed service rate (EWMA of per-request service time).
+            // Before the first block completes there is no rate yet; the
+            // batch-delay budget is the best available stand-in.
+            const double per_request_us =
+                service_ewma_us_.load(std::memory_order_relaxed);
+            double retry_after_ms =
+                per_request_us > 0.0
+                    ? double(depth) * per_request_us / 1000.0
+                    : options_.max_batch_delay_ms + 1.0;
+            retry_after_ms = std::clamp(retry_after_ms, 1.0, 1000.0);
             // A shed is a point on the timeline with its full context: why,
             // how deep the queue was, and which model took the hit.
             if (obs::TraceRecorder::instance().enabled()) {
@@ -55,13 +66,15 @@ std::future<Reply> Batcher::submit(std::shared_ptr<const ServableModel> model,
                 shed_args.set("reason", "queue-full");
                 shed_args.set("queue_depth", double(depth));
                 shed_args.set("model", req.model->hash_hex);
+                shed_args.set("retry_after_ms", retry_after_ms);
                 obs::TraceRecorder::instance().instant("shed", "serve",
                                                        std::move(shed_args));
             }
             throw ServeError(ErrorCode::kOverloaded,
                              "queue full (" +
                                  std::to_string(options_.max_queue_depth) +
-                                 " pending); retry with backoff");
+                                 " pending); retry with backoff",
+                             retry_after_ms);
         }
         queue_.push_back(std::move(req));
         TRACE_INSTANT("enqueue", "serve");
@@ -140,11 +153,22 @@ void Batcher::execute_block(Block& block) const {
     xs.reserve(n);
     for (Request& req : block.requests) xs.push_back(std::move(req.x));
 
+    const Clock::time_point started = Clock::now();
     const std::vector<std::uint32_t> preds =
         block.model->engine.predict(xs.data(), n);
 
     if (metrics_) metrics_->record_batch(block.model->hash_hex, n);
     const Clock::time_point done = Clock::now();
+    // Feed the shed path's service-rate estimate (see submit()).  Races
+    // between pool workers just interleave EWMA steps — harmless.
+    const double block_us =
+        std::chrono::duration<double, std::micro>(done - started).count();
+    const double per_request_us = block_us / double(n);
+    const double old_ewma = service_ewma_us_.load(std::memory_order_relaxed);
+    service_ewma_us_.store(
+        old_ewma == 0.0 ? per_request_us
+                        : 0.8 * old_ewma + 0.2 * per_request_us,
+        std::memory_order_relaxed);
     for (std::size_t i = 0; i < n; ++i) {
         Request& req = block.requests[i];
         Reply reply;

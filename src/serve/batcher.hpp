@@ -26,6 +26,7 @@
 // a block is just BatchEngine::predict over the requests it carries.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <condition_variable>
@@ -118,6 +119,9 @@ private:
     train::WorkerPool& pool_;
     BatcherOptions options_;
     ServeMetrics* metrics_;
+    /// EWMA of per-request service time, feeding the kOverloaded
+    /// retry_after_ms hint (queue depth × this).  0 until the first block.
+    mutable std::atomic<double> service_ewma_us_{0.0};
 
     mutable std::mutex mu_;
     std::condition_variable work_cv_;  ///< submit/stop/flush -> dispatcher

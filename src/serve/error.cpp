@@ -9,6 +9,7 @@ const char* error_code_name(ErrorCode code) {
         case ErrorCode::kFeatureMismatch: return "feature-mismatch";
         case ErrorCode::kBadRequest: return "bad-request";
         case ErrorCode::kShuttingDown: return "shutting-down";
+        case ErrorCode::kDegraded: return "degraded";
     }
     return "unknown";
 }

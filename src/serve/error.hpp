@@ -22,6 +22,7 @@ enum class ErrorCode {
     kFeatureMismatch,  ///< request width != model's feature count
     kBadRequest,       ///< malformed protocol line / missing field
     kShuttingDown,     ///< submitted after the batcher began draining
+    kDegraded,         ///< model quarantined by its error-budget breaker
 };
 
 /// Stable wire name of a code ("overloaded", "unknown-model", ...).
@@ -31,12 +32,21 @@ class ServeError : public std::runtime_error {
 public:
     ServeError(ErrorCode code, const std::string& what)
         : std::runtime_error(what), code_(code) {}
+    /// kOverloaded / kDegraded replies carry a client backoff hint that
+    /// the responder serializes as "retry_after_ms".
+    ServeError(ErrorCode code, const std::string& what, double retry_after_ms)
+        : std::runtime_error(what),
+          code_(code),
+          retry_after_ms_(retry_after_ms) {}
 
     ErrorCode code() const { return code_; }
     const char* code_name() const { return error_code_name(code_); }
+    /// Backoff hint in milliseconds; 0 = none attached.
+    double retry_after_ms() const { return retry_after_ms_; }
 
 private:
     ErrorCode code_;
+    double retry_after_ms_ = 0.0;
 };
 
 /// Throw kFeatureMismatch when a model of `model_features` cannot score

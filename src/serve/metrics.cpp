@@ -112,6 +112,11 @@ void ServeMetrics::set_queue_depth(std::size_t depth) {
     queue_depth_.set(double(depth));
 }
 
+void ServeMetrics::set_breaker_provider(std::function<util::Json()> provider) {
+    std::lock_guard<std::mutex> lock(mu_);
+    breaker_provider_ = std::move(provider);
+}
+
 ServeMetrics::Snapshot ServeMetrics::snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     Snapshot s;
@@ -187,6 +192,18 @@ util::Json ServeMetrics::snapshot_json() const {
         models.push_back(std::move(e));
     }
     j.set("models", std::move(models));
+    // v3: quarantine state, only when some breaker has state - a clean
+    // daemon's status stays byte-compatible with a v2 reader's expectations.
+    std::function<util::Json()> provider;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        provider = breaker_provider_;
+    }
+    if (provider) {
+        util::Json breakers = provider();
+        if (breakers.is_array() && !breakers.as_array().empty())
+            j.set("breakers", std::move(breakers));
+    }
     return j;
 }
 
@@ -216,6 +233,26 @@ std::string format_status_text(const util::Json& doc) {
         for (const auto& [reason, count] : doc.at("shed_reasons").as_object()) {
             std::snprintf(line, sizeof line, "  shed[%s]: %zu\n",
                           reason.c_str(), std::size_t(count.as_double()));
+            out += line;
+        }
+    }
+    // v3 field: absent from older files and from clean daemons.
+    if (doc.contains("breakers")) {
+        for (const auto& b : doc.at("breakers").as_array()) {
+            if (b.at("open").as_bool()) {
+                std::snprintf(line, sizeof line,
+                              "  breaker[%s]: OPEN, retry in %.0f ms after "
+                              "%zu failure(s); last: %s\n",
+                              b.at("model").as_string().c_str(),
+                              b.at("retry_after_ms").as_double(),
+                              std::size_t(b.at("failures").as_double()),
+                              b.at("last_error").as_string().c_str());
+            } else {
+                std::snprintf(line, sizeof line,
+                              "  breaker[%s]: closed, %zu failure(s) burned\n",
+                              b.at("model").as_string().c_str(),
+                              std::size_t(b.at("failures").as_double()));
+            }
             out += line;
         }
     }

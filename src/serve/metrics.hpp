@@ -14,12 +14,17 @@
 // Wire-format history:
 //   v1  requests/shed/batches/latency quantiles/rolling accuracy
 //   v2  + queue_depth, spans_dropped, per-reason shed counts
-// format_status_text() reads both (a v2 reader on a v1 file just omits
-// the fields the file predates).
+//   v3  + "breakers": per-target quarantine / error-budget state
+//         ({model, failures, open, retry_after_ms, last_error}) - present
+//         only when a breaker has state, sourced from the registry via
+//         set_breaker_provider()
+// format_status_text() reads every version (a v3 reader on an older file
+// just omits the fields the file predates).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -114,8 +119,14 @@ public:
     Snapshot snapshot() const;
 
     /// The versioned `serve-status` document.
-    static constexpr unsigned kStatusVersion = 2;
+    static constexpr unsigned kStatusVersion = 3;
     util::Json snapshot_json() const;
+
+    /// v3: the server wires the registry's breaker view in here so the
+    /// status document carries quarantine state without coupling metrics
+    /// to the registry type.  The provider must be callable from any
+    /// thread; it is invoked outside this object's lock.
+    void set_breaker_provider(std::function<util::Json()> provider);
 
     /// The registry holding every serve series (latency histograms, shed
     /// reasons, queue depth); exportable as metrics JSON / Prometheus.
@@ -147,6 +158,7 @@ private:
     std::map<std::string, PerModel> per_model_;
     std::map<std::string, obs::Counter*> shed_reasons_;
     std::size_t shed_unattributed_ = 0;
+    std::function<util::Json()> breaker_provider_;
     obs::Timer uptime_;
 };
 

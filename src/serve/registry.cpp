@@ -1,6 +1,7 @@
 #include "serve/registry.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <utility>
 
@@ -140,6 +141,90 @@ std::vector<ModelRegistry::Entry> ModelRegistry::list() const {
 std::size_t ModelRegistry::size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return models_.size();
+}
+
+void ModelRegistry::set_breaker_options(BreakerOptions options) {
+    std::lock_guard<std::mutex> lock(mu_);
+    breaker_options_ = options;
+}
+
+void ModelRegistry::check_quarantine(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = breakers_.find(key);
+    if (it == breakers_.end() || !it->second.open) return;
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - it->second.opened_at)
+            .count();
+    const double remaining_ms = breaker_options_.cooldown_ms - elapsed_ms;
+    if (remaining_ms > 0.0)
+        throw ServeError(ErrorCode::kDegraded,
+                         "'" + key + "' is quarantined after " +
+                             std::to_string(it->second.failures) +
+                             " consecutive load failure(s); last: " +
+                             it->second.last_error,
+                         remaining_ms);
+    // Cooldown over: half-open.  Admit this call as the probe; one more
+    // failure re-opens immediately, a success clears the breaker.
+    it->second.open = false;
+    it->second.failures = breaker_options_.error_budget == 0
+                              ? 0
+                              : breaker_options_.error_budget - 1;
+}
+
+void ModelRegistry::record_load_failure(const std::string& key,
+                                        const std::string& error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Breaker& b = breakers_[key];
+    ++b.failures;
+    b.last_error = error;
+    if (b.failures >= breaker_options_.error_budget) {
+        b.open = true;
+        b.opened_at = std::chrono::steady_clock::now();
+    }
+}
+
+void ModelRegistry::record_load_success(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    breakers_.erase(key);
+}
+
+std::vector<ModelRegistry::BreakerState> ModelRegistry::breakers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<BreakerState> out;
+    out.reserve(breakers_.size());
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& [key, b] : breakers_) {
+        BreakerState s;
+        s.key = key;
+        s.failures = b.failures;
+        s.last_error = b.last_error;
+        if (b.open) {
+            const double elapsed_ms =
+                std::chrono::duration<double, std::milli>(now - b.opened_at)
+                    .count();
+            const double remaining_ms =
+                breaker_options_.cooldown_ms - elapsed_ms;
+            s.open = remaining_ms > 0.0;
+            s.retry_after_ms = std::max(0.0, remaining_ms);
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+util::Json ModelRegistry::breakers_json() const {
+    util::Json arr = util::Json::array();
+    for (const auto& s : breakers()) {
+        util::Json e = util::Json::object();
+        e.set("model", s.key);
+        e.set("failures", double(s.failures));
+        e.set("open", s.open);
+        e.set("retry_after_ms", s.retry_after_ms);
+        e.set("last_error", s.last_error);
+        arr.push_back(std::move(e));
+    }
+    return arr;
 }
 
 }  // namespace matador::serve

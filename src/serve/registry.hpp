@@ -18,8 +18,21 @@
 //     (<cache_dir>/train/<key16>/model.tm) once, indexing every cached
 //     model by content hash, so `load <hash>` hot-loads any model a sweep
 //     ever trained without retraining or re-pathing anything.
+//
+// Degraded mode: every hot-load / swap target carries a per-model
+// error-budget circuit breaker.  A failed load (corrupt .tm, missing store
+// entry, bad hash) burns one unit of the target's budget; once the budget
+// is spent the target is QUARANTINED - check_quarantine() throws a typed
+// ServeError(kDegraded) carrying the remaining cooldown as retry_after_ms,
+// and the daemon answers load/swap/predict for that target with a degraded
+// reply instead of re-attempting a load that just failed.  Aliases are only
+// re-pointed after a successful resolve, so a quarantined swap target
+// leaves the alias on its last good servable.  After the cooldown the
+// breaker half-opens: one probe attempt is admitted, and its outcome either
+// clears the breaker or re-opens it immediately.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -30,6 +43,7 @@
 
 #include "infer/engine.hpp"
 #include "model/trained_model.hpp"
+#include "util/json.hpp"
 
 namespace matador::serve {
 
@@ -94,6 +108,37 @@ public:
     /// Catalogue snapshot, hash order; aliases listed on their target.
     std::vector<Entry> list() const;
 
+    // ---- error-budget circuit breaker (degraded mode) -------------------
+
+    struct BreakerOptions {
+        /// Consecutive load failures a target may burn before quarantine.
+        std::size_t error_budget = 3;
+        /// How long a quarantined target stays closed to new attempts.
+        double cooldown_ms = 5000.0;
+    };
+    /// Snapshot of one target's breaker (serve-status v3 "breakers").
+    struct BreakerState {
+        std::string key;            ///< load/swap target the failures hit
+        std::size_t failures = 0;   ///< consecutive failures so far
+        bool open = false;          ///< quarantined right now
+        double retry_after_ms = 0;  ///< remaining cooldown (0 when closed)
+        std::string last_error;
+    };
+
+    void set_breaker_options(BreakerOptions options);
+    /// Throws ServeError(kDegraded, ..., retry_after_ms) while `key` is
+    /// quarantined; past the cooldown the breaker half-opens and the call
+    /// is admitted as the probe attempt.
+    void check_quarantine(const std::string& key);
+    /// One failed load/swap of `key`: burns budget, opens on exhaustion.
+    void record_load_failure(const std::string& key, const std::string& error);
+    /// One successful load/swap of `key`: clears its breaker entirely.
+    void record_load_success(const std::string& key);
+    /// Every target with breaker state, key order.
+    std::vector<BreakerState> breakers() const;
+    /// breakers() as the serve-status v3 "breakers" JSON array.
+    util::Json breakers_json() const;
+
     std::size_t size() const;
     const std::string& cache_dir() const { return cache_dir_; }
 
@@ -102,10 +147,19 @@ private:
     std::shared_ptr<const ServableModel> find_hash_locked(
         const std::string& hex_or_prefix) const;
 
+    struct Breaker {
+        std::size_t failures = 0;
+        bool open = false;
+        std::chrono::steady_clock::time_point opened_at{};
+        std::string last_error;
+    };
+
     std::string cache_dir_;
     mutable std::mutex mu_;
     std::map<std::string, std::shared_ptr<const ServableModel>> models_;
     std::map<std::string, std::string> aliases_;  ///< alias -> hash_hex
+    BreakerOptions breaker_options_;
+    std::map<std::string, Breaker> breakers_;  ///< target key -> breaker
 };
 
 }  // namespace matador::serve

@@ -18,6 +18,10 @@ Server::Server(ServerOptions options)
       pool_(train::WorkerPool::resolve(options_.threads)),
       registry_(options_.cache_dir),
       batcher_(pool_, options_.batch, &metrics_) {
+    // serve-status v3: the registry's quarantine view rides in every
+    // snapshot.  Safe to call from the status thread - breakers_json()
+    // takes the registry lock itself.
+    metrics_.set_breaker_provider([this] { return registry_.breakers_json(); });
     if (!options_.status_file.empty())
         status_thread_ = std::thread([this] { status_loop(); });
 }
@@ -34,12 +38,16 @@ Server::~Server() {
 
 util::Json Server::error_response(const util::Json& id,
                                   const std::string& code,
-                                  const std::string& detail) {
+                                  const std::string& detail,
+                                  double retry_after_ms) {
     util::Json r = util::Json::object();
     r.set("ok", false);
     if (!id.is_null()) r.set("id", id);
     r.set("error", code);
     r.set("detail", detail);
+    // Overloaded / degraded replies carry the backoff hint so clients can
+    // sleep exactly as long as the queue (or the breaker) needs.
+    if (retry_after_ms > 0.0) r.set("retry_after_ms", retry_after_ms);
     return r;
 }
 
@@ -51,18 +59,30 @@ util::Json Server::handle_control(const util::Json& request,
     r.set("op", op);
 
     if (op == "load") {
-        std::shared_ptr<const ServableModel> servable;
-        if (request.contains("path")) {
-            servable = registry_.load_file(request.at("path").as_string());
-        } else if (request.contains("hash")) {
-            // Hot-load from the artifact store: index whatever the train
-            // tier holds, then resolve the requested hash against it.
-            registry_.scan_store();
-            servable = registry_.resolve(request.at("hash").as_string());
-        } else {
+        if (!request.contains("path") && !request.contains("hash"))
             throw ServeError(ErrorCode::kBadRequest,
                              "load needs \"path\" or \"hash\"");
+        const std::string key = request.contains("path")
+                                    ? request.at("path").as_string()
+                                    : request.at("hash").as_string();
+        // Degraded mode: a target that just burned its error budget is
+        // answered with kDegraded + retry_after_ms, not another attempt.
+        registry_.check_quarantine(key);
+        std::shared_ptr<const ServableModel> servable;
+        try {
+            if (request.contains("path")) {
+                servable = registry_.load_file(key);
+            } else {
+                // Hot-load from the artifact store: index whatever the
+                // train tier holds, then resolve the requested hash.
+                registry_.scan_store();
+                servable = registry_.resolve(key);
+            }
+        } catch (const std::exception& e) {
+            registry_.record_load_failure(key, e.what());
+            throw;
         }
+        registry_.record_load_success(key);
         if (request.contains("alias"))
             registry_.set_alias(request.at("alias").as_string(),
                                 servable->hash_hex);
@@ -71,7 +91,17 @@ util::Json Server::handle_control(const util::Json& request,
         const std::string alias = request.contains("alias")
                                       ? request.at("alias").as_string()
                                       : "default";
-        registry_.set_alias(alias, request.at("target").as_string());
+        const std::string target = request.at("target").as_string();
+        registry_.check_quarantine(target);
+        try {
+            registry_.set_alias(alias, target);
+        } catch (const std::exception& e) {
+            // set_alias resolves before re-pointing, so the alias still
+            // names its last good servable; the breaker counts the miss.
+            registry_.record_load_failure(target, e.what());
+            throw;
+        }
+        registry_.record_load_success(target);
         r.set("alias", alias);
         r.set("model", registry_.resolve(alias)->hash_hex);
     } else if (op == "models") {
@@ -132,12 +162,15 @@ Server::Pending Server::process_line(const std::string& line) {
         if (request.contains("label"))
             label = std::uint32_t(request.at("label").as_double());
 
+        // A quarantined target answers predict with kDegraded too - the
+        // client should back off rather than hammer a broken model name.
+        registry_.check_quarantine(name);
         pending.future =
             batcher_.submit(registry_.resolve(name), std::move(x), label);
         pending.is_future = true;
     } catch (const ServeError& e) {
-        pending.immediate =
-            error_response(pending.id, e.code_name(), e.what());
+        pending.immediate = error_response(pending.id, e.code_name(), e.what(),
+                                           e.retry_after_ms());
     } catch (const std::exception& e) {
         pending.immediate = error_response(
             pending.id, error_code_name(ErrorCode::kBadRequest), e.what());

@@ -84,7 +84,8 @@ private:
     util::Json handle_control(const util::Json& request, const std::string& op);
     static util::Json error_response(const util::Json& id,
                                      const std::string& code,
-                                     const std::string& detail);
+                                     const std::string& detail,
+                                     double retry_after_ms = 0.0);
     void emit(std::ostream& out, Pending& pending);
 
     void write_status_file() const;

@@ -1,0 +1,59 @@
+// CRC-32 (ISO-HDLC / zlib polynomial 0xEDB88320), slice-by-one with a
+// constexpr-built table.  Used by the ArtifactStore to checksum every
+// payload written to the disk tier so silent corruption (bit rot, torn
+// media, injected bit-flips) is detected on load instead of being served.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace matador::util {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental update: feed `crc32_update(prev, ...)` the next chunk.
+/// Start from 0.
+inline std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                  std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = detail::kCrc32Table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+    return ~crc;
+}
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t crc32(const std::string& data) {
+    return crc32_update(0, data.data(), data.size());
+}
+
+/// Fixed-width lowercase hex, as written into artifact manifests.
+inline std::string crc32_hex(std::uint32_t crc) {
+    static const char* digits = "0123456789abcdef";
+    std::string out(8, '0');
+    for (int i = 7; i >= 0; --i) {
+        out[std::size_t(i)] = digits[crc & 0xfu];
+        crc >>= 4;
+    }
+    return out;
+}
+
+}  // namespace matador::util

@@ -10,9 +10,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+
 namespace fs = std::filesystem;
 
 namespace matador::util {
+
+bool FsError::transient() const { return fault::is_transient_errno(err_); }
 
 std::string read_file(const std::string& path) {
     std::ifstream in(path, std::ios::binary);
@@ -25,15 +30,18 @@ std::string read_file(const std::string& path) {
 namespace {
 
 [[noreturn]] void fail(const fs::path& tmp, const std::string& what) {
+    const int err = errno;
     std::error_code ec;
     fs::remove(tmp, ec);
-    throw std::runtime_error("write_file_atomic: " + what + ": " +
-                             std::strerror(errno));
+    throw FsError("write_file_atomic: " + what + ": " + std::strerror(err),
+                  err);
 }
 
 }  // namespace
 
-void write_file_atomic(const std::string& path, const std::string& content) {
+void write_file_atomic_once(const std::string& path,
+                            const std::string& content) {
+    auto& hooks = fault::FsHooks::instance();
     const fs::path target(path);
     const fs::path parent = target.parent_path();
     // A bare filename has no parent to create (create_directories("")
@@ -46,13 +54,47 @@ void write_file_atomic(const std::string& path, const std::string& content) {
         parent / (target.filename().string() + ".tmp." +
                   std::to_string(::getpid()));
 
+    if (const auto a = hooks.check(fault::Op::kOpen, path); a.fire) {
+        errno = a.err;
+        fail(tmp, "cannot create " + tmp.string());
+    }
     const int fd =
         ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
     if (fd < 0) fail(tmp, "cannot create " + tmp.string());
+
+    const auto wa = hooks.check(fault::Op::kWrite, path, content.size());
+    if (wa.fire && wa.cls == fault::FaultClass::kTornTmp) {
+        // Simulated crash mid-write: part of the payload reaches the temp
+        // file, which is deliberately LEFT BEHIND as debris (a real crash
+        // removes nothing).  The retry layer republishes over it.
+        if (wa.torn_bytes > 0)
+            (void)!::write(fd, content.data(), wa.torn_bytes);
+        ::close(fd);
+        errno = wa.err;
+        throw FsError("write_file_atomic: torn write of " + path + ": " +
+                          std::strerror(wa.err),
+                      wa.err);
+    }
+    if (wa.fire && wa.cls != fault::FaultClass::kBitFlip) {
+        ::close(fd);
+        errno = wa.err;
+        fail(tmp, "cannot write " + path);
+    }
+    // A bit-flip fault corrupts the payload but lets the write SUCCEED:
+    // the published file is silently wrong, modelling media corruption.
+    // CRC verification on load is what has to catch it.
+    const std::string* body = &content;
+    std::string flipped;
+    if (wa.fire && wa.cls == fault::FaultClass::kBitFlip && !content.empty()) {
+        flipped = content;
+        flipped[wa.flip_bit / 8 % flipped.size()] ^=
+            char(1u << (wa.flip_bit % 8));
+        body = &flipped;
+    }
     std::size_t off = 0;
-    while (off < content.size()) {
+    while (off < body->size()) {
         const ssize_t n =
-            ::write(fd, content.data() + off, content.size() - off);
+            ::write(fd, body->data() + off, body->size() - off);
         if (n < 0) {
             if (errno == EINTR) continue;
             ::close(fd);
@@ -63,12 +105,22 @@ void write_file_atomic(const std::string& path, const std::string& content) {
     // Data must be on disk BEFORE the rename: otherwise a power loss can
     // commit the new directory entry but not the bytes, leaving a
     // truncated file that looks successfully published.
+    if (const auto a = hooks.check(fault::Op::kFsync, path); a.fire) {
+        ::close(fd);
+        errno = a.err;
+        fail(tmp, "cannot fsync " + path);
+    }
     if (::fsync(fd) != 0) {
         ::close(fd);
         fail(tmp, "cannot fsync " + path);
     }
     if (::close(fd) != 0) fail(tmp, "cannot close " + path);
 
+    hooks.crash_point("fsio.publish.pre-rename");
+    if (const auto a = hooks.check(fault::Op::kRename, path); a.fire) {
+        errno = a.err;
+        fail(tmp, "cannot rename into " + path);
+    }
     std::error_code ec;
     fs::rename(tmp, target, ec);
     if (ec) {
@@ -76,11 +128,46 @@ void write_file_atomic(const std::string& path, const std::string& content) {
         fail(tmp, "cannot rename into " + path);
     }
     // Make the rename itself durable so a caller may now write dependent
-    // markers (e.g. a work queue's done file) in order.
-    const int dfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-    if (dfd >= 0) {
-        ::fsync(dfd);
+    // markers (e.g. a work queue's done file) in order.  A failure here is
+    // surfaced exactly like the data fsync: the durability contract is not
+    // met, even though the rename itself landed.  There is no temp file
+    // left at this point (the rename consumed it), so nothing to clean.
+    const fs::path dir = parent.empty() ? fs::path(".") : parent;
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd < 0) {
+        throw FsError("write_file_atomic: cannot open parent dir of " + path +
+                          " for fsync: " + std::strerror(errno),
+                      errno);
+    }
+    if (const auto a = hooks.check(fault::Op::kDirFsync, path); a.fire) {
         ::close(dfd);
+        errno = a.err;
+        throw FsError("write_file_atomic: cannot fsync parent dir of " + path +
+                          ": " + std::strerror(a.err),
+                      a.err);
+    }
+    if (::fsync(dfd) != 0) {
+        const int err = errno;
+        ::close(dfd);
+        throw FsError("write_file_atomic: cannot fsync parent dir of " + path +
+                          ": " + std::strerror(err),
+                      err);
+    }
+    ::close(dfd);
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+    const fault::RetryPolicy policy = fault::retry_policy();
+    for (int attempt = 1;; ++attempt) {
+        try {
+            write_file_atomic_once(path, content);
+            return;
+        } catch (const FsError& e) {
+            if (!e.transient() || attempt >= policy.max_attempts) throw;
+            obs::MetricsRegistry::global().counter("fs_retry_total").add(1);
+            fault::sleep_for_ms(
+                fault::backoff_delay_ms(policy, path, attempt));
+        }
     }
 }
 

@@ -3,9 +3,27 @@
 // both subsystems publish files with the same guarantees.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 namespace matador::util {
+
+/// Filesystem failure carrying the errno it failed with, so callers (and
+/// the retry layer) can classify transient vs. permanent errors instead
+/// of string-matching what().
+class FsError : public std::runtime_error {
+public:
+    FsError(const std::string& what, int err)
+        : std::runtime_error(what), err_(err) {}
+    /// The errno at the failure site.
+    int code() const { return err_; }
+    /// True when retrying could plausibly succeed (EIO, ENOSPC, EAGAIN,
+    /// ...); see fault::is_transient_errno.
+    bool transient() const;
+
+private:
+    int err_ = 0;
+};
 
 /// Read a whole file; throws std::runtime_error when unreadable.
 std::string read_file(const std::string& path);
@@ -14,8 +32,26 @@ std::string read_file(const std::string& path);
 /// file is written, fsync'd, renamed over `path`, and the parent directory
 /// is fsync'd, so readers never observe a partial file and a power loss
 /// after return cannot roll the content back to a truncated state.
-/// Parent directories are created as needed.  Throws std::runtime_error on
-/// any failure (the temp file is cleaned up).
+/// Parent directories are created as needed.
+///
+/// Transient filesystem errors (classified by fault::is_transient_errno)
+/// are retried under fault::retry_policy() with bounded exponential
+/// backoff and deterministic jitter; each retry bumps the
+/// `fs_retry_total` counter.  Throws util::FsError once the budget is
+/// exhausted or on a permanent error (the temp file is cleaned up on
+/// every failure path; only an injected torn-write fault — which models a
+/// crash, not an error return — leaves debris, and a successful retry
+/// republishes over it).
+///
+/// All durable publishes in the repo route through here, which makes this
+/// the fault::FsHooks injection seam: open/write/fsync/rename/dir-fsync
+/// each consult the armed FaultPlan (one relaxed atomic load when
+/// disarmed).
 void write_file_atomic(const std::string& path, const std::string& content);
+
+/// One attempt of write_file_atomic with no retry.  Exposed for tests
+/// that need to observe a single failure (e.g. torn-tmp debris).
+void write_file_atomic_once(const std::string& path,
+                            const std::string& content);
 
 }  // namespace matador::util

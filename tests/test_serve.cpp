@@ -263,6 +263,11 @@ TEST(Batcher, ShedsOnOverloadWithTypedError) {
             accepted.push_back(batcher.submit(servable, xs[attempt % 5]));
         } catch (const ServeError& e) {
             EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+            // The shed reply tells the client how long the queue needs to
+            // drain; even before any service-time history it must carry a
+            // positive backoff hint.
+            EXPECT_GT(e.retry_after_ms(), 0.0);
+            EXPECT_LE(e.retry_after_ms(), 1000.0);
             shed_seen = true;
         }
     }
@@ -447,6 +452,118 @@ TEST(Server, PredictErrorsAreTypedAndInOrder) {
     EXPECT_EQ(replies[0].at("error").as_string(), "feature-mismatch");
     EXPECT_EQ(replies[1].at("error").as_string(), "unknown-model");
     EXPECT_TRUE(replies[2].at("ok").as_bool());
+}
+
+// ---------------------------------------------------------------------------
+// Degraded mode: per-target error-budget circuit breaker
+// ---------------------------------------------------------------------------
+
+TEST(Breaker, OpensAfterBudgetAndThrowsDegradedWithBackoffHint) {
+    ModelRegistry reg;  // default budget: 3 consecutive failures
+    // Burning budget does not quarantine yet.
+    reg.record_load_failure("bad.tm", "no such file");
+    reg.record_load_failure("bad.tm", "no such file");
+    EXPECT_NO_THROW(reg.check_quarantine("bad.tm"));
+    // The third failure exhausts the budget: the breaker opens.
+    reg.record_load_failure("bad.tm", "no such file");
+    try {
+        reg.check_quarantine("bad.tm");
+        FAIL() << "quarantined target admitted";
+    } catch (const ServeError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kDegraded);
+        EXPECT_GT(e.retry_after_ms(), 0.0);
+        EXPECT_NE(std::string(e.what()).find("bad.tm"), std::string::npos);
+    }
+    const auto states = reg.breakers();
+    ASSERT_EQ(states.size(), 1u);
+    EXPECT_EQ(states[0].key, "bad.tm");
+    EXPECT_TRUE(states[0].open);
+    EXPECT_EQ(states[0].failures, 3u);
+    EXPECT_GT(states[0].retry_after_ms, 0.0);
+
+    // A success (e.g. the operator fixed the file) clears the breaker.
+    reg.record_load_success("bad.tm");
+    EXPECT_NO_THROW(reg.check_quarantine("bad.tm"));
+    EXPECT_TRUE(reg.breakers().empty());
+}
+
+TEST(Breaker, HalfOpensAfterCooldownAndReopensOnTheProbeFailure) {
+    ModelRegistry reg;
+    ModelRegistry::BreakerOptions options;
+    options.error_budget = 2;
+    options.cooldown_ms = 10.0;
+    reg.set_breaker_options(options);
+
+    reg.record_load_failure("flaky", "boom");
+    reg.record_load_failure("flaky", "boom");
+    EXPECT_THROW(reg.check_quarantine("flaky"), ServeError);
+
+    // Past the cooldown the next attempt is admitted as the probe ...
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_NO_THROW(reg.check_quarantine("flaky"));
+    // ... and a failed probe re-opens immediately, not after a full budget.
+    reg.record_load_failure("flaky", "still broken");
+    EXPECT_THROW(reg.check_quarantine("flaky"), ServeError);
+}
+
+TEST(Breaker, FailedSwapLeavesAliasOnLastGoodServable) {
+    serve::ServerOptions options;
+    options.threads = 1;
+    serve::Server server(options);
+    const auto good = server.registry().add(random_model(16, 2, 4, 40));
+    server.registry().set_alias("default", good->hash_hex);
+
+    // Three failed swaps to a bogus target exhaust its budget; the fourth
+    // is answered degraded (with a backoff hint) without even attempting.
+    // Throughout, "default" keeps serving the last good model.
+    std::ostringstream in_text;
+    for (int i = 0; i < 4; ++i)
+        in_text << "{\"id\":" << i
+                << ",\"op\":\"swap\",\"target\":\"no-such-model\"}\n";
+    in_text << "{\"id\":4,\"x\":\"0000000000000000\"}\n";
+    std::istringstream in(in_text.str());
+    std::ostringstream out;
+    EXPECT_EQ(server.run(in, out), 0);
+
+    std::vector<util::Json> replies;
+    std::istringstream lines(out.str());
+    for (std::string line; std::getline(lines, line);)
+        replies.push_back(util::Json::parse(line));
+    ASSERT_EQ(replies.size(), 5u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_FALSE(replies[i].at("ok").as_bool());
+        EXPECT_EQ(replies[i].at("error").as_string(), "unknown-model") << i;
+    }
+    EXPECT_FALSE(replies[3].at("ok").as_bool());
+    EXPECT_EQ(replies[3].at("error").as_string(), "degraded");
+    EXPECT_GT(replies[3].at("retry_after_ms").as_double(), 0.0);
+    // The alias never moved: the predict still answers from `good`.
+    EXPECT_TRUE(replies[4].at("ok").as_bool());
+    EXPECT_EQ(replies[4].at("model").as_string(), good->hash_hex);
+}
+
+TEST(ServeMetrics, StatusV3CarriesBreakersOnlyWhenThereIsState) {
+    serve::ServeMetrics metrics;
+    EXPECT_GE(serve::ServeMetrics::kStatusVersion, 3u);
+    // No provider (or an empty one): the key is absent, so clean daemons
+    // emit byte-compatible v2-shaped documents plus the version bump.
+    EXPECT_FALSE(metrics.snapshot_json().contains("breakers"));
+
+    ModelRegistry reg;
+    metrics.set_breaker_provider([&] { return reg.breakers_json(); });
+    EXPECT_FALSE(metrics.snapshot_json().contains("breakers"));
+
+    for (int i = 0; i < 3; ++i) reg.record_load_failure("gone.tm", "enoent");
+    const util::Json j = metrics.snapshot_json();
+    ASSERT_TRUE(j.contains("breakers"));
+    ASSERT_EQ(j.at("breakers").size(), 1u);
+    const util::Json& b = j.at("breakers").as_array()[0];
+    EXPECT_EQ(b.at("model").as_string(), "gone.tm");
+    EXPECT_EQ(std::size_t(b.at("failures").as_double()), 3u);
+    EXPECT_TRUE(b.at("open").as_bool());
+    EXPECT_GT(b.at("retry_after_ms").as_double(), 0.0);
+    EXPECT_NE(b.at("last_error").as_string().find("enoent"),
+              std::string::npos);
 }
 
 TEST(ServeMetrics, SnapshotJsonIsVersionedAndComplete) {

@@ -21,6 +21,9 @@
 //   matador serve-status <status.json> [--json]         daemon metrics view
 //   matador metrics   <cache_dir|metrics.json> [--json] merged metrics view
 //   matador cache     <stats|ls|clear|gc> --cache-dir dir  store admin
+//   matador chaos     <cache_dir> --dataset <spec> [--sweep ...] [--seed n]
+//                     [--kill-shards k] [--corrupt-artifacts m]
+//                     [--faults plan.json]              seeded recovery gate
 //   matador stages                                      list pipeline stages
 //   matador datasets                                    list dataset specs
 //
@@ -59,6 +62,8 @@
 #include "data/csv_loader.hpp"
 #include "dist/gc.hpp"
 #include "dist/shard_runner.hpp"
+#include "fault/chaos.hpp"
+#include "fault/fault.hpp"
 #include "dist/sweep_merge.hpp"
 #include "dist/sweep_status.hpp"
 #include "dist/work_queue.hpp"
@@ -93,7 +98,7 @@ using namespace matador;
     std::puts(
         "usage: matador <flow|train|eval|generate|verify|prove|aig|lint|"
         "simulate|sweep|sweep-merge|sweep-status|serve|serve-status|metrics|"
-        "cache|stages|datasets> [options]\n"
+        "cache|chaos|stages|datasets> [options]\n"
         "\n"
         "common options:\n"
         "  --dataset <spec>        dataset (see 'matador datasets')\n"
@@ -150,6 +155,15 @@ using namespace matador;
         "  --max-queue-depth <n>   serve: shed requests beyond this backlog\n"
         "                          with error 'overloaded' (default 1024)\n"
         "  --max-inflight <n>      serve: in-order response window (256)\n"
+        "  --seed <n>              chaos: master seed (fault sequence, kill\n"
+        "                          points, corruption targets; default 1)\n"
+        "  --kill-shards <k>       chaos: SIGKILL this many shard children\n"
+        "                          at a seeded result-write crash point (1)\n"
+        "  --corrupt-artifacts <m> chaos: flip one seeded bit in m cached\n"
+        "                          payload files before the chaos pass (1)\n"
+        "  --faults <plan.json>    chaos: fault plan armed in the surviving\n"
+        "                          shards (default: transient ENOSPC + EIO\n"
+        "                          on durable publishes)\n"
         "  --max-age-days <d>      cache gc: collect results/ manifests and\n"
         "                          finished queues older than this\n"
         "  --max-bytes <n>         cache gc: shrink results/ to this size,\n"
@@ -234,6 +248,10 @@ const std::vector<CommandSpec>& command_specs() {
         {"metrics", {"metrics-file", "json", "prometheus", "config"}},
         {"cache",
          {"max-age-days", "max-bytes", "dry-run", "config"}},
+        {"chaos",
+         {"dataset", "examples", "data-seed", "train-fraction", "sweep",
+          "seed", "shards", "kill-shards", "corrupt-artifacts", "faults",
+          "lease-timeout", "jobs", "config"}},
         {"stages", {}, false},
         {"datasets", {}, false},
     };
@@ -322,6 +340,12 @@ CliArgs parse_args(int argc, char** argv, core::FlowConfig& cfg) {
     // 'matador sweep-status <cache_dir>' takes an optional positional dir
     // (equivalent to --cache-dir).
     if (args.command == "sweep-status" && argc >= 3 &&
+        std::string(argv[2]).rfind("--", 0) != 0) {
+        cfg.cache_dir = argv[2];
+        first_option = 3;
+    }
+    // 'matador chaos <cache_dir>': positional dir, like sweep-status.
+    if (args.command == "chaos" && argc >= 3 &&
         std::string(argv[2]).rfind("--", 0) != 0) {
         cfg.cache_dir = argv[2];
         first_option = 3;
@@ -1328,6 +1352,86 @@ int cmd_cache(const CliArgs& args, const core::FlowConfig& cfg) {
     return 0;
 }
 
+int cmd_chaos(const CliArgs& args, const core::FlowConfig& cfg) {
+    if (cfg.cache_dir.empty()) {
+        std::fprintf(stderr,
+                     "chaos needs a cache dir: 'matador chaos <cache_dir>' "
+                     "(or --cache-dir / cache_dir in --config)\n");
+        usage(1);
+    }
+    // Optional --sweep axes shape the grid exactly as 'matador sweep' does;
+    // with none, the chaos pass runs the single configured point.
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+    for (const auto& spec : args.sweep_axes) {
+        const auto eq = spec.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+            std::fprintf(stderr, "bad --sweep axis (want key=v1,v2,...): %s\n",
+                         spec.c_str());
+            usage(1);
+        }
+        axes.emplace_back(spec.substr(0, eq),
+                          util::split(spec.substr(eq + 1), ','));
+    }
+
+    const auto ds = make_dataset(args);
+    const double frac = parse_fraction_option(
+        "train-fraction", args.get("train-fraction", "0.85"));
+    const auto split = data::train_test_split(ds, frac, 3);
+    const auto grid = core::expand_grid(cfg, axes);
+
+    fault::ChaosOptions opts;
+    opts.seed = parse_count_option("seed", args.get("seed", "1"));
+    opts.shards = unsigned(parse_count_option("shards", args.get("shards", "2")));
+    opts.kill_shards = unsigned(
+        parse_count_option("kill-shards", args.get("kill-shards", "1")));
+    opts.corrupt_artifacts = unsigned(parse_count_option(
+        "corrupt-artifacts", args.get("corrupt-artifacts", "1")));
+    opts.lease_timeout_seconds = parse_fraction_option(
+        "lease-timeout", args.get("lease-timeout", "2"));
+    opts.threads_per_shard =
+        unsigned(parse_count_option("jobs", args.get("jobs", "1")));
+    if (opts.shards == 0) {
+        std::fprintf(stderr, "--shards must be at least 1\n");
+        usage(1);
+    }
+    if (opts.kill_shards > opts.shards) {
+        std::fprintf(stderr, "--kill-shards cannot exceed --shards\n");
+        usage(1);
+    }
+    if (!args.get("faults").empty())
+        opts.plan = fault::FaultPlan::parse(util::read_file(args.get("faults")));
+
+    const fault::ChaosReport r =
+        fault::run_chaos(split.train, split.test, grid, cfg.cache_dir, opts);
+    if (!r.ran) {
+        std::printf("chaos: fork() unavailable on this platform; skipped\n");
+        return 0;
+    }
+    std::printf(
+        "chaos: seed %ju, %u shard(s) (%zu killed), %zu corrupted "
+        "artifact(s)\n",
+        std::uintmax_t(opts.seed), opts.shards, r.shards_killed,
+        r.artifacts_corrupted);
+    std::printf("  merge: %s, %s\n",
+                r.complete ? "complete" : "INCOMPLETE",
+                r.identical ? "bit-identical to the clean reference"
+                            : "DIFFERS from the clean reference");
+    std::printf("  crc: %zu payload(s) repaired, %ju detection(s) counted\n",
+                r.crc_repaired, std::uintmax_t(r.crc_detected));
+    std::printf(
+        "  faults: %ju injected in survivors (%ju transient), %ju fs "
+        "retry(ies)\n",
+        std::uintmax_t(r.faults_injected), std::uintmax_t(r.transient_fired),
+        std::uintmax_t(r.retries));
+    const bool ok = r.ok(opts);
+    if (ok)
+        std::printf("  recovery proven: every fault detected or retried\n");
+    else
+        std::printf("  FAILED: %s\n",
+                    r.detail.empty() ? "(no detail)" : r.detail.c_str());
+    return ok ? 0 : 1;
+}
+
 int cmd_stages() {
     std::puts("pipeline stages, in order (Fig. 6):");
     for (auto k : core::stage_order()) std::printf("  %s\n", core::stage_name(k));
@@ -1356,6 +1460,10 @@ int cmd_datasets() {
 
 int main(int argc, char** argv) {
     try {
+        // MATADOR_FAULT_PLAN (inline JSON or a plan-file path) arms the
+        // fault-injection seam for ANY subcommand — the chaos driver's
+        // shard children re-arm their own plans after fork.
+        fault::FsHooks::instance().arm_from_env();
         core::FlowConfig cfg;
         const CliArgs args = parse_args(argc, argv, cfg);
         // Arms tracing when --trace-out was given; its destructor writes
@@ -1378,6 +1486,7 @@ int main(int argc, char** argv) {
         if (args.command == "serve-status") return cmd_serve_status(args);
         if (args.command == "metrics") return cmd_metrics(args, cfg);
         if (args.command == "cache") return cmd_cache(args, cfg);
+        if (args.command == "chaos") return cmd_chaos(args, cfg);
         if (args.command == "stages") return cmd_stages();
         if (args.command == "datasets") return cmd_datasets();
         std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
